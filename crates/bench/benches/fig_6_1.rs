@@ -1,0 +1,26 @@
+//! Figure 6-1: speedups without chunking, single task queue.
+
+use psme_bench::*;
+use psme_sim::SimScheduler;
+use psme_tasks::RunMode;
+
+fn main() {
+    println!("Figure 6-1: Speedups without chunking, SINGLE task queue");
+    println!("paper: low speedups, max ≈4.2-fold, decreasing beyond ~9 processes;");
+    println!("paper uniprocessor times: eight-puzzle 37.7 s, strips 43.7 s, cypress 172.7 s");
+    for (name, task) in paper_tasks() {
+        let (report, trace) = capture(&task, RunMode::WithoutChunking);
+        let cycles = match_cycles(&trace);
+        println!(
+            "\n{name}: decisions={} simulated uniproc {:.1} s ({} tasks)",
+            report.stats.decisions,
+            uniproc_seconds(&cycles),
+            trace.total_tasks()
+        );
+        let sweep = speedup_sweep(&cycles, SimScheduler::Single);
+        print_curve(&format!("{name} — speedup vs match processes"), &sweep, "x");
+        let max = sweep.iter().map(|&(_, s)| s).fold(0.0f64, f64::max);
+        let s13 = sweep.last().unwrap().1;
+        println!("  max speedup {max:.2}x; at 13 processes {s13:.2}x");
+    }
+}

@@ -1,0 +1,23 @@
+//! Figure 6-3: task-queue contention (spins/task) with increasing processes.
+
+use psme_bench::*;
+use psme_sim::SimScheduler;
+use psme_tasks::RunMode;
+
+fn main() {
+    println!("Figure 6-3: Task-queue contention, single queue");
+    println!("paper: spins/task rises steeply and at a similar rate in all three tasks");
+    for (name, task) in paper_tasks() {
+        let (_, trace) = capture(&task, RunMode::WithoutChunking);
+        let cycles = match_cycles(&trace);
+        let sweep = spins_sweep(&cycles, SimScheduler::Single);
+        print_curve(&format!("{name} — queue spins per task"), &sweep, "spins/task");
+    }
+    println!("\nmultiple task queues for comparison (paper: reduced to ≈2–3 spins/task at 13):");
+    for (name, task) in paper_tasks() {
+        let (_, trace) = capture(&task, RunMode::WithoutChunking);
+        let cycles = match_cycles(&trace);
+        let multi = spins_sweep(&cycles, SimScheduler::Multi);
+        println!("  {name}: spins/task at 13 processes = {:.2}", multi.last().unwrap().1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 6-5: per-cycle speedup as a function of tasks/cycle
+//! (eight-puzzle, 11 match processes).
+
+use psme_bench::*;
+use psme_sim::{simulate_cycle, SimConfig, SimScheduler};
+use psme_tasks::RunMode;
+
+fn main() {
+    println!("Figure 6-5: Eight-puzzle — per-cycle speedups vs tasks/cycle (11 processes)");
+    println!("paper: small cycles < 2x; some ≈300-task cycles stuck near 3x (long chains)");
+    let (_, task) = paper_tasks().remove(0).into();
+    let (_, trace) = capture(&task, RunMode::WithoutChunking);
+    let cycles = match_cycles(&trace);
+    let c1 = SimConfig::new(1, SimScheduler::Multi);
+    let c11 = SimConfig::new(11, SimScheduler::Multi);
+    // Bin cycles by task count.
+    let bins = [(0, 25), (25, 50), (50, 100), (100, 200), (200, 400), (400, 800), (800, 100000)];
+    let mut rows = Vec::new();
+    for (lo, hi) in bins {
+        let mut speedups = Vec::new();
+        for c in cycles.iter().filter(|c| c.len() >= lo && c.len() < hi && !c.is_empty()) {
+            let u = simulate_cycle(c, &c1).makespan_us;
+            let p = simulate_cycle(c, &c11).makespan_us;
+            speedups.push(u / p.max(1e-9));
+        }
+        if speedups.is_empty() {
+            continue;
+        }
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        let max = speedups.iter().cloned().fold(0.0f64, f64::max);
+        rows.push(vec![
+            format!("{lo}–{}", if hi > 10000 { "∞".into() } else { hi.to_string() }),
+            format!("{}", speedups.len()),
+            f2(avg),
+            f2(max),
+        ]);
+    }
+    print_table("measured", &["tasks/cycle", "cycles", "avg speedup", "max speedup"], &rows);
+}

@@ -1,0 +1,122 @@
+//! # psme-bench — harnesses regenerating every table and figure of §5/§6
+//!
+//! Each table/figure is a `harness = false` bench target (run them all with
+//! `cargo bench`, or one with `cargo bench -p psme-bench --bench fig_6_1`).
+//! Shared machinery lives here: the benchmark task instances, trace capture
+//! through the serial engine, simulator sweeps over 1–13 match processes,
+//! and plain-text table rendering. Paper reference values are printed next
+//! to the measured ones; EXPERIMENTS.md records both.
+
+use psme_rete::{CycleTrace, Phase, RunTrace};
+use psme_sim::{simulate_run, total_seconds, SimConfig, SimScheduler};
+use psme_soar::SoarTask;
+use psme_tasks::{
+    cypress_sub, eight_puzzle, run_serial, scrambled, strips, CypressConfig, RunMode, RunReport,
+    StripsConfig,
+};
+
+/// The process counts the paper sweeps.
+pub const WORKER_SWEEP: &[usize] = &[1, 2, 3, 4, 6, 8, 9, 10, 11, 12, 13];
+
+/// The three benchmark task instances (sized so a full bench run stays in
+/// seconds; relative magnitudes follow the paper: Cypress ≫ the others).
+pub fn paper_tasks() -> Vec<(&'static str, SoarTask)> {
+    vec![
+        ("eight-puzzle", eight_puzzle(&scrambled(8, 1))),
+        (
+            "strips",
+            strips(&StripsConfig {
+                rooms: 12,
+                closed_doors: vec![2, 5, 8],
+                start: 0,
+                target: 6,
+                chords: false,
+            }),
+        ),
+        ("cypress-sub", cypress_sub(&CypressConfig { roots: 2 })),
+    ]
+}
+
+/// Run a task in a mode on the serial engine with trace capture.
+pub fn capture(task: &SoarTask, mode: RunMode) -> (RunReport, RunTrace) {
+    let (report, engine) = run_serial(task, mode, true);
+    (report, engine.trace)
+}
+
+/// Match-phase cycles of a run trace.
+pub fn match_cycles(trace: &RunTrace) -> Vec<CycleTrace> {
+    trace.phase_cycles(Phase::Match).cloned().collect()
+}
+
+/// Update-phase cycles of a run trace.
+pub fn update_cycles(trace: &RunTrace) -> Vec<CycleTrace> {
+    trace.phase_cycles(Phase::Update).cloned().collect()
+}
+
+/// Simulated uniprocessor seconds for a cycle set.
+pub fn uniproc_seconds(cycles: &[CycleTrace]) -> f64 {
+    total_seconds(&simulate_run(cycles, &SimConfig::new(1, SimScheduler::Multi)))
+}
+
+/// Speedups across the worker sweep for a cycle set.
+pub fn speedup_sweep(cycles: &[CycleTrace], sched: SimScheduler) -> Vec<(usize, f64)> {
+    let uni = total_seconds(&simulate_run(cycles, &SimConfig::new(1, sched)));
+    WORKER_SWEEP
+        .iter()
+        .map(|&w| {
+            let t = total_seconds(&simulate_run(cycles, &SimConfig::new(w, sched)));
+            (w, uni / t.max(1e-12))
+        })
+        .collect()
+}
+
+/// Queue-lock spins per task across the sweep (Figure 6-3's metric).
+pub fn spins_sweep(cycles: &[CycleTrace], sched: SimScheduler) -> Vec<(usize, f64)> {
+    WORKER_SWEEP
+        .iter()
+        .map(|&w| {
+            let rs = simulate_run(cycles, &SimConfig::new(w, sched));
+            let tasks: u64 = rs.iter().map(|r| r.tasks).sum();
+            let spins: u64 = rs.iter().map(|r| r.queue_spins).sum();
+            (w, spins as f64 / tasks.max(1) as f64)
+        })
+        .collect()
+}
+
+/// Render a plain-text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let s: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>width$}", width = w)).collect();
+        println!("  {}", s.join("  "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for r in rows {
+        line(r.clone());
+    }
+}
+
+/// Render an ASCII curve `(x, y)` with a caption.
+pub fn print_curve(title: &str, points: &[(usize, f64)], y_label: &str) {
+    println!("\n== {title} ==");
+    let max = points.iter().map(|&(_, y)| y).fold(1.0f64, f64::max);
+    for &(x, y) in points {
+        let bar = "#".repeat(((y / max) * 40.0).round() as usize);
+        println!("  {x:>3} | {bar} {y:.2} {y_label}");
+    }
+}
+
+/// Format a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}

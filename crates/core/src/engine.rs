@@ -1,0 +1,376 @@
+//! The parallel match engine: one control thread (the caller) plus N match
+//! processes (§2.3, §4).
+//!
+//! "PSM-E consists of one control process that selects and then fires an
+//! instantiation and one or more match processes that actually perform the
+//! RETE match. … Each individual match process performs match by picking up
+//! a task from one of these queues, processing the task and, if any new
+//! tasks are generated, pushing them onto one of the queues. When the task
+//! queues becomes empty, one production system cycle ends."
+//!
+//! Quiescence detection uses an outstanding-task counter: a worker
+//! increments it for every child it pushes *before* decrementing it for the
+//! task it finished, so the counter reaches zero exactly at quiescence.
+//! Workers park between cycles on an epoch condvar; the control thread owns
+//! the network/store write locks between cycles (run-time chunk addition,
+//! wme changes) and never mutates them while a cycle is in flight.
+
+use crate::metrics::{CycleMetrics, MetricsLog, WorkerStats};
+use crate::queue::{QueueStats, Scheduler, Task, TaskQueues};
+use parking_lot::{Condvar, Mutex, RwLock};
+use psme_ops::{Instantiation, Production, Wme, WmeId};
+use psme_rete::{
+    fold_cs, instantiations_from_memories, process_beta, process_wme_change, seed_update,
+    AddOutcome, BuildError, CsChange, CycleOutcome, MemoryTable, NetworkOrg, NodeId,
+    Phase, ReteNetwork, WmeStore,
+};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of the parallel engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of match processes (the paper sweeps 1–13).
+    pub workers: usize,
+    /// Task-queue organization.
+    pub scheduler: Scheduler,
+    /// Memory-table lines.
+    pub memory_lines: usize,
+    /// Collect per-line bucket access histograms each cycle (Figure 6-2).
+    pub bucket_histograms: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+            scheduler: Scheduler::MultiQueue,
+            memory_lines: 4096,
+            bucket_histograms: false,
+        }
+    }
+}
+
+struct Shared {
+    net: RwLock<ReteNetwork>,
+    store: RwLock<WmeStore>,
+    mem: MemoryTable,
+    queues: TaskQueues,
+    outstanding: AtomicI64,
+    min_node: AtomicU32,
+    epoch: Mutex<u64>,
+    epoch_cv: Condvar,
+    done: Mutex<()>,
+    done_cv: Condvar,
+    workers_active: AtomicI64,
+    shutdown: AtomicBool,
+    cs_raw: Mutex<Vec<CsChange>>,
+    worker_stats: Vec<Mutex<WorkerStats>>,
+}
+
+fn worker_loop(shared: Arc<Shared>, wid: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        {
+            let mut e = shared.epoch.lock();
+            while *e == seen_epoch && !shared.shutdown.load(Ordering::Acquire) {
+                shared.epoch_cv.wait(&mut e);
+            }
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            seen_epoch = *e;
+        }
+        shared.workers_active.fetch_add(1, Ordering::AcqRel);
+        let net = shared.net.read();
+        let store = shared.store.read();
+        let mut ws = WorkerStats::default();
+        let mut local_cs: Vec<CsChange> = Vec::new();
+        let mut pending: Vec<Task> = Vec::new();
+        loop {
+            match shared.queues.pop(wid, &mut ws.queue) {
+                Some(task) => {
+                    ws.tasks += 1;
+                    pending.clear();
+                    // Loaded per task, *after* the pop: the queue lock's
+                    // release/acquire pairing guarantees a popped task sees
+                    // the `min_node` the control thread stored before
+                    // pushing it, even for a worker that woke late and is
+                    // still in the previous cycle's work loop.
+                    let min_node: NodeId = shared.min_node.load(Ordering::Relaxed);
+                    match task {
+                        Task::Alpha(w, d) => {
+                            process_wme_change(&net, &store, w, d, min_node, &mut |a| {
+                                pending.push(Task::Beta(a))
+                            });
+                        }
+                        Task::Beta(a) => {
+                            let stats = process_beta(
+                                &net,
+                                &shared.mem,
+                                &store,
+                                &a,
+                                min_node,
+                                &mut |child| pending.push(Task::Beta(child)),
+                                &mut |c| local_cs.push(c),
+                            );
+                            ws.mem_spins += stats.spins;
+                            ws.scanned += stats.scanned as u64;
+                        }
+                    }
+                    // Children first, then retire self: the counter can only
+                    // reach zero at true quiescence.
+                    if !pending.is_empty() {
+                        shared.outstanding.fetch_add(pending.len() as i64, Ordering::AcqRel);
+                        for t in pending.drain(..) {
+                            shared.queues.push(wid, t, &mut ws.queue);
+                        }
+                    }
+                    if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let _g = shared.done.lock();
+                        shared.done_cv.notify_all();
+                    }
+                }
+                None => {
+                    if shared.outstanding.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+        drop(store);
+        drop(net);
+        if !local_cs.is_empty() {
+            shared.cs_raw.lock().append(&mut local_cs);
+        }
+        *shared.worker_stats[wid].lock() = ws;
+        if shared.workers_active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = shared.done.lock();
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// The PSM-E parallel match engine.
+pub struct ParallelEngine {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    config: EngineConfig,
+    /// Per-cycle metrics log.
+    pub metrics: MetricsLog,
+    cycle_count: u64,
+}
+
+impl ParallelEngine {
+    /// Spawn the match processes over a compiled network.
+    pub fn new(net: ReteNetwork, config: EngineConfig) -> ParallelEngine {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            net: RwLock::new(net),
+            store: RwLock::new(WmeStore::new()),
+            mem: MemoryTable::new(config.memory_lines),
+            queues: TaskQueues::new(config.scheduler, workers),
+            outstanding: AtomicI64::new(0),
+            min_node: AtomicU32::new(0),
+            epoch: Mutex::new(0),
+            epoch_cv: Condvar::new(),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+            workers_active: AtomicI64::new(0),
+            shutdown: AtomicBool::new(false),
+            cs_raw: Mutex::new(Vec::new()),
+            worker_stats: (0..workers).map(|_| Mutex::new(WorkerStats::default())).collect(),
+        });
+        let handles = (0..workers)
+            .map(|wid| {
+                let s = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("psm-match-{wid}"))
+                    .spawn(move || worker_loop(s, wid))
+                    .expect("spawn match process")
+            })
+            .collect();
+        ParallelEngine { shared, handles, config, metrics: MetricsLog::default(), cycle_count: 0 }
+    }
+
+    /// Number of match processes.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run a set of seed tasks to quiescence and harvest metrics + CS delta.
+    fn run_tasks(&mut self, seeds: Vec<Task>, min_node: NodeId, phase: Phase) -> CycleOutcome {
+        let s = &self.shared;
+        if self.config.bucket_histograms {
+            s.mem.reset_access_counts();
+        }
+        s.min_node.store(min_node, Ordering::Relaxed);
+        s.outstanding.store(seeds.len() as i64, Ordering::Release);
+        let mut seed_stats = QueueStats::default();
+        for (i, t) in seeds.into_iter().enumerate() {
+            s.queues.push(i, t, &mut seed_stats);
+        }
+        let start = Instant::now();
+        {
+            let mut e = s.epoch.lock();
+            *e += 1;
+            s.epoch_cv.notify_all();
+        }
+        {
+            let mut g = s.done.lock();
+            while s.outstanding.load(Ordering::Acquire) != 0
+                || s.workers_active.load(Ordering::Acquire) != 0
+            {
+                s.done_cv.wait(&mut g);
+            }
+        }
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        debug_assert!(s.queues.all_empty());
+
+        // Harvest.
+        let mut cm = CycleMetrics {
+            cycle: self.cycle_count,
+            phase: Some(phase),
+            wall_ns,
+            ..Default::default()
+        };
+        cm.queue.merge(&seed_stats);
+        for w in &s.worker_stats {
+            let mut ws = w.lock();
+            cm.queue.merge(&ws.queue);
+            cm.tasks += ws.tasks;
+            cm.mem_spins += ws.mem_spins;
+            cm.scanned += ws.scanned;
+            ws.reset();
+        }
+        if self.config.bucket_histograms {
+            let counts = s.mem.access_counts();
+            cm.left_bucket_accesses = counts.iter().map(|&(l, _)| l).collect();
+            cm.right_bucket_accesses = counts.iter().map(|&(_, r)| r).collect();
+        }
+        let raw = std::mem::take(&mut *s.cs_raw.lock());
+        let net = s.net.read();
+        let store = s.store.read();
+        let cs = fold_cs(&net, &store, raw);
+        drop(store);
+        drop(net);
+        #[cfg(debug_assertions)]
+        s.mem.assert_quiescent();
+        let tasks = cm.tasks;
+        self.metrics.cycles.push(cm);
+        self.cycle_count += 1;
+        CycleOutcome { cs, tasks }
+    }
+
+    /// Add wmes / remove wme ids, then match to quiescence in parallel.
+    pub fn apply_changes(&mut self, adds: Vec<Wme>, removes: Vec<WmeId>) -> CycleOutcome {
+        let mut changes = Vec::with_capacity(adds.len() + removes.len());
+        {
+            let mut store = self.shared.store.write();
+            for w in adds {
+                let (id, _) = store.add(w);
+                changes.push((id, 1));
+            }
+            for id in removes {
+                if store.remove(id).is_some() {
+                    changes.push((id, -1));
+                }
+            }
+        }
+        self.run_changes(changes)
+    }
+
+    /// Match a batch of pre-applied wme changes.
+    pub fn run_changes(&mut self, changes: Vec<(WmeId, i32)>) -> CycleOutcome {
+        // Straggler barrier: a worker that woke late for the previous cycle
+        // may still hold the store read lock with a stale `min_node`.
+        // Acquiring the write lock forces it to finish and park before the
+        // new cycle's tasks become visible.
+        drop(self.shared.store.write());
+        let seeds = changes.into_iter().map(|(w, d)| Task::Alpha(w, d)).collect();
+        self.run_tasks(seeds, 0, Phase::Match)
+    }
+
+    /// Mutate the working-memory store between cycles (the Soar layer adds
+    /// and garbage-collects wmes itself and then calls [`Self::run_changes`]).
+    pub fn store_mut<R>(&mut self, f: impl FnOnce(&mut WmeStore) -> R) -> R {
+        f(&mut self.shared.store.write())
+    }
+
+    /// Compile a production at run time and run the §5.2 state update — in
+    /// parallel, which is what Figure 6-9 measures.
+    pub fn add_production(
+        &mut self,
+        prod: Arc<Production>,
+        org: NetworkOrg,
+    ) -> Result<AddOutcome, BuildError> {
+        let (add, mut seeds) = {
+            let mut net = self.shared.net.write();
+            let add = net.add_production(prod, org)?;
+            let seeds: Vec<Task> = seed_update(&net, &self.shared.mem, add.first_new)
+                .into_iter()
+                .map(Task::Beta)
+                .collect();
+            (add, seeds)
+        };
+        {
+            let store = self.shared.store.read();
+            for (id, _) in store.iter_alive() {
+                seeds.push(Task::Alpha(id, 1));
+            }
+        }
+        let out = self.run_tasks(seeds, add.first_new, Phase::Update);
+        Ok(AddOutcome { add, update_tasks: out.tasks, cs: out.cs })
+    }
+
+    /// Run a closure against the working-memory store.
+    pub fn with_store<R>(&self, f: impl FnOnce(&WmeStore) -> R) -> R {
+        f(&self.shared.store.read())
+    }
+
+    /// Run a closure against the network.
+    pub fn with_net<R>(&self, f: impl FnOnce(&ReteNetwork) -> R) -> R {
+        f(&self.shared.net.read())
+    }
+
+    /// All current instantiations (quiescent-time verification helper).
+    pub fn current_instantiations(&self) -> Vec<Instantiation> {
+        let net = self.shared.net.read();
+        let store = self.shared.store.read();
+        instantiations_from_memories(&net, &store, &self.shared.mem)
+    }
+
+    /// Metrics for the most recent cycle.
+    pub fn last_cycle_metrics(&self) -> Option<&CycleMetrics> {
+        self.metrics.cycles.last()
+    }
+}
+
+impl Drop for ParallelEngine {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let mut e = self.shared.epoch.lock();
+            *e += 1;
+            self.shared.epoch_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ParallelEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ParallelEngine({} workers, {:?}, {} cycles)",
+            self.handles.len(),
+            self.shared.queues.scheduler(),
+            self.cycle_count
+        )
+    }
+}

@@ -1,0 +1,160 @@
+//! Match-phase instrumentation (the measurements behind §6).
+
+use crate::queue::QueueStats;
+use psme_rete::Phase;
+
+/// Everything measured about one cycle (match or update phase).
+#[derive(Clone, Debug, Default)]
+pub struct CycleMetrics {
+    /// Cycle ordinal.
+    pub cycle: u64,
+    /// Phase this cycle belonged to.
+    pub phase: Option<Phase>,
+    /// Tasks executed (node activations, including alpha tasks).
+    pub tasks: u64,
+    /// Wall-clock duration of the cycle on this host.
+    pub wall_ns: u64,
+    /// Aggregated queue counters across workers.
+    pub queue: QueueStats,
+    /// Spins on memory-line locks.
+    pub mem_spins: u64,
+    /// Opposite-memory entries scanned.
+    pub scanned: u64,
+    /// Per-line left-token access counts (only when histogram collection is
+    /// on — Figure 6-2).
+    pub left_bucket_accesses: Vec<u64>,
+    /// Per-line right-token access counts.
+    pub right_bucket_accesses: Vec<u64>,
+}
+
+impl CycleMetrics {
+    /// Queue-lock spins per task — the paper's Figure 6-3 metric.
+    pub fn spins_per_task(&self) -> f64 {
+        if self.tasks == 0 {
+            0.0
+        } else {
+            (self.queue.pop_spins + self.queue.push_spins) as f64 / self.tasks as f64
+        }
+    }
+}
+
+/// Per-worker accumulation for the cycle in flight.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Queue counters.
+    pub queue: QueueStats,
+    /// Tasks this worker executed.
+    pub tasks: u64,
+    /// Memory-line lock spins.
+    pub mem_spins: u64,
+    /// Opposite entries scanned.
+    pub scanned: u64,
+}
+
+impl WorkerStats {
+    /// Reset for a new cycle.
+    pub fn reset(&mut self) {
+        *self = WorkerStats::default();
+    }
+}
+
+/// A run's metrics log.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsLog {
+    /// One entry per cycle, in order.
+    pub cycles: Vec<CycleMetrics>,
+}
+
+impl MetricsLog {
+    /// Total tasks over the run.
+    pub fn total_tasks(&self) -> u64 {
+        self.cycles.iter().map(|c| c.tasks).sum()
+    }
+
+    /// Total wall time over the run.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.cycles.iter().map(|c| c.wall_ns).sum()
+    }
+
+    /// Histogram of tasks/cycle with the given bucket width (Figures 6-11
+    /// and 6-12): returns `(bucket_start, percent_of_cycles)` pairs.
+    pub fn tasks_per_cycle_histogram(&self, bucket: u64) -> Vec<(u64, f64)> {
+        assert!(bucket > 0);
+        if self.cycles.is_empty() {
+            return vec![];
+        }
+        let max = self.cycles.iter().map(|c| c.tasks).max().unwrap_or(0);
+        let nb = (max / bucket + 1) as usize;
+        let mut counts = vec![0u64; nb];
+        for c in &self.cycles {
+            counts[(c.tasks / bucket) as usize] += 1;
+        }
+        let total = self.cycles.len() as f64;
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| (i as u64 * bucket, 100.0 * n as f64 / total))
+            .collect()
+    }
+
+    /// Distribution of left-token accesses per bucket per cycle
+    /// (Figure 6-2): for each access count ≥ 1, the percentage of
+    /// (bucket, cycle) observations with that count.
+    pub fn left_access_distribution(&self) -> Vec<(u64, f64)> {
+        let mut counts: std::collections::BTreeMap<u64, u64> = Default::default();
+        let mut total = 0u64;
+        for c in &self.cycles {
+            for &a in &c.left_bucket_accesses {
+                if a > 0 {
+                    *counts.entry(a).or_insert(0) += 1;
+                    total += 1;
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .map(|(k, v)| (k, 100.0 * v as f64 / total.max(1) as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spins_per_task() {
+        let mut m = CycleMetrics { tasks: 10, ..Default::default() };
+        m.queue.pop_spins = 25;
+        m.queue.push_spins = 5;
+        assert!((m.spins_per_task() - 3.0).abs() < 1e-9);
+        let empty = CycleMetrics::default();
+        assert_eq!(empty.spins_per_task(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut log = MetricsLog::default();
+        for t in [10u64, 20, 40, 260, 270, 1100] {
+            log.cycles.push(CycleMetrics { tasks: t, ..Default::default() });
+        }
+        let h = log.tasks_per_cycle_histogram(25);
+        // bucket 0 holds 10 and 20 → 2/6 of cycles.
+        assert!((h[0].1 - 33.333).abs() < 0.01);
+        assert_eq!(h[0].0, 0);
+        // last bucket holds 1100.
+        assert!(h.last().unwrap().1 > 0.0);
+        assert_eq!(log.total_tasks(), 1700);
+    }
+
+    #[test]
+    fn access_distribution_ignores_untouched_buckets() {
+        let mut log = MetricsLog::default();
+        log.cycles.push(CycleMetrics {
+            left_bucket_accesses: vec![0, 1, 1, 4],
+            ..Default::default()
+        });
+        let d = log.left_access_distribution();
+        assert_eq!(d, vec![(1, 100.0 * 2.0 / 3.0), (4, 100.0 / 3.0)]);
+    }
+}

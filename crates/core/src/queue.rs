@@ -1,0 +1,243 @@
+//! Shared task queues (§2.3, §6.1).
+//!
+//! PSM-E holds node activations in "one or more shared task queues. Each
+//! individual match process performs match by picking up a task from one of
+//! these queues, processing the task and, if any new tasks are generated,
+//! pushing them onto one of the queues."
+//!
+//! Two schedulers, matching the paper's two configurations:
+//!
+//! * [`Scheduler::SingleQueue`] — one central queue whose lock is the
+//!   system's contention hot spot (Figures 6-1, 6-3);
+//! * [`Scheduler::MultiQueue`] — one queue per match process; a process
+//!   pushes/pops its own queue and, when empty, "cycles through the other
+//!   processes' task queues, searching for a new task" (Figure 6-4).
+//!
+//! All locks are instrumented TTAS spin locks so spins-per-access — the
+//! paper's contention metric — is measured, not inferred.
+
+use psme_ops::WmeId;
+use psme_rete::{Activation, SpinLock};
+use std::collections::VecDeque;
+
+/// One unit of work for a match process.
+#[derive(Clone, Debug)]
+pub enum Task {
+    /// Push a wme change through the constant-test network.
+    Alpha(WmeId, i32),
+    /// A beta node activation.
+    Beta(Activation),
+}
+
+/// Scheduling policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Scheduler {
+    /// One shared central queue.
+    SingleQueue,
+    /// Per-process queues with cycling search.
+    #[default]
+    MultiQueue,
+}
+
+/// Counters a worker accumulates against the queues.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueStats {
+    /// Spins while acquiring a queue lock to push.
+    pub push_spins: u64,
+    /// Spins while acquiring a queue lock to pop.
+    pub pop_spins: u64,
+    /// Successful pops.
+    pub pops: u64,
+    /// Pushes.
+    pub pushes: u64,
+    /// Lock acquisitions that found an empty queue ("failed pop
+    /// operations", §6.1).
+    pub failed_pops: u64,
+}
+
+impl QueueStats {
+    /// Merge another worker's counters into this one.
+    pub fn merge(&mut self, o: &QueueStats) {
+        self.push_spins += o.push_spins;
+        self.pop_spins += o.pop_spins;
+        self.pops += o.pops;
+        self.pushes += o.pushes;
+        self.failed_pops += o.failed_pops;
+    }
+}
+
+/// The task-queue set: 1 (single) or `workers` (multi) spin-locked deques.
+pub struct TaskQueues {
+    queues: Vec<SpinLock<VecDeque<Task>>>,
+    scheduler: Scheduler,
+}
+
+impl TaskQueues {
+    /// Build for `workers` match processes.
+    pub fn new(scheduler: Scheduler, workers: usize) -> TaskQueues {
+        let n = match scheduler {
+            Scheduler::SingleQueue => 1,
+            Scheduler::MultiQueue => workers.max(1),
+        };
+        TaskQueues {
+            queues: (0..n).map(|_| SpinLock::new(VecDeque::new())).collect(),
+            scheduler,
+        }
+    }
+
+    /// The scheduler in use.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// Number of physical queues.
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    #[inline]
+    fn home(&self, worker: usize) -> usize {
+        match self.scheduler {
+            Scheduler::SingleQueue => 0,
+            Scheduler::MultiQueue => worker % self.queues.len(),
+        }
+    }
+
+    /// Push a task from `worker` (to its own queue under `MultiQueue`).
+    pub fn push(&self, worker: usize, task: Task, stats: &mut QueueStats) {
+        let (mut g, spins) = self.queues[self.home(worker)].lock();
+        stats.push_spins += spins;
+        stats.pushes += 1;
+        g.push_back(task);
+    }
+
+    /// Pop a task for `worker`: own queue first, then cycle the others.
+    pub fn pop(&self, worker: usize, stats: &mut QueueStats) -> Option<Task> {
+        let n = self.queues.len();
+        let home = self.home(worker);
+        for i in 0..n {
+            let qi = (home + i) % n;
+            let (mut g, spins) = self.queues[qi].lock();
+            stats.pop_spins += spins;
+            if let Some(t) = g.pop_front() {
+                stats.pops += 1;
+                return Some(t);
+            }
+            stats.failed_pops += 1;
+        }
+        None
+    }
+
+    /// Are all queues empty? (Control-side check; racy by nature, callers
+    /// rely on the outstanding-task counter for the real barrier.)
+    pub fn all_empty(&self) -> bool {
+        self.queues.iter().all(|q| {
+            let (g, _) = q.lock();
+            g.is_empty()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psme_rete::Side;
+
+    fn beta(n: u32) -> Task {
+        Task::Beta(Activation {
+            node: n,
+            side: Side::Left,
+            token: psme_rete::Token::empty(),
+            delta: 1,
+        })
+    }
+
+    #[test]
+    fn single_queue_is_fifo() {
+        let q = TaskQueues::new(Scheduler::SingleQueue, 4);
+        assert_eq!(q.num_queues(), 1);
+        let mut s = QueueStats::default();
+        q.push(0, beta(1), &mut s);
+        q.push(3, beta(2), &mut s);
+        match q.pop(2, &mut s) {
+            Some(Task::Beta(a)) => assert_eq!(a.node, 1),
+            other => panic!("{other:?}"),
+        }
+        match q.pop(1, &mut s) {
+            Some(Task::Beta(a)) => assert_eq!(a.node, 2),
+            other => panic!("{other:?}"),
+        }
+        assert!(q.pop(0, &mut s).is_none());
+        assert_eq!(s.pops, 2);
+        assert_eq!(s.pushes, 2);
+        assert!(s.failed_pops >= 1);
+    }
+
+    #[test]
+    fn multi_queue_prefers_own_then_steals() {
+        let q = TaskQueues::new(Scheduler::MultiQueue, 3);
+        assert_eq!(q.num_queues(), 3);
+        let mut s = QueueStats::default();
+        q.push(0, beta(10), &mut s);
+        q.push(1, beta(11), &mut s);
+        // Worker 1 pops its own first.
+        match q.pop(1, &mut s) {
+            Some(Task::Beta(a)) => assert_eq!(a.node, 11),
+            other => panic!("{other:?}"),
+        }
+        // Worker 1's queue now empty: steals worker 0's task.
+        match q.pop(1, &mut s) {
+            Some(Task::Beta(a)) => assert_eq!(a.node, 10),
+            other => panic!("{other:?}"),
+        }
+        assert!(q.all_empty());
+    }
+
+    #[test]
+    fn failed_pops_count_per_queue_scanned() {
+        let q = TaskQueues::new(Scheduler::MultiQueue, 4);
+        let mut s = QueueStats::default();
+        assert!(q.pop(0, &mut s).is_none());
+        assert_eq!(s.failed_pops, 4, "scanned all four empty queues");
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_preserve_tasks() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let q = Arc::new(TaskQueues::new(Scheduler::MultiQueue, 4));
+        let done = Arc::new(AtomicU64::new(0));
+        let popped = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for w in 0..2 {
+            let q = q.clone();
+            let done = done.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut s = QueueStats::default();
+                for i in 0..5_000 {
+                    q.push(w, beta(i), &mut s);
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        for w in 2..4 {
+            let q = q.clone();
+            let done = done.clone();
+            let popped = popped.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut s = QueueStats::default();
+                loop {
+                    if q.pop(w, &mut s).is_some() {
+                        popped.fetch_add(1, Ordering::SeqCst);
+                    } else if done.load(Ordering::SeqCst) == 2 && q.pop(w, &mut s).is_none() {
+                        break;
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(popped.load(Ordering::SeqCst), 10_000);
+    }
+}

@@ -1,0 +1,115 @@
+//! A common façade over the serial and parallel engines, so the Soar
+//! architecture (and the task suites) can run on either interchangeably.
+
+use crate::engine::ParallelEngine;
+use psme_ops::{Instantiation, Production, TimeTag, Wme, WmeId};
+use psme_rete::{AddOutcome, BuildError, CycleOutcome, NetworkOrg, Phase, ReteNetwork, SerialEngine, WmeStore};
+use std::sync::Arc;
+
+/// Unified match-engine interface.
+pub trait MatchEngine {
+    /// Add wmes / remove wme ids, then match to quiescence.
+    fn apply_changes(&mut self, adds: Vec<Wme>, removes: Vec<WmeId>) -> CycleOutcome;
+
+    /// Register a wme in the store without matching yet (the Soar layer
+    /// batches a whole elaboration cycle's changes before matching).
+    fn add_wme(&mut self, w: Wme) -> (WmeId, TimeTag);
+
+    /// Mark a wme dead without matching yet. Returns false if already dead.
+    fn remove_wme(&mut self, id: WmeId) -> bool;
+
+    /// Match a batch of pre-registered changes to quiescence.
+    fn run_changes(&mut self, changes: Vec<(WmeId, i32)>) -> CycleOutcome;
+
+    /// Compile a production at run time and update its state (§5.1/§5.2).
+    fn add_production(
+        &mut self,
+        prod: Arc<Production>,
+        org: NetworkOrg,
+    ) -> Result<AddOutcome, BuildError>;
+
+    /// Read access to the working-memory store.
+    fn with_store<R>(&self, f: impl FnOnce(&WmeStore) -> R) -> R;
+
+    /// Read access to the network.
+    fn with_net<R>(&self, f: impl FnOnce(&ReteNetwork) -> R) -> R;
+
+    /// All current instantiations (quiescent-time helper).
+    fn current_instantiations(&self) -> Vec<Instantiation>;
+}
+
+impl MatchEngine for SerialEngine {
+    fn apply_changes(&mut self, adds: Vec<Wme>, removes: Vec<WmeId>) -> CycleOutcome {
+        SerialEngine::apply_changes(self, adds, removes)
+    }
+
+    fn add_wme(&mut self, w: Wme) -> (WmeId, TimeTag) {
+        self.store.add(w)
+    }
+
+    fn remove_wme(&mut self, id: WmeId) -> bool {
+        self.store.remove(id).is_some()
+    }
+
+    fn run_changes(&mut self, changes: Vec<(WmeId, i32)>) -> CycleOutcome {
+        self.run_cycle(changes, Phase::Match)
+    }
+
+    fn add_production(
+        &mut self,
+        prod: Arc<Production>,
+        org: NetworkOrg,
+    ) -> Result<AddOutcome, BuildError> {
+        SerialEngine::add_production(self, prod, org)
+    }
+
+    fn with_store<R>(&self, f: impl FnOnce(&WmeStore) -> R) -> R {
+        f(&self.store)
+    }
+
+    fn with_net<R>(&self, f: impl FnOnce(&ReteNetwork) -> R) -> R {
+        f(&self.net)
+    }
+
+    fn current_instantiations(&self) -> Vec<Instantiation> {
+        SerialEngine::current_instantiations(self)
+    }
+}
+
+impl MatchEngine for ParallelEngine {
+    fn apply_changes(&mut self, adds: Vec<Wme>, removes: Vec<WmeId>) -> CycleOutcome {
+        ParallelEngine::apply_changes(self, adds, removes)
+    }
+
+    fn add_wme(&mut self, w: Wme) -> (WmeId, TimeTag) {
+        self.store_mut(|s| s.add(w))
+    }
+
+    fn remove_wme(&mut self, id: WmeId) -> bool {
+        self.store_mut(|s| s.remove(id).is_some())
+    }
+
+    fn run_changes(&mut self, changes: Vec<(WmeId, i32)>) -> CycleOutcome {
+        ParallelEngine::run_changes(self, changes)
+    }
+
+    fn add_production(
+        &mut self,
+        prod: Arc<Production>,
+        org: NetworkOrg,
+    ) -> Result<AddOutcome, BuildError> {
+        ParallelEngine::add_production(self, prod, org)
+    }
+
+    fn with_store<R>(&self, f: impl FnOnce(&WmeStore) -> R) -> R {
+        ParallelEngine::with_store(self, f)
+    }
+
+    fn with_net<R>(&self, f: impl FnOnce(&ReteNetwork) -> R) -> R {
+        ParallelEngine::with_net(self, f)
+    }
+
+    fn current_instantiations(&self) -> Vec<Instantiation> {
+        ParallelEngine::current_instantiations(self)
+    }
+}

@@ -1,0 +1,214 @@
+//! Differential testing of the parallel engine: for any workload, worker
+//! count, scheduler, and memory-table size, the conflict set after every
+//! cycle must equal the serial engine's and the brute-force oracle's.
+
+use psme_core::{EngineConfig, MatchEngine, ParallelEngine, Scheduler};
+use psme_ops::{Instantiation, WmeId};
+use psme_rete::testgen::{random_system, GenConfig, XorShift};
+use psme_rete::{naive, NetworkOrg, ReteNetwork, SerialEngine};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn inst_set(v: Vec<Instantiation>) -> HashSet<Instantiation> {
+    v.into_iter().collect()
+}
+
+fn build_net(sys: &psme_rete::testgen::GeneratedSystem) -> ReteNetwork {
+    let mut net = ReteNetwork::new();
+    for p in &sys.productions {
+        net.add_production(Arc::new(p.clone()), NetworkOrg::Linear).unwrap();
+    }
+    net
+}
+
+fn stream_test(seed: u64, cfg: EngineConfig, batches: usize) {
+    let gen_cfg = GenConfig::default();
+    let sys = random_system(seed, gen_cfg);
+    let mut par = ParallelEngine::new(build_net(&sys), cfg);
+    let mut ser = SerialEngine::new(build_net(&sys));
+    let mut rng = XorShift::new(seed ^ 0xAB_CDEF);
+    for batch in 0..batches {
+        let n_add = rng.below(5) + 1;
+        let adds: Vec<_> = (0..n_add).map(|_| sys.random_wme(&mut rng)).collect();
+        let alive: Vec<WmeId> = ser.store.iter_alive().map(|(id, _)| id).collect();
+        let mut removes = Vec::new();
+        if !alive.is_empty() && rng.chance(55) {
+            removes.push(alive[rng.below(alive.len())]);
+        }
+        let po = par.apply_changes(adds.clone(), removes.clone());
+        let so = ser.apply_changes(adds, removes);
+        assert_eq!(
+            inst_set(po.cs.added.clone()),
+            inst_set(so.cs.added.clone()),
+            "added diverged: seed {seed} batch {batch} ({cfg:?})"
+        );
+        assert_eq!(
+            inst_set(po.cs.removed.clone()),
+            inst_set(so.cs.removed.clone()),
+            "removed diverged: seed {seed} batch {batch} ({cfg:?})"
+        );
+        let expected = naive::match_all(sys.productions.iter(), &ser.store);
+        assert_eq!(
+            inst_set(par.current_instantiations()),
+            expected,
+            "oracle diverged: seed {seed} batch {batch} ({cfg:?})"
+        );
+    }
+}
+
+#[test]
+fn multi_queue_matches_serial_and_oracle() {
+    for seed in 0..12 {
+        stream_test(
+            seed,
+            EngineConfig { workers: 4, scheduler: Scheduler::MultiQueue, ..Default::default() },
+            6,
+        );
+    }
+}
+
+#[test]
+fn single_queue_matches_serial_and_oracle() {
+    for seed in 20..30 {
+        stream_test(
+            seed,
+            EngineConfig { workers: 4, scheduler: Scheduler::SingleQueue, ..Default::default() },
+            6,
+        );
+    }
+}
+
+#[test]
+fn one_line_memory_maximum_contention() {
+    // Every token in one memory line: the line lock serializes everything
+    // but results must be identical.
+    for seed in 40..46 {
+        stream_test(
+            seed,
+            EngineConfig {
+                workers: 4,
+                scheduler: Scheduler::MultiQueue,
+                memory_lines: 1,
+                ..Default::default()
+            },
+            5,
+        );
+    }
+}
+
+#[test]
+fn worker_counts_sweep() {
+    for &workers in &[1usize, 2, 3, 8, 13] {
+        stream_test(
+            100 + workers as u64,
+            EngineConfig { workers, scheduler: Scheduler::MultiQueue, ..Default::default() },
+            4,
+        );
+    }
+}
+
+#[test]
+fn parallel_runtime_addition_matches_serial() {
+    for seed in 200..210 {
+        let sys = random_system(seed, GenConfig::default());
+        let (first, second) = sys.productions.split_at(sys.productions.len() / 2);
+
+        let mut net_p = ReteNetwork::new();
+        let mut net_s = ReteNetwork::new();
+        for p in first {
+            net_p.add_production(Arc::new(p.clone()), NetworkOrg::Linear).unwrap();
+            net_s.add_production(Arc::new(p.clone()), NetworkOrg::Linear).unwrap();
+        }
+        let mut par = ParallelEngine::new(
+            net_p,
+            EngineConfig { workers: 3, scheduler: Scheduler::MultiQueue, ..Default::default() },
+        );
+        let mut ser = SerialEngine::new(net_s);
+
+        let mut rng = XorShift::new(seed ^ 0x77);
+        for _ in 0..3 {
+            let adds: Vec<_> = (0..4).map(|_| sys.random_wme(&mut rng)).collect();
+            par.apply_changes(adds.clone(), vec![]);
+            ser.apply_changes(adds, vec![]);
+        }
+        // The update phase runs through the parallel task queues.
+        for p in second {
+            let po = par.add_production(Arc::new(p.clone()), NetworkOrg::Linear).unwrap();
+            let so = ser.add_production(Arc::new(p.clone()), NetworkOrg::Linear).unwrap();
+            assert_eq!(
+                inst_set(po.cs.added.clone()),
+                inst_set(so.cs.added.clone()),
+                "update-phase CS diverged at seed {seed}"
+            );
+        }
+        let expected = naive::match_all(sys.productions.iter(), &ser.store);
+        assert_eq!(inst_set(par.current_instantiations()), expected, "seed {seed}");
+
+        // Further cycles stay consistent.
+        for _ in 0..3 {
+            let adds: Vec<_> = (0..2).map(|_| sys.random_wme(&mut rng)).collect();
+            let alive: Vec<WmeId> = ser.store.iter_alive().map(|(id, _)| id).collect();
+            let removes = vec![alive[rng.below(alive.len())]];
+            par.apply_changes(adds.clone(), removes.clone());
+            ser.apply_changes(adds, removes);
+            let expected = naive::match_all(sys.productions.iter(), &ser.store);
+            assert_eq!(inst_set(par.current_instantiations()), expected, "seed {seed} post");
+        }
+    }
+}
+
+#[test]
+fn metrics_are_collected() {
+    let sys = random_system(7, GenConfig::default());
+    let mut par = ParallelEngine::new(
+        build_net(&sys),
+        EngineConfig {
+            workers: 2,
+            scheduler: Scheduler::SingleQueue,
+            bucket_histograms: true,
+            ..Default::default()
+        },
+    );
+    let mut rng = XorShift::new(9);
+    let adds: Vec<_> = (0..6).map(|_| sys.random_wme(&mut rng)).collect();
+    let out = par.apply_changes(adds, vec![]);
+    let m = par.last_cycle_metrics().unwrap();
+    assert_eq!(m.tasks, out.tasks);
+    assert!(m.tasks >= 6, "at least the alpha tasks run");
+    assert!(m.wall_ns > 0);
+    assert!(!m.left_bucket_accesses.is_empty());
+    assert!(m.queue.pushes >= m.tasks, "every task was pushed");
+    assert_eq!(m.queue.pops, m.tasks);
+}
+
+#[test]
+fn engine_drops_cleanly_mid_workload() {
+    let sys = random_system(3, GenConfig::default());
+    let mut par = ParallelEngine::new(
+        build_net(&sys),
+        EngineConfig { workers: 4, ..Default::default() },
+    );
+    let mut rng = XorShift::new(1);
+    let adds: Vec<_> = (0..5).map(|_| sys.random_wme(&mut rng)).collect();
+    par.apply_changes(adds, vec![]);
+    drop(par); // must join all workers without hanging
+}
+
+#[test]
+fn match_engine_trait_is_interchangeable() {
+    fn drive<E: MatchEngine>(e: &mut E, sys: &psme_rete::testgen::GeneratedSystem) -> usize {
+        let mut rng = XorShift::new(42);
+        let adds: Vec<_> = (0..6).map(|_| sys.random_wme(&mut rng)).collect();
+        e.apply_changes(adds, vec![]);
+        e.with_store(|s| assert_eq!(s.live_count(), 6));
+        e.with_net(|n| assert!(n.num_nodes() > 1));
+        e.current_instantiations().len()
+    }
+    let sys = random_system(11, GenConfig::default());
+    let mut ser = SerialEngine::new(build_net(&sys));
+    let mut par = ParallelEngine::new(
+        build_net(&sys),
+        EngineConfig { workers: 2, ..Default::default() },
+    );
+    assert_eq!(drive(&mut ser, &sys), drive(&mut par, &sys));
+}

@@ -1,0 +1,91 @@
+//! Right-hand-side actions.
+//!
+//! "Actions add or remove wmes and perform input/output" (§2.1). Terms may
+//! reference LHS variable bindings; `bind … (genatom)` creates a fresh
+//! identifier symbol per firing (used pervasively by Soar tasks to mint new
+//! object identifiers).
+
+use crate::production::VarId;
+use crate::symbol::Symbol;
+use crate::value::Value;
+
+/// A term evaluated at firing time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RhsTerm {
+    /// A literal constant.
+    Const(Value),
+    /// The value bound to an LHS variable (or an RHS `bind`).
+    Var(VarId),
+}
+
+/// An expression for RHS `bind`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RhsExpr {
+    /// `(genatom)` — a fresh identifier symbol.
+    Genatom,
+    /// A plain term.
+    Term(RhsTerm),
+    /// `(compute a + b)` — integer arithmetic.
+    Add(RhsTerm, RhsTerm),
+    /// `(compute a - b)`.
+    Sub(RhsTerm, RhsTerm),
+}
+
+/// RHS variable binding, evaluated in order before the actions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RhsBind {
+    /// Variable being bound (must not shadow an LHS-bound variable).
+    pub var: VarId,
+    /// Expression producing the value.
+    pub expr: RhsExpr,
+}
+
+/// One RHS action.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// `(make class ^attr term …)` — add a wme.
+    Make {
+        /// Class of the new wme.
+        class: Symbol,
+        /// `(field, term)` pairs.
+        fields: Vec<(u16, RhsTerm)>,
+    },
+    /// `(remove k)` — remove the wme matching the k-th positive CE
+    /// (1-based, counting positive CEs only, as in OPS5).
+    Remove {
+        /// 1-based positive-CE index.
+        ce: u16,
+    },
+    /// `(modify k ^attr term …)` — remove + re-make with changed fields.
+    Modify {
+        /// 1-based positive-CE index.
+        ce: u16,
+        /// `(field, term)` pairs to overwrite.
+        fields: Vec<(u16, RhsTerm)>,
+    },
+    /// `(write …)` — print terms (captured by the runtime, not stdout).
+    Write(Vec<RhsTerm>),
+    /// `(halt)` — stop the recognize-act cycle.
+    Halt,
+}
+
+impl Action {
+    /// `true` if the action changes working memory.
+    pub fn mutates_wm(&self) -> bool {
+        matches!(self, Action::Make { .. } | Action::Remove { .. } | Action::Modify { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutates_wm_classification() {
+        assert!(Action::Make { class: crate::intern("c"), fields: vec![] }.mutates_wm());
+        assert!(Action::Remove { ce: 1 }.mutates_wm());
+        assert!(Action::Modify { ce: 1, fields: vec![] }.mutates_wm());
+        assert!(!Action::Write(vec![]).mutates_wm());
+        assert!(!Action::Halt.mutates_wm());
+    }
+}

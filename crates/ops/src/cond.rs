@@ -1,0 +1,251 @@
+//! Condition elements: the left-hand side of a production.
+//!
+//! A CE is "a pattern that tests for the existence, or absence, of a wme"
+//! (§2.1). Tests are *constant* (attribute holds a constant) or *equality*
+//! (variable binding / consistency); OPS5 additionally allows relational
+//! predicates. Soar extends OPS5 with *conjunctive negations* — negated
+//! groups of CEs testing the absence of a conjunction of wmes (§3).
+
+use crate::production::VarId;
+use crate::symbol::Symbol;
+use crate::value::Value;
+use std::fmt;
+
+/// Test predicate. `Eq` on a variable's first occurrence *binds* it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Pred {
+    /// `=` (the default, written by juxtaposition in OPS5 syntax).
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Pred {
+    /// Evaluate `lhs PRED rhs`. Relational predicates only succeed on
+    /// integer pairs (mirroring OPS5 failing to match otherwise).
+    pub fn eval(self, lhs: Value, rhs: Value) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            Pred::Eq => lhs == rhs,
+            Pred::Ne => lhs != rhs,
+            Pred::Lt => lhs.num_cmp(rhs) == Some(Less),
+            Pred::Le => matches!(lhs.num_cmp(rhs), Some(Less | Equal)),
+            Pred::Gt => lhs.num_cmp(rhs) == Some(Greater),
+            Pred::Ge => matches!(lhs.num_cmp(rhs), Some(Greater | Equal)),
+        }
+    }
+
+    /// Render as OPS5 operator text.
+    pub fn op_str(self) -> &'static str {
+        match self {
+            Pred::Eq => "",
+            Pred::Ne => "<>",
+            Pred::Lt => "<",
+            Pred::Le => "<=",
+            Pred::Gt => ">",
+            Pred::Ge => ">=",
+        }
+    }
+}
+
+/// One attribute test inside a CE.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FieldTest {
+    /// Test `wme.field PRED constant`.
+    Const {
+        /// Field index within the class record.
+        field: u16,
+        /// Predicate.
+        pred: Pred,
+        /// Constant operand.
+        value: Value,
+    },
+    /// Test `wme.field PRED variable` (binds on first `Eq` occurrence).
+    Var {
+        /// Field index within the class record.
+        field: u16,
+        /// Predicate.
+        pred: Pred,
+        /// Production-scope variable.
+        var: VarId,
+    },
+}
+
+impl FieldTest {
+    /// Field index this test applies to.
+    pub fn field(&self) -> u16 {
+        match *self {
+            FieldTest::Const { field, .. } | FieldTest::Var { field, .. } => field,
+        }
+    }
+
+    /// Predicate of this test.
+    pub fn pred(&self) -> Pred {
+        match *self {
+            FieldTest::Const { pred, .. } | FieldTest::Var { pred, .. } => pred,
+        }
+    }
+}
+
+/// A single pattern over one wme: class plus attribute tests.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Cond {
+    /// Required wme class.
+    pub class: Symbol,
+    /// Attribute tests, in source order.
+    pub tests: Vec<FieldTest>,
+}
+
+impl Cond {
+    /// `true` if `wme_fields` (of the right class, checked by caller)
+    /// passes every *constant* test. Variable tests need a binding
+    /// environment and are evaluated by the matcher.
+    pub fn const_tests_pass(&self, wme_fields: &[Value]) -> bool {
+        self.tests.iter().all(|t| match *t {
+            FieldTest::Const { field, pred, value } => {
+                pred.eval(wme_fields.get(field as usize).copied().unwrap_or(Value::Nil), value)
+            }
+            FieldTest::Var { .. } => true,
+        })
+    }
+
+    /// Iterate the variable tests.
+    pub fn var_tests(&self) -> impl Iterator<Item = (u16, Pred, VarId)> + '_ {
+        self.tests.iter().filter_map(|t| match *t {
+            FieldTest::Var { field, pred, var } => Some((field, pred, var)),
+            _ => None,
+        })
+    }
+}
+
+/// A condition element of a production LHS.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CondElem {
+    /// Positive CE: some wme must match.
+    Pos(Cond),
+    /// Negated CE: no wme may match (given the bindings so far).
+    Neg(Cond),
+    /// Soar conjunctive negation: no *conjunction* of wmes may match.
+    Ncc(Vec<Cond>),
+}
+
+impl CondElem {
+    /// The positive pattern, if this is a positive CE.
+    pub fn as_pos(&self) -> Option<&Cond> {
+        match self {
+            CondElem::Pos(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Pos`.
+    pub fn is_pos(&self) -> bool {
+        matches!(self, CondElem::Pos(_))
+    }
+
+    /// All simple conditions contained (1 for Pos/Neg, n for Ncc).
+    pub fn conds(&self) -> &[Cond] {
+        match self {
+            CondElem::Pos(c) | CondElem::Neg(c) => std::slice::from_ref(c),
+            CondElem::Ncc(cs) => cs,
+        }
+    }
+}
+
+impl fmt::Display for CondElem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn one(f: &mut fmt::Formatter<'_>, c: &Cond) -> fmt::Result {
+            write!(f, "({}", c.class)?;
+            for t in &c.tests {
+                match *t {
+                    FieldTest::Const { field, pred, value } => {
+                        write!(f, " ^{field} {}{}{value}", pred.op_str(), if pred == Pred::Eq { "" } else { " " })?
+                    }
+                    FieldTest::Var { field, pred, var } => {
+                        write!(f, " ^{field} {}{}<v{}>", pred.op_str(), if pred == Pred::Eq { "" } else { " " }, var.0)?
+                    }
+                }
+            }
+            write!(f, ")")
+        }
+        match self {
+            CondElem::Pos(c) => one(f, c),
+            CondElem::Neg(c) => {
+                write!(f, "-")?;
+                one(f, c)
+            }
+            CondElem::Ncc(cs) => {
+                write!(f, "-{{")?;
+                for c in cs {
+                    write!(f, " ")?;
+                    one(f, c)?;
+                }
+                write!(f, " }}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::intern;
+
+    #[test]
+    fn pred_eval_semantics() {
+        let a = Value::sym("a");
+        let b = Value::sym("b");
+        assert!(Pred::Eq.eval(a, a));
+        assert!(!Pred::Eq.eval(a, b));
+        assert!(Pred::Ne.eval(a, b));
+        assert!(!Pred::Ne.eval(a, a));
+        assert!(Pred::Lt.eval(Value::Int(1), Value::Int(2)));
+        assert!(Pred::Le.eval(Value::Int(2), Value::Int(2)));
+        assert!(Pred::Gt.eval(Value::Int(3), Value::Int(2)));
+        assert!(Pred::Ge.eval(Value::Int(2), Value::Int(2)));
+        // relational on symbols never matches
+        assert!(!Pred::Lt.eval(a, b));
+        assert!(!Pred::Ge.eval(a, a));
+        // Ne on nil vs value
+        assert!(Pred::Ne.eval(Value::Nil, a));
+    }
+
+    #[test]
+    fn const_tests_pass_checks_only_constants() {
+        let c = Cond {
+            class: intern("block"),
+            tests: vec![
+                FieldTest::Const { field: 1, pred: Pred::Eq, value: Value::sym("blue") },
+                FieldTest::Var { field: 0, pred: Pred::Eq, var: VarId(0) },
+            ],
+        };
+        let pass = [Value::sym("b1"), Value::sym("blue")];
+        let fail = [Value::sym("b1"), Value::sym("red")];
+        assert!(c.const_tests_pass(&pass));
+        assert!(!c.const_tests_pass(&fail));
+        // short wme: missing fields read as Nil
+        assert!(!c.const_tests_pass(&[]));
+    }
+
+    #[test]
+    fn cond_elem_accessors() {
+        let c = Cond { class: intern("x"), tests: vec![] };
+        let pos = CondElem::Pos(c.clone());
+        let neg = CondElem::Neg(c.clone());
+        let ncc = CondElem::Ncc(vec![c.clone(), c.clone()]);
+        assert!(pos.is_pos());
+        assert!(!neg.is_pos());
+        assert_eq!(pos.conds().len(), 1);
+        assert_eq!(ncc.conds().len(), 2);
+        assert!(pos.as_pos().is_some());
+        assert!(ncc.as_pos().is_none());
+    }
+}

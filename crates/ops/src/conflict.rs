@@ -1,0 +1,181 @@
+//! The conflict set and OPS5 conflict resolution.
+//!
+//! "OPS5 uses a selection procedure called conflict resolution to choose a
+//! single production's instantiation from the CS, which is then fired"
+//! (§2.1). Soar instead fires *all* instantiations in parallel (§3); the
+//! Soar side therefore only uses [`ConflictSet`] as a set with add/remove
+//! deltas, while OPS5 mode uses [`Strategy::Lex`].
+
+use crate::production::Instantiation;
+use crate::wme::TimeTag;
+use std::collections::HashSet;
+
+/// Conflict-resolution strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// OPS5 LEX: refractoriness, recency (descending time tags compared
+    /// lexicographically), then specificity (number of attribute tests).
+    #[default]
+    Lex,
+    /// Fire-all (Soar's elaboration semantics): `select` is not used.
+    FireAll,
+}
+
+/// The conflict set: the instantiations currently matched.
+///
+/// Tracks refraction (instantiations already fired are not re-fired even if
+/// they re-enter after a remove/add of identical wme ids is *not* possible
+/// since wme ids are never reused; refraction is therefore just "fired and
+/// still present").
+#[derive(Debug, Default)]
+pub struct ConflictSet {
+    present: Vec<(Instantiation, usize)>, // (inst, specificity)
+    fired: HashSet<Instantiation>,
+}
+
+impl ConflictSet {
+    /// Empty conflict set.
+    pub fn new() -> ConflictSet {
+        ConflictSet::default()
+    }
+
+    /// Add an instantiation (with its production's test count for
+    /// specificity ordering).
+    pub fn add(&mut self, inst: Instantiation, specificity: usize) {
+        self.present.push((inst, specificity));
+    }
+
+    /// Remove an instantiation (when its support disappears). Also clears
+    /// its refraction record. Returns `true` if it was present.
+    pub fn remove(&mut self, inst: &Instantiation) -> bool {
+        if let Some(i) = self.present.iter().position(|(p, _)| p == inst) {
+            self.present.swap_remove(i);
+            self.fired.remove(inst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// All currently present instantiations.
+    pub fn iter(&self) -> impl Iterator<Item = &Instantiation> {
+        self.present.iter().map(|(i, _)| i)
+    }
+
+    /// Number of instantiations present.
+    pub fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    /// `true` when no instantiation is present.
+    pub fn is_empty(&self) -> bool {
+        self.present.is_empty()
+    }
+
+    /// Instantiations present and not yet fired (Soar fires all of these in
+    /// one elaboration cycle). Marks them fired.
+    pub fn take_unfired(&mut self) -> Vec<Instantiation> {
+        let mut out = Vec::new();
+        for (inst, _) in &self.present {
+            if self.fired.insert(inst.clone()) {
+                out.push(inst.clone());
+            }
+        }
+        out
+    }
+
+    /// OPS5 LEX selection: choose the dominant unfired instantiation, mark
+    /// it fired, and return it. `None` when every instantiation has fired.
+    pub fn select_lex(&mut self) -> Option<Instantiation> {
+        let mut best: Option<(&Instantiation, Vec<TimeTag>, usize)> = None;
+        for (inst, spec) in &self.present {
+            if self.fired.contains(inst) {
+                continue;
+            }
+            let key = inst.recency_key();
+            let better = match &best {
+                None => true,
+                Some((_, bkey, bspec)) => match key.cmp(bkey) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Equal => spec > bspec,
+                    std::cmp::Ordering::Less => false,
+                },
+            };
+            if better {
+                best = Some((inst, key, *spec));
+            }
+        }
+        let chosen = best.map(|(i, _, _)| i.clone())?;
+        self.fired.insert(chosen.clone());
+        Some(chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::intern;
+    use crate::wme::WmeId;
+
+    fn inst(prod: &str, tags: &[u64]) -> Instantiation {
+        Instantiation {
+            prod: intern(prod),
+            wmes: tags.iter().map(|&t| WmeId(t as u32)).collect(),
+            tags: tags.iter().map(|&t| TimeTag(t)).collect(),
+        }
+    }
+
+    #[test]
+    fn lex_prefers_recency() {
+        let mut cs = ConflictSet::new();
+        cs.add(inst("old", &[1, 2]), 5);
+        cs.add(inst("new", &[1, 9]), 2);
+        assert_eq!(cs.select_lex().unwrap().prod, intern("new"));
+        // refraction: next selection picks the other one
+        assert_eq!(cs.select_lex().unwrap().prod, intern("old"));
+        assert!(cs.select_lex().is_none());
+    }
+
+    #[test]
+    fn lex_ties_break_on_specificity() {
+        let mut cs = ConflictSet::new();
+        cs.add(inst("loose", &[7]), 1);
+        cs.add(inst("tight", &[7]), 9);
+        assert_eq!(cs.select_lex().unwrap().prod, intern("tight"));
+    }
+
+    #[test]
+    fn remove_clears_refraction() {
+        let mut cs = ConflictSet::new();
+        let i = inst("p", &[3]);
+        cs.add(i.clone(), 1);
+        assert!(cs.select_lex().is_some());
+        assert!(cs.remove(&i));
+        assert!(!cs.remove(&i));
+        // re-added: fires again (support went away and came back)
+        cs.add(i.clone(), 1);
+        assert!(cs.select_lex().is_some());
+    }
+
+    #[test]
+    fn take_unfired_marks_all() {
+        let mut cs = ConflictSet::new();
+        cs.add(inst("a", &[1]), 1);
+        cs.add(inst("b", &[2]), 1);
+        assert_eq!(cs.take_unfired().len(), 2);
+        assert_eq!(cs.take_unfired().len(), 0);
+        cs.add(inst("c", &[3]), 1);
+        let third = cs.take_unfired();
+        assert_eq!(third.len(), 1);
+        assert_eq!(third[0].prod, intern("c"));
+    }
+
+    #[test]
+    fn recency_key_longer_wins_on_prefix_tie() {
+        // LEX compares sorted tag vectors lexicographically; [9,3] > [9].
+        let mut cs = ConflictSet::new();
+        cs.add(inst("short", &[9]), 1);
+        cs.add(inst("long", &[3, 9]), 1);
+        assert_eq!(cs.select_lex().unwrap().prod, intern("long"));
+    }
+}

@@ -1,0 +1,692 @@
+//! Parser for the textual OPS5/Soar syntax.
+//!
+//! Supported forms:
+//!
+//! ```text
+//! (literalize class attr1 attr2 …)
+//! (p name
+//!    (class ^attr value ^attr <x> ^attr { <> <x> > 3 } …)
+//!   -(class …)                       ; negated CE
+//!   -{ (class …) (class …) }         ; Soar conjunctive negation
+//!   -->
+//!    (make class ^attr term …)
+//!    (remove 1)  (modify 2 ^attr term …)
+//!    (bind <g> (genatom))  (bind <n> (compute <x> + 1))
+//!    (write term …)  (halt))
+//! ```
+//!
+//! Comments run from `;` to end of line. Values are symbols or integers;
+//! `<name>` is a variable; `<> < <= > >=` are predicates prefixing a value.
+
+use crate::action::{Action, RhsBind, RhsExpr, RhsTerm};
+use crate::cond::{Cond, CondElem, FieldTest, Pred};
+use crate::production::{Production, VarTable};
+use crate::symbol::{intern, Symbol};
+use crate::value::Value;
+use crate::wme::{ClassDecl, ClassRegistry, Wme};
+use std::fmt;
+
+/// A parse error with a line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Dash,
+    Arrow,
+    Attr(String),
+    Var(String),
+    Int(i64),
+    Sym(String),
+    Pred(Pred),
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ';' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                toks.push((Tok::LParen, line));
+                chars.next();
+            }
+            ')' => {
+                toks.push((Tok::RParen, line));
+                chars.next();
+            }
+            '{' => {
+                toks.push((Tok::LBrace, line));
+                chars.next();
+            }
+            '}' => {
+                toks.push((Tok::RBrace, line));
+                chars.next();
+            }
+            _ => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || "(){};".contains(c) {
+                        break;
+                    }
+                    word.push(c);
+                    chars.next();
+                }
+                toks.push((classify_word(&word, line)?, line));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn classify_word(word: &str, line: u32) -> Result<Tok, ParseError> {
+    Ok(match word {
+        "-" => Tok::Dash,
+        "-->" => Tok::Arrow,
+        "<>" => Tok::Pred(Pred::Ne),
+        "<" => Tok::Pred(Pred::Lt),
+        "<=" => Tok::Pred(Pred::Le),
+        ">" => Tok::Pred(Pred::Gt),
+        ">=" => Tok::Pred(Pred::Ge),
+        "=" => Tok::Pred(Pred::Eq),
+        _ => {
+            if let Some(attr) = word.strip_prefix('^') {
+                if attr.is_empty() {
+                    return Err(ParseError { line, msg: "empty attribute after ^".into() });
+                }
+                Tok::Attr(attr.to_string())
+            } else if word.starts_with('<') && word.ends_with('>') && word.len() > 2 {
+                Tok::Var(word[1..word.len() - 1].to_string())
+            } else if let Ok(i) = word.parse::<i64>() {
+                Tok::Int(i)
+            } else {
+                Tok::Sym(word.to_string())
+            }
+        }
+    })
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+    classes: &'a mut ClassRegistry,
+    /// Classes of the positive CEs of the production being parsed, used to
+    /// resolve attribute names in `modify` actions.
+    pending_pos_classes: Vec<Symbol>,
+}
+
+impl<'a> Parser<'a> {
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.1)
+            .unwrap_or(0)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line(), msg: msg.into() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.0.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            other => self.err(format!("expected {want:?}, found {other:?}")),
+        }
+    }
+
+    fn expect_sym(&mut self) -> Result<Symbol, ParseError> {
+        match self.next() {
+            Some(Tok::Sym(s)) => Ok(intern(&s)),
+            other => self.err(format!("expected symbol, found {other:?}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Vec<Production>, ParseError> {
+        let mut prods = Vec::new();
+        while self.peek().is_some() {
+            self.expect(Tok::LParen)?;
+            match self.next() {
+                Some(Tok::Sym(head)) if head == "literalize" => {
+                    let name = self.expect_sym()?;
+                    let mut attrs = Vec::new();
+                    loop {
+                        match self.next() {
+                            Some(Tok::Sym(a)) => attrs.push(intern(&a)),
+                            Some(Tok::RParen) => break,
+                            other => return self.err(format!("in literalize: unexpected {other:?}")),
+                        }
+                    }
+                    let decl = ClassDecl::new(name, attrs)
+                        .map_err(|e| ParseError { line: self.line(), msg: e })?;
+                    self.classes
+                        .declare(decl)
+                        .map_err(|e| ParseError { line: self.line(), msg: e })?;
+                }
+                Some(Tok::Sym(head)) if head == "p" => {
+                    prods.push(self.production()?);
+                }
+                other => return self.err(format!("expected literalize or p, found {other:?}")),
+            }
+        }
+        Ok(prods)
+    }
+
+    fn production(&mut self) -> Result<Production, ParseError> {
+        let name = self.expect_sym()?;
+        let mut vars = VarTable::new();
+        let mut ces = Vec::new();
+        self.pending_pos_classes.clear();
+        loop {
+            match self.peek() {
+                Some(Tok::Arrow) => {
+                    self.next();
+                    break;
+                }
+                Some(Tok::LParen) => {
+                    let c = self.cond(&mut vars)?;
+                    self.pending_pos_classes.push(c.class);
+                    ces.push(CondElem::Pos(c));
+                }
+                Some(Tok::Dash) => {
+                    self.next();
+                    match self.peek() {
+                        Some(Tok::LParen) => {
+                            let c = self.cond(&mut vars)?;
+                            ces.push(CondElem::Neg(c));
+                        }
+                        Some(Tok::LBrace) => {
+                            self.next();
+                            let mut group = Vec::new();
+                            while self.peek() == Some(&Tok::LParen) {
+                                group.push(self.cond(&mut vars)?);
+                            }
+                            self.expect(Tok::RBrace)?;
+                            if group.is_empty() {
+                                return self.err("empty conjunctive negation");
+                            }
+                            ces.push(CondElem::Ncc(group));
+                        }
+                        other => return self.err(format!("after '-': expected CE, found {other:?}")),
+                    }
+                }
+                other => return self.err(format!("in LHS: unexpected {other:?}")),
+            }
+        }
+        let mut binds = Vec::new();
+        let mut actions = Vec::new();
+        while self.peek() == Some(&Tok::LParen) {
+            self.next();
+            self.action(&mut vars, &mut binds, &mut actions)?;
+        }
+        self.expect(Tok::RParen)?;
+        Production::new(name, ces, vars.into_names(), binds, actions)
+            .map_err(|e| ParseError { line: self.line(), msg: e })
+    }
+
+    fn class_of(&mut self, name: Symbol) -> Result<std::sync::Arc<ClassDecl>, ParseError> {
+        match self.classes.get(name) {
+            Some(d) => Ok(d.clone()),
+            None => self.err(format!("class {name} not literalized")),
+        }
+    }
+
+    fn cond(&mut self, vars: &mut VarTable) -> Result<Cond, ParseError> {
+        self.expect(Tok::LParen)?;
+        let class = self.expect_sym()?;
+        let decl = self.class_of(class)?;
+        let mut tests = Vec::new();
+        loop {
+            match self.next() {
+                Some(Tok::RParen) => break,
+                Some(Tok::Attr(a)) => {
+                    let field = match decl.field_of(intern(&a)) {
+                        Some(f) => f,
+                        None => return self.err(format!("class {class} has no attribute ^{a}")),
+                    };
+                    if self.peek() == Some(&Tok::LBrace) {
+                        self.next();
+                        while self.peek() != Some(&Tok::RBrace) {
+                            tests.push(self.one_test(field, vars)?);
+                        }
+                        self.next();
+                    } else {
+                        tests.push(self.one_test(field, vars)?);
+                    }
+                }
+                other => return self.err(format!("in condition: unexpected {other:?}")),
+            }
+        }
+        Ok(Cond { class, tests })
+    }
+
+    fn one_test(&mut self, field: u16, vars: &mut VarTable) -> Result<FieldTest, ParseError> {
+        let pred = if let Some(Tok::Pred(p)) = self.peek() {
+            let p = *p;
+            self.next();
+            p
+        } else {
+            Pred::Eq
+        };
+        match self.next() {
+            Some(Tok::Sym(s)) => {
+                let v = if s == "nil" { Value::Nil } else { Value::sym(&s) };
+                Ok(FieldTest::Const { field, pred, value: v })
+            }
+            Some(Tok::Int(i)) => Ok(FieldTest::Const { field, pred, value: Value::Int(i) }),
+            Some(Tok::Var(n)) => Ok(FieldTest::Var { field, pred, var: vars.var(intern(&n)) }),
+            other => self.err(format!("expected test value, found {other:?}")),
+        }
+    }
+
+    fn term(&mut self, vars: &mut VarTable) -> Result<RhsTerm, ParseError> {
+        match self.next() {
+            Some(Tok::Sym(s)) => Ok(RhsTerm::Const(if s == "nil" { Value::Nil } else { Value::sym(&s) })),
+            Some(Tok::Int(i)) => Ok(RhsTerm::Const(Value::Int(i))),
+            Some(Tok::Var(n)) => Ok(RhsTerm::Var(vars.var(intern(&n)))),
+            other => self.err(format!("expected term, found {other:?}")),
+        }
+    }
+
+    fn field_terms(
+        &mut self,
+        decl: &ClassDecl,
+        vars: &mut VarTable,
+    ) -> Result<Vec<(u16, RhsTerm)>, ParseError> {
+        let mut fields = Vec::new();
+        loop {
+            match self.next() {
+                Some(Tok::RParen) => break,
+                Some(Tok::Attr(a)) => {
+                    let f = match decl.field_of(intern(&a)) {
+                        Some(f) => f,
+                        None => return self.err(format!("class {} has no attribute ^{a}", decl.name)),
+                    };
+                    fields.push((f, self.term(vars)?));
+                }
+                other => return self.err(format!("expected ^attr, found {other:?}")),
+            }
+        }
+        Ok(fields)
+    }
+
+    fn action(
+        &mut self,
+        vars: &mut VarTable,
+        binds: &mut Vec<RhsBind>,
+        actions: &mut Vec<Action>,
+    ) -> Result<(), ParseError> {
+        let head = self.expect_sym()?;
+        match &*crate::symbol::sym_name(head) {
+            "make" => {
+                let class = self.expect_sym()?;
+                let decl = self.class_of(class)?;
+                let fields = self.field_terms(&decl, vars)?;
+                actions.push(Action::Make { class, fields });
+            }
+            "remove" => loop {
+                match self.next() {
+                    Some(Tok::Int(i)) if i > 0 => actions.push(Action::Remove { ce: i as u16 }),
+                    Some(Tok::RParen) => break,
+                    other => return self.err(format!("in remove: unexpected {other:?}")),
+                }
+            },
+            "modify" => {
+                let ce = match self.next() {
+                    Some(Tok::Int(i)) if i > 0 => i as u16,
+                    other => return self.err(format!("modify expects CE number, found {other:?}")),
+                };
+                return self.modify_action(ce, vars, actions);
+            }
+            "write" => {
+                let mut ts = Vec::new();
+                while self.peek() != Some(&Tok::RParen) {
+                    ts.push(self.term(vars)?);
+                }
+                self.next();
+                actions.push(Action::Write(ts));
+            }
+            "halt" => {
+                self.expect(Tok::RParen)?;
+                actions.push(Action::Halt);
+            }
+            "bind" => {
+                let var = match self.next() {
+                    Some(Tok::Var(n)) => vars.var(intern(&n)),
+                    other => return self.err(format!("bind expects variable, found {other:?}")),
+                };
+                let expr = match self.peek() {
+                    Some(Tok::LParen) => {
+                        self.next();
+                        let h = self.expect_sym()?;
+                        match &*crate::symbol::sym_name(h) {
+                            "genatom" => {
+                                self.expect(Tok::RParen)?;
+                                RhsExpr::Genatom
+                            }
+                            "compute" => {
+                                let a = self.term(vars)?;
+                                let op = self.next();
+                                let b = self.term(vars)?;
+                                self.expect(Tok::RParen)?;
+                                match op {
+                                    Some(Tok::Sym(ref s)) if s == "+" => RhsExpr::Add(a, b),
+                                    Some(Tok::Sym(ref s)) if s == "-" => RhsExpr::Sub(a, b),
+                                    Some(Tok::Dash) => RhsExpr::Sub(a, b),
+                                    other => return self.err(format!("compute expects + or -, found {other:?}")),
+                                }
+                            }
+                            other => return self.err(format!("unknown bind expression ({other} …)")),
+                        }
+                    }
+                    _ => RhsExpr::Term(self.term(vars)?),
+                };
+                self.expect(Tok::RParen)?;
+                binds.push(RhsBind { var, expr });
+            }
+            other => return self.err(format!("unknown action ({other} …)")),
+        }
+        Ok(())
+    }
+
+    /// `modify` resolves its attribute names against the class of the
+    /// referenced positive CE, recorded by the LHS pass.
+    fn modify_action(
+        &mut self,
+        ce: u16,
+        vars: &mut VarTable,
+        actions: &mut Vec<Action>,
+    ) -> Result<(), ParseError> {
+        // Resolve against the class recorded for this CE index by the LHS
+        // pass (stored in self.pending_pos_classes).
+        let class = match self.pending_pos_classes.get(ce as usize - 1) {
+            Some(&c) => c,
+            None => return self.err(format!("modify references CE {ce} but LHS has fewer positive CEs")),
+        };
+        let decl = self.class_of(class)?;
+        let fields = self.field_terms(&decl, vars)?;
+        actions.push(Action::Modify { ce, fields });
+        Ok(())
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn new(toks: Vec<(Tok, u32)>, classes: &'a mut ClassRegistry) -> Parser<'a> {
+        Parser { toks, pos: 0, classes, pending_pos_classes: Vec::new() }
+    }
+}
+
+/// Parse a whole program (literalize declarations + productions).
+pub fn parse_program(src: &str, classes: &mut ClassRegistry) -> Result<Vec<Production>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser::new(toks, classes);
+    p.program()
+}
+
+/// Parse a single production (declarations must already be registered).
+pub fn parse_production(src: &str, classes: &mut ClassRegistry) -> Result<Production, ParseError> {
+    let prods = parse_program(src, classes)?;
+    match prods.len() {
+        1 => Ok(prods.into_iter().next().unwrap()),
+        n => Err(ParseError { line: 0, msg: format!("expected exactly one production, found {n}") }),
+    }
+}
+
+/// Parse a ground wme like `(block ^name b1 ^color blue)`.
+pub fn parse_wme(src: &str, classes: &ClassRegistry) -> Result<Wme, ParseError> {
+    let toks = lex(src)?;
+    let mut pos = 0usize;
+    let next = |pos: &mut usize| -> Option<Tok> {
+        let t = toks.get(*pos).map(|t| t.0.clone());
+        if t.is_some() {
+            *pos += 1;
+        }
+        t
+    };
+    let fail = |msg: &str| ParseError { line: 1, msg: msg.to_string() };
+    if next(&mut pos) != Some(Tok::LParen) {
+        return Err(fail("expected ("));
+    }
+    let class = match next(&mut pos) {
+        Some(Tok::Sym(s)) => intern(&s),
+        _ => return Err(fail("expected class symbol")),
+    };
+    let decl = classes
+        .get(class)
+        .ok_or_else(|| fail(&format!("class {class} not literalized")))?
+        .clone();
+    let mut w = Wme::empty(&decl);
+    loop {
+        match next(&mut pos) {
+            Some(Tok::RParen) => break,
+            Some(Tok::Attr(a)) => {
+                let f = decl
+                    .field_of(intern(&a))
+                    .ok_or_else(|| fail(&format!("class {class} has no attribute ^{a}")))?;
+                let v = match next(&mut pos) {
+                    Some(Tok::Sym(s)) => {
+                        if s == "nil" {
+                            Value::Nil
+                        } else {
+                            Value::sym(&s)
+                        }
+                    }
+                    Some(Tok::Int(i)) => Value::Int(i),
+                    other => return Err(fail(&format!("expected ground value, found {other:?}"))),
+                };
+                w.fields[f as usize] = v;
+            }
+            other => return Err(fail(&format!("unexpected {other:?} in wme"))),
+        }
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> ClassRegistry {
+        let mut r = ClassRegistry::new();
+        r.declare_str("block", &["name", "color", "on", "state"]);
+        r.declare_str("hand", &["state", "name"]);
+        r.declare_str("count", &["n"]);
+        r
+    }
+
+    #[test]
+    fn parse_paper_production() {
+        let mut r = reg();
+        let p = parse_production(
+            "(p blue-block-is-graspable
+                (block ^name <b> ^color blue)
+               -(block ^on <b>)
+                (hand ^state free)
+               -->
+                (modify 1 ^state graspable))",
+            &mut r,
+        )
+        .unwrap();
+        assert_eq!(&*crate::sym_name(p.name), "blue-block-is-graspable");
+        assert_eq!(p.ces.len(), 3);
+        assert_eq!(p.num_pos, 2);
+        assert!(matches!(p.ces[1], CondElem::Neg(_)));
+        assert_eq!(p.actions.len(), 1);
+        match &p.actions[0] {
+            Action::Modify { ce, fields } => {
+                assert_eq!(*ce, 1);
+                assert_eq!(fields.len(), 1);
+                assert_eq!(fields[0].0, 3); // ^state is field 3 of block
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_predicates_and_conjunctive_tests() {
+        let mut r = reg();
+        let p = parse_production
+            ("(p preds (count ^n <m>) (count ^n { > 3 <= 10 <> <m> }) --> (halt))", &mut r)
+            .unwrap();
+        let c = p.ces[1].as_pos().unwrap();
+        assert_eq!(c.tests.len(), 3);
+        assert_eq!(c.tests[0].pred(), Pred::Gt);
+        assert_eq!(c.tests[1].pred(), Pred::Le);
+        assert_eq!(c.tests[2].pred(), Pred::Ne);
+    }
+
+    #[test]
+    fn parse_ncc() {
+        let mut r = reg();
+        let p = parse_production(
+            "(p ncc (block ^name <b>)
+                -{ (block ^on <b>) (hand ^name <b>) }
+               --> (halt))",
+            &mut r,
+        )
+        .unwrap();
+        assert_eq!(p.ces.len(), 2);
+        match &p.ces[1] {
+            CondElem::Ncc(cs) => assert_eq!(cs.len(), 2),
+            other => panic!("expected NCC, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_bind_genatom_and_compute() {
+        let mut r = reg();
+        let p = parse_production(
+            "(p mk (count ^n <n>)
+               -->
+                (bind <g> (genatom))
+                (bind <m> (compute <n> + 1))
+                (make count ^n <m>)
+                (make block ^name <g>))",
+            &mut r,
+        )
+        .unwrap();
+        assert_eq!(p.rhs_binds.len(), 2);
+        assert!(matches!(p.rhs_binds[0].expr, RhsExpr::Genatom));
+        assert!(matches!(p.rhs_binds[1].expr, RhsExpr::Add(..)));
+    }
+
+    #[test]
+    fn parse_program_with_literalize_and_comments() {
+        let mut r = ClassRegistry::new();
+        let prods = parse_program(
+            "; a comment
+             (literalize goal id status) ; trailing comment
+             (p done (goal ^status satisfied) --> (write done) (halt))",
+            &mut r,
+        )
+        .unwrap();
+        assert_eq!(prods.len(), 1);
+        assert!(r.get(intern("goal")).is_some());
+    }
+
+    #[test]
+    fn parse_wme_ground() {
+        let r = reg();
+        let w = parse_wme("(block ^name b1 ^color blue ^state nil)", &r).unwrap();
+        assert_eq!(w.class, intern("block"));
+        assert_eq!(w.field(0), Value::sym("b1"));
+        assert_eq!(w.field(1), Value::sym("blue"));
+        assert_eq!(w.field(3), Value::Nil);
+    }
+
+    #[test]
+    fn error_unknown_attribute() {
+        let mut r = reg();
+        let e = parse_production("(p bad (block ^height 3) --> (halt))", &mut r).unwrap_err();
+        assert!(e.msg.contains("no attribute"), "{e}");
+    }
+
+    #[test]
+    fn error_unknown_class() {
+        let mut r = reg();
+        let e = parse_production("(p bad (rocket ^name x) --> (halt))", &mut r).unwrap_err();
+        assert!(e.msg.contains("not literalized"), "{e}");
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let mut r = reg();
+        let e = parse_production("(p bad\n (block ^name x)\n (block ^oops y)\n --> (halt))", &mut r)
+            .unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn negative_integers_lex_correctly() {
+        let mut r = reg();
+        let p = parse_production("(p neg (count ^n -4) --> (make count ^n -8))", &mut r).unwrap();
+        match p.ces[0].as_pos().unwrap().tests[0] {
+            FieldTest::Const { value, .. } => assert_eq!(value, Value::Int(-4)),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_multiple_ces() {
+        let mut r = reg();
+        let p = parse_production("(p rm (block) (hand) --> (remove 1 2))", &mut r).unwrap();
+        assert_eq!(
+            p.actions,
+            vec![Action::Remove { ce: 1 }, Action::Remove { ce: 2 }]
+        );
+    }
+
+    #[test]
+    fn variables_shared_across_ces_get_one_id() {
+        let mut r = reg();
+        let p = parse_production(
+            "(p share (block ^name <b>) (block ^on <b>) --> (halt))",
+            &mut r,
+        )
+        .unwrap();
+        assert_eq!(p.var_names.len(), 1);
+    }
+}

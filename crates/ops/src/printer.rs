@@ -1,0 +1,238 @@
+//! Render productions and wmes back to OPS5 source text.
+//!
+//! The output re-parses to a structurally identical production (the
+//! round-trip property is enforced in `tests/proptest_ops.rs`), which makes
+//! the printer useful both for debugging learned chunks and as a test
+//! oracle for the parser.
+
+use crate::action::{Action, RhsExpr, RhsTerm};
+use crate::cond::{Cond, CondElem, FieldTest, Pred};
+use crate::production::Production;
+use crate::symbol::sym_name;
+use crate::value::Value;
+use crate::wme::ClassRegistry;
+use std::fmt::Write;
+
+fn pred_prefix(p: Pred) -> &'static str {
+    match p {
+        Pred::Eq => "",
+        Pred::Ne => "<> ",
+        Pred::Lt => "< ",
+        Pred::Le => "<= ",
+        Pred::Gt => "> ",
+        Pred::Ge => ">= ",
+    }
+}
+
+fn value_text(v: Value) -> String {
+    match v {
+        Value::Nil => "nil".into(),
+        Value::Sym(s) => sym_name(s).to_string(),
+        Value::Int(i) => i.to_string(),
+    }
+}
+
+fn attr_name(reg: &ClassRegistry, class: crate::Symbol, field: u16) -> String {
+    reg.get(class)
+        .and_then(|d| d.attrs.get(field as usize).copied())
+        .map(|a| sym_name(a).to_string())
+        .unwrap_or_else(|| format!("f{field}"))
+}
+
+fn cond_text(c: &Cond, p: &Production, reg: &ClassRegistry) -> String {
+    let mut s = format!("({}", c.class);
+    // Group consecutive tests on the same field into { … } blocks.
+    let mut i = 0;
+    while i < c.tests.len() {
+        let field = c.tests[i].field();
+        let mut j = i;
+        while j < c.tests.len() && c.tests[j].field() == field {
+            j += 1;
+        }
+        let attr = attr_name(reg, c.class, field);
+        let one = |t: &FieldTest| -> String {
+            match *t {
+                FieldTest::Const { pred, value, .. } => {
+                    format!("{}{}", pred_prefix(pred), value_text(value))
+                }
+                FieldTest::Var { pred, var, .. } => {
+                    format!("{}<{}>", pred_prefix(pred), sym_name(p.var_names[var.0 as usize]))
+                }
+            }
+        };
+        if j - i == 1 {
+            write!(s, " ^{attr} {}", one(&c.tests[i])).unwrap();
+        } else {
+            let parts: Vec<String> = c.tests[i..j].iter().map(one).collect();
+            write!(s, " ^{attr} {{ {} }}", parts.join(" ")).unwrap();
+        }
+        i = j;
+    }
+    s.push(')');
+    s
+}
+
+fn term_text(t: &RhsTerm, p: &Production) -> String {
+    match *t {
+        RhsTerm::Const(v) => value_text(v),
+        RhsTerm::Var(v) => format!("<{}>", sym_name(p.var_names[v.0 as usize])),
+    }
+}
+
+/// Render a production as parseable OPS5 source.
+pub fn production_text(p: &Production, reg: &ClassRegistry) -> String {
+    let mut s = format!("(p {}\n", p.name);
+    for ce in &p.ces {
+        match ce {
+            CondElem::Pos(c) => writeln!(s, "   {}", cond_text(c, p, reg)).unwrap(),
+            CondElem::Neg(c) => writeln!(s, "  -{}", cond_text(c, p, reg)).unwrap(),
+            CondElem::Ncc(cs) => {
+                write!(s, "  -{{").unwrap();
+                for c in cs {
+                    write!(s, " {}", cond_text(c, p, reg)).unwrap();
+                }
+                writeln!(s, " }}").unwrap();
+            }
+        }
+    }
+    s.push_str("  -->\n");
+    for b in &p.rhs_binds {
+        let var = format!("<{}>", sym_name(p.var_names[b.var.0 as usize]));
+        match &b.expr {
+            RhsExpr::Genatom => writeln!(s, "   (bind {var} (genatom))").unwrap(),
+            RhsExpr::Term(t) => writeln!(s, "   (bind {var} {})", term_text(t, p)).unwrap(),
+            RhsExpr::Add(a, c) => {
+                writeln!(s, "   (bind {var} (compute {} + {}))", term_text(a, p), term_text(c, p))
+                    .unwrap()
+            }
+            RhsExpr::Sub(a, c) => {
+                writeln!(s, "   (bind {var} (compute {} - {}))", term_text(a, p), term_text(c, p))
+                    .unwrap()
+            }
+        }
+    }
+    for a in &p.actions {
+        match a {
+            Action::Make { class, fields } => {
+                write!(s, "   (make {class}").unwrap();
+                for (f, t) in fields {
+                    write!(s, " ^{} {}", attr_name(reg, *class, *f), term_text(t, p)).unwrap();
+                }
+                writeln!(s, ")").unwrap();
+            }
+            Action::Remove { ce } => writeln!(s, "   (remove {ce})").unwrap(),
+            Action::Modify { ce, fields } => {
+                write!(s, "   (modify {ce}").unwrap();
+                // The CE's class determines the attribute names.
+                let class = p
+                    .ces
+                    .iter()
+                    .filter(|c| c.is_pos())
+                    .nth(*ce as usize - 1)
+                    .and_then(|c| c.as_pos())
+                    .map(|c| c.class);
+                for (f, t) in fields {
+                    let attr = class
+                        .map(|cl| attr_name(reg, cl, *f))
+                        .unwrap_or_else(|| format!("f{f}"));
+                    write!(s, " ^{attr} {}", term_text(t, p)).unwrap();
+                }
+                writeln!(s, ")").unwrap();
+            }
+            Action::Write(ts) => {
+                write!(s, "   (write").unwrap();
+                for t in ts {
+                    write!(s, " {}", term_text(t, p)).unwrap();
+                }
+                writeln!(s, ")").unwrap();
+            }
+            Action::Halt => writeln!(s, "   (halt)").unwrap(),
+        }
+    }
+    s.push(')');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_production, parse_program};
+
+    fn reg() -> ClassRegistry {
+        let mut r = ClassRegistry::new();
+        r.declare_str("block", &["name", "color", "on", "state"]);
+        r.declare_str("hand", &["state"]);
+        r.declare_str("count", &["n"]);
+        r
+    }
+
+    #[test]
+    fn paper_production_round_trips() {
+        let mut r = reg();
+        let src = "(p blue-block-is-graspable
+            (block ^name <b> ^color blue)
+           -(block ^on <b>)
+            (hand ^state free)
+           -->
+            (modify 1 ^state graspable))";
+        let p1 = parse_production(src, &mut r).unwrap();
+        let text = production_text(&p1, &r);
+        let p2 = parse_production(&text, &mut r).unwrap();
+        assert_eq!(p1.ces, p2.ces);
+        assert_eq!(p1.actions, p2.actions);
+        assert_eq!(p1.num_pos, p2.num_pos);
+    }
+
+    #[test]
+    fn ncc_and_binds_round_trip() {
+        let mut r = reg();
+        let src = "(p tricky
+            (count ^n <x>)
+           -{ (block ^name <b> ^on <b2>) (block ^name <b2>) }
+           -(count ^n { > <x> <> 9 })
+           -->
+            (bind <g> (genatom))
+            (bind <m> (compute <x> - 1))
+            (make count ^n <m>)
+            (make block ^name <g>)
+            (write done <x>)
+            (halt))";
+        let p1 = parse_production(src, &mut r).unwrap();
+        let text = production_text(&p1, &r);
+        let p2 = parse_production(&text, &mut r).unwrap();
+        assert_eq!(p1.ces, p2.ces);
+        assert_eq!(p1.rhs_binds, p2.rhs_binds);
+        assert_eq!(p1.actions, p2.actions);
+    }
+
+    #[test]
+    fn learned_chunk_names_survive() {
+        // Chunk variable names contain '*': the printer must emit text the
+        // lexer tokenizes back into the same variables.
+        let mut r = reg();
+        let p = parse_production(
+            "(p chunk-1 (block ^name <v*0007>) --> (make hand ^state <v*0007>))",
+            &mut r,
+        )
+        .unwrap();
+        let text = production_text(&p, &r);
+        let p2 = parse_production(&text, &mut r).unwrap();
+        assert_eq!(p.ces, p2.ces);
+    }
+
+    #[test]
+    fn program_of_several_productions() {
+        let mut r = reg();
+        let prods = parse_program(
+            "(p a (block ^color blue) --> (remove 1))
+             (p b (hand ^state <s>) (block ^state <s>) --> (write match))",
+            &mut r,
+        )
+        .unwrap();
+        for p in &prods {
+            let text = production_text(p, &r);
+            let p2 = parse_production(&text, &mut r).unwrap();
+            assert_eq!(p.ces, p2.ces, "{text}");
+        }
+    }
+}

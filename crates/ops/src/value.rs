@@ -1,0 +1,130 @@
+//! Attribute values.
+
+use crate::symbol::{intern, Symbol};
+use std::fmt;
+
+/// The value stored in one field (attribute position) of a wme.
+///
+/// OPS5 attributes hold symbols or numbers; an unset attribute is `Nil`
+/// (OPS5's `nil`). Floats are deliberately unsupported: none of the paper's
+/// tasks use them and exact equality is what the hashed memories rely on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Value {
+    /// Unset field / OPS5 `nil`.
+    #[default]
+    Nil,
+    /// A symbolic constant.
+    Sym(Symbol),
+    /// An integer constant.
+    Int(i64),
+}
+
+impl Value {
+    /// `true` if this is `Nil`.
+    pub fn is_nil(self) -> bool {
+        matches!(self, Value::Nil)
+    }
+
+    /// Symbol payload, if any.
+    pub fn as_sym(self) -> Option<Symbol> {
+        match self {
+            Value::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer payload, if any.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor interning a symbol name.
+    pub fn sym(name: &str) -> Value {
+        Value::Sym(intern(name))
+    }
+
+    /// Total order used by the relational predicates `< <= > >=`.
+    ///
+    /// OPS5 defines relational tests on numbers; on mixed or symbolic
+    /// operands the relational predicates simply fail (return `None`),
+    /// mirroring OPS5's behaviour of not matching.
+    pub fn num_cmp(self, other: Value) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(&b)),
+            _ => None,
+        }
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Self {
+        Value::Sym(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nil_is_default() {
+        assert_eq!(Value::default(), Value::Nil);
+        assert!(Value::Nil.is_nil());
+        assert!(!Value::Int(0).is_nil());
+    }
+
+    #[test]
+    fn num_cmp_only_on_ints() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int(1).num_cmp(Value::Int(2)), Some(Less));
+        assert_eq!(Value::Int(2).num_cmp(Value::Int(2)), Some(Equal));
+        assert_eq!(Value::Int(3).num_cmp(Value::Int(2)), Some(Greater));
+        assert_eq!(Value::sym("a").num_cmp(Value::Int(2)), None);
+        assert_eq!(Value::sym("a").num_cmp(Value::sym("b")), None);
+        assert_eq!(Value::Nil.num_cmp(Value::Nil), None);
+    }
+
+    #[test]
+    fn conversions() {
+        let s = intern("blue");
+        assert_eq!(Value::from(s), Value::Sym(s));
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::sym("blue"), Value::Sym(s));
+        assert_eq!(Value::Sym(s).as_sym(), Some(s));
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Nil.as_sym(), None);
+        assert_eq!(Value::Nil.as_int(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Value::Nil), "nil");
+        assert_eq!(format!("{}", Value::sym("free")), "free");
+        assert_eq!(format!("{}", Value::Int(-4)), "-4");
+    }
+}

@@ -1,0 +1,312 @@
+//! The constant-test (alpha) network.
+//!
+//! "The top of the network is composed only of [constant test nodes] and
+//! forms a network that discriminates wmes based on the constants they
+//! contain" (§2.2). An *alpha memory* here is a canonical set of constant
+//! tests plus intra-element variable tests; equal test sets are shared
+//! between productions. Per the PSM-E design, alpha memories do not store
+//! wmes — matching wmes are stored per consuming two-input node in the
+//! hashed right memories — so an alpha memory is purely a discrimination
+//! point with a successor list.
+
+use crate::node::{NodeId, Side};
+use crate::util::FxHashMap;
+use psme_ops::{Pred, Symbol, Value, Wme};
+
+/// Index of an alpha memory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AlphaMemId(pub u32);
+
+/// A constant test: `wme.field PRED value`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AlphaTest {
+    /// Field index.
+    pub field: u16,
+    /// Predicate (ordered for canonicalization).
+    pub pred: PredOrd,
+    /// Constant operand.
+    pub value: Value,
+}
+
+/// An intra-element variable test: `wme.field_a PRED wme.field_b`
+/// (compiled from a variable occurring twice within one CE).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct IntraTest {
+    /// Tested field.
+    pub field_a: u16,
+    /// Predicate.
+    pub pred: PredOrd,
+    /// Field holding the binding occurrence.
+    pub field_b: u16,
+}
+
+/// `Pred` wrapper with a total order (for canonical sorting).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PredOrd(pub Pred);
+
+impl PartialOrd for PredOrd {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PredOrd {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0 as u8).cmp(&(other.0 as u8))
+    }
+}
+
+/// One alpha memory: class + canonical tests + successor edges.
+#[derive(Clone, Debug)]
+pub struct AlphaMem {
+    /// This memory's id.
+    pub id: AlphaMemId,
+    /// Required wme class.
+    pub class: Symbol,
+    /// Constant tests (sorted).
+    pub tests: Vec<AlphaTest>,
+    /// Intra-element tests (sorted).
+    pub intra: Vec<IntraTest>,
+    /// Two-input nodes fed by this memory (side is always `Right`).
+    pub successors: Vec<(NodeId, Side)>,
+}
+
+impl AlphaMem {
+    /// Does a wme of the right class pass all tests?
+    pub fn passes(&self, w: &Wme) -> bool {
+        self.tests.iter().all(|t| t.pred.0.eval(w.field(t.field), t.value))
+            && self.intra.iter().all(|t| t.pred.0.eval(w.field(t.field_a), w.field(t.field_b)))
+    }
+
+    /// Number of individual tests (for cost accounting).
+    pub fn test_count(&self) -> usize {
+        self.tests.len() + self.intra.len()
+    }
+}
+
+type AlphaKey = (Symbol, Vec<AlphaTest>, Vec<IntraTest>);
+
+/// The alpha network: all alpha memories, indexed by class.
+#[derive(Default, Debug)]
+pub struct AlphaNet {
+    mems: Vec<AlphaMem>,
+    by_class: FxHashMap<Symbol, Vec<AlphaMemId>>,
+    interned: FxHashMap<AlphaKey, AlphaMemId>,
+}
+
+/// Result of pushing one wme through the discrimination network.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AlphaStats {
+    /// Constant/intra tests evaluated.
+    pub tests_run: u32,
+    /// Alpha memories the wme entered.
+    pub mems_matched: u32,
+}
+
+impl AlphaNet {
+    /// Empty network.
+    pub fn new() -> AlphaNet {
+        AlphaNet::default()
+    }
+
+    /// Get-or-create the alpha memory for a canonical test set. Returns the
+    /// id and whether it already existed (was shared).
+    pub fn intern(
+        &mut self,
+        class: Symbol,
+        mut tests: Vec<AlphaTest>,
+        mut intra: Vec<IntraTest>,
+    ) -> (AlphaMemId, bool) {
+        tests.sort_unstable();
+        tests.dedup();
+        intra.sort_unstable();
+        intra.dedup();
+        let key = (class, tests, intra);
+        if let Some(&id) = self.interned.get(&key) {
+            return (id, true);
+        }
+        let id = AlphaMemId(self.mems.len() as u32);
+        self.mems.push(AlphaMem {
+            id,
+            class,
+            tests: key.1.clone(),
+            intra: key.2.clone(),
+            successors: Vec::new(),
+        });
+        self.by_class.entry(class).or_default().push(id);
+        self.interned.insert(key, id);
+        (id, false)
+    }
+
+    /// Register a successor two-input node on an alpha memory.
+    pub fn add_successor(&mut self, mem: AlphaMemId, node: NodeId) {
+        self.mems[mem.0 as usize].successors.push((node, Side::Right));
+    }
+
+    /// Access an alpha memory.
+    pub fn get(&self, id: AlphaMemId) -> &AlphaMem {
+        &self.mems[id.0 as usize]
+    }
+
+    /// All memories.
+    pub fn mems(&self) -> &[AlphaMem] {
+        &self.mems
+    }
+
+    /// Mutable access for network surgery (rollback of failed additions).
+    pub(crate) fn mems_mut(&mut self) -> &mut [AlphaMem] {
+        &mut self.mems
+    }
+
+    /// Push a wme through the discrimination net, calling `hit` for each
+    /// matching alpha memory. Returns test/match counts for cost models.
+    pub fn classify(&self, w: &Wme, mut hit: impl FnMut(&AlphaMem)) -> AlphaStats {
+        let mut stats = AlphaStats::default();
+        // The class test itself is the first discrimination (hash lookup,
+        // counted as one test — PSM-E's class-indexing optimization that
+        // "reduces constant-test activations by almost half").
+        stats.tests_run += 1;
+        if let Some(ids) = self.by_class.get(&w.class) {
+            for &id in ids {
+                let m = &self.mems[id.0 as usize];
+                stats.tests_run += m.test_count() as u32;
+                if m.passes(w) {
+                    stats.mems_matched += 1;
+                    hit(m);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Number of alpha memories.
+    pub fn len(&self) -> usize {
+        self.mems.len()
+    }
+
+    /// `true` when no memory exists.
+    pub fn is_empty(&self) -> bool {
+        self.mems.is_empty()
+    }
+
+    /// Count of distinct constant-test nodes under maximal sharing (each
+    /// distinct `(class, field, pred, value)` is one shared node) — used by
+    /// the code-size model.
+    pub fn distinct_const_tests(&self) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for m in &self.mems {
+            for t in &m.tests {
+                set.insert((m.class, *t));
+            }
+            for t in &m.intra {
+                set.insert((m.class, AlphaTest { field: t.field_a, pred: t.pred, value: Value::Int(t.field_b as i64) }));
+            }
+        }
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psme_ops::{intern, ClassRegistry};
+
+    fn w(reg: &ClassRegistry, s: &str) -> Wme {
+        psme_ops::parse_wme(s, reg).unwrap()
+    }
+
+    fn reg() -> ClassRegistry {
+        let mut r = ClassRegistry::new();
+        r.declare_str("block", &["name", "color", "on"]);
+        r.declare_str("hand", &["state"]);
+        r
+    }
+
+    fn t(field: u16, pred: Pred, value: Value) -> AlphaTest {
+        AlphaTest { field, pred: PredOrd(pred), value }
+    }
+
+    #[test]
+    fn intern_shares_equal_test_sets() {
+        let mut a = AlphaNet::new();
+        let (id1, shared1) = a.intern(
+            intern("block"),
+            vec![t(1, Pred::Eq, Value::sym("blue")), t(0, Pred::Eq, Value::sym("b1"))],
+            vec![],
+        );
+        // Same tests in different order intern to the same memory.
+        let (id2, shared2) = a.intern(
+            intern("block"),
+            vec![t(0, Pred::Eq, Value::sym("b1")), t(1, Pred::Eq, Value::sym("blue"))],
+            vec![],
+        );
+        assert!(!shared1);
+        assert!(shared2);
+        assert_eq!(id1, id2);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn classify_filters_by_class_and_tests() {
+        let r = reg();
+        let mut a = AlphaNet::new();
+        let (blue, _) = a.intern(intern("block"), vec![t(1, Pred::Eq, Value::sym("blue"))], vec![]);
+        let (anyblock, _) = a.intern(intern("block"), vec![], vec![]);
+        let (_hand, _) = a.intern(intern("hand"), vec![], vec![]);
+
+        let mut hits = Vec::new();
+        let stats = a.classify(&w(&r, "(block ^name b1 ^color blue)"), |m| hits.push(m.id));
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&blue) && hits.contains(&anyblock));
+        assert!(stats.tests_run >= 2);
+
+        hits.clear();
+        a.classify(&w(&r, "(block ^name b2 ^color red)"), |m| hits.push(m.id));
+        assert_eq!(hits, vec![anyblock]);
+
+        hits.clear();
+        a.classify(&w(&r, "(hand ^state free)"), |m| hits.push(m.id));
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn intra_tests_compare_fields() {
+        let r = reg();
+        let mut a = AlphaNet::new();
+        // (block ^name <x> ^on <x>) — name field equals on field
+        let (id, _) = a.intern(
+            intern("block"),
+            vec![],
+            vec![IntraTest { field_a: 2, pred: PredOrd(Pred::Eq), field_b: 0 }],
+        );
+        let mut hits = Vec::new();
+        a.classify(&w(&r, "(block ^name b1 ^on b1)"), |m| hits.push(m.id));
+        assert_eq!(hits, vec![id]);
+        hits.clear();
+        a.classify(&w(&r, "(block ^name b1 ^on b2)"), |m| hits.push(m.id));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn relational_const_tests() {
+        let mut r = ClassRegistry::new();
+        r.declare_str("count", &["n"]);
+        let mut a = AlphaNet::new();
+        let (id, _) = a.intern(intern("count"), vec![t(0, Pred::Gt, Value::Int(5))], vec![]);
+        let mut hits = Vec::new();
+        a.classify(&w(&r, "(count ^n 9)"), |m| hits.push(m.id));
+        assert_eq!(hits, vec![id]);
+        hits.clear();
+        a.classify(&w(&r, "(count ^n 5)"), |m| hits.push(m.id));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn successors_accumulate() {
+        let mut a = AlphaNet::new();
+        let (id, _) = a.intern(intern("block"), vec![], vec![]);
+        a.add_successor(id, 3);
+        a.add_successor(id, 7);
+        assert_eq!(a.get(id).successors, vec![(3, Side::Right), (7, Side::Right)]);
+    }
+}

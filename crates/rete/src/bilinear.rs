@@ -1,0 +1,175 @@
+//! Automatic planning of constrained bilinear networks (§6.2, Figure 6-8).
+//!
+//! "The matching in all of the CEs in the production is constrained by the
+//! matches for the first few CEs." Given a constraint-prefix length `k0`,
+//! the planner groups the remaining CEs into connected components of the
+//! variable-dependency graph (ignoring variables already bound inside the
+//! prefix): each component can then be matched as an independent sub-chain
+//! rooted at the prefix, and the components are joined pairwise by the
+//! spine. The grouping is always semantics-preserving by construction.
+
+use psme_ops::{BindSite, CondElem, Production, VarId};
+
+/// Plan a bilinear grouping with the first `k0` CEs as the constraint
+/// group. Returns `None` when the production has no CEs beyond the prefix
+/// (nothing to parallelize) or `k0` is out of range.
+pub fn plan_bilinear(prod: &Production, k0: usize) -> Option<Vec<Vec<usize>>> {
+    let n = prod.ces.len();
+    if k0 == 0 || k0 >= n {
+        return None;
+    }
+    // ce index of each positive CE (bind sites record pos_idx).
+    let mut ce_of_pos = Vec::new();
+    for (i, ce) in prod.ces.iter().enumerate() {
+        if ce.is_pos() {
+            ce_of_pos.push(i);
+        }
+    }
+    // Which variables are bound inside the prefix?
+    let bound_in_prefix = |v: VarId| -> bool {
+        match prod.bind_sites[v.0 as usize] {
+            BindSite::Pos { pos_idx, .. } => ce_of_pos[pos_idx as usize] < k0,
+            // Negation-locals are confined to one CE; RHS vars don't appear
+            // in the LHS. Either way they impose no cross-CE dependency.
+            _ => true,
+        }
+    };
+    // Free variables per remaining CE.
+    let rest: Vec<usize> = (k0..n).collect();
+    let free_vars = |ce: &CondElem| -> Vec<VarId> {
+        let mut vs = Vec::new();
+        for c in ce.conds() {
+            for (_, _, v) in c.var_tests() {
+                if !bound_in_prefix(v) && !vs.contains(&v) {
+                    vs.push(v);
+                }
+            }
+        }
+        vs
+    };
+    // Union-find over the remaining CEs, merging those that share a free
+    // variable.
+    let mut parent: Vec<usize> = (0..rest.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    let mut owner_of_var: std::collections::HashMap<VarId, usize> = std::collections::HashMap::new();
+    for (ri, &ce_idx) in rest.iter().enumerate() {
+        for v in free_vars(&prod.ces[ce_idx]) {
+            match owner_of_var.get(&v) {
+                Some(&prev) => {
+                    let a = find(&mut parent, prev);
+                    let b = find(&mut parent, ri);
+                    parent[a] = b;
+                }
+                None => {
+                    owner_of_var.insert(v, ri);
+                }
+            }
+        }
+    }
+    // Components in first-appearance order.
+    let mut groups: Vec<Vec<usize>> = vec![(0..k0).collect()];
+    let mut comp_index: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for (ri, &ce_idx) in rest.iter().enumerate() {
+        let root = find(&mut parent, ri);
+        let gi = *comp_index.entry(root).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[gi].push(ce_idx);
+    }
+    Some(groups)
+}
+
+/// Longest group-internal chain of the plan (the reduced chain length the
+/// paper quotes: "it reduces the length of the chain to 15 CEs").
+pub fn plan_chain_length(groups: &[Vec<usize>]) -> usize {
+    let longest_group = groups.iter().map(|g| g.len()).max().unwrap_or(0);
+    // The spine adds one join per extra group.
+    longest_group + groups.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psme_ops::{parse_production, ClassRegistry};
+
+    fn reg() -> ClassRegistry {
+        let mut r = ClassRegistry::new();
+        r.declare_str("goal", &["id", "ps", "state"]);
+        r.declare_str("state", &["id", "object", "status"]);
+        r.declare_str("object", &["id", "name", "kind"]);
+        r
+    }
+
+    #[test]
+    fn independent_clusters_split() {
+        let mut r = reg();
+        // Prefix binds <s>; two independent clusters hang off it.
+        let p = parse_production(
+            "(p mon (goal ^id g1 ^state <s>)
+                    (state ^id <s> ^object <o1>) (object ^id <o1> ^kind door)
+                    (state ^id <s> ^object <o2>) (object ^id <o2> ^kind robot)
+              --> (halt))",
+            &mut r,
+        )
+        .unwrap();
+        let groups = plan_bilinear(&p, 1).unwrap();
+        assert_eq!(groups.len(), 3, "{groups:?}");
+        assert_eq!(groups[0], vec![0]);
+        assert_eq!(groups[1], vec![1, 2]);
+        assert_eq!(groups[2], vec![3, 4]);
+        // Chain shrinks from 5 to 2 (longest group) + 2 (spine).
+        assert_eq!(plan_chain_length(&groups), 4);
+    }
+
+    #[test]
+    fn chained_vars_stay_together() {
+        let mut r = reg();
+        let p = parse_production(
+            "(p chain (goal ^state <s>)
+                      (state ^id <s> ^object <a>) (object ^id <a> ^name <b>)
+                      (object ^id <b> ^name <c>) (object ^id <c>)
+              --> (halt))",
+            &mut r,
+        )
+        .unwrap();
+        let groups = plan_bilinear(&p, 1).unwrap();
+        // Everything depends transitively on <a>: one group.
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[1].len(), 4);
+    }
+
+    #[test]
+    fn degenerate_prefixes_rejected() {
+        let mut r = reg();
+        let p = parse_production("(p one (goal ^id g1) --> (halt))", &mut r).unwrap();
+        assert!(plan_bilinear(&p, 0).is_none());
+        assert!(plan_bilinear(&p, 1).is_none());
+        assert!(plan_bilinear(&p, 9).is_none());
+    }
+
+    #[test]
+    fn negations_follow_their_binders() {
+        let mut r = reg();
+        let p = parse_production(
+            "(p neg (goal ^state <s>)
+                    (state ^id <s> ^object <o>)
+                   -(object ^id <o> ^kind broken)
+                    (state ^id <s> ^status ok)
+              --> (halt))",
+            &mut r,
+        )
+        .unwrap();
+        let groups = plan_bilinear(&p, 1).unwrap();
+        // -(object ^id <o>) shares <o> with CE1 → same group; CE3 only uses
+        // prefix vars → its own group.
+        assert_eq!(groups[1], vec![1, 2]);
+        assert_eq!(groups[2], vec![3]);
+    }
+}

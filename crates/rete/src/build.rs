@@ -1,0 +1,655 @@
+//! Compiling productions into the network — including at run time.
+//!
+//! This is the Rust analogue of PSM-E's run-time machine-code generation
+//! (§5.1): locating shared nodes through the high-level network description,
+//! appending new nodes with strictly increasing ids, and splicing them into
+//! their parents' successor lists (our successor vectors play the role of
+//! the jumptable). The caller is responsible for running the state update
+//! (§5.2, see [`crate::update`]) afterwards so the new nodes' memories are
+//! consistent with current working memory.
+
+use crate::alpha::{AlphaTest, IntraTest, PredOrd};
+use crate::network::{NetworkOrg, ProdInfo, ReteNetwork};
+use crate::node::{BetaNode, JoinTest, KeyPart, MergeSrc, NodeId, NodeKind, RightSrc, ROOT};
+use crate::util::FxHashMap;
+use psme_ops::{BindSite, Cond, CondElem, Pred, Production, Symbol, VarId};
+use std::fmt;
+use std::sync::Arc;
+
+/// A compile error (invalid production or invalid bilinear grouping).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError(pub String);
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rete build error: {}", self.0)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Outcome of adding one production.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddResult {
+    /// Index into [`ReteNetwork::prods`].
+    pub prod_idx: u32,
+    /// All nodes with id `>= first_new` were created by this addition.
+    pub first_new: NodeId,
+    /// Newly created two-input nodes.
+    pub new_two_input: u32,
+    /// Two-input nodes reused from earlier productions.
+    pub shared_two_input: u32,
+    /// The terminal P node.
+    pub p_node: NodeId,
+}
+
+struct Builder<'a> {
+    net: &'a mut ReteNetwork,
+    prod: &'a Production,
+    prod_name: Symbol,
+    /// pos_idx → flat condition index.
+    flat_of_pos: Vec<u16>,
+    /// ce index → flat index of its first condition.
+    flat_base: Vec<u16>,
+    /// In-scope negation-local bindings: var → (flat, field).
+    locals: FxHashMap<VarId, (u16, u16)>,
+    new_two: u32,
+    shared_two: u32,
+}
+
+struct CompiledCond {
+    alpha_tests: Vec<AlphaTest>,
+    intra: Vec<IntraTest>,
+    /// Equality joins: (left_slot, left_field, right_field).
+    eqs: Vec<(u16, u16, u16)>,
+    tests: Vec<JoinTest>,
+}
+
+fn slot_of(cov: &[u16], flat: u16) -> Option<u16> {
+    cov.iter().position(|&x| x == flat).map(|i| i as u16)
+}
+
+impl<'a> Builder<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, BuildError> {
+        Err(BuildError(format!("{}: {}", self.prod_name, msg.into())))
+    }
+
+    fn compile_cond(&mut self, c: &Cond, f: u16, cov: &[u16]) -> Result<CompiledCond, BuildError> {
+        let mut out = CompiledCond {
+            alpha_tests: Vec::new(),
+            intra: Vec::new(),
+            eqs: Vec::new(),
+            tests: Vec::new(),
+        };
+        let mut bound_here: FxHashMap<VarId, u16> = FxHashMap::default();
+        for t in &c.tests {
+            match *t {
+                psme_ops::FieldTest::Const { field, pred, value } => {
+                    out.alpha_tests.push(AlphaTest { field, pred: PredOrd(pred), value });
+                }
+                psme_ops::FieldTest::Var { field, pred, var } => {
+                    // A variable test means "the attribute is present": an
+                    // unset (Nil) field never matches a variable. Compiled
+                    // as a constant ≠nil test so it is shared in the alpha
+                    // network.
+                    out.alpha_tests.push(AlphaTest {
+                        field,
+                        pred: PredOrd(Pred::Ne),
+                        value: psme_ops::Value::Nil,
+                    });
+                    match self.prod.bind_sites[var.0 as usize] {
+                        BindSite::Pos { pos_idx, field: bf } => {
+                            let sf = self.flat_of_pos[pos_idx as usize];
+                            if sf == f {
+                                if bf == field && pred == Pred::Eq && !bound_here.contains_key(&var)
+                                {
+                                    bound_here.insert(var, field);
+                                } else {
+                                    out.intra.push(IntraTest {
+                                        field_a: field,
+                                        pred: PredOrd(pred),
+                                        field_b: bf,
+                                    });
+                                }
+                            } else {
+                                let ls = match slot_of(cov, sf) {
+                                    Some(s) => s,
+                                    None => {
+                                        return self.err(format!(
+                                            "variable <{}> is bound in a condition outside this \
+                                             chain (invalid bilinear grouping?)",
+                                            self.prod.var_names[var.0 as usize]
+                                        ))
+                                    }
+                                };
+                                if pred == Pred::Eq {
+                                    out.eqs.push((ls, bf, field));
+                                } else {
+                                    out.tests.push(JoinTest {
+                                        left_slot: ls,
+                                        left_field: bf,
+                                        right_slot: 0,
+                                        right_field: field,
+                                        pred,
+                                    });
+                                }
+                            }
+                        }
+                        BindSite::NegLocal { .. } => match self.locals.get(&var).copied() {
+                            None => {
+                                debug_assert_eq!(pred, Pred::Eq, "ops validates binding preds");
+                                self.locals.insert(var, (f, field));
+                            }
+                            Some((lf, bf)) => {
+                                if lf == f {
+                                    out.intra.push(IntraTest {
+                                        field_a: field,
+                                        pred: PredOrd(pred),
+                                        field_b: bf,
+                                    });
+                                } else {
+                                    let ls = match slot_of(cov, lf) {
+                                        Some(s) => s,
+                                        None => {
+                                            return self.err(format!(
+                                                "negation-local variable <{}> escapes its chain",
+                                                self.prod.var_names[var.0 as usize]
+                                            ))
+                                        }
+                                    };
+                                    if pred == Pred::Eq {
+                                        out.eqs.push((ls, bf, field));
+                                    } else {
+                                        out.tests.push(JoinTest {
+                                            left_slot: ls,
+                                            left_field: bf,
+                                            right_slot: 0,
+                                            right_field: field,
+                                            pred,
+                                        });
+                                    }
+                                }
+                            }
+                        },
+                        BindSite::Rhs => {
+                            return self.err(format!(
+                                "RHS-bound variable <{}> used in the LHS",
+                                self.prod.var_names[var.0 as usize]
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        out.eqs.sort_unstable();
+        out.tests.sort_unstable();
+        Ok(out)
+    }
+
+    /// Find-or-create a node; returns its id.
+    fn make_node(&mut self, mut node: BetaNode) -> NodeId {
+        node.prod_names = vec![self.prod_name];
+        let sig = node.signature();
+        if let Some(id) = self.net.find_shared(&sig) {
+            let existing = &mut self.net.betas[id as usize];
+            // Structural sanity: equal signatures imply equal token shapes.
+            // (The *labels* in `coverage` may differ between the sharing
+            // productions — e.g. a chunk whose shared prefix sits at other
+            // flat CE indices — but slots are interpreted positionally per
+            // production, so only the widths must agree.)
+            debug_assert_eq!(existing.coverage.len(), node.coverage.len());
+            debug_assert_eq!(existing.right_coverage.len(), node.right_coverage.len());
+            if !existing.prod_names.contains(&self.prod_name) {
+                existing.prod_names.push(self.prod_name);
+            }
+            if existing.is_two_input() {
+                self.shared_two += 1;
+            }
+            return id;
+        }
+        if node.is_two_input() {
+            self.new_two += 1;
+        }
+        self.net.push_node(node)
+    }
+
+    /// Build a positive condition as a Join node on `(cur, cov)`.
+    fn build_pos(
+        &mut self,
+        c: &Cond,
+        f: u16,
+        cur: NodeId,
+        cov: &[u16],
+    ) -> Result<(NodeId, Vec<u16>), BuildError> {
+        let cc = self.compile_cond(c, f, cov)?;
+        let (alpha, _) = self.net.alpha.intern(c.class, cc.alpha_tests, cc.intra);
+        let left_key: Vec<KeyPart> =
+            cc.eqs.iter().map(|&(ls, lf, _)| KeyPart::Val { slot: ls, field: lf }).collect();
+        let right_key: Vec<KeyPart> =
+            cc.eqs.iter().map(|&(_, _, rf)| KeyPart::Val { slot: 0, field: rf }).collect();
+        let mut coverage = cov.to_vec();
+        coverage.push(f);
+        let mut merge: Vec<MergeSrc> = (0..cov.len() as u16).map(MergeSrc::L).collect();
+        merge.push(MergeSrc::R(0));
+        let id = self.make_node(BetaNode {
+            id: 0,
+            kind: NodeKind::Join,
+            parent: cur,
+            right: Some(RightSrc::Alpha(alpha)),
+            tests: cc.tests,
+            left_key,
+            right_key,
+            coverage: coverage.clone(),
+            right_coverage: vec![f],
+            merge,
+            out_edges: vec![],
+            prod_names: vec![],
+        });
+        Ok((id, coverage))
+    }
+
+    /// Build a negated condition as a Neg node (coverage unchanged).
+    fn build_neg(&mut self, c: &Cond, f: u16, cur: NodeId, cov: &[u16]) -> Result<NodeId, BuildError> {
+        let saved_locals = self.locals.clone();
+        let cc = self.compile_cond(c, f, cov)?;
+        self.locals = saved_locals; // CE-local bindings go out of scope
+        let (alpha, _) = self.net.alpha.intern(c.class, cc.alpha_tests, cc.intra);
+        let left_key: Vec<KeyPart> =
+            cc.eqs.iter().map(|&(ls, lf, _)| KeyPart::Val { slot: ls, field: lf }).collect();
+        let right_key: Vec<KeyPart> =
+            cc.eqs.iter().map(|&(_, _, rf)| KeyPart::Val { slot: 0, field: rf }).collect();
+        let id = self.make_node(BetaNode {
+            id: 0,
+            kind: NodeKind::Neg,
+            parent: cur,
+            right: Some(RightSrc::Alpha(alpha)),
+            tests: cc.tests,
+            left_key,
+            right_key,
+            coverage: cov.to_vec(),
+            right_coverage: vec![f],
+            merge: vec![],
+            out_edges: vec![],
+            prod_names: vec![],
+        });
+        Ok(id)
+    }
+
+    /// Build a conjunctive negation: subnetwork joins + a beta-right Neg.
+    fn build_ncc(
+        &mut self,
+        conds: &[Cond],
+        flat_start: u16,
+        cur: NodeId,
+        cov: &[u16],
+    ) -> Result<NodeId, BuildError> {
+        let saved_locals = self.locals.clone();
+        let mut scur = cur;
+        let mut scov = cov.to_vec();
+        for (j, c) in conds.iter().enumerate() {
+            let (n, c2) = self.build_pos(c, flat_start + j as u16, scur, &scov)?;
+            scur = n;
+            scov = c2;
+        }
+        self.locals = saved_locals; // group-local bindings go out of scope
+        let k = cov.len() as u16;
+        let left_key: Vec<KeyPart> = (0..k).map(|i| KeyPart::Id { slot: i }).collect();
+        let right_key: Vec<KeyPart> = (0..k).map(|i| KeyPart::Id { slot: i }).collect();
+        let id = self.make_node(BetaNode {
+            id: 0,
+            kind: NodeKind::Neg,
+            parent: cur,
+            right: Some(RightSrc::Beta(scur)),
+            tests: vec![],
+            left_key,
+            right_key,
+            coverage: cov.to_vec(),
+            right_coverage: scov,
+            merge: vec![],
+            out_edges: vec![],
+            prod_names: vec![],
+        });
+        Ok(id)
+    }
+
+    /// Build a chain of condition elements onto `(cur, cov)`.
+    fn build_chain(
+        &mut self,
+        ces: &[(usize, &CondElem)],
+        mut cur: NodeId,
+        mut cov: Vec<u16>,
+    ) -> Result<(NodeId, Vec<u16>), BuildError> {
+        for &(ce_idx, ce) in ces {
+            let f = self.flat_base[ce_idx];
+            match ce {
+                CondElem::Pos(c) => {
+                    let (n, c2) = self.build_pos(c, f, cur, &cov)?;
+                    cur = n;
+                    cov = c2;
+                }
+                CondElem::Neg(c) => {
+                    if cur == ROOT {
+                        return self.err("a negated condition cannot start a chain");
+                    }
+                    cur = self.build_neg(c, f, cur, &cov)?;
+                }
+                CondElem::Ncc(cs) => {
+                    if cur == ROOT {
+                        return self.err("a conjunctive negation cannot start a chain");
+                    }
+                    cur = self.build_ncc(cs, f, cur, &cov)?;
+                }
+            }
+        }
+        Ok((cur, cov))
+    }
+}
+
+impl ReteNetwork {
+    /// Compile `prod` into the network with the given organization.
+    ///
+    /// May be called at any quiescent point, including at run time (Soar's
+    /// chunking); run [`crate::update::seed_update`] afterwards to fill the
+    /// new nodes' memories. On error the network is rolled back unchanged.
+    pub fn add_production(
+        &mut self,
+        prod: Arc<Production>,
+        org: NetworkOrg,
+    ) -> Result<AddResult, BuildError> {
+        let first_new = self.betas.len() as NodeId;
+        let res = self.add_production_inner(&prod, &org, first_new);
+        match res {
+            Ok((p_node, pos_slots, new_two, shared_two)) => {
+                let prod_idx = self.prods.len() as u32;
+                self.prods.push(ProdInfo {
+                    production: prod,
+                    p_node,
+                    pos_slots,
+                    first_new,
+                    new_two_input: new_two,
+                    shared_two_input: shared_two,
+                    org,
+                });
+                Ok(AddResult { prod_idx, first_new, new_two_input: new_two, shared_two_input: shared_two, p_node })
+            }
+            Err(e) => {
+                self.rollback(first_new);
+                Err(e)
+            }
+        }
+    }
+
+    fn add_production_inner(
+        &mut self,
+        prod: &Arc<Production>,
+        org: &NetworkOrg,
+        first_new: NodeId,
+    ) -> Result<(NodeId, Vec<u16>, u32, u32), BuildError> {
+        // Flat condition indexing.
+        let mut flat_base = Vec::with_capacity(prod.ces.len());
+        let mut flat_of_pos = Vec::new();
+        let mut f: u16 = 0;
+        for ce in &prod.ces {
+            flat_base.push(f);
+            if ce.is_pos() {
+                flat_of_pos.push(f);
+            }
+            f += ce.conds().len() as u16;
+        }
+        let prod_idx = self.prods.len() as u32;
+        let mut b = Builder {
+            prod_name: prod.name,
+            prod: prod.as_ref(),
+            net: self,
+            flat_of_pos,
+            flat_base,
+            locals: FxHashMap::default(),
+            new_two: 0,
+            shared_two: 0,
+        };
+        let _ = first_new;
+
+        let (cur, cov) = match org {
+            NetworkOrg::Linear => {
+                let ces: Vec<(usize, &CondElem)> = prod.ces.iter().enumerate().collect();
+                b.build_chain(&ces, ROOT, Vec::new())?
+            }
+            NetworkOrg::Bilinear(groups) => {
+                // Validate: groups partition 0..ces.len(), group 0 nonempty
+                // and starting with a positive CE.
+                let mut seen = vec![false; prod.ces.len()];
+                for g in groups {
+                    for &i in g {
+                        if i >= prod.ces.len() || seen[i] {
+                            return b.err("bilinear groups must partition the CE list");
+                        }
+                        seen[i] = true;
+                    }
+                }
+                if !seen.iter().all(|&s| s) || groups.is_empty() || groups[0].is_empty() {
+                    return b.err("bilinear groups must partition the CE list");
+                }
+                if !prod.ces[groups[0][0]].is_pos() {
+                    return b.err("bilinear group 0 must start with a positive CE");
+                }
+                let g0: Vec<(usize, &CondElem)> =
+                    groups[0].iter().map(|&i| (i, &prod.ces[i])).collect();
+                let (bottom0, cov0) = b.build_chain(&g0, ROOT, Vec::new())?;
+                let k0 = cov0.len() as u16;
+                let mut cur = bottom0;
+                let mut cov = cov0.clone();
+                for g in &groups[1..] {
+                    if g.is_empty() {
+                        return b.err("empty bilinear group");
+                    }
+                    let gc: Vec<(usize, &CondElem)> =
+                        g.iter().map(|&i| (i, &prod.ces[i])).collect();
+                    b.locals.clear();
+                    let (bg, covg) = b.build_chain(&gc, bottom0, cov0.clone())?;
+                    // Spine join: identity constraints on the shared group-0
+                    // prefix (positions 0..k0 on both sides).
+                    let left_key: Vec<KeyPart> = (0..k0).map(|i| KeyPart::Id { slot: i }).collect();
+                    let right_key: Vec<KeyPart> = (0..k0).map(|i| KeyPart::Id { slot: i }).collect();
+                    let mut merge: Vec<MergeSrc> =
+                        (0..cov.len() as u16).map(MergeSrc::L).collect();
+                    merge.extend((k0..covg.len() as u16).map(MergeSrc::R));
+                    let mut new_cov = cov.clone();
+                    new_cov.extend_from_slice(&covg[k0 as usize..]);
+                    cur = b.make_node(BetaNode {
+                        id: 0,
+                        kind: NodeKind::Join,
+                        parent: cur,
+                        right: Some(RightSrc::Beta(bg)),
+                        tests: vec![],
+                        left_key,
+                        right_key,
+                        coverage: new_cov.clone(),
+                        right_coverage: covg,
+                        merge,
+                        out_edges: vec![],
+                        prod_names: vec![],
+                    });
+                    cov = new_cov;
+                }
+                (cur, cov)
+            }
+        };
+
+        // Terminal production node (never shared).
+        let mut pos_slots = Vec::with_capacity(prod.num_pos as usize);
+        for pi in 0..prod.num_pos as usize {
+            let flat = b.flat_of_pos[pi];
+            match slot_of(&cov, flat) {
+                Some(s) => pos_slots.push(s),
+                None => return b.err("internal: positive CE missing from final coverage"),
+            }
+        }
+        let new_two = b.new_two;
+        let shared_two = b.shared_two;
+        let p_node = b.net.push_node(BetaNode {
+            id: 0,
+            kind: NodeKind::Prod { prod: prod_idx },
+            parent: cur,
+            right: None,
+            tests: vec![],
+            left_key: vec![],
+            right_key: vec![],
+            coverage: cov,
+            right_coverage: vec![],
+            merge: vec![],
+            out_edges: vec![],
+            prod_names: vec![prod.name],
+        });
+        Ok((p_node, pos_slots, new_two, shared_two))
+    }
+
+    /// Undo a failed addition: drop nodes `>= first_new` and all edges,
+    /// signatures and alpha successors pointing at them.
+    fn rollback(&mut self, first_new: NodeId) {
+        self.betas.truncate(first_new as usize);
+        for n in &mut self.betas {
+            n.out_edges.retain(|&(c, _)| c < first_new);
+        }
+        self.sig_index.retain(|_, &mut id| id < first_new);
+        for m in 0..self.alpha.len() {
+            let mem = crate::alpha::AlphaMemId(m as u32);
+            // Rebuild successor lists without dangling targets.
+            let keep: Vec<_> = self
+                .alpha
+                .get(mem)
+                .successors
+                .iter()
+                .copied()
+                .filter(|&(c, _)| c < first_new)
+                .collect();
+            self.alpha_set_successors(mem, keep);
+        }
+        // Note: alpha memories created by the failed build are left in place
+        // with no successors; they are inert and will be reused if the same
+        // tests appear again.
+    }
+
+    fn alpha_set_successors(
+        &mut self,
+        mem: crate::alpha::AlphaMemId,
+        succ: Vec<(NodeId, Side)>,
+    ) {
+        // Small helper living here to keep AlphaNet's API minimal.
+        let m = &mut self.alpha_mems_mut()[mem.0 as usize];
+        m.successors = succ;
+    }
+}
+
+use crate::node::Side;
+
+impl ReteNetwork {
+    pub(crate) fn alpha_mems_mut(&mut self) -> &mut [crate::alpha::AlphaMem] {
+        self.alpha.mems_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::network::{NetworkOrg, ReteNetwork};
+    use psme_ops::{parse_production, ClassRegistry};
+    use std::sync::Arc;
+
+    fn reg() -> ClassRegistry {
+        let mut r = ClassRegistry::new();
+        r.declare_str("a", &["x", "y"]);
+        r.declare_str("b", &["x", "y"]);
+        r
+    }
+
+    #[test]
+    fn invalid_bilinear_groups_roll_back_cleanly() {
+        let mut r = reg();
+        let mut net = ReteNetwork::new();
+        let ok = parse_production("(p keep (a ^x 1) --> (halt))", &mut r).unwrap();
+        net.add_production(Arc::new(ok), NetworkOrg::Linear).unwrap();
+        let nodes_before = net.num_nodes();
+        let sigs_before = net.sig_index.len();
+
+        let p = parse_production("(p bad (a ^x <v>) (b ^x <v>) --> (halt))", &mut r).unwrap();
+        // Not a partition: CE 1 appears twice.
+        let err = net
+            .add_production(Arc::new(p.clone()), NetworkOrg::Bilinear(vec![vec![0], vec![1, 1]]))
+            .unwrap_err();
+        assert!(err.0.contains("partition"), "{err}");
+        assert_eq!(net.num_nodes(), nodes_before, "rollback removed new nodes");
+        assert_eq!(net.sig_index.len(), sigs_before);
+        assert_eq!(net.prods.len(), 1);
+        // Alpha successor lists contain no dangling node ids.
+        for m in net.alpha.mems() {
+            for &(c, _) in &m.successors {
+                assert!((c as usize) < net.num_nodes());
+            }
+        }
+        // The same production still compiles fine linearly afterwards.
+        net.add_production(Arc::new(p), NetworkOrg::Linear).unwrap();
+    }
+
+    #[test]
+    fn cross_chain_variable_dependency_rejected() {
+        let mut r = reg();
+        let mut net = ReteNetwork::new();
+        // <v> is bound in CE1 (group 1) and used in CE2 (group 2):
+        // invalid grouping, caught at compile time.
+        let p = parse_production(
+            "(p dep (a ^x 1) (a ^y <v>) (b ^x <v>) --> (halt))",
+            &mut r,
+        )
+        .unwrap();
+        let err = net
+            .add_production(
+                Arc::new(p),
+                NetworkOrg::Bilinear(vec![vec![0], vec![1], vec![2]]),
+            )
+            .unwrap_err();
+        assert!(err.0.contains("bilinear"), "{err}");
+    }
+
+    #[test]
+    fn group_zero_must_start_positive() {
+        let mut r = reg();
+        let mut net = ReteNetwork::new();
+        let p = parse_production("(p neg2 (a ^x 1) -(b ^x 1) --> (halt))", &mut r).unwrap();
+        let err = net
+            .add_production(Arc::new(p), NetworkOrg::Bilinear(vec![vec![1], vec![0]]))
+            .unwrap_err();
+        assert!(err.0.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn identical_productions_share_everything_but_p_nodes() {
+        let mut r = reg();
+        let mut net = ReteNetwork::new();
+        let p1 = parse_production("(p same1 (a ^x <v>) (b ^x <v>) --> (halt))", &mut r).unwrap();
+        let p2 = parse_production("(p same2 (a ^x <v>) (b ^x <v>) --> (halt))", &mut r).unwrap();
+        let r1 = net.add_production(Arc::new(p1), NetworkOrg::Linear).unwrap();
+        let r2 = net.add_production(Arc::new(p2), NetworkOrg::Linear).unwrap();
+        assert_eq!(r1.shared_two_input, 0);
+        assert_eq!(r2.shared_two_input, 2, "both joins shared");
+        assert_eq!(r2.new_two_input, 0);
+        assert_ne!(r1.p_node, r2.p_node, "P nodes never shared");
+    }
+
+    #[test]
+    fn new_node_ids_strictly_increase() {
+        // §5.2's key property: "a newly added node is always assigned an ID
+        // greater than any other existing node in the network".
+        let mut r = reg();
+        let mut net = ReteNetwork::new();
+        let mut last_max = 0;
+        for i in 0..5 {
+            let p = parse_production(
+                &format!("(p p{i} (a ^x {i}) (b ^y {i}) --> (halt))"),
+                &mut r,
+            )
+            .unwrap();
+            let res = net.add_production(Arc::new(p), NetworkOrg::Linear).unwrap();
+            assert!(res.first_new as usize >= last_max);
+            last_max = net.num_nodes();
+        }
+    }
+}

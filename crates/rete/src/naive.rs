@@ -1,0 +1,226 @@
+//! A brute-force matcher used as a correctness oracle.
+//!
+//! Recomputes the complete conflict set from scratch by backtracking over
+//! working memory — no state saving, no sharing, no network. Exponential in
+//! principle, fine at test scale, and independent enough from the Rete
+//! implementation to catch semantic bugs in either.
+
+use crate::token::WmeStore;
+use psme_ops::{Cond, CondElem, FieldTest, Instantiation, Production, Value, Wme, WmeId};
+use std::collections::HashSet;
+
+struct Ctx<'a> {
+    prod: &'a Production,
+    live: Vec<(WmeId, &'a Wme)>,
+    env: Vec<Option<Value>>,
+    chosen: Vec<WmeId>,
+    out: Vec<Instantiation>,
+}
+
+/// Try to match `w` against `c` under the current environment; on success
+/// push any new bindings onto `trail` and return true.
+fn test_cond(c: &Cond, w: &Wme, env: &mut [Option<Value>], trail: &mut Vec<usize>) -> bool {
+    if w.class != c.class {
+        return false;
+    }
+    for t in &c.tests {
+        match *t {
+            FieldTest::Const { field, pred, value } => {
+                if !pred.eval(w.field(field), value) {
+                    return false;
+                }
+            }
+            FieldTest::Var { field, pred, var } => {
+                let v = w.field(field);
+                // Variables only match present attributes (see build.rs).
+                if v.is_nil() {
+                    return false;
+                }
+                match env[var.0 as usize] {
+                    Some(bound) => {
+                        if !pred.eval(v, bound) {
+                            return false;
+                        }
+                    }
+                    None => {
+                        debug_assert_eq!(pred, psme_ops::Pred::Eq);
+                        env[var.0 as usize] = Some(v);
+                        trail.push(var.0 as usize);
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+fn unwind(env: &mut [Option<Value>], trail: &[usize], from: usize) {
+    for &i in &trail[from..] {
+        env[i] = None;
+    }
+}
+
+/// Does any combination of live wmes satisfy the conjunction `cs` under the
+/// current environment? (Used for negated CEs with `cs.len() == 1` and for
+/// NCC groups.)
+fn exists_conj(ctx: &mut Ctx<'_>, cs: &[Cond], depth: usize) -> bool {
+    if depth == cs.len() {
+        return true;
+    }
+    let mut trail = Vec::new();
+    for i in 0..ctx.live.len() {
+        let (_, w) = ctx.live[i];
+        let mark = trail.len();
+        if test_cond(&cs[depth], w, &mut ctx.env, &mut trail) {
+            if exists_conj(ctx, cs, depth + 1) {
+                unwind(&mut ctx.env, &trail, 0);
+                return true;
+            }
+        }
+        unwind(&mut ctx.env, &trail, mark);
+        trail.truncate(mark);
+    }
+    false
+}
+
+fn recurse(ctx: &mut Ctx<'_>, ce_idx: usize, store: &WmeStore) {
+    if ce_idx == ctx.prod.ces.len() {
+        let tags = ctx.chosen.iter().map(|&w| store.tag(w)).collect();
+        ctx.out.push(Instantiation {
+            prod: ctx.prod.name,
+            wmes: ctx.chosen.clone(),
+            tags,
+        });
+        return;
+    }
+    // Clone the CE description to avoid borrowing ctx across the recursion.
+    let ce = ctx.prod.ces[ce_idx].clone();
+    match ce {
+        CondElem::Pos(c) => {
+            for i in 0..ctx.live.len() {
+                let (id, w) = ctx.live[i];
+                let mut trail = Vec::new();
+                if test_cond(&c, w, &mut ctx.env, &mut trail) {
+                    ctx.chosen.push(id);
+                    recurse(ctx, ce_idx + 1, store);
+                    ctx.chosen.pop();
+                }
+                unwind(&mut ctx.env, &trail, 0);
+            }
+        }
+        CondElem::Neg(c) => {
+            if !exists_conj(ctx, std::slice::from_ref(&c), 0) {
+                recurse(ctx, ce_idx + 1, store);
+            }
+        }
+        CondElem::Ncc(cs) => {
+            if !exists_conj(ctx, &cs, 0) {
+                recurse(ctx, ce_idx + 1, store);
+            }
+        }
+    }
+}
+
+/// All current instantiations of `prod` against the live wmes of `store`.
+pub fn match_production(prod: &Production, store: &WmeStore) -> Vec<Instantiation> {
+    let live: Vec<(WmeId, &Wme)> = store.iter_alive().map(|(id, w)| (id, w.as_ref())).collect();
+    let mut ctx = Ctx {
+        prod,
+        live,
+        env: vec![None; prod.var_names.len()],
+        chosen: Vec::new(),
+        out: Vec::new(),
+    };
+    recurse(&mut ctx, 0, store);
+    ctx.out
+}
+
+/// The complete conflict set for a production collection.
+pub fn match_all<'a>(
+    prods: impl IntoIterator<Item = &'a Production>,
+    store: &WmeStore,
+) -> HashSet<Instantiation> {
+    let mut out = HashSet::new();
+    for p in prods {
+        out.extend(match_production(p, store));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psme_ops::{parse_production, parse_wme, ClassRegistry};
+
+    fn setup() -> (ClassRegistry, WmeStore) {
+        let mut r = ClassRegistry::new();
+        r.declare_str("block", &["name", "color", "on"]);
+        r.declare_str("hand", &["state"]);
+        (r, WmeStore::new())
+    }
+
+    #[test]
+    fn matches_paper_production() {
+        let (mut r, mut s) = setup();
+        let p = parse_production(
+            "(p graspable (block ^name <b> ^color blue) -(block ^on <b>) (hand ^state free)
+             --> (halt))",
+            &mut r,
+        )
+        .unwrap();
+        s.add(parse_wme("(block ^name b1 ^color blue)", &r).unwrap());
+        s.add(parse_wme("(hand ^state free)", &r).unwrap());
+        assert_eq!(match_production(&p, &s).len(), 1);
+        // Stack something on b1: negation now blocks.
+        let (on, _) = s.add(parse_wme("(block ^name b2 ^color red ^on b1)", &r).unwrap());
+        assert_eq!(match_production(&p, &s).len(), 0);
+        s.remove(on);
+        assert_eq!(match_production(&p, &s).len(), 1);
+    }
+
+    #[test]
+    fn same_wme_may_fill_two_ces() {
+        let (mut r, mut s) = setup();
+        let p = parse_production(
+            "(p twice (block ^color blue) (block ^color blue) --> (halt))",
+            &mut r,
+        )
+        .unwrap();
+        s.add(parse_wme("(block ^name b1 ^color blue)", &r).unwrap());
+        // Both CEs can bind the same wme: 1 wme → 1 combination… of pairs
+        // (w,w): OPS5 allows it, so exactly one instantiation.
+        assert_eq!(match_production(&p, &s).len(), 1);
+        s.add(parse_wme("(block ^name b2 ^color blue)", &r).unwrap());
+        // 2 wmes → 4 ordered pairs.
+        assert_eq!(match_production(&p, &s).len(), 4);
+    }
+
+    #[test]
+    fn ncc_blocks_on_conjunction_only() {
+        let (mut r, mut s) = setup();
+        let p = parse_production(
+            "(p ncc (hand ^state <h>)
+                -{ (block ^name <b> ^on <h>) (block ^name <b> ^color red) }
+             --> (halt))",
+            &mut r,
+        )
+        .unwrap();
+        s.add(parse_wme("(hand ^state h1)", &r).unwrap());
+        // Only one conjunct present: no block is both on h1 and red.
+        s.add(parse_wme("(block ^name b1 ^on h1)", &r).unwrap());
+        assert_eq!(match_production(&p, &s).len(), 1);
+        // Complete the conjunction.
+        s.add(parse_wme("(block ^name b1 ^color red)", &r).unwrap());
+        assert_eq!(match_production(&p, &s).len(), 0);
+    }
+
+    #[test]
+    fn match_all_unions_productions() {
+        let (mut r, mut s) = setup();
+        let p1 = parse_production("(p a (hand ^state free) --> (halt))", &mut r).unwrap();
+        let p2 = parse_production("(p b (hand ^state <x>) --> (halt))", &mut r).unwrap();
+        s.add(parse_wme("(hand ^state free)", &r).unwrap());
+        let all = match_all([&p1, &p2], &s);
+        assert_eq!(all.len(), 2);
+    }
+}

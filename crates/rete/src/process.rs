@@ -1,0 +1,469 @@
+//! Node-activation processing — the semantics shared by the serial engine
+//! and the PSM-E parallel engine.
+//!
+//! "A node activation consists of the address of the code for a node in the
+//! RETE network and an input token for that node" (§2.3). Here an
+//! [`Activation`] carries the node id, the arriving side, the token, and a
+//! signed *delta* (+1 add / −1 delete — the token's add/delete flag,
+//! generalized to weights so that out-of-order parallel delivery is safe;
+//! see `memory.rs`).
+//!
+//! The critical section per two-input activation — insert own token, scan
+//! the opposite bucket — runs under the memory-line lock, exactly the
+//! locking discipline the paper describes (§6.1). Child activations are
+//! emitted after the lock is released.
+
+use crate::memory::{Key, KeyElem, LeftEntry, MemoryTable, RightEntry};
+use crate::network::ReteNetwork;
+use crate::node::{BetaNode, KeyPart, MergeSrc, NodeId, NodeKind, Side, ROOT};
+use crate::token::{Token, WmeStore};
+use psme_ops::WmeId;
+
+/// One unit of match work: a token arriving at a node input.
+#[derive(Clone, Debug)]
+pub struct Activation {
+    /// Destination node.
+    pub node: NodeId,
+    /// Which input.
+    pub side: Side,
+    /// The arriving token.
+    pub token: Token,
+    /// Signed weight: +1 = add, −1 = delete.
+    pub delta: i32,
+}
+
+/// A conflict-set change emitted by a P node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsChange {
+    /// Production index in the network.
+    pub prod: u32,
+    /// The full token (coverage = the P node's coverage).
+    pub token: Token,
+    /// Signed weight.
+    pub delta: i32,
+}
+
+/// Cost-relevant counters from processing one activation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ActStats {
+    /// Opposite-memory entries examined (same destination node).
+    pub scanned: u32,
+    /// Child activations emitted.
+    pub emitted: u32,
+    /// Memory line touched (two-input and P nodes).
+    pub line: Option<u32>,
+    /// Spins while acquiring the line lock.
+    pub spins: u64,
+}
+
+/// Compute a memory key for `token` under `spec`.
+#[inline]
+pub fn make_key(spec: &[KeyPart], token: &Token, store: &WmeStore) -> Key {
+    Key(spec
+        .iter()
+        .map(|p| match *p {
+            KeyPart::Val { slot, field } => KeyElem::V(store.value(token.slot(slot), field)),
+            KeyPart::Id { slot } => KeyElem::W(token.slot(slot)),
+        })
+        .collect())
+}
+
+/// Evaluate the non-equality consistency tests between a left token and a
+/// right token.
+///
+/// Operand order: a test `^field PRED <var>` in a CE means
+/// `new-wme.field PRED bound-value`, i.e. the *right* (arriving CE) side is
+/// the left operand of the predicate.
+#[inline]
+fn tests_pass(node: &BetaNode, left: &Token, right: &Token, store: &WmeStore) -> bool {
+    node.tests.iter().all(|t| {
+        let lv = store.value(left.slot(t.left_slot), t.left_field);
+        let rv = store.value(right.slot(t.right_slot), t.right_field);
+        t.pred.eval(rv, lv)
+    })
+}
+
+/// Assemble a join's output token.
+#[inline]
+fn merge_token(node: &BetaNode, left: &Token, right: &Token) -> Token {
+    let wmes: Vec<WmeId> = node
+        .merge
+        .iter()
+        .map(|m| match *m {
+            MergeSrc::L(s) => left.slot(s),
+            MergeSrc::R(s) => right.slot(s),
+        })
+        .collect();
+    Token::from_slice(&wmes)
+}
+
+/// Process one beta activation.
+///
+/// `min_node` filters emissions during the run-time state update (§5.2):
+/// child activations targeting nodes below it are dropped. Use 0 for normal
+/// matching.
+pub fn process_beta(
+    net: &ReteNetwork,
+    mem: &MemoryTable,
+    store: &WmeStore,
+    act: &Activation,
+    min_node: NodeId,
+    emit: &mut dyn FnMut(Activation),
+    cs_emit: &mut dyn FnMut(CsChange),
+) -> ActStats {
+    let node = net.node(act.node);
+    let mut stats = ActStats::default();
+    match node.kind {
+        NodeKind::Root => stats,
+        NodeKind::Prod { prod } => {
+            // P nodes store their input tokens (so that a later chunk
+            // sharing this whole chain can enumerate the parent's outputs)
+            // and update the conflict set.
+            let key = Key::default();
+            let line = mem.line_of(act.node, &key);
+            stats.line = Some(line);
+            let (mut g, spins) = mem.lock(line);
+            stats.spins = spins;
+            g.left_accesses += 1;
+            upsert_left(&mut g.left, act.node, key, &act.token, act.delta, 0);
+            drop(g);
+            cs_emit(CsChange { prod, token: act.token.clone(), delta: act.delta });
+            stats.emitted = 1;
+            stats
+        }
+        NodeKind::Join => match act.side {
+            Side::Left => {
+                let key = make_key(&node.left_key, &act.token, store);
+                let line = mem.line_of(act.node, &key);
+                stats.line = Some(line);
+                let (mut g, spins) = mem.lock(line);
+                stats.spins = spins;
+                g.left_accesses += 1;
+                upsert_left(&mut g.left, act.node, key.clone(), &act.token, act.delta, 0);
+                let mut matches: Vec<(Token, i32)> = Vec::new();
+                for e in g.right.iter().filter(|e| e.node == act.node) {
+                    stats.scanned += 1;
+                    if e.weight != 0 && e.key == key && tests_pass(node, &act.token, &e.token, store)
+                    {
+                        matches.push((e.token.clone(), e.weight));
+                    }
+                }
+                drop(g);
+                for (rt, w) in matches {
+                    let out = merge_token(node, &act.token, &rt);
+                    stats.emitted +=
+                        emit_children(node, out, act.delta * w, min_node, emit);
+                }
+                stats
+            }
+            Side::Right => {
+                let key = make_key(&node.right_key, &act.token, store);
+                let line = mem.line_of(act.node, &key);
+                stats.line = Some(line);
+                let (mut g, spins) = mem.lock(line);
+                stats.spins = spins;
+                g.right_accesses += 1;
+                upsert_right(&mut g.right, act.node, key.clone(), &act.token, act.delta);
+                let mut matches: Vec<(Token, i32)> = Vec::new();
+                if node.parent == ROOT {
+                    // The root's single output is the weight-1 empty token.
+                    matches.push((Token::empty(), 1));
+                    stats.scanned += 1;
+                } else {
+                    for e in g.left.iter().filter(|e| e.node == act.node) {
+                        stats.scanned += 1;
+                        if e.weight != 0
+                            && e.key == key
+                            && tests_pass(node, &e.token, &act.token, store)
+                        {
+                            matches.push((e.token.clone(), e.weight));
+                        }
+                    }
+                }
+                drop(g);
+                for (lt, w) in matches {
+                    let out = merge_token(node, &lt, &act.token);
+                    stats.emitted +=
+                        emit_children(node, out, act.delta * w, min_node, emit);
+                }
+                stats
+            }
+        },
+        NodeKind::Neg => match act.side {
+            Side::Left => {
+                let key = make_key(&node.left_key, &act.token, store);
+                let line = mem.line_of(act.node, &key);
+                stats.line = Some(line);
+                let (mut g, spins) = mem.lock(line);
+                stats.spins = spins;
+                g.left_accesses += 1;
+                // Find or create the entry; a fresh entry computes its
+                // not-counter m by scanning the right bucket.
+                let idx = g
+                    .left
+                    .iter()
+                    .position(|e| e.node == act.node && e.token == act.token);
+                let (m_now, remove_at) = match idx {
+                    Some(i) => {
+                        g.left[i].weight += act.delta;
+                        let m = g.left[i].m;
+                        let rm = if g.left[i].weight == 0 { Some(i) } else { None };
+                        (m, rm)
+                    }
+                    None => {
+                        let mut m = 0i32;
+                        let mut scanned = 0u32;
+                        for e in g.right.iter().filter(|e| e.node == act.node) {
+                            scanned += 1;
+                            if e.key == key && tests_pass(node, &act.token, &e.token, store) {
+                                m += e.weight;
+                            }
+                        }
+                        stats.scanned += scanned;
+                        g.left.push(LeftEntry {
+                            node: act.node,
+                            key: key.clone(),
+                            token: act.token.clone(),
+                            weight: act.delta,
+                            m,
+                        });
+                        (m, None)
+                    }
+                };
+                if let Some(i) = remove_at {
+                    g.left.swap_remove(i);
+                }
+                drop(g);
+                if m_now == 0 {
+                    stats.emitted +=
+                        emit_children(node, act.token.clone(), act.delta, min_node, emit);
+                }
+                stats
+            }
+            Side::Right => {
+                let key = make_key(&node.right_key, &act.token, store);
+                let line = mem.line_of(act.node, &key);
+                stats.line = Some(line);
+                let (mut g, spins) = mem.lock(line);
+                stats.spins = spins;
+                g.right_accesses += 1;
+                upsert_right(&mut g.right, act.node, key.clone(), &act.token, act.delta);
+                // Adjust the not-counters of matching left tokens; emit the
+                // blocked/unblocked transitions.
+                let mut transitions: Vec<(Token, i32)> = Vec::new();
+                // Split borrows: collect left indices first.
+                let mut updates: Vec<usize> = Vec::new();
+                for (i, e) in g.left.iter().enumerate() {
+                    if e.node == act.node {
+                        stats.scanned += 1;
+                        if e.key == key && tests_pass(node, &e.token, &act.token, store) {
+                            updates.push(i);
+                        }
+                    }
+                }
+                for i in updates {
+                    let e = &mut g.left[i];
+                    let m_old = e.m;
+                    e.m += act.delta;
+                    if m_old == 0 && e.m != 0 {
+                        transitions.push((e.token.clone(), -e.weight));
+                    } else if m_old != 0 && e.m == 0 {
+                        transitions.push((e.token.clone(), e.weight));
+                    }
+                }
+                drop(g);
+                for (t, d) in transitions {
+                    if d != 0 {
+                        stats.emitted += emit_children(node, t, d, min_node, emit);
+                    }
+                }
+                stats
+            }
+        },
+    }
+}
+
+fn upsert_left(left: &mut Vec<LeftEntry>, node: NodeId, key: Key, token: &Token, delta: i32, m: i32) {
+    if let Some(e) = left.iter_mut().find(|e| e.node == node && e.token == *token) {
+        e.weight += delta;
+        if e.weight == 0 {
+            let idx = left
+                .iter()
+                .position(|e| e.node == node && e.token == *token)
+                .expect("entry just updated");
+            left.swap_remove(idx);
+        }
+        return;
+    }
+    left.push(LeftEntry { node, key, token: token.clone(), weight: delta, m });
+}
+
+fn upsert_right(right: &mut Vec<RightEntry>, node: NodeId, key: Key, token: &Token, delta: i32) {
+    if let Some(i) = right.iter().position(|e| e.node == node && e.token == *token) {
+        right[i].weight += delta;
+        if right[i].weight == 0 {
+            right.swap_remove(i);
+        }
+        return;
+    }
+    right.push(RightEntry { node, key, token: token.clone(), weight: delta });
+}
+
+fn emit_children(
+    node: &BetaNode,
+    token: Token,
+    delta: i32,
+    min_node: NodeId,
+    emit: &mut dyn FnMut(Activation),
+) -> u32 {
+    if delta == 0 {
+        return 0;
+    }
+    let mut n = 0;
+    for &(child, side) in &node.out_edges {
+        if child >= min_node {
+            emit(Activation { node: child, side, token: token.clone(), delta });
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Push one wme change through the alpha network, emitting right
+/// activations on every successor of every matching alpha memory.
+///
+/// Returns `(tests_run, activations_emitted)`.
+pub fn process_wme_change(
+    net: &ReteNetwork,
+    store: &WmeStore,
+    wme: WmeId,
+    delta: i32,
+    min_node: NodeId,
+    emit: &mut dyn FnMut(Activation),
+) -> (u32, u32) {
+    let token = Token::unit(wme);
+    let w = store.get(wme).clone();
+    let mut emitted = 0u32;
+    let stats = net.alpha.classify(&w, |m| {
+        for &(child, side) in &m.successors {
+            if child >= min_node {
+                emit(Activation { node: child, side, token: token.clone(), delta });
+                emitted += 1;
+            }
+        }
+    });
+    (stats.tests_run, emitted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryTable;
+    use crate::network::{NetworkOrg, ReteNetwork};
+    use psme_ops::{parse_production, parse_wme, ClassRegistry, Value};
+    use std::sync::Arc;
+
+    fn setup() -> (ClassRegistry, ReteNetwork, MemoryTable, WmeStore) {
+        let mut r = ClassRegistry::new();
+        r.declare_str("a", &["x", "y"]);
+        r.declare_str("b", &["x", "y"]);
+        let mut net = ReteNetwork::new();
+        let p = parse_production("(p t (a ^x <v>) (b ^x <v>) --> (halt))", &mut r).unwrap();
+        net.add_production(Arc::new(p), NetworkOrg::Linear).unwrap();
+        (r, net, MemoryTable::new(64), WmeStore::new())
+    }
+
+    fn drain(
+        net: &ReteNetwork,
+        mem: &MemoryTable,
+        store: &WmeStore,
+        seed: Activation,
+    ) -> Vec<CsChange> {
+        let mut queue = vec![seed];
+        let mut cs = Vec::new();
+        while let Some(act) = queue.pop() {
+            process_beta(net, mem, store, &act, 0, &mut |a| queue.push(a), &mut |c| cs.push(c));
+        }
+        cs
+    }
+
+    #[test]
+    fn make_key_extracts_values_and_ids() {
+        let (r, _, _, mut store) = setup();
+        let (id, _) = store.add(parse_wme("(a ^x 7 ^y blue)", &r).unwrap());
+        let t = Token::unit(id);
+        let key = make_key(
+            &[KeyPart::Val { slot: 0, field: 0 }, KeyPart::Id { slot: 0 }],
+            &t,
+            &store,
+        );
+        assert_eq!(key.0.len(), 2);
+        assert_eq!(key.0[0], crate::memory::KeyElem::V(Value::Int(7)));
+        assert_eq!(key.0[1], crate::memory::KeyElem::W(id));
+    }
+
+    #[test]
+    fn delete_before_add_annihilates() {
+        // Counting semantics: a delete overtaking its add leaves a −1 entry
+        // that the add cancels; the net conflict-set delta is zero.
+        let (r, net, mem, mut store) = setup();
+        let (wa, _) = store.add(parse_wme("(a ^x 1)", &r).unwrap());
+        let (wb, _) = store.add(parse_wme("(b ^x 1)", &r).unwrap());
+        // Add both wmes normally: one instantiation appears.
+        let mut cs = Vec::new();
+        for (w, d) in [(wa, 1), (wb, 1)] {
+            let mut pending = Vec::new();
+            process_wme_change(&net, &store, w, d, 0, &mut |a| pending.push(a));
+            for a in pending {
+                cs.extend(drain(&net, &mem, &store, a));
+            }
+        }
+        let net_weight: i32 = cs.iter().map(|c| c.delta).sum();
+        assert_eq!(net_weight, 1);
+
+        // Now process the DELETE of wb before a (simulated) re-add with the
+        // same token: the memory transiently holds a −1 right entry.
+        let mut del_acts = Vec::new();
+        process_wme_change(&net, &store, wb, -1, 0, &mut |a| del_acts.push(a));
+        let mut add_acts = Vec::new();
+        process_wme_change(&net, &store, wb, 1, 0, &mut |a| add_acts.push(a));
+        // Deliver the add FIRST to one node and the delete first to the
+        // other order — here simply: delete processed, then add.
+        let mut cs2 = Vec::new();
+        for a in del_acts.into_iter().chain(add_acts) {
+            cs2.extend(drain(&net, &mem, &store, a));
+        }
+        let net2: i32 = cs2.iter().map(|c| c.delta).sum();
+        assert_eq!(net2, 0, "delete+add cancel");
+        mem.assert_quiescent();
+    }
+
+    #[test]
+    fn min_node_filter_suppresses_old_targets() {
+        let (r, net, mem, mut store) = setup();
+        let (wa, _) = store.add(parse_wme("(a ^x 1)", &r).unwrap());
+        let mut emitted = Vec::new();
+        // Filter above every node id: nothing may be emitted.
+        process_wme_change(&net, &store, wa, 1, 10_000, &mut |a| emitted.push(a));
+        assert!(emitted.is_empty());
+        let (tests, n) = process_wme_change(&net, &store, wa, 1, 0, &mut |_| {});
+        assert!(tests > 0);
+        assert_eq!(n, 1, "one successor at the join's right input");
+        let _ = mem;
+    }
+
+    #[test]
+    fn root_children_join_against_implicit_empty_token() {
+        let (r, net, mem, mut store) = setup();
+        let (wa, _) = store.add(parse_wme("(a ^x 9)", &r).unwrap());
+        let mut acts = Vec::new();
+        process_wme_change(&net, &store, wa, 1, 0, &mut |a| acts.push(a));
+        assert_eq!(acts.len(), 1);
+        let mut emitted = Vec::new();
+        let stats = process_beta(&net, &mem, &store, &acts[0], 0, &mut |a| emitted.push(a), &mut |_| {});
+        // The first-level join emits a 1-wme token downstream.
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].token.len(), 1);
+        assert_eq!(stats.scanned, 1, "the implicit empty token counts as one scan");
+    }
+}

@@ -1,0 +1,350 @@
+//! The serial reference engine.
+//!
+//! Deterministic single-threaded driver over the shared node semantics of
+//! [`crate::process`]. It is the correctness oracle for the parallel engine
+//! (identical conflict sets required), the trace producer for the Multimax
+//! simulator, and the uniprocessor baseline of the paper's speedup figures.
+
+use crate::build::{AddResult, BuildError};
+use crate::memory::MemoryTable;
+use crate::network::{NetworkOrg, ReteNetwork};
+use crate::node::{NodeId, NodeKind};
+use crate::process::{process_beta, process_wme_change, Activation, CsChange};
+use crate::token::{Token, WmeStore};
+use crate::trace::{CycleTrace, Phase, RunTrace, TaskKind, TaskRecord};
+use crate::update::seed_update;
+use crate::util::FxHashMap;
+use psme_ops::{Instantiation, Wme, WmeId};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Net conflict-set delta of one cycle.
+#[derive(Clone, Debug, Default)]
+pub struct CsDelta {
+    /// Instantiations that entered the conflict set.
+    pub added: Vec<Instantiation>,
+    /// Instantiations that left the conflict set.
+    pub removed: Vec<Instantiation>,
+}
+
+/// Outcome of one match cycle.
+#[derive(Clone, Debug, Default)]
+pub struct CycleOutcome {
+    /// Net conflict-set changes.
+    pub cs: CsDelta,
+    /// Tasks (node activations, including alpha tasks) executed.
+    pub tasks: u64,
+}
+
+/// Outcome of a run-time production addition (build + state update).
+#[derive(Debug)]
+pub struct AddOutcome {
+    /// Build result.
+    pub add: AddResult,
+    /// Tasks executed during the update phase.
+    pub update_tasks: u64,
+    /// Instantiations of the new production found in current WM.
+    pub cs: CsDelta,
+}
+
+/// Fold raw P-node emissions into net instantiation adds/removes.
+///
+/// Shared by the serial and parallel engines: weights may flicker during a
+/// cycle, so the conflict set is updated from the *net* per-token delta at
+/// quiescence, which must be −1, 0 or +1.
+pub fn fold_cs(net: &ReteNetwork, store: &WmeStore, raw: Vec<CsChange>) -> CsDelta {
+    let mut net_delta: FxHashMap<(u32, Token), i32> = FxHashMap::default();
+    for c in raw {
+        *net_delta.entry((c.prod, c.token)).or_insert(0) += c.delta;
+    }
+    let mut delta = CsDelta::default();
+    let mut items: Vec<((u32, Token), i32)> = net_delta.into_iter().collect();
+    items.sort_by(|a, b| (a.0 .0, a.0 .1.wmes()).cmp(&(b.0 .0, b.0 .1.wmes())));
+    for ((prod, token), d) in items {
+        match d {
+            0 => {}
+            1 => delta.added.push(instantiation_of(net, store, prod, &token)),
+            -1 => delta.removed.push(instantiation_of(net, store, prod, &token)),
+            other => panic!("conflict-set weight {other} for production {prod} — engine bug"),
+        }
+    }
+    delta
+}
+
+/// Build the [`Instantiation`] for a P-node token.
+pub fn instantiation_of(
+    net: &ReteNetwork,
+    store: &WmeStore,
+    prod: u32,
+    token: &Token,
+) -> Instantiation {
+    let info = &net.prods[prod as usize];
+    let wmes: Vec<WmeId> = info.pos_slots.iter().map(|&s| token.slot(s)).collect();
+    let tags = wmes.iter().map(|&w| store.tag(w)).collect();
+    Instantiation { prod: info.production.name, wmes, tags }
+}
+
+/// All current instantiations, read back from the P nodes' stored tokens
+/// (a quiescent-time debug/verification helper).
+pub fn instantiations_from_memories(
+    net: &ReteNetwork,
+    store: &WmeStore,
+    mem: &MemoryTable,
+) -> Vec<Instantiation> {
+    let mut out = Vec::new();
+    for (i, info) in net.prods.iter().enumerate() {
+        for t in mem.left_tokens_of(info.p_node) {
+            out.push(instantiation_of(net, store, i as u32, &t));
+        }
+    }
+    out.sort_by(|a, b| (a.prod, &a.wmes).cmp(&(b.prod, &b.wmes)));
+    out
+}
+
+/// Deterministic single-threaded match engine.
+pub struct SerialEngine {
+    /// The compiled network.
+    pub net: ReteNetwork,
+    /// Hashed token memories.
+    pub mem: MemoryTable,
+    /// Working-memory store.
+    pub store: WmeStore,
+    /// When `true`, every cycle's tasks are recorded into [`Self::trace`].
+    pub capture: bool,
+    /// Captured traces (when `capture` is set).
+    pub trace: RunTrace,
+    cycle_count: u64,
+    total_tasks: u64,
+}
+
+impl SerialEngine {
+    /// New engine over an existing network.
+    pub fn new(net: ReteNetwork) -> SerialEngine {
+        SerialEngine::with_memory(net, 4096)
+    }
+
+    /// New engine with an explicit memory-table size (tests use 1 line to
+    /// force worst-case collisions).
+    pub fn with_memory(net: ReteNetwork, lines: usize) -> SerialEngine {
+        SerialEngine {
+            net,
+            mem: MemoryTable::new(lines),
+            store: WmeStore::new(),
+            capture: false,
+            trace: RunTrace::default(),
+            cycle_count: 0,
+            total_tasks: 0,
+        }
+    }
+
+    /// Total tasks executed so far (match + update phases).
+    pub fn total_tasks(&self) -> u64 {
+        self.total_tasks
+    }
+
+    /// Cycles run so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycle_count
+    }
+
+    /// Add wmes / remove wme ids, then run the match to quiescence.
+    ///
+    /// This is one "cycle" in the sense of the paper's measurements: all
+    /// changes are injected before matching starts (the correction for the
+    /// Lisp–C pipe bottleneck described in §6 is the native semantics here).
+    pub fn apply_changes(&mut self, adds: Vec<Wme>, removes: Vec<WmeId>) -> CycleOutcome {
+        let mut changes: Vec<(WmeId, i32)> = Vec::with_capacity(adds.len() + removes.len());
+        for w in adds {
+            let (id, _) = self.store.add(w);
+            changes.push((id, 1));
+        }
+        for id in removes {
+            if self.store.remove(id).is_some() {
+                changes.push((id, -1));
+            }
+        }
+        self.run_cycle(changes, Phase::Match)
+    }
+
+    /// Inject pre-registered wme changes (used by the Soar layer, which
+    /// manages the store itself).
+    pub fn run_cycle(&mut self, changes: Vec<(WmeId, i32)>, phase: Phase) -> CycleOutcome {
+        self.mem.reset_access_counts();
+        let mut queue: VecDeque<(Activation, Option<u32>)> = VecDeque::new();
+        let mut tasks: Vec<TaskRecord> = Vec::new();
+        let mut cs_raw: Vec<CsChange> = Vec::new();
+        let mut next_task: u32 = 0;
+
+        for (id, delta) in changes {
+            let tid = next_task;
+            next_task += 1;
+            let mut emitted = 0u32;
+            let (tests_run, _) =
+                process_wme_change(&self.net, &self.store, id, delta, 0, &mut |a| {
+                    queue.push_back((a, Some(tid)));
+                    emitted += 1;
+                });
+            if self.capture {
+                tasks.push(TaskRecord {
+                    id: tid,
+                    parent: None,
+                    node: 0,
+                    kind: TaskKind::Alpha,
+                    side: None,
+                    delta,
+                    scanned: tests_run,
+                    emitted,
+                    line: None,
+                });
+            }
+        }
+        let executed = self.drain(queue, 0, &mut tasks, &mut cs_raw, &mut next_task);
+        let outcome = CycleOutcome {
+            cs: self.fold_cs(cs_raw),
+            tasks: next_task as u64,
+        };
+        let _ = executed;
+        self.total_tasks += outcome.tasks;
+        self.cycle_count += 1;
+        if self.capture {
+            self.trace.cycles.push(CycleTrace { cycle: self.cycle_count - 1, phase, tasks });
+        }
+        #[cfg(debug_assertions)]
+        self.mem.assert_quiescent();
+        outcome
+    }
+
+    fn drain(
+        &mut self,
+        mut queue: VecDeque<(Activation, Option<u32>)>,
+        min_node: NodeId,
+        tasks: &mut Vec<TaskRecord>,
+        cs_raw: &mut Vec<CsChange>,
+        next_task: &mut u32,
+    ) -> u64 {
+        let mut executed = 0u64;
+        while let Some((act, parent)) = queue.pop_front() {
+            let tid = *next_task;
+            *next_task += 1;
+            executed += 1;
+            let mut pending: Vec<Activation> = Vec::new();
+            let stats = process_beta(
+                &self.net,
+                &self.mem,
+                &self.store,
+                &act,
+                min_node,
+                &mut |a| pending.push(a),
+                &mut |c| cs_raw.push(c),
+            );
+            for a in pending {
+                queue.push_back((a, Some(tid)));
+            }
+            if self.capture {
+                let kind = match self.net.node(act.node).kind {
+                    NodeKind::Join => TaskKind::Join,
+                    NodeKind::Neg => TaskKind::Neg,
+                    NodeKind::Prod { .. } => TaskKind::Prod,
+                    NodeKind::Root => TaskKind::Join,
+                };
+                tasks.push(TaskRecord {
+                    id: tid,
+                    parent,
+                    node: act.node,
+                    kind,
+                    side: Some(act.side),
+                    delta: act.delta,
+                    scanned: stats.scanned,
+                    emitted: stats.emitted,
+                    line: stats.line,
+                });
+            }
+        }
+        executed
+    }
+
+    /// Fold raw P-node emissions into net instantiation add/removes.
+    fn fold_cs(&self, raw: Vec<CsChange>) -> CsDelta {
+        fold_cs(&self.net, &self.store, raw)
+    }
+
+    /// Build the [`Instantiation`] for a P-node token.
+    pub fn instantiation_of(&self, prod: u32, token: &Token) -> Instantiation {
+        instantiation_of(&self.net, &self.store, prod, token)
+    }
+
+    /// Compile a production and run the §5.2 state update so it is
+    /// "immediately available for use". Returns the new production's
+    /// current instantiations.
+    pub fn add_production(
+        &mut self,
+        prod: Arc<psme_ops::Production>,
+        org: NetworkOrg,
+    ) -> Result<AddOutcome, BuildError> {
+        let add = self.net.add_production(prod, org)?;
+        let first_new = add.first_new;
+        let mut queue: VecDeque<(Activation, Option<u32>)> = VecDeque::new();
+        let mut tasks: Vec<TaskRecord> = Vec::new();
+        let mut cs_raw: Vec<CsChange> = Vec::new();
+        let mut next_task: u32 = 0;
+
+        // Boundary seeds (the specially-executed last shared nodes).
+        for a in seed_update(&self.net, &self.mem, first_new) {
+            queue.push_back((a, None));
+        }
+        // Alpha re-run of all of WM, filtered to the new nodes.
+        let live: Vec<WmeId> = self.store.iter_alive().map(|(id, _)| id).collect();
+        for id in live {
+            let tid = next_task;
+            next_task += 1;
+            let mut emitted = 0u32;
+            let (tests_run, _) =
+                process_wme_change(&self.net, &self.store, id, 1, first_new, &mut |a| {
+                    queue.push_back((a, Some(tid)));
+                    emitted += 1;
+                });
+            if self.capture {
+                tasks.push(TaskRecord {
+                    id: tid,
+                    parent: None,
+                    node: 0,
+                    kind: TaskKind::Alpha,
+                    side: None,
+                    delta: 1,
+                    scanned: tests_run,
+                    emitted,
+                    line: None,
+                });
+            }
+        }
+        self.drain(queue, first_new, &mut tasks, &mut cs_raw, &mut next_task);
+        let update_tasks = next_task as u64;
+        self.total_tasks += update_tasks;
+        if self.capture {
+            self.trace.cycles.push(CycleTrace { cycle: self.cycle_count, phase: Phase::Update, tasks });
+        }
+        #[cfg(debug_assertions)]
+        self.mem.assert_quiescent();
+        Ok(AddOutcome { add, update_tasks, cs: self.fold_cs(cs_raw) })
+    }
+
+    /// Current instantiations of every production, read from the P nodes'
+    /// stored tokens (test/debug helper; the live conflict set is maintained
+    /// incrementally by callers from cycle deltas).
+    pub fn current_instantiations(&self) -> Vec<Instantiation> {
+        instantiations_from_memories(&self.net, &self.store, &self.mem)
+    }
+}
+
+impl std::fmt::Debug for SerialEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SerialEngine({:?}, {} wmes, {} cycles, {} tasks)",
+            self.net,
+            self.store.live_count(),
+            self.cycle_count,
+            self.total_tasks
+        )
+    }
+}

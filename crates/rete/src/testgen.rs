@@ -1,0 +1,328 @@
+//! Synthetic workload generation: random production systems, long-chain
+//! productions, and wme streams.
+//!
+//! Used by the differential test suites (serial ⇔ parallel ⇔ naive oracle),
+//! by the ablation benchmarks, and by the Figure 6-7/6-8 long-chain
+//! experiments. Everything is seeded and deterministic.
+
+use psme_ops::{
+    intern, Action, ClassRegistry, Cond, CondElem, FieldTest, Pred, Production, RhsTerm, Value,
+    VarTable, Wme,
+};
+
+/// Deterministic xorshift generator (no external dependency so that the
+/// library crate stays lean; test crates use `rand`/`proptest` on top).
+#[derive(Clone, Debug)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Seeded generator (seed 0 is remapped).
+    pub fn new(seed: u64) -> XorShift {
+        XorShift { state: seed.max(1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1 }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli with probability `p percent`.
+    pub fn chance(&mut self, percent: u32) -> bool {
+        (self.next_u64() % 100) < percent as u64
+    }
+}
+
+/// Shape parameters for [`random_system`].
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Number of wme classes.
+    pub classes: usize,
+    /// Attributes per class.
+    pub arity: usize,
+    /// Distinct symbolic values per field domain.
+    pub domain: usize,
+    /// Number of productions.
+    pub productions: usize,
+    /// Maximum positive CEs per production.
+    pub max_pos: usize,
+    /// Percent chance of appending a negated CE.
+    pub neg_pct: u32,
+    /// Percent chance of appending an NCC (2 conditions).
+    pub ncc_pct: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            classes: 3,
+            arity: 3,
+            domain: 4,
+            productions: 6,
+            max_pos: 3,
+            neg_pct: 40,
+            ncc_pct: 25,
+        }
+    }
+}
+
+/// A generated production system plus a wme sampler.
+#[derive(Debug)]
+pub struct GeneratedSystem {
+    /// Class declarations.
+    pub classes: ClassRegistry,
+    /// The productions.
+    pub productions: Vec<Production>,
+    class_names: Vec<psme_ops::Symbol>,
+    arity: usize,
+    domain: usize,
+}
+
+impl GeneratedSystem {
+    /// Sample a random wme from the same small value domains the
+    /// productions test, so matches actually occur.
+    pub fn random_wme(&self, rng: &mut XorShift) -> Wme {
+        let ci = rng.below(self.class_names.len());
+        let decl = self.classes.get(self.class_names[ci]).unwrap().clone();
+        let mut w = Wme::empty(&decl);
+        for f in 0..self.arity {
+            w.fields[f] = random_value(rng, self.domain);
+        }
+        w
+    }
+}
+
+fn random_value(rng: &mut XorShift, domain: usize) -> Value {
+    match rng.below(6) {
+        0 => Value::Nil,
+        1 | 2 => Value::Int(rng.below(domain) as i64),
+        _ => Value::Sym(intern(&format!("v{}", rng.below(domain)))),
+    }
+}
+
+/// Generate a random but *valid* production system.
+pub fn random_system(seed: u64, cfg: GenConfig) -> GeneratedSystem {
+    let mut rng = XorShift::new(seed);
+    let mut classes = ClassRegistry::new();
+    let mut class_names = Vec::new();
+    for c in 0..cfg.classes {
+        let name = format!("c{c}");
+        let attrs: Vec<String> = (0..cfg.arity).map(|a| format!("a{a}")).collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+        classes.declare_str(&name, &attr_refs);
+        class_names.push(intern(&name));
+    }
+    let mut productions = Vec::new();
+    let mut attempt = 0u64;
+    while productions.len() < cfg.productions {
+        attempt += 1;
+        let name = intern(&format!("gen-p{}-{}", productions.len(), seed));
+        if let Some(p) = try_production(&mut rng, &cfg, &class_names, name) {
+            productions.push(p);
+        }
+        assert!(attempt < 10_000, "generator failed to produce valid productions");
+    }
+    GeneratedSystem { classes, productions, class_names, arity: cfg.arity, domain: cfg.domain }
+}
+
+fn random_cond(
+    rng: &mut XorShift,
+    cfg: &GenConfig,
+    class_names: &[psme_ops::Symbol],
+    vars: &mut VarTable,
+    bound: &mut Vec<psme_ops::VarId>,
+    allow_fresh: bool,
+) -> Cond {
+    let class = class_names[rng.below(class_names.len())];
+    let mut tests = Vec::new();
+    let ntests = 1 + rng.below(2);
+    for _ in 0..ntests {
+        let field = rng.below(cfg.arity) as u16;
+        if rng.chance(45) || bound.is_empty() {
+            // constant test
+            let pred = if rng.chance(80) {
+                Pred::Eq
+            } else {
+                [Pred::Ne, Pred::Lt, Pred::Gt][rng.below(3)]
+            };
+            tests.push(FieldTest::Const { field, pred, value: random_value(rng, cfg.domain) });
+        } else if rng.chance(60) || !allow_fresh {
+            // reference an existing variable
+            let var = bound[rng.below(bound.len())];
+            let pred = if rng.chance(70) { Pred::Eq } else { [Pred::Ne, Pred::Le][rng.below(2)] };
+            tests.push(FieldTest::Var { field, pred, var });
+        } else {
+            // bind a fresh variable
+            let var = vars.var(intern(&format!("x{}", vars.len())));
+            tests.push(FieldTest::Var { field, pred: Pred::Eq, var });
+            bound.push(var);
+        }
+    }
+    Cond { class, tests }
+}
+
+fn try_production(
+    rng: &mut XorShift,
+    cfg: &GenConfig,
+    class_names: &[psme_ops::Symbol],
+    name: psme_ops::Symbol,
+) -> Option<Production> {
+    let mut vars = VarTable::new();
+    let mut bound: Vec<psme_ops::VarId> = Vec::new();
+    let mut ces = Vec::new();
+    let npos = 1 + rng.below(cfg.max_pos);
+    for _ in 0..npos {
+        ces.push(CondElem::Pos(random_cond(rng, cfg, class_names, &mut vars, &mut bound, true)));
+    }
+    if rng.chance(cfg.neg_pct) {
+        // Negations may bind locals; keep the outer bound list untouched.
+        let mut local_bound = bound.clone();
+        let c = random_cond(rng, cfg, class_names, &mut vars, &mut local_bound, true);
+        ces.push(CondElem::Neg(c));
+    }
+    if rng.chance(cfg.ncc_pct) {
+        let mut local_bound = bound.clone();
+        let c1 = random_cond(rng, cfg, class_names, &mut vars, &mut local_bound, true);
+        let c2 = random_cond(rng, cfg, class_names, &mut vars, &mut local_bound, false);
+        ces.push(CondElem::Ncc(vec![c1, c2]));
+    }
+    // Shuffle the non-first CEs a little so negations appear mid-chain too.
+    if ces.len() > 2 && rng.chance(50) {
+        let i = 1 + rng.below(ces.len() - 1);
+        let j = 1 + rng.below(ces.len() - 1);
+        ces.swap(i, j);
+    }
+    let actions = vec![Action::Make {
+        class: class_names[0],
+        fields: if bound.is_empty() {
+            vec![]
+        } else {
+            vec![(0, RhsTerm::Var(bound[rng.below(bound.len())]))]
+        },
+    }];
+    Production::new(name, ces, vars.into_names(), vec![], actions).ok()
+}
+
+/// Build a long-chain production (Figure 6-7): `n` CEs where CE k+1 links
+/// to CE k through a shared variable, forcing `n` dependent node
+/// activations.
+///
+/// Registers the `link` class in `classes` if missing and returns the
+/// production. Wmes matching the chain come from [`chain_wmes`].
+pub fn long_chain(classes: &mut ClassRegistry, n: usize, name: &str) -> Production {
+    assert!(n >= 2);
+    let decl = classes.declare_str("link", &["from", "to", "kind"]);
+    let _ = decl;
+    let mut vars = VarTable::new();
+    let mut ces = Vec::new();
+    let mut prev = vars.var(intern("n0"));
+    // CE 0 anchors the chain at the constant `start`.
+    ces.push(CondElem::Pos(Cond {
+        class: intern("link"),
+        tests: vec![
+            FieldTest::Const { field: 0, pred: Pred::Eq, value: Value::sym("start") },
+            FieldTest::Var { field: 1, pred: Pred::Eq, var: prev },
+        ],
+    }));
+    for k in 1..n {
+        let next = vars.var(intern(&format!("n{k}")));
+        ces.push(CondElem::Pos(Cond {
+            class: intern("link"),
+            tests: vec![
+                FieldTest::Var { field: 0, pred: Pred::Eq, var: prev },
+                FieldTest::Var { field: 1, pred: Pred::Eq, var: next },
+            ],
+        }));
+        prev = next;
+    }
+    Production::new(
+        intern(name),
+        ces,
+        vars.into_names(),
+        vec![],
+        vec![Action::Make { class: intern("link"), fields: vec![] }],
+    )
+    .expect("long_chain is structurally valid")
+}
+
+/// Wmes forming a single linked path `start → n0 → n1 → …` that satisfies
+/// [`long_chain`] of length `n`.
+pub fn chain_wmes(classes: &ClassRegistry, n: usize) -> Vec<Wme> {
+    let decl = classes.get(intern("link")).expect("long_chain registered `link`").clone();
+    let mut out = Vec::new();
+    let mut prev = Value::sym("start");
+    for k in 0..n {
+        let next = Value::sym(&format!("node{k}"));
+        let mut w = Wme::empty(&decl);
+        w.fields[0] = prev;
+        w.fields[1] = next;
+        out.push(w);
+        prev = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = random_system(7, GenConfig::default());
+        let b = random_system(7, GenConfig::default());
+        assert_eq!(a.productions.len(), b.productions.len());
+        for (x, y) in a.productions.iter().zip(&b.productions) {
+            assert_eq!(format!("{x}"), format!("{y}"));
+        }
+    }
+
+    #[test]
+    fn generated_productions_are_valid() {
+        for seed in 0..20 {
+            let s = random_system(seed, GenConfig::default());
+            assert_eq!(s.productions.len(), 6);
+            for p in &s.productions {
+                assert!(p.num_pos >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn long_chain_shape() {
+        let mut r = ClassRegistry::new();
+        let p = long_chain(&mut r, 10, "chain10");
+        assert_eq!(p.ces.len(), 10);
+        assert_eq!(p.num_pos, 10);
+        let wmes = chain_wmes(&r, 10);
+        assert_eq!(wmes.len(), 10);
+        // The chain wmes satisfy the production exactly once.
+        let mut store = crate::token::WmeStore::new();
+        for w in wmes {
+            store.add(w);
+        }
+        let insts = crate::naive::match_production(&p, &store);
+        assert_eq!(insts.len(), 1);
+    }
+
+    #[test]
+    fn random_wmes_cover_classes() {
+        let s = random_system(3, GenConfig::default());
+        let mut rng = XorShift::new(99);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.random_wme(&mut rng).class);
+        }
+        assert!(seen.len() >= 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! Tokens and the working-memory store.
+//!
+//! A token carries a *partial instantiation* — "a list of wmes, matching
+//! CEs" (§2.2). We represent it as an immutable, `Arc`-shared vector of wme
+//! ids; the *meaning* of each slot (which condition it matches) is given by
+//! the consuming node's coverage metadata, so the same representation serves
+//! linear chains, bilinear group joins and NCC subnetworks.
+
+use psme_ops::{TimeTag, Value, Wme, WmeId};
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable partial instantiation: wme ids, one per covered condition.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    wmes: Arc<[WmeId]>,
+}
+
+impl Token {
+    /// The empty token (the left input of first-level joins).
+    pub fn empty() -> Token {
+        Token { wmes: Arc::from([]) }
+    }
+
+    /// A one-slot token wrapping a single wme (alpha-network output).
+    pub fn unit(w: WmeId) -> Token {
+        Token { wmes: Arc::from([w]) }
+    }
+
+    /// Build from a slice of wme ids.
+    pub fn from_slice(ws: &[WmeId]) -> Token {
+        Token { wmes: Arc::from(ws) }
+    }
+
+    /// Wme id at `slot`.
+    #[inline]
+    pub fn slot(&self, i: u16) -> WmeId {
+        self.wmes[i as usize]
+    }
+
+    /// All wme ids.
+    pub fn wmes(&self) -> &[WmeId] {
+        &self.wmes
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.wmes.len()
+    }
+
+    /// `true` for the empty token.
+    pub fn is_empty(&self) -> bool {
+        self.wmes.is_empty()
+    }
+}
+
+impl fmt::Debug for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T[")?;
+        for (i, w) in self.wmes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", w.0)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// One stored wme with its time tag and liveness.
+#[derive(Clone, Debug)]
+struct StoredWme {
+    wme: Arc<Wme>,
+    tag: TimeTag,
+    alive: bool,
+}
+
+/// The working-memory store: assigns [`WmeId`]s and [`TimeTag`]s, keeps the
+/// wme values readable for the matcher (ids are never reused, and removed
+/// wmes stay readable because in-flight delete tokens still reference them).
+#[derive(Default, Debug)]
+pub struct WmeStore {
+    wmes: Vec<StoredWme>,
+    next_tag: u64,
+    live: usize,
+}
+
+impl WmeStore {
+    /// Empty store.
+    pub fn new() -> WmeStore {
+        WmeStore::default()
+    }
+
+    /// Add a wme, assigning the next id and time tag.
+    pub fn add(&mut self, wme: Wme) -> (WmeId, TimeTag) {
+        self.next_tag += 1;
+        let id = WmeId(self.wmes.len() as u32);
+        let tag = TimeTag(self.next_tag);
+        self.wmes.push(StoredWme { wme: Arc::new(wme), tag, alive: true });
+        self.live += 1;
+        (id, tag)
+    }
+
+    /// Mark a wme dead. Returns its contents if it was alive.
+    pub fn remove(&mut self, id: WmeId) -> Option<Arc<Wme>> {
+        let s = self.wmes.get_mut(id.0 as usize)?;
+        if !s.alive {
+            return None;
+        }
+        s.alive = false;
+        self.live -= 1;
+        Some(s.wme.clone())
+    }
+
+    /// The wme for an id (alive or dead).
+    pub fn get(&self, id: WmeId) -> &Arc<Wme> {
+        &self.wmes[id.0 as usize].wme
+    }
+
+    /// Field value of a wme.
+    #[inline]
+    pub fn value(&self, id: WmeId, field: u16) -> Value {
+        self.wmes[id.0 as usize].wme.field(field)
+    }
+
+    /// Time tag of a wme.
+    pub fn tag(&self, id: WmeId) -> TimeTag {
+        self.wmes[id.0 as usize].tag
+    }
+
+    /// Is the wme currently in working memory?
+    pub fn is_alive(&self, id: WmeId) -> bool {
+        self.wmes.get(id.0 as usize).map(|s| s.alive).unwrap_or(false)
+    }
+
+    /// Iterate over live wmes.
+    pub fn iter_alive(&self) -> impl Iterator<Item = (WmeId, &Arc<Wme>)> {
+        self.wmes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, s)| (WmeId(i as u32), &s.wme))
+    }
+
+    /// Find a live wme structurally equal to `w`.
+    pub fn find_alive(&self, w: &Wme) -> Option<WmeId> {
+        self.iter_alive().find(|(_, s)| s.as_ref() == w).map(|(id, _)| id)
+    }
+
+    /// Number of live wmes.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Total wmes ever added.
+    pub fn total_count(&self) -> usize {
+        self.wmes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psme_ops::ClassRegistry;
+
+    fn mk(reg: &ClassRegistry, s: &str) -> Wme {
+        psme_ops::parse_wme(s, reg).unwrap()
+    }
+
+    fn reg() -> ClassRegistry {
+        let mut r = ClassRegistry::new();
+        r.declare_str("a", &["x", "y"]);
+        r
+    }
+
+    #[test]
+    fn tokens_compare_structurally() {
+        let t1 = Token::from_slice(&[WmeId(1), WmeId(2)]);
+        let t2 = Token::from_slice(&[WmeId(1), WmeId(2)]);
+        let t3 = Token::from_slice(&[WmeId(2), WmeId(1)]);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+        assert_eq!(t1.slot(1), WmeId(2));
+        assert!(Token::empty().is_empty());
+        assert_eq!(Token::unit(WmeId(7)).len(), 1);
+    }
+
+    #[test]
+    fn store_lifecycle() {
+        let r = reg();
+        let mut s = WmeStore::new();
+        let (id1, tag1) = s.add(mk(&r, "(a ^x 1)"));
+        let (id2, tag2) = s.add(mk(&r, "(a ^x 2)"));
+        assert!(tag2 > tag1);
+        assert_eq!(s.live_count(), 2);
+        assert!(s.is_alive(id1));
+        assert_eq!(s.value(id2, 0), Value::Int(2));
+        let w = s.remove(id1).unwrap();
+        assert_eq!(w.field(0), Value::Int(1));
+        assert!(!s.is_alive(id1));
+        assert_eq!(s.live_count(), 1);
+        // dead wmes stay readable
+        assert_eq!(s.value(id1, 0), Value::Int(1));
+        // double-remove is None
+        assert!(s.remove(id1).is_none());
+    }
+
+    #[test]
+    fn find_alive_matches_structurally() {
+        let r = reg();
+        let mut s = WmeStore::new();
+        let (id, _) = s.add(mk(&r, "(a ^x 1 ^y blue)"));
+        assert_eq!(s.find_alive(&mk(&r, "(a ^x 1 ^y blue)")), Some(id));
+        assert_eq!(s.find_alive(&mk(&r, "(a ^x 1)")), None);
+        s.remove(id);
+        assert_eq!(s.find_alive(&mk(&r, "(a ^x 1 ^y blue)")), None);
+    }
+
+    #[test]
+    fn iter_alive_skips_dead() {
+        let r = reg();
+        let mut s = WmeStore::new();
+        let (id1, _) = s.add(mk(&r, "(a ^x 1)"));
+        let (_id2, _) = s.add(mk(&r, "(a ^x 2)"));
+        s.remove(id1);
+        let alive: Vec<_> = s.iter_alive().map(|(id, _)| id).collect();
+        assert_eq!(alive, vec![WmeId(1)]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Task traces — the raw material for the Encore Multimax simulator.
+//!
+//! The serial engine deterministically records every task (node activation)
+//! it executes: its parent task (the activation that enqueued it), the node,
+//! the side, and the work counters (opposite-memory entries scanned,
+//! children emitted, constant tests run). `psme-sim` replays these DAGs on
+//! P simulated processors under a calibrated NS32032 cost model to
+//! regenerate the paper's speedup figures.
+
+use crate::node::{NodeId, Side};
+
+/// What kind of work a task performed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TaskKind {
+    /// A wme change pushed through the constant-test network.
+    Alpha,
+    /// An and-node activation.
+    Join,
+    /// A not-node activation (including conjunctive negations).
+    Neg,
+    /// A P-node activation (conflict-set update).
+    Prod,
+}
+
+/// One executed task.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskRecord {
+    /// Task id, unique within its cycle (dense from 0).
+    pub id: u32,
+    /// The task whose processing enqueued this one (`None` for the cycle's
+    /// seed tasks, which are available the moment the cycle starts).
+    pub parent: Option<u32>,
+    /// Destination node (0 for alpha tasks).
+    pub node: NodeId,
+    /// Work kind.
+    pub kind: TaskKind,
+    /// Arrival side (`None` for alpha tasks).
+    pub side: Option<Side>,
+    /// +1 add / −1 delete.
+    pub delta: i32,
+    /// Opposite-memory entries examined (alpha: constant tests run).
+    pub scanned: u32,
+    /// Child activations emitted.
+    pub emitted: u32,
+    /// Memory line touched, if any.
+    pub line: Option<u32>,
+}
+
+/// Which phase of a run a cycle belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Normal matching (an elaboration cycle / OPS5 recognize cycle).
+    Match,
+    /// The §5.2 state update after a run-time production addition.
+    Update,
+}
+
+/// The trace of one cycle.
+#[derive(Clone, Debug)]
+pub struct CycleTrace {
+    /// Cycle ordinal within the run.
+    pub cycle: u64,
+    /// Match or update phase.
+    pub phase: Phase,
+    /// Executed tasks in execution order.
+    pub tasks: Vec<TaskRecord>,
+}
+
+impl CycleTrace {
+    /// Number of tasks in the cycle.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when the cycle ran no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Number of two-input + P node tasks (excludes alpha tasks).
+    pub fn beta_tasks(&self) -> usize {
+        self.tasks.iter().filter(|t| t.kind != TaskKind::Alpha).count()
+    }
+}
+
+/// A full run's traces.
+#[derive(Clone, Debug, Default)]
+pub struct RunTrace {
+    /// Per-cycle traces in order.
+    pub cycles: Vec<CycleTrace>,
+}
+
+impl RunTrace {
+    /// Total tasks across all cycles.
+    pub fn total_tasks(&self) -> u64 {
+        self.cycles.iter().map(|c| c.tasks.len() as u64).sum()
+    }
+
+    /// Cycles in the given phase.
+    pub fn phase_cycles(&self, phase: Phase) -> impl Iterator<Item = &CycleTrace> {
+        self.cycles.iter().filter(move |c| c.phase == phase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u32, parent: Option<u32>, kind: TaskKind) -> TaskRecord {
+        TaskRecord { id, parent, node: 1, kind, side: None, delta: 1, scanned: 0, emitted: 0, line: None }
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let c = CycleTrace {
+            cycle: 0,
+            phase: Phase::Match,
+            tasks: vec![
+                rec(0, None, TaskKind::Alpha),
+                rec(1, Some(0), TaskKind::Join),
+                rec(2, Some(1), TaskKind::Prod),
+            ],
+        };
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.beta_tasks(), 2);
+        let r = RunTrace { cycles: vec![c.clone(), CycleTrace { cycle: 1, phase: Phase::Update, tasks: vec![] }] };
+        assert_eq!(r.total_tasks(), 3);
+        assert_eq!(r.phase_cycles(Phase::Update).count(), 1);
+        assert!(r.cycles[1].is_empty());
+    }
+}

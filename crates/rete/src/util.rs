@@ -1,0 +1,103 @@
+//! Small utilities: a fast non-cryptographic hasher for memory keys.
+//!
+//! The hashed token memories (§6.1 of the paper) hash on the variable
+//! bindings tested for equality plus the destination node id. Keys are tiny
+//! (a handful of words), so we use an Fx-style multiply-xor hash rather than
+//! SipHash; HashDoS is not a concern for a match engine running trusted
+//! productions.
+
+use std::hash::Hasher;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx-style hasher (the algorithm used inside rustc).
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// Hash one value with [`FxHasher`].
+pub fn fxhash<T: std::hash::Hash>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// `BuildHasher` for `HashMap`s keyed on small match-engine types.
+pub type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(fxhash(&(1u32, 2u64)), fxhash(&(1u32, 2u64)));
+        assert_ne!(fxhash(&1u64), fxhash(&2u64));
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m[&21], 42);
+    }
+
+    #[test]
+    fn spread_is_reasonable() {
+        // 1024 sequential keys should not collapse into a few buckets of a
+        // 128-line table.
+        let mut buckets = [0u32; 128];
+        for i in 0..1024u64 {
+            buckets[(fxhash(&i) % 128) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        assert!(max < 40, "worst bucket got {max} of 1024");
+    }
+}

@@ -1,0 +1,25 @@
+//! # psme-sim — the Encore Multimax simulator
+//!
+//! The paper's hardware substrate — a 16-processor NS32032 Encore Multimax
+//! — simulated as a deterministic discrete-event system (see DESIGN.md §3:
+//! this host has a single CPU core, so real 13-process wall-clock speedups
+//! cannot be measured; the simulator replays the serial engine's task
+//! traces under a calibrated cost model instead).
+//!
+//! * [`cost`] — the NS32032 cost model (≈400 µs average task, Table 6-1);
+//! * [`des`] — P virtual match processes, single or per-process task
+//!   queues, queue/line locks as single-server resources, idle-process
+//!   failed-pop interference, and task-DAG dependencies from the trace.
+//!
+//! Everything the paper measures falls out: per-cycle makespans → speedups
+//! (Figures 6-1/6-4/6-9/6-10), queue-lock spins per task (Figure 6-3),
+//! per-cycle speedup vs tasks/cycle (Figure 6-5), and the tasks-in-system
+//! timeline inside one cycle (Figure 6-6).
+
+pub mod cost;
+pub mod des;
+pub mod diagnose;
+
+pub use cost::CostModel;
+pub use diagnose::{diagnose_cycle, diagnose_run, Bottleneck, CycleDiagnosis, RunDiagnosis};
+pub use des::{simulate_cycle, simulate_run, speedup, total_seconds, SimConfig, SimResult, SimScheduler};

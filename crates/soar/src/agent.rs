@@ -1,0 +1,659 @@
+//! The Soar agent: elaborate–decide loop, parallel firing of the conflict
+//! set, impasse-driven subgoaling, reachability garbage collection, and
+//! chunk integration through the engine's run-time production addition.
+
+use crate::arch::{decode_preference, ArchFields, PrefValue, Preference, Role};
+use crate::chunk::{ChunkRequest, Chunker};
+use crate::decide::{decide, Decision, GoalCtx};
+use crate::wm::{Provenance, WmBook};
+use psme_core::MatchEngine;
+use psme_ops::{
+    intern, ClassRegistry, ConcreteAction, ConflictSet, Production, Symbol, Value,
+    Wme, WmeId,
+};
+use psme_rete::util::{FxHashMap, FxHashSet};
+use psme_rete::{CsDelta, NetworkOrg};
+use std::sync::Arc;
+
+/// Run counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AgentStats {
+    /// Decision cycles executed.
+    pub decisions: u64,
+    /// Elaboration cycles executed.
+    pub elaboration_cycles: u64,
+    /// Impasses (subgoals created).
+    pub impasses: u64,
+    /// Chunks built and added at run time.
+    pub chunks_built: u64,
+    /// Production firings.
+    pub firings: u64,
+    /// Wmes added / removed over the run.
+    pub wme_adds: u64,
+    /// Wmes removed by decisions and GC.
+    pub wme_removes: u64,
+    /// Match tasks spent in chunk state updates (Figure 6-9's phase).
+    pub update_tasks: u64,
+}
+
+/// Why a run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// A production executed `(halt)` — the task reached its goal test.
+    Halted,
+    /// The decision procedure made no progress.
+    Stuck,
+    /// The decision budget ran out.
+    DecisionLimit,
+    /// An elaboration phase failed to quiesce within the cycle budget.
+    ElaborationRunaway,
+}
+
+/// A Soar agent over any match engine.
+pub struct Agent<E: MatchEngine> {
+    /// The match engine (serial or PSM-E parallel).
+    pub engine: E,
+    /// Class declarations (task + architecture).
+    pub classes: ClassRegistry,
+    /// Architecture field indices.
+    pub fields: ArchFields,
+    /// WM bookkeeping.
+    pub book: WmBook,
+    /// The context stack (index = level).
+    pub stack: Vec<GoalCtx>,
+    /// The conflict set.
+    pub cs: ConflictSet,
+    /// Chunking on/off ("without chunking" vs "during chunking" runs).
+    pub learning: bool,
+    /// The chunk builder.
+    pub chunker: Chunker,
+    /// Run counters.
+    pub stats: AgentStats,
+    /// `(write …)` output lines.
+    pub output: Vec<String>,
+    prods: FxHashMap<Symbol, Arc<Production>>,
+    gensym_counter: u64,
+    halt_requested: bool,
+    /// Network organization used for newly added productions.
+    pub org: NetworkOrg,
+    /// Per-production organization overrides (the §7 adaptive-bilinear
+    /// loop sets these from trace diagnosis).
+    pub org_overrides: FxHashMap<Symbol, NetworkOrg>,
+    /// Elaboration-cycle budget per phase (runaway guard).
+    pub max_elab_cycles: u64,
+}
+
+impl<E: MatchEngine> Agent<E> {
+    /// Create an agent. `classes` must already contain the task classes;
+    /// the architecture classes are declared here.
+    pub fn new(engine: E, mut classes: ClassRegistry) -> Agent<E> {
+        let fields = crate::arch::declare_arch_classes(&mut classes);
+        Agent {
+            engine,
+            classes,
+            fields,
+            book: WmBook::new(),
+            stack: Vec::new(),
+            cs: ConflictSet::new(),
+            learning: false,
+            chunker: Chunker::new(),
+            stats: AgentStats::default(),
+            output: Vec::new(),
+            prods: FxHashMap::default(),
+            gensym_counter: 0,
+            halt_requested: false,
+            org: NetworkOrg::Linear,
+            org_overrides: FxHashMap::default(),
+            max_elab_cycles: 400,
+        }
+    }
+
+    /// Mint a fresh identifier.
+    pub fn gensym(&mut self, prefix: &str) -> Symbol {
+        self.gensym_counter += 1;
+        intern(&format!("{prefix}*{:04}", self.gensym_counter))
+    }
+
+    /// Load a production (task, default, or chunk). Runs the state update
+    /// so it is immediately available; its instantiations enter the CS.
+    pub fn load_production(&mut self, p: Arc<Production>) -> Result<(), String> {
+        for a in &p.actions {
+            if matches!(a, psme_ops::Action::Remove { .. } | psme_ops::Action::Modify { .. }) {
+                return Err(format!("{}: Soar productions only add wmes", p.name));
+            }
+        }
+        let org = self.org_overrides.get(&p.name).cloned().unwrap_or_else(|| self.org.clone());
+        let out = self.engine.add_production(p.clone(), org).map_err(|e| e.to_string())?;
+        self.stats.update_tasks += out.update_tasks;
+        self.prods.insert(p.name, p);
+        self.merge_cs(out.cs);
+        Ok(())
+    }
+
+    /// Register a task object identifier (so chunking variablizes it).
+    pub fn register_identifier(&mut self, s: Symbol) {
+        self.book.register_identifier(s);
+        self.book.note_new_object(s, 0);
+    }
+
+    /// Install task-static wmes (pinned: never garbage collected) and run
+    /// the match once.
+    pub fn add_init_wmes(&mut self, wmes: Vec<Wme>) {
+        let mut changes = Vec::with_capacity(wmes.len());
+        for w in wmes {
+            if self.book.alive_index.contains_key(&w) {
+                continue;
+            }
+            let (id, _) = self.engine.add_wme(w.clone());
+            self.book.note_add(id, &w, 0, Provenance::Arch { sources: vec![] }, true);
+            self.stats.wme_adds += 1;
+            changes.push((id, 1));
+        }
+        let out = self.engine.run_changes(changes);
+        self.merge_cs(out.cs);
+    }
+
+    /// Create the top goal; returns its identifier.
+    pub fn push_top_goal(&mut self) -> Symbol {
+        assert!(self.stack.is_empty(), "top goal already exists");
+        let g = self.gensym("g");
+        self.book.note_new_object(g, 0);
+        self.stack.push(GoalCtx { id: g, level: 0, slots: [None, None, None], impasse: None });
+        let w = crate::arch::goal_aug(&self.classes, &self.fields, g, self.fields.goal_type, Value::sym("top"));
+        let (id, _) = self.engine.add_wme(w.clone());
+        self.book.note_add(id, &w, 0, Provenance::Arch { sources: vec![] }, false);
+        self.stats.wme_adds += 1;
+        let out = self.engine.run_changes(vec![(id, 1)]);
+        self.merge_cs(out.cs);
+        g
+    }
+
+    fn merge_cs(&mut self, delta: CsDelta) {
+        for i in delta.removed {
+            self.cs.remove(&i);
+        }
+        for i in delta.added {
+            let spec = self.prods.get(&i.prod).map(|p| p.test_count()).unwrap_or(0);
+            self.cs.add(i, spec);
+        }
+    }
+
+    fn goal_level(&self, g: Symbol) -> Option<u32> {
+        self.stack.iter().find(|gc| gc.id == g).map(|gc| gc.level)
+    }
+
+    /// Compute the goal level a new wme belongs to.
+    fn wme_level_for(&mut self, w: &Wme, firing_level: u32) -> u32 {
+        let goal_cls = intern("goal");
+        let pref_cls = intern("preference");
+        let eval_cls = intern("eval");
+        if w.class == goal_cls {
+            if let Some(g) = w.field(self.fields.goal_id).as_sym() {
+                return self.goal_level(g).unwrap_or(firing_level);
+            }
+        }
+        if w.class == pref_cls {
+            if let Some(g) = w.field(self.fields.pref_goal).as_sym() {
+                return self.goal_level(g).unwrap_or(firing_level);
+            }
+        }
+        if w.class == eval_cls {
+            if let Some(g) = w.field(0).as_sym() {
+                return self.goal_level(g).unwrap_or(firing_level);
+            }
+        }
+        if let Some(decl) = self.classes.get(w.class) {
+            if let Some(idf) = decl.field_of(intern("id")) {
+                if let Some(id) = w.field(idf).as_sym() {
+                    if let Some(&l) = self.book.obj_level.get(&id) {
+                        return l;
+                    }
+                    self.book.note_new_object(id, firing_level);
+                    return firing_level;
+                }
+            }
+        }
+        firing_level
+    }
+
+    /// Fire every unfired instantiation once; batch the wme changes; match;
+    /// integrate any chunks. Returns `false` at quiescence.
+    fn elaborate_once(&mut self) -> bool {
+        let unfired = self.cs.take_unfired();
+        if unfired.is_empty() {
+            return false;
+        }
+        let mut changes: Vec<(WmeId, i32)> = Vec::new();
+        let mut pending_chunks: Vec<Arc<Production>> = Vec::new();
+        for inst in unfired {
+            let Some(prod) = self.prods.get(&inst.prod).cloned() else { continue };
+            self.stats.firings += 1;
+            let wme_arcs: Vec<Arc<Wme>> = self
+                .engine
+                .with_store(|s| inst.wmes.iter().map(|id| s.get(*id).clone()).collect());
+            let refs: Vec<&Wme> = wme_arcs.iter().map(|a| a.as_ref()).collect();
+            let firing_level =
+                inst.wmes.iter().map(|id| self.book.level_of(*id)).max().unwrap_or(0);
+            let mut bindings = prod.bindings_of(&refs);
+            let mut counter = self.gensym_counter;
+            let actions = prod.eval_rhs(&mut bindings, &mut || {
+                counter += 1;
+                intern(&format!("x*{counter:04}"))
+            });
+            self.gensym_counter = counter;
+
+            let mut results: Vec<WmeId> = Vec::new();
+            let mut result_level = 0u32;
+            for act in actions {
+                match act {
+                    ConcreteAction::Make(class, fields) => {
+                        let Some(decl) = self.classes.get(class).cloned() else { continue };
+                        let w = Wme::with_fields(&decl, &fields);
+                        if self.book.alive_index.contains_key(&w) {
+                            continue; // WM is a set
+                        }
+                        // Fresh gensym'd ids become identifiers.
+                        for (_, v) in &fields {
+                            if let Value::Sym(s) = v {
+                                if psme_ops::sym_name(*s).contains('*') {
+                                    self.book.register_identifier(*s);
+                                }
+                            }
+                        }
+                        let level = self.wme_level_for(&w, firing_level);
+                        let (wid, _) = self.engine.add_wme(w.clone());
+                        self.book.note_add(
+                            wid,
+                            &w,
+                            level,
+                            Provenance::Fired { matched: inst.wmes.clone(), prod: inst.prod },
+                            false,
+                        );
+                        self.stats.wme_adds += 1;
+                        changes.push((wid, 1));
+                        // Promote linked deeper objects into this level.
+                        let (store_promotions, classes) = (&mut self.book, &self.classes);
+                        self.engine.with_store(|s| {
+                            for v in w.fields.iter() {
+                                if let Value::Sym(sym) = v {
+                                    if store_promotions.is_identifier(*sym)
+                                        && store_promotions.level_of_obj(*sym) > level
+                                    {
+                                        store_promotions.promote(*sym, level, s, classes);
+                                    }
+                                }
+                            }
+                        });
+                        if level < firing_level {
+                            results.push(wid);
+                            result_level = result_level.max(level);
+                        }
+                    }
+                    ConcreteAction::Write(s) => self.output.push(s),
+                    ConcreteAction::Halt => self.halt_requested = true,
+                    ConcreteAction::RemoveCe(_) | ConcreteAction::ModifyCe(_, _) => {
+                        debug_assert!(false, "rejected at load time");
+                    }
+                }
+            }
+            if self.learning && !results.is_empty() {
+                let req = ChunkRequest {
+                    results: &results,
+                    matched: &inst.wmes,
+                    prod: inst.prod,
+                    result_level,
+                };
+                let prods = &self.prods;
+                let lookup = |name: psme_ops::Symbol| prods.get(&name).cloned();
+                let built = self.engine.with_store(|s| {
+                    self.chunker.build(req, &self.book, s, &self.classes, &lookup)
+                });
+                if let Some(chunk) = built {
+                    pending_chunks.push(chunk);
+                }
+            }
+        }
+        let out = self.engine.run_changes(changes);
+        self.merge_cs(out.cs);
+        // "Soar adds chunks only at the end of an elaboration cycle, i.e.,
+        // when the match is quiescent" (§5.1).
+        for chunk in pending_chunks {
+            self.stats.chunks_built += 1;
+            self.load_production(chunk).expect("chunks are valid productions");
+        }
+        self.stats.elaboration_cycles += 1;
+        true
+    }
+
+    /// Run elaboration cycles to quiescence.
+    fn elaboration_phase(&mut self) -> Result<(), StopReason> {
+        let mut cycles = 0u64;
+        while self.elaborate_once() {
+            if self.halt_requested {
+                return Ok(());
+            }
+            cycles += 1;
+            if cycles > self.max_elab_cycles {
+                return Err(StopReason::ElaborationRunaway);
+            }
+        }
+        Ok(())
+    }
+
+    fn collect_preferences(&self) -> Vec<Preference> {
+        let f = &self.fields;
+        self.engine.with_store(|s| {
+            s.iter_alive().filter_map(|(id, w)| decode_preference(id, w, f)).collect()
+        })
+    }
+
+    /// The decision phase: apply the decision procedure, perform the wme
+    /// surgery and reachability GC. Returns `false` when stuck.
+    fn decision_phase(&mut self) -> bool {
+        let prefs = self.collect_preferences();
+        let d = decide(&self.stack, &prefs);
+        self.stats.decisions += 1;
+        match d {
+            Decision::Stuck => false,
+            Decision::Change { goal_idx, role, winner } => {
+                self.stack.truncate(goal_idx + 1);
+                {
+                    let g = &mut self.stack[goal_idx];
+                    g.set_slot(role, winner);
+                    g.impasse = g.impasse.take(); // unchanged for this goal
+                    // Later roles are reinitialized on a context change.
+                    match role {
+                        Role::ProblemSpace => {
+                            g.set_slot(Role::State, None);
+                            g.set_slot(Role::Operator, None);
+                        }
+                        Role::State => g.set_slot(Role::Operator, None),
+                        Role::Operator => {}
+                    }
+                }
+                let mut adds: Vec<(Wme, u32, Provenance)> = Vec::new();
+                if let Some(w) = winner {
+                    let g = &self.stack[goal_idx];
+                    let field = match role {
+                        Role::ProblemSpace => self.fields.goal_problem_space,
+                        Role::State => self.fields.goal_state,
+                        Role::Operator => self.fields.goal_operator,
+                    };
+                    let wme = crate::arch::goal_aug(&self.classes, &self.fields, g.id, field, Value::Sym(w));
+                    // The slot wme's provenance points at the preferences
+                    // that put the winner there, so chunks can trace through
+                    // context slots.
+                    let sources: Vec<WmeId> = prefs
+                        .iter()
+                        .filter(|p| p.goal == g.id && p.role == role && p.object == w)
+                        .map(|p| p.wme)
+                        .collect();
+                    adds.push((wme, g.level, Provenance::Arch { sources }));
+                }
+                self.apply_decision_changes(adds);
+                true
+            }
+            Decision::NewImpasse { parent_idx, key } => {
+                self.stack.truncate(parent_idx + 1);
+                self.stats.impasses += 1;
+                let parent_id = self.stack[parent_idx].id;
+                let level = self.stack.len() as u32;
+                let g2 = self.gensym("g");
+                self.book.note_new_object(g2, level);
+                self.stack.push(GoalCtx {
+                    id: g2,
+                    level,
+                    slots: [None, None, None],
+                    impasse: Some(key.clone()),
+                });
+                let f = &self.fields;
+                let reg = &self.classes;
+                let mut adds: Vec<(Wme, u32, Provenance)> = vec![
+                    (
+                        crate::arch::goal_aug(reg, f, g2, f.goal_supergoal, Value::Sym(parent_id)),
+                        level,
+                        Provenance::Arch { sources: vec![] },
+                    ),
+                    (
+                        crate::arch::goal_aug(reg, f, g2, f.goal_impasse, Value::Sym(key.kind.symbol())),
+                        level,
+                        Provenance::Arch { sources: vec![] },
+                    ),
+                    (
+                        crate::arch::goal_aug(reg, f, g2, f.goal_role, Value::Sym(key.role.symbol())),
+                        level,
+                        Provenance::Arch { sources: vec![] },
+                    ),
+                ];
+                for item in &key.items {
+                    // An item augmentation is caused by the preferences that
+                    // made the item a candidate — the chunker backtraces
+                    // through this into the supergoal.
+                    let sources: Vec<WmeId> = prefs
+                        .iter()
+                        .filter(|p| {
+                            p.goal == parent_id
+                                && p.role == key.role
+                                && p.object == *item
+                                && matches!(p.value, PrefValue::Acceptable | PrefValue::Best)
+                        })
+                        .map(|p| p.wme)
+                        .collect();
+                    adds.push((
+                        crate::arch::goal_aug(reg, f, g2, f.goal_item, Value::Sym(*item)),
+                        level,
+                        Provenance::Arch { sources },
+                    ));
+                }
+                self.apply_decision_changes(adds);
+                true
+            }
+        }
+    }
+
+    /// Install decision-phase wmes, garbage-collect, and run one match.
+    fn apply_decision_changes(&mut self, adds: Vec<(Wme, u32, Provenance)>) {
+        let mut changes: Vec<(WmeId, i32)> = Vec::new();
+        for id in self.gc_removals() {
+            let w = self.engine.with_store(|s| s.get(id).clone());
+            if self.engine.remove_wme(id) {
+                self.book.note_remove(id, &w);
+                self.stats.wme_removes += 1;
+                changes.push((id, -1));
+            }
+        }
+        for (w, level, prov) in adds {
+            if self.book.alive_index.contains_key(&w) {
+                continue;
+            }
+            let (id, _) = self.engine.add_wme(w.clone());
+            self.book.note_add(id, &w, level, prov, false);
+            self.stats.wme_adds += 1;
+            changes.push((id, 1));
+        }
+        let out = self.engine.run_changes(changes);
+        self.merge_cs(out.cs);
+    }
+
+    /// Reachability GC: "the decision module keeps track of which wmes are
+    /// accessible from the context stack, and automatically garbage
+    /// collects inaccessible wmes" (§3).
+    fn gc_removals(&self) -> Vec<WmeId> {
+        let goal_cls = intern("goal");
+        let pref_cls = intern("preference");
+        let eval_cls = intern("eval");
+        let stack_ids: FxHashSet<Symbol> = self.stack.iter().map(|g| g.id).collect();
+        let state_of: FxHashMap<Symbol, Option<Symbol>> =
+            self.stack.iter().map(|g| (g.id, g.slot(Role::State))).collect();
+        let f = &self.fields;
+        self.engine.with_store(|store| {
+            // 1. Roots: goal ids, slot values, kept goal-augmentation values.
+            let mut reachable: FxHashSet<Symbol> = stack_ids.clone();
+            for g in &self.stack {
+                for s in g.slots.iter().flatten() {
+                    reachable.insert(*s);
+                }
+            }
+            // Which goal wmes survive? (Also seeds reachability from their
+            // values: supergoal links, impasse items.)
+            let goal_wme_keep = |w: &Wme| -> bool {
+                let Some(gid) = w.field(f.goal_id).as_sym() else { return false };
+                let Some(g) = self.stack.iter().find(|g| g.id == gid) else { return false };
+                // Slot augmentations must match the current slot.
+                for (role, field) in [
+                    (Role::ProblemSpace, f.goal_problem_space),
+                    (Role::State, f.goal_state),
+                    (Role::Operator, f.goal_operator),
+                ] {
+                    let v = w.field(field);
+                    if !v.is_nil() && v.as_sym() != g.slot(role) {
+                        return false;
+                    }
+                }
+                true
+            };
+            for (_, w) in store.iter_alive().filter(|(_, w)| w.class == goal_cls) {
+                if goal_wme_keep(w) {
+                    for v in w.fields.iter() {
+                        if let Value::Sym(s) = v {
+                            reachable.insert(*s);
+                        }
+                    }
+                }
+            }
+            // 2. Valid preferences make their objects reachable, unless a
+            // valid reject cancels them.
+            let prefs: Vec<Preference> = store
+                .iter_alive()
+                .filter_map(|(id, w)| decode_preference(id, w, f))
+                .collect();
+            let scope_ok = |p: &Preference| -> bool {
+                stack_ids.contains(&p.goal)
+                    && match p.state {
+                        Some(s) => state_of.get(&p.goal).copied().flatten() == Some(s),
+                        None => true,
+                    }
+            };
+            let rejected: FxHashSet<(Symbol, Symbol)> = prefs
+                .iter()
+                .filter(|p| p.value == PrefValue::Reject && scope_ok(p))
+                .map(|p| (p.goal, p.object))
+                .collect();
+            for p in &prefs {
+                if scope_ok(p)
+                    && p.value != PrefValue::Reject
+                    && !rejected.contains(&(p.goal, p.object))
+                {
+                    reachable.insert(p.object);
+                }
+            }
+            // 3. Fixpoint over object augmentations.
+            loop {
+                let mut grew = false;
+                for (_, w) in store.iter_alive() {
+                    if w.class == goal_cls || w.class == pref_cls || w.class == eval_cls {
+                        continue;
+                    }
+                    let Some(decl) = self.classes.get(w.class) else { continue };
+                    let Some(idf) = decl.field_of(intern("id")) else { continue };
+                    let Some(id) = w.field(idf).as_sym() else { continue };
+                    if !reachable.contains(&id) {
+                        continue;
+                    }
+                    for (i, v) in w.fields.iter().enumerate() {
+                        if i as u16 == idf {
+                            continue;
+                        }
+                        if let Value::Sym(s) = v {
+                            if self.book.is_identifier(*s) && reachable.insert(*s) {
+                                grew = true;
+                            }
+                        }
+                    }
+                }
+                if !grew {
+                    break;
+                }
+            }
+            // 4. Sweep.
+            let mut removals = Vec::new();
+            for (wid, w) in store.iter_alive() {
+                if self.book.pinned.contains(&wid) {
+                    continue;
+                }
+                let keep = if w.class == goal_cls {
+                    goal_wme_keep(w)
+                } else if w.class == pref_cls {
+                    match decode_preference(wid, w, f) {
+                        Some(p) => scope_ok(&p) && reachable.contains(&p.object),
+                        None => false,
+                    }
+                } else if w.class == eval_cls {
+                    w.field(0).as_sym().map(|g| stack_ids.contains(&g)).unwrap_or(false)
+                } else if let Some(decl) = self.classes.get(w.class) {
+                    match decl.field_of(intern("id")) {
+                        Some(idf) => match w.field(idf).as_sym() {
+                            Some(id) => reachable.contains(&id),
+                            None => true,
+                        },
+                        None => true, // id-less classes are task-static
+                    }
+                } else {
+                    true
+                };
+                if !keep {
+                    removals.push(wid);
+                }
+            }
+            removals
+        })
+    }
+
+    /// Run the elaborate–decide loop for up to `max_decisions` decisions.
+    pub fn run(&mut self, max_decisions: u64) -> StopReason {
+        assert!(!self.stack.is_empty(), "push_top_goal first");
+        loop {
+            if let Err(r) = self.elaboration_phase() {
+                return r;
+            }
+            if self.halt_requested {
+                return StopReason::Halted;
+            }
+            if self.stats.decisions >= max_decisions {
+                return StopReason::DecisionLimit;
+            }
+            if !self.decision_phase() {
+                return StopReason::Stuck;
+            }
+        }
+    }
+
+    /// Chunks learned so far (for after-chunking runs).
+    pub fn learned_chunks(&self) -> Vec<Arc<Production>> {
+        self.chunker.chunks.clone()
+    }
+
+    /// Current live wme count.
+    pub fn wm_size(&self) -> usize {
+        self.engine.with_store(|s| s.live_count())
+    }
+}
+
+/// Convenience alias used in examples and task code.
+pub type Outcome = (StopReason, AgentStats);
+
+impl<E: MatchEngine> std::fmt::Debug for Agent<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Agent(stack={}, decisions={}, chunks={}, wm={})",
+            self.stack.len(),
+            self.stats.decisions,
+            self.stats.chunks_built,
+            self.wm_size()
+        )
+    }
+}
+
+// Re-exported for tests needing direct access.
+pub use crate::decide::slot_index;

@@ -1,0 +1,72 @@
+//! Architecture-provided *default productions* — the selection problem
+//! space. When an operator tie impasses, task-specific `eval` productions
+//! score each `^item`; these defaults turn the scores into a supergoal
+//! preference (the chunkable result).
+
+use psme_ops::{parse_program, ClassRegistry, Production};
+use std::sync::Arc;
+
+/// Source of the default productions.
+///
+/// The selection space resolves a tie pairwise, as real Soar's default
+/// productions do: a strictly dominated item is *rejected* in the
+/// supergoal, and equally scored items are made *indifferent*. Both are
+/// results, so chunking compiles them into productions whose conditions
+/// mention **both** competitors' structures — the learned rule only rejects
+/// a candidate when a better one is actually present.
+///
+/// Note the synchronization property: all `eval` wmes for a tie appear
+/// within one elaboration cycle (each comes from a single production
+/// firing), so these comparisons always see complete information.
+pub const DEFAULT_PRODUCTIONS: &str = "
+(p default*reject-worse
+   (goal ^id <g> ^impasse tie)
+   (goal ^id <g> ^role <r>)
+   (goal ^id <g> ^supergoal <sg>)
+   (goal ^id <g> ^item <o1>)
+   (eval ^goal <g> ^object <o1> ^value <v1>)
+   (eval ^goal <g> ^object <o2> ^value > <v1>)
+   (preference ^object <o1> ^role <r> ^value acceptable ^goal <sg> ^state <ss>)
+  -->
+   (make preference ^object <o1> ^role <r> ^value reject ^goal <sg> ^state <ss>))
+
+(p default*indifferent-equal
+   (goal ^id <g> ^impasse tie)
+   (goal ^id <g> ^role <r>)
+   (goal ^id <g> ^supergoal <sg>)
+   (goal ^id <g> ^item <o1>)
+   (eval ^goal <g> ^object <o1> ^value <v1>)
+   (eval ^goal <g> ^object { <o2> <> <o1> } ^value <v1>)
+   (preference ^object <o1> ^role <r> ^value acceptable ^goal <sg> ^state <ss>)
+  -->
+   (make preference ^object <o1> ^role <r> ^value indifferent ^goal <sg> ^state <ss>))
+";
+
+/// Parse the default productions against a registry that already has the
+/// architecture classes declared.
+pub fn default_productions(classes: &mut ClassRegistry) -> Vec<Arc<Production>> {
+    parse_program(DEFAULT_PRODUCTIONS, classes)
+        .expect("default productions parse")
+        .into_iter()
+        .map(Arc::new)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::declare_arch_classes;
+
+    #[test]
+    fn defaults_parse_and_validate() {
+        let mut reg = ClassRegistry::new();
+        declare_arch_classes(&mut reg);
+        let prods = default_productions(&mut reg);
+        assert_eq!(prods.len(), 2);
+        for p in &prods {
+            assert_eq!(p.ces.len(), 7);
+            assert_eq!(p.num_pos, 7);
+            assert!(p.var_names.len() >= 6);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # psme-soar — the Soar architecture (§3 of the paper)
+//!
+//! A Soar-4-era architecture over the match engines of `psme-core`:
+//!
+//! * **Decide** ([`mod@decide`]): the elaborate–decide loop. Elaboration fires
+//!   *all* unfired conflict-set instantiations each cycle (batching the wme
+//!   changes before matching, as the paper's measurements assume) until
+//!   quiescence; the decision procedure then fills problem-space / state /
+//!   operator slots from preferences or declares an impasse.
+//! * **Universal subgoaling**: tie and no-change impasses push subgoals;
+//!   the architecture provides the selection space's default productions
+//!   ([`defaults`]), task productions provide `eval` scores.
+//! * **Working memory** ([`wm`], [`agent`]): Soar productions only add
+//!   wmes; the decision phase garbage-collects wmes unreachable from the
+//!   context stack.
+//! * **Chunking** ([`chunk`]): results (wmes created above the firing goal)
+//!   are backtraced to supergoal conditions, variablized, and compiled into
+//!   the Rete **at run time** via the §5.1/§5.2 machinery — exercising the
+//!   very capability the paper adds to PSM-E.
+//!
+//! Documented simplifications versus 1988 Soar (see DESIGN.md): preference
+//! vocabulary reduced to acceptable/reject/best/indifferent; multiple-best
+//! and all-indifferent ties resolve deterministically; chunks contain only
+//! positive conditions.
+
+pub mod agent;
+pub mod arch;
+pub mod chunk;
+pub mod decide;
+pub mod defaults;
+pub mod task;
+pub mod wm;
+
+pub use agent::{Agent, AgentStats, StopReason};
+pub use arch::{declare_arch_classes, ArchFields, PrefValue, Preference, Role};
+pub use chunk::{ChunkRequest, Chunker};
+pub use decide::{decide, Decision, GoalCtx, ImpasseKey, ImpasseKind};
+pub use defaults::{default_productions, DEFAULT_PRODUCTIONS};
+pub use task::SoarTask;
+pub use wm::{Provenance, WmBook};

@@ -1,0 +1,77 @@
+//! Task packaging: classes, productions, initial working memory.
+
+use crate::agent::Agent;
+use psme_core::MatchEngine;
+use psme_ops::{ClassRegistry, Production, Symbol, Wme};
+use std::sync::Arc;
+
+/// A complete Soar task, installable into any agent.
+#[derive(Clone)]
+pub struct SoarTask {
+    /// Task name (matches the paper's task names where applicable).
+    pub name: String,
+    /// Class declarations (architecture classes included).
+    pub classes: ClassRegistry,
+    /// Task productions.
+    pub productions: Vec<Arc<Production>>,
+    /// Initial (pinned) wmes: the task's static object structure.
+    pub init_wmes: Vec<Wme>,
+    /// Object identifiers appearing in the initial structure (registered so
+    /// chunking variablizes them).
+    pub identifiers: Vec<Symbol>,
+}
+
+impl SoarTask {
+    /// Install into an agent: identifiers, default + task productions,
+    /// initial wmes, top goal. Returns the top goal id.
+    pub fn install<E: MatchEngine>(&self, agent: &mut Agent<E>) -> Symbol {
+        for &id in &self.identifiers {
+            agent.register_identifier(id);
+        }
+        let mut classes = agent.classes.clone();
+        for p in crate::defaults::default_productions(&mut classes) {
+            agent.load_production(p).expect("default productions load");
+        }
+        for p in &self.productions {
+            agent
+                .load_production(p.clone())
+                .unwrap_or_else(|e| panic!("task {} production failed to load: {e}", self.name));
+        }
+        agent.add_init_wmes(self.init_wmes.clone());
+        agent.push_top_goal()
+    }
+
+    /// Build a fresh agent over the given engine and install the task.
+    pub fn agent<E: MatchEngine>(&self, engine: E) -> Agent<E> {
+        let mut a = Agent::new(engine, self.classes.clone());
+        self.install(&mut a);
+        a
+    }
+
+    /// Number of task productions (the paper quotes production counts per
+    /// task).
+    pub fn production_count(&self) -> usize {
+        self.productions.len()
+    }
+
+    /// Average flat CE count of the task productions (Table 5-1 column 2).
+    pub fn avg_ces(&self) -> f64 {
+        if self.productions.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.productions.iter().map(|p| p.ce_count_flat()).sum();
+        total as f64 / self.productions.len() as f64
+    }
+}
+
+impl std::fmt::Debug for SoarTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SoarTask({}: {} productions, {} init wmes)",
+            self.name,
+            self.productions.len(),
+            self.init_wmes.len()
+        )
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the decision procedure: invariants that must
+//! hold for any preference set and goal stack.
+
+use proptest::prelude::*;
+use psme_ops::{intern, Symbol, WmeId};
+use psme_soar::{decide, Decision, GoalCtx, PrefValue, Preference, Role};
+
+fn sym(i: u8) -> Symbol {
+    intern(&format!("obj{i}"))
+}
+
+fn pref_strategy() -> impl Strategy<Value = Preference> {
+    (0u8..6, 0u8..3, 0u8..4, prop::option::of(0u8..3)).prop_map(|(obj, role, val, state)| {
+        Preference {
+            wme: WmeId(0),
+            object: sym(obj),
+            role: match role {
+                0 => Role::ProblemSpace,
+                1 => Role::State,
+                _ => Role::Operator,
+            },
+            value: match val {
+                0 => PrefValue::Acceptable,
+                1 => PrefValue::Reject,
+                2 => PrefValue::Best,
+                _ => PrefValue::Indifferent,
+            },
+            goal: intern("g1"),
+            state: state.map(|s| intern(&format!("s{s}"))),
+        }
+    })
+}
+
+fn stack_strategy() -> impl Strategy<Value = Vec<GoalCtx>> {
+    (prop::option::of(0u8..3), prop::option::of(0u8..3), prop::option::of(0u8..6)).prop_map(
+        |(ps, st, op)| {
+            // Slots fill left to right, as the architecture maintains them.
+            let ps = ps.map(|i| intern(&format!("ps{i}")));
+            let st = if ps.is_some() { st.map(|i| intern(&format!("s{i}"))) } else { None };
+            let op = if st.is_some() { op.map(sym) } else { None };
+            vec![GoalCtx { id: intern("g1"), level: 0, slots: [ps, st, op], impasse: None }]
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    /// The winner of a Change decision is never a rejected candidate and is
+    /// always acceptable (for the goal/role/scope it applies to).
+    #[test]
+    fn winners_are_acceptable_and_unrejected(
+        stack in stack_strategy(),
+        prefs in prop::collection::vec(pref_strategy(), 0..24),
+    ) {
+        if let Decision::Change { goal_idx, role, winner: Some(w) } = decide(&stack, &prefs) {
+            let g = &stack[goal_idx];
+            let scope_ok = |p: &&Preference| {
+                p.goal == g.id && p.role == role && match p.state {
+                    Some(s) => g.slot(Role::State) == Some(s),
+                    None => true,
+                }
+            };
+            prop_assert!(
+                prefs.iter().filter(scope_ok).any(|p| p.value == PrefValue::Acceptable && p.object == w),
+                "winner {w} has an acceptable preference"
+            );
+            prop_assert!(
+                !prefs.iter().filter(scope_ok).any(|p| p.value == PrefValue::Reject && p.object == w),
+                "winner {w} is not rejected"
+            );
+        }
+    }
+
+    /// Decisions are insensitive to preference order (the paper's parallel
+    /// firing produces preferences in nondeterministic order).
+    #[test]
+    fn decision_is_order_independent(
+        stack in stack_strategy(),
+        prefs in prop::collection::vec(pref_strategy(), 0..24),
+        rotate in 0usize..24,
+    ) {
+        let a = decide(&stack, &prefs);
+        let mut shuffled = prefs.clone();
+        let n = shuffled.len();
+        if n > 0 {
+            shuffled.rotate_left(rotate % n);
+        }
+        let b = decide(&stack, &shuffled);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Tie impasses list exactly the undominated candidates, sorted.
+    #[test]
+    fn tie_items_are_the_candidates(
+        stack in stack_strategy(),
+        prefs in prop::collection::vec(pref_strategy(), 0..24),
+    ) {
+        if let Decision::NewImpasse { parent_idx, key } = decide(&stack, &prefs) {
+            let g = &stack[parent_idx];
+            if key.kind == psme_soar::ImpasseKind::Tie {
+                prop_assert!(key.items.len() >= 2);
+                let mut sorted = key.items.clone();
+                sorted.sort_by(|a, b| psme_ops::sym_name(*a).cmp(&psme_ops::sym_name(*b)));
+                prop_assert_eq!(&key.items, &sorted, "items sorted deterministically");
+                for item in &key.items {
+                    let scope_ok = |p: &&Preference| {
+                        p.goal == g.id && p.role == key.role && match p.state {
+                            Some(s) => g.slot(Role::State) == Some(s),
+                            None => true,
+                        }
+                    };
+                    prop_assert!(prefs.iter().filter(scope_ok).any(
+                        |p| p.value == PrefValue::Acceptable && p.object == *item));
+                    prop_assert!(!prefs.iter().filter(scope_ok).any(
+                        |p| p.value == PrefValue::Reject && p.object == *item));
+                }
+            }
+        }
+    }
+
+    /// decide() never panics and always yields one of its variants, for any
+    /// input (totality).
+    #[test]
+    fn decide_is_total(
+        stack in stack_strategy(),
+        prefs in prop::collection::vec(pref_strategy(), 0..32),
+    ) {
+        let _ = decide(&stack, &prefs);
+    }
+}

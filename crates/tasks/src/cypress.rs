@@ -1,0 +1,256 @@
+//! Cypress-substitute: a synthetic algorithm-derivation task.
+//!
+//! The original Cypress-Soar (algorithm design, derives quicksort; 196
+//! productions) depends on the never-released Designer/Cypress knowledge
+//! base, so — per the substitution policy in DESIGN.md — this task
+//! reproduces its *workload characteristics* instead: a derivation search
+//! over a design tree where composite specification nodes (`sort`,
+//! `search`) are refined by competing design rules (quicksort-scheme,
+//! mergesort-scheme, insertion-scheme, …), every refinement choice ties and
+//! is resolved in the selection space from a depth-dependent score table,
+//! and chunks compile the per-depth design policy. States carry whole node
+//! sets (large affect sets, long runs), and productions match deep context
+//! (large CE counts).
+
+use psme_ops::{intern, parse_program, parse_wme, ClassRegistry, Symbol};
+use psme_soar::{declare_arch_classes, SoarTask};
+use std::sync::Arc;
+
+/// Task size knobs.
+#[derive(Clone, Debug)]
+pub struct CypressConfig {
+    /// Number of root `sort` specifications to derive.
+    pub roots: usize,
+}
+
+impl Default for CypressConfig {
+    fn default() -> CypressConfig {
+        CypressConfig { roots: 2 }
+    }
+}
+
+const CORE_PRODUCTIONS: &str = "
+(p cy*init-ps
+   (goal ^id <g> ^type top)
+  -->
+   (make preference ^object ps-design ^role problem-space ^value acceptable ^goal <g>))
+
+(p cy*init-state
+   (goal ^id <g> ^problem-space ps-design)
+  -->
+   (make preference ^object s0 ^role state ^value acceptable ^goal <g>))
+
+(p cy*propose-refine
+   (goal ^id <g> ^state <s>)
+   (state ^id <s> ^node <n>)
+   (node ^id <n> ^kind <k> ^depth <dp>)
+   (kindinfo ^kind <k> ^class composite)
+   (rule ^id <ru> ^kind <k> ^maxdepth > <dp>)
+  -->
+   (bind <o> (genatom))
+   (make op ^id <o> ^node <n> ^rule <ru>)
+   (make preference ^object <o> ^role operator ^value acceptable ^goal <g> ^state <s>))
+
+(p cy*apply-refine
+   (goal ^id <g> ^operator <o>)
+   (op ^id <o> ^node <n> ^rule <ru>)
+   (goal ^id <g> ^state <s>)
+  -->
+   (bind <s2> (genatom))
+   (make op ^id <o> ^new-state <s2>)
+   (make preference ^object <s2> ^role state ^value acceptable ^goal <g>)
+   (make preference ^object <s> ^role state ^value reject ^goal <g>))
+
+(p cy*make-child-1
+   (goal ^id <g> ^operator <o>)
+   (op ^id <o> ^node <n> ^rule <ru>)
+   (op ^id <o> ^new-state <s2>)
+   (rule ^id <ru> ^out1 <k1>)
+   (node ^id <n> ^depth <dp>)
+  -->
+   (bind <c> (genatom))
+   (bind <d2> (compute <dp> + 1))
+   (make node ^id <c> ^kind <k1> ^depth <d2>)
+   (make state ^id <s2> ^node <c>))
+
+(p cy*make-child-2
+   (goal ^id <g> ^operator <o>)
+   (op ^id <o> ^node <n> ^rule <ru>)
+   (op ^id <o> ^new-state <s2>)
+   (rule ^id <ru> ^out2 <k2>)
+   (node ^id <n> ^depth <dp>)
+  -->
+   (bind <c> (genatom))
+   (bind <d2> (compute <dp> + 1))
+   (make node ^id <c> ^kind <k2> ^depth <d2>)
+   (make state ^id <s2> ^node <c>))
+
+(p cy*make-child-3
+   (goal ^id <g> ^operator <o>)
+   (op ^id <o> ^node <n> ^rule <ru>)
+   (op ^id <o> ^new-state <s2>)
+   (rule ^id <ru> ^out3 <k3>)
+   (node ^id <n> ^depth <dp>)
+  -->
+   (bind <c> (genatom))
+   (bind <d2> (compute <dp> + 1))
+   (make node ^id <c> ^kind <k3> ^depth <d2>)
+   (make state ^id <s2> ^node <c>))
+
+(p cy*copy-nodes
+   (goal ^id <g> ^operator <o>)
+   (op ^id <o> ^node <n>)
+   (op ^id <o> ^new-state <s2>)
+   (goal ^id <g> ^state <s>)
+   (state ^id <s> ^node { <m> <> <n> })
+  -->
+   (make state ^id <s2> ^node <m>))
+
+(p cy*goal-test
+   (goal ^id <g> ^state <s>)
+  -{ (state ^id <s> ^node <n>)
+     (node ^id <n> ^kind <k>)
+     (kindinfo ^kind <k> ^class composite) }
+  -->
+   (write derived)
+   (halt))
+
+(p cy*eval-refinement
+   (goal ^id <g2> ^impasse tie)
+   (goal ^id <g2> ^item <o>)
+   (goal ^id <g2> ^supergoal <g1>)
+   (goal ^id <g1> ^state <s>)
+   (op ^id <o> ^node <n> ^rule <ru>)
+   (state ^id <s> ^node <n>)
+   (node ^id <n> ^kind <k> ^depth <dp>)
+   (kindinfo ^kind <k> ^class composite)
+   (rule ^id <ru> ^kind <k>)
+   (scoretab ^rule <ru> ^depth <dp> ^value <v>)
+  -->
+   (make eval ^goal <g2> ^object <o> ^value <v>))
+";
+
+/// Rule table: (name, kind, outs, maxdepth).
+fn rules() -> Vec<(&'static str, &'static str, Vec<&'static str>, u32)> {
+    vec![
+        ("rule-quicksort", "sort", vec!["partition", "sort", "sort"], 3),
+        ("rule-mergesort", "sort", vec!["split-merge", "sort", "sort"], 3),
+        ("rule-insertion", "sort", vec!["insert-prim", "search"], 3),
+        ("rule-base-sort", "sort", vec!["base-prim"], 99),
+        ("rule-binary-search", "search", vec!["compare-prim"], 99),
+        ("rule-linear-search", "search", vec!["scan-prim"], 99),
+        ("rule-hash-search", "search", vec!["hash-prim"], 99),
+    ]
+}
+
+/// Depth-dependent design-quality scores: the winning scheme differs per
+/// depth, so each depth's first tie yields a distinct chunk.
+fn score(rule: &str, depth: u32) -> i64 {
+    match (rule, depth) {
+        ("rule-quicksort", 0) => 9,
+        ("rule-quicksort", _) => 4,
+        ("rule-mergesort", 1) => 9,
+        ("rule-mergesort", _) => 3,
+        ("rule-insertion", 2) => 9,
+        ("rule-insertion", _) => 2,
+        ("rule-base-sort", _) => 1,
+        ("rule-binary-search", _) => 8,
+        ("rule-hash-search", _) => 6,
+        ("rule-linear-search", _) => 4,
+        _ => 0,
+    }
+}
+
+/// Build the Cypress-substitute task.
+pub fn cypress_sub(cfg: &CypressConfig) -> SoarTask {
+    let mut classes = ClassRegistry::new();
+    declare_arch_classes(&mut classes);
+    classes.declare_str("node", &["id", "kind", "depth"]);
+    classes.declare_str("state", &["id", "node"]);
+    classes.declare_str("rule", &["id", "kind", "out1", "out2", "out3", "maxdepth"]);
+    classes.declare_str("scoretab", &["rule", "depth", "value"]);
+    classes.declare_str("kindinfo", &["kind", "class"]);
+    classes.declare_str("op", &["id", "node", "rule", "new-state"]);
+    classes.declare_str("note", &["id", "tag"]);
+
+    let mut src = String::from(CORE_PRODUCTIONS);
+    // Monitors: one per kind and per rule (affect-set width, like the
+    // paper's monitoring productions).
+    let kinds = [
+        "sort", "search", "partition", "split-merge", "insert-prim", "base-prim",
+        "compare-prim", "scan-prim", "hash-prim",
+    ];
+    for k in kinds {
+        src.push_str(&format!(
+            "(p cy*monitor-kind-{k}
+                (goal ^id <g> ^state <s>)
+                (state ^id <s> ^node <n>)
+                (node ^id <n> ^kind {k} ^depth <dp>)
+               -->
+                (make note ^id <s> ^tag mk-{k}))\n"
+        ));
+    }
+    for (r, _, _, _) in rules() {
+        src.push_str(&format!(
+            "(p cy*monitor-rule-{r}
+                (goal ^id <g> ^operator <o>)
+                (op ^id <o> ^rule {r} ^node <n>)
+                (node ^id <n> ^kind <k> ^depth <dp>)
+               -->
+                (make note ^id <o> ^tag mr-{r}))\n"
+        ));
+    }
+
+    let productions: Vec<Arc<_>> = parse_program(&src, &mut classes)
+        .expect("cypress productions parse")
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+
+    let mut init = Vec::new();
+    let mut identifiers: Vec<Symbol> = vec![intern("ps-design"), intern("s0")];
+    let w = |s: &str, classes: &ClassRegistry| parse_wme(s, classes).unwrap();
+    for k in kinds {
+        let class = if k == "sort" || k == "search" { "composite" } else { "primitive" };
+        init.push(w(&format!("(kindinfo ^kind {k} ^class {class})"), &classes));
+    }
+    for (name, kind, outs, maxdepth) in rules() {
+        identifiers.push(intern(name));
+        let mut s = format!("(rule ^id {name} ^kind {kind} ^maxdepth {maxdepth}");
+        for (i, o) in outs.iter().enumerate() {
+            s.push_str(&format!(" ^out{} {o}", i + 1));
+        }
+        s.push(')');
+        init.push(w(&s, &classes));
+        for depth in 0..=4u32 {
+            init.push(w(
+                &format!("(scoretab ^rule {name} ^depth {depth} ^value {})", score(name, depth)),
+                &classes,
+            ));
+        }
+    }
+    for r in 0..cfg.roots {
+        let n = format!("spec{r}");
+        identifiers.push(intern(&n));
+        init.push(w(&format!("(node ^id {n} ^kind sort ^depth 0)"), &classes));
+        init.push(w(&format!("(state ^id s0 ^node {n})"), &classes));
+    }
+
+    SoarTask { name: "cypress-sub".into(), classes, productions, init_wmes: init, identifiers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_shape() {
+        let t = cypress_sub(&CypressConfig::default());
+        assert!(t.production_count() >= 25);
+        // The derivation productions are context-heavy.
+        assert!(t.avg_ces() >= 3.0, "{}", t.avg_ces());
+        let biggest = t.productions.iter().map(|p| p.ce_count_flat()).max().unwrap();
+        assert!(biggest >= 5, "largest production has {biggest} CEs");
+        assert!(t.init_wmes.len() > 40);
+    }
+}

@@ -1,0 +1,311 @@
+//! Eight-puzzle-Soar (the paper's task 2, 71 productions in the original).
+//!
+//! States are immutable objects whose `^binding` augmentations pair cells
+//! with tiles; move operators are proposed for every tile adjacent to the
+//! blank, ties impasse into the selection space, task `eval` productions
+//! score moves by the means-ends heuristic (+1 into the tile's desired
+//! cell, −1 out of it, 0 otherwise), and chunks learned from the ties
+//! encode the greedy move-selection rule. Completion is detected with a
+//! conjunctive negation — "no desired cell currently holds a wrong tile" —
+//! exercising Soar's NCC extension to OPS5.
+
+use psme_ops::{intern, parse_program, parse_wme, ClassRegistry, Symbol};
+use psme_soar::{declare_arch_classes, SoarTask};
+use std::sync::Arc;
+
+/// A board: `board[row][col]`, 0 = blank, 1–8 = tiles.
+pub type Board = [[u8; 3]; 3];
+
+/// The classic 8-puzzle goal configuration.
+pub fn goal_board() -> Board {
+    [[1, 2, 3], [8, 0, 4], [7, 6, 5]]
+}
+
+/// Scramble the goal by a random walk of `moves` blank moves (never
+/// immediately undoing), giving boards that the greedy means-ends strategy
+/// solves.
+pub fn scrambled(moves: usize, seed: u64) -> Board {
+    let mut b = goal_board();
+    let mut rng = psme_rete::testgen::XorShift::new(seed);
+    let (mut br, mut bc) = blank_pos(&b);
+    let mut last: Option<(usize, usize)> = None;
+    for _ in 0..moves {
+        let mut opts: Vec<(usize, usize)> = Vec::new();
+        for (dr, dc) in [(0i32, 1i32), (0, -1), (1, 0), (-1, 0)] {
+            let (r, c) = (br as i32 + dr, bc as i32 + dc);
+            if (0..3).contains(&r) && (0..3).contains(&c) && last != Some((r as usize, c as usize))
+            {
+                opts.push((r as usize, c as usize));
+            }
+        }
+        let (r, c) = opts[rng.below(opts.len())];
+        b[br][bc] = b[r][c];
+        b[r][c] = 0;
+        last = Some((br, bc));
+        (br, bc) = (r, c);
+    }
+    b
+}
+
+fn blank_pos(b: &Board) -> (usize, usize) {
+    for r in 0..3 {
+        for c in 0..3 {
+            if b[r][c] == 0 {
+                return (r, c);
+            }
+        }
+    }
+    unreachable!("board has a blank")
+}
+
+fn cell_name(r: usize, c: usize) -> String {
+    format!("c{}{}", r + 1, c + 1)
+}
+
+fn tile_name(t: u8) -> String {
+    if t == 0 {
+        "tblank".to_string()
+    } else {
+        format!("t{t}")
+    }
+}
+
+/// The hand-written core productions.
+const CORE_PRODUCTIONS: &str = "
+(p ep*init-ps
+   (goal ^id <g> ^type top)
+  -->
+   (make preference ^object ps-eight ^role problem-space ^value acceptable ^goal <g>))
+
+(p ep*init-state
+   (goal ^id <g> ^problem-space ps-eight)
+  -->
+   (make preference ^object s0 ^role state ^value acceptable ^goal <g>))
+
+(p ep*propose
+   (goal ^id <g> ^state <s>)
+   (state ^id <s> ^binding <bb>)
+   (binding ^id <bb> ^cell <cb> ^tile tblank)
+   (cell ^id <cb> ^adjacent <ca>)
+   (state ^id <s> ^binding <ba>)
+   (binding ^id <ba> ^cell <ca> ^tile <t>)
+  -->
+   (bind <o> (genatom))
+   (make op ^id <o> ^tile <t> ^from <ca> ^to <cb>)
+   (make preference ^object <o> ^role operator ^value acceptable ^goal <g> ^state <s>))
+
+(p ep*apply
+   (goal ^id <g> ^operator <o>)
+   (op ^id <o> ^tile <t> ^from <ca> ^to <cb>)
+   (goal ^id <g> ^state <s>)
+   (state ^id <s> ^binding <bb>)
+   (binding ^id <bb> ^cell <cb> ^tile tblank)
+   (state ^id <s> ^binding <ba>)
+   (binding ^id <ba> ^cell <ca> ^tile <t>)
+  -->
+   (bind <s2> (genatom))
+   (bind <n1> (genatom))
+   (bind <n2> (genatom))
+   (make op ^id <o> ^new-state <s2>)
+   (make binding ^id <n1> ^cell <cb> ^tile <t>)
+   (make binding ^id <n2> ^cell <ca> ^tile tblank)
+   (make state ^id <s2> ^binding <n1>)
+   (make state ^id <s2> ^binding <n2>)
+   (make preference ^object <s2> ^role state ^value acceptable ^goal <g>)
+   (make preference ^object <s> ^role state ^value reject ^goal <g>))
+
+(p ep*copy-unchanged
+   (goal ^id <g> ^operator <o>)
+   (op ^id <o> ^from <ca> ^to <cb>)
+   (op ^id <o> ^new-state <s2>)
+   (goal ^id <g> ^state <s>)
+   (state ^id <s> ^binding <b>)
+   (binding ^id <b> ^cell { <> <ca> <> <cb> })
+  -->
+   (make state ^id <s2> ^binding <b>))
+
+(p ep*goal-test
+   (goal ^id <g> ^state <s>)
+  -{ (desired ^tile <t> ^cell <c>)
+     (state ^id <s> ^binding <b>)
+     (binding ^id <b> ^cell <c> ^tile <> <t>) }
+  -->
+   (write solved)
+   (halt))
+
+(p ep*eval-toward
+   (goal ^id <g2> ^impasse tie)
+   (goal ^id <g2> ^item <o>)
+   (goal ^id <g2> ^supergoal <g1>)
+   (goal ^id <g1> ^state <s>)
+   (op ^id <o> ^tile <t> ^from <ca> ^to <cb>)
+   (state ^id <s> ^binding <bb>)
+   (binding ^id <bb> ^cell <cb> ^tile tblank)
+   (state ^id <s> ^binding <ba>)
+   (binding ^id <ba> ^cell <ca> ^tile <t>)
+   (desired ^tile <t> ^cell <cb>)
+  -->
+   (make eval ^goal <g2> ^object <o> ^value 1))
+
+(p ep*eval-away
+   (goal ^id <g2> ^impasse tie)
+   (goal ^id <g2> ^item <o>)
+   (goal ^id <g2> ^supergoal <g1>)
+   (goal ^id <g1> ^state <s>)
+   (op ^id <o> ^tile <t> ^from <ca> ^to <cb>)
+   (state ^id <s> ^binding <bb>)
+   (binding ^id <bb> ^cell <cb> ^tile tblank)
+   (state ^id <s> ^binding <ba>)
+   (binding ^id <ba> ^cell <ca> ^tile <t>)
+   (desired ^tile <t> ^cell <ca>)
+  -->
+   (make eval ^goal <g2> ^object <o> ^value -1))
+
+(p ep*eval-neutral
+   (goal ^id <g2> ^impasse tie)
+   (goal ^id <g2> ^item <o>)
+   (goal ^id <g2> ^supergoal <g1>)
+   (goal ^id <g1> ^state <s>)
+   (op ^id <o> ^tile <t> ^from <ca> ^to <cb>)
+   (state ^id <s> ^binding <bb>)
+   (binding ^id <bb> ^cell <cb> ^tile tblank)
+   (state ^id <s> ^binding <ba>)
+   (binding ^id <ba> ^cell <ca> ^tile <t>)
+  -(desired ^tile <t> ^cell <cb>)
+  -(desired ^tile <t> ^cell <ca>)
+  -->
+   (make eval ^goal <g2> ^object <o> ^value 0))
+";
+
+/// Build the Eight-puzzle-Soar task for an initial board.
+pub fn eight_puzzle(initial: &Board) -> SoarTask {
+    let mut classes = ClassRegistry::new();
+    declare_arch_classes(&mut classes);
+    classes.declare_str("cell", &["id", "adjacent"]);
+    classes.declare_str("tile", &["id", "name"]);
+    classes.declare_str("binding", &["id", "cell", "tile"]);
+    classes.declare_str("state", &["id", "binding"]);
+    classes.declare_str("op", &["id", "tile", "from", "to", "new-state"]);
+    classes.declare_str("desired", &["tile", "cell"]);
+    classes.declare_str("note", &["id", "tag", "cell"]);
+
+    let mut src = String::from(CORE_PRODUCTIONS);
+    // Monitor productions, in the spirit of the Strips monitor of Fig. 6-7:
+    // one per tile and one per cell, each creating a note on the current
+    // state (they add realistic match load and affect-set width).
+    for t in 1..=8u8 {
+        src.push_str(&format!(
+            "(p ep*monitor-tile-{t}
+                (goal ^id <g> ^state <s>)
+                (state ^id <s> ^binding <b>)
+                (binding ^id <b> ^tile t{t} ^cell <c>)
+                (cell ^id <c> ^adjacent <c2>)
+               -->
+                (make note ^id <s> ^tag mtile{t} ^cell <c>))\n"
+        ));
+    }
+    for r in 0..3 {
+        for c in 0..3 {
+            let cn = cell_name(r, c);
+            src.push_str(&format!(
+                "(p ep*monitor-cell-{cn}
+                    (goal ^id <g> ^state <s>)
+                    (state ^id <s> ^binding <b>)
+                    (binding ^id <b> ^cell {cn} ^tile <t>)
+                    (tile ^id <t> ^name <n>)
+                   -->
+                    (make note ^id <s> ^tag mcell{cn} ^cell {cn}))\n"
+            ));
+        }
+    }
+
+    let productions: Vec<Arc<_>> = parse_program(&src, &mut classes)
+        .expect("eight-puzzle productions parse")
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+
+    // Static structure + initial state.
+    let mut init = Vec::new();
+    let mut identifiers: Vec<Symbol> = vec![intern("ps-eight"), intern("s0")];
+    let w = |s: &str, classes: &ClassRegistry| parse_wme(s, classes).unwrap();
+    // Cells and 4-adjacency.
+    for r in 0..3i32 {
+        for c in 0..3i32 {
+            let cn = cell_name(r as usize, c as usize);
+            for (dr, dc) in [(0, 1), (0, -1), (1, 0), (-1, 0)] {
+                let (r2, c2) = (r + dr, c + dc);
+                if (0..3).contains(&r2) && (0..3).contains(&c2) {
+                    let cn2 = cell_name(r2 as usize, c2 as usize);
+                    init.push(w(&format!("(cell ^id {cn} ^adjacent {cn2})"), &classes));
+                }
+            }
+        }
+    }
+    // Tiles.
+    for t in 0..=8u8 {
+        let tn = tile_name(t);
+        init.push(w(&format!("(tile ^id {tn} ^name {})", if t == 0 { "blank".into() } else { t.to_string() }), &classes));
+    }
+    // Desired configuration.
+    let goal = goal_board();
+    for (r, row) in goal.iter().enumerate() {
+        for (c, &t) in row.iter().enumerate() {
+            if t != 0 {
+                init.push(w(
+                    &format!("(desired ^tile {} ^cell {})", tile_name(t), cell_name(r, c)),
+                    &classes,
+                ));
+            }
+        }
+    }
+    // Initial state bindings.
+    for (r, row) in initial.iter().enumerate() {
+        for (c, &t) in row.iter().enumerate() {
+            let b = format!("b0{}{}", r + 1, c + 1);
+            identifiers.push(intern(&b));
+            init.push(w(
+                &format!("(binding ^id {b} ^cell {} ^tile {})", cell_name(r, c), tile_name(t)),
+                &classes,
+            ));
+            init.push(w(&format!("(state ^id s0 ^binding {b})"), &classes));
+        }
+    }
+
+    SoarTask { name: "eight-puzzle".into(), classes, productions, init_wmes: init, identifiers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_shape() {
+        let t = eight_puzzle(&scrambled(3, 7));
+        assert!(t.production_count() >= 25, "{}", t.production_count());
+        assert!(t.avg_ces() >= 3.0);
+        // 12 adjacency pairs ×2 + 9 tiles + 8 desired + 18 state wmes
+        assert!(t.init_wmes.len() > 40);
+    }
+
+    #[test]
+    fn scramble_is_reproducible_and_solvable_shape() {
+        let a = scrambled(5, 42);
+        let b = scrambled(5, 42);
+        assert_eq!(a, b);
+        let mut tiles: Vec<u8> = a.iter().flatten().copied().collect();
+        tiles.sort_unstable();
+        assert_eq!(tiles, (0..9).collect::<Vec<u8>>());
+        assert_ne!(a, goal_board());
+    }
+
+    #[test]
+    fn goal_board_is_already_solved_state() {
+        // A task initialized at the goal should halt almost immediately.
+        let task = eight_puzzle(&goal_board());
+        let (report, _) = crate::harness::run_serial(&task, crate::harness::RunMode::WithoutChunking, false);
+        assert_eq!(report.stop, psme_soar::StopReason::Halted);
+        assert_eq!(report.output, vec!["solved"]);
+        assert_eq!(report.stats.impasses, 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # psme-tasks — the paper's task suites
+//!
+//! * [`mod@eight_puzzle`] — Eight-puzzle-Soar (§3, task 2);
+//! * [`mod@strips`] — Strips-Soar robot planning (§3, task 3), including the
+//!   long-chain `monitor-strips-state` production of Figure 6-7;
+//! * [`cypress`] — the Cypress-substitute algorithm-derivation task (see
+//!   DESIGN.md §3: the original Designer/Cypress knowledge base was never
+//!   released, so this synthetic derivation task reproduces its workload
+//!   characteristics: large CE counts, deep tie chains, long runs);
+//! * [`harness`] — the without/during/after-chunking run harness.
+
+pub mod cypress;
+pub mod eight_puzzle;
+pub mod harness;
+pub mod strips;
+
+pub use cypress::{cypress_sub, CypressConfig};
+pub use eight_puzzle::{eight_puzzle, goal_board, scrambled, Board};
+pub use harness::{run_parallel, run_serial, run_serial_with_orgs, RunMode, RunReport, DECISION_BUDGET};
+pub use strips::{strips, StripsConfig};

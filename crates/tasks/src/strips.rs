@@ -1,0 +1,324 @@
+//! Strips-Soar (the paper's task 3): robot navigation through rooms and
+//! doors, with door-opening operators. Includes the generated
+//! `monitor-strips-state` production — the 40+-CE long-chain production of
+//! Figure 6-7 that motivates the constrained bilinear networks of §6.2.
+
+use psme_ops::{intern, parse_program, parse_wme, ClassRegistry, Symbol, Wme};
+use psme_soar::{declare_arch_classes, SoarTask};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// World shape.
+#[derive(Clone, Debug)]
+pub struct StripsConfig {
+    /// Number of rooms (ring topology plus chords).
+    pub rooms: usize,
+    /// Doors that start closed (indices into the door list).
+    pub closed_doors: Vec<usize>,
+    /// Start room (0-based).
+    pub start: usize,
+    /// Target room (0-based).
+    pub target: usize,
+    /// Add the two chord doors across the ring (off for long-route
+    /// benchmark worlds).
+    pub chords: bool,
+}
+
+impl Default for StripsConfig {
+    fn default() -> StripsConfig {
+        StripsConfig { rooms: 6, closed_doors: vec![2], start: 0, target: 4, chords: true }
+    }
+}
+
+/// Door list for a config: a ring `r0–r1–…–rN–r0` plus two chords.
+pub fn doors_of(cfg: &StripsConfig) -> Vec<(usize, usize)> {
+    let n = cfg.rooms;
+    let mut doors: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    if cfg.chords && n >= 6 {
+        doors.push((1, n - 2));
+        doors.push((0, n / 2));
+    }
+    doors
+}
+
+fn bfs_dist(n: usize, doors: &[(usize, usize)], target: usize) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; n];
+    let mut q = VecDeque::new();
+    dist[target] = 0;
+    q.push_back(target);
+    while let Some(r) = q.pop_front() {
+        for &(a, b) in doors {
+            for (x, y) in [(a, b), (b, a)] {
+                if x == r && dist[y] == u32::MAX {
+                    dist[y] = dist[r] + 1;
+                    q.push_back(y);
+                }
+            }
+        }
+    }
+    dist
+}
+
+const CORE_PRODUCTIONS: &str = "
+(p st*init-ps
+   (goal ^id <g> ^type top)
+  -->
+   (make preference ^object ps-strips ^role problem-space ^value acceptable ^goal <g>))
+
+(p st*init-state
+   (goal ^id <g> ^problem-space ps-strips)
+  -->
+   (make preference ^object s0 ^role state ^value acceptable ^goal <g>))
+
+(p st*propose-go-fwd
+   (goal ^id <g> ^state <s>)
+   (state ^id <s> ^robot-at <r>)
+   (door ^id <d> ^room1 <r> ^room2 <r2>)
+   (state ^id <s> ^dstatus <ds>)
+   (dstatus ^id <ds> ^door <d> ^status open)
+  -->
+   (bind <o> (genatom))
+   (make op ^id <o> ^kind go ^door <d> ^from <r> ^to <r2>)
+   (make preference ^object <o> ^role operator ^value acceptable ^goal <g> ^state <s>))
+
+(p st*propose-go-back
+   (goal ^id <g> ^state <s>)
+   (state ^id <s> ^robot-at <r>)
+   (door ^id <d> ^room2 <r> ^room1 <r2>)
+   (state ^id <s> ^dstatus <ds>)
+   (dstatus ^id <ds> ^door <d> ^status open)
+  -->
+   (bind <o> (genatom))
+   (make op ^id <o> ^kind go ^door <d> ^from <r> ^to <r2>)
+   (make preference ^object <o> ^role operator ^value acceptable ^goal <g> ^state <s>))
+
+(p st*propose-open-fwd
+   (goal ^id <g> ^state <s>)
+   (state ^id <s> ^robot-at <r>)
+   (door ^id <d> ^room1 <r> ^room2 <r2>)
+   (state ^id <s> ^dstatus <ds>)
+   (dstatus ^id <ds> ^door <d> ^status closed)
+  -->
+   (bind <o> (genatom))
+   (make op ^id <o> ^kind open ^door <d> ^from <r> ^to <r2>)
+   (make preference ^object <o> ^role operator ^value acceptable ^goal <g> ^state <s>))
+
+(p st*propose-open-back
+   (goal ^id <g> ^state <s>)
+   (state ^id <s> ^robot-at <r>)
+   (door ^id <d> ^room2 <r> ^room1 <r2>)
+   (state ^id <s> ^dstatus <ds>)
+   (dstatus ^id <ds> ^door <d> ^status closed)
+  -->
+   (bind <o> (genatom))
+   (make op ^id <o> ^kind open ^door <d> ^from <r> ^to <r2>)
+   (make preference ^object <o> ^role operator ^value acceptable ^goal <g> ^state <s>))
+
+(p st*apply-go
+   (goal ^id <g> ^operator <o>)
+   (op ^id <o> ^kind go ^to <r2>)
+   (goal ^id <g> ^state <s>)
+  -->
+   (bind <s2> (genatom))
+   (make op ^id <o> ^new-state <s2>)
+   (make state ^id <s2> ^robot-at <r2>)
+   (make preference ^object <s2> ^role state ^value acceptable ^goal <g>)
+   (make preference ^object <s> ^role state ^value reject ^goal <g>))
+
+(p st*copy-dstatus-go
+   (goal ^id <g> ^operator <o>)
+   (op ^id <o> ^kind go)
+   (op ^id <o> ^new-state <s2>)
+   (goal ^id <g> ^state <s>)
+   (state ^id <s> ^dstatus <ds>)
+  -->
+   (make state ^id <s2> ^dstatus <ds>))
+
+(p st*apply-open
+   (goal ^id <g> ^operator <o>)
+   (op ^id <o> ^kind open ^door <d> ^from <r>)
+   (goal ^id <g> ^state <s>)
+  -->
+   (bind <s2> (genatom))
+   (bind <nd> (genatom))
+   (make op ^id <o> ^new-state <s2>)
+   (make state ^id <s2> ^robot-at <r>)
+   (make dstatus ^id <nd> ^door <d> ^status open)
+   (make state ^id <s2> ^dstatus <nd>)
+   (make preference ^object <s2> ^role state ^value acceptable ^goal <g>)
+   (make preference ^object <s> ^role state ^value reject ^goal <g>))
+
+(p st*copy-dstatus-open
+   (goal ^id <g> ^operator <o>)
+   (op ^id <o> ^kind open ^door <d>)
+   (op ^id <o> ^new-state <s2>)
+   (goal ^id <g> ^state <s>)
+   (state ^id <s> ^dstatus <ds>)
+   (dstatus ^id <ds> ^door { <d2> <> <d> })
+  -->
+   (make state ^id <s2> ^dstatus <ds>))
+
+(p st*goal-test
+   (goal ^id <g> ^state <s>)
+   (state ^id <s> ^robot-at <r>)
+   (target ^room <r>)
+  -->
+   (write arrived)
+   (halt))
+
+(p st*eval-go
+   (goal ^id <g2> ^impasse tie)
+   (goal ^id <g2> ^item <o>)
+   (goal ^id <g2> ^supergoal <g1>)
+   (goal ^id <g1> ^state <s>)
+   (state ^id <s> ^robot-at <r>)
+   (op ^id <o> ^kind go ^door <d> ^from <r> ^to <r2>)
+   (state ^id <s> ^dstatus <ds>)
+   (dstatus ^id <ds> ^door <d> ^status open)
+   (door ^id <d> ^room1 <ra> ^room2 <rb>)
+   (dist ^room <r2> ^value <n>)
+  -->
+   (bind <v> (compute 20 - <n>))
+   (make eval ^goal <g2> ^object <o> ^value <v>))
+
+(p st*eval-open
+   (goal ^id <g2> ^impasse tie)
+   (goal ^id <g2> ^item <o>)
+   (goal ^id <g2> ^supergoal <g1>)
+   (goal ^id <g1> ^state <s>)
+   (state ^id <s> ^robot-at <r>)
+   (op ^id <o> ^kind open ^door <d> ^from <r> ^to <r2>)
+   (state ^id <s> ^dstatus <ds>)
+   (dstatus ^id <ds> ^door <d> ^status closed)
+   (door ^id <d> ^room1 <ra> ^room2 <rb>)
+   (dist ^room <r2> ^value <n>)
+  -->
+   (bind <v> (compute 19 - <n>))
+   (make eval ^goal <g2> ^object <o> ^value <v>))
+";
+
+/// Build the Strips-Soar task.
+pub fn strips(cfg: &StripsConfig) -> SoarTask {
+    assert!(cfg.rooms >= 3 && cfg.start < cfg.rooms && cfg.target < cfg.rooms);
+    let doors = doors_of(cfg);
+    let dist = bfs_dist(cfg.rooms, &doors, cfg.target);
+
+    let mut classes = ClassRegistry::new();
+    declare_arch_classes(&mut classes);
+    classes.declare_str("room", &["id"]);
+    classes.declare_str("door", &["id", "room1", "room2"]);
+    classes.declare_str("dstatus", &["id", "door", "status"]);
+    classes.declare_str("state", &["id", "robot-at", "dstatus"]);
+    classes.declare_str("op", &["id", "kind", "door", "from", "to", "new-state"]);
+    classes.declare_str("target", &["room"]);
+    classes.declare_str("dist", &["room", "value"]);
+    classes.declare_str("pspace", &["id", "name"]);
+    classes.declare_str("note", &["id", "tag"]);
+
+    let mut src = String::from(CORE_PRODUCTIONS);
+
+    // The Figure 6-7 long-chain production: match the whole door-status
+    // structure of the current state in one production (3 CEs per door,
+    // plus the context header) — 41 CEs at 12 doors.
+    src.push_str(
+        "(p monitor-strips-state
+   (goal ^id <g> ^problem-space <p>)
+   (pspace ^id <p> ^name strips)
+   (goal ^id <g> ^state <s>)
+   (state ^id <s> ^robot-at <r>)
+   (room ^id <r>)\n",
+    );
+    for (i, _) in doors.iter().enumerate() {
+        src.push_str(&format!(
+            "   (state ^id <s> ^dstatus <ds{i}>)
+   (dstatus ^id <ds{i}> ^door {{ <d{i}> dr{i} }} ^status <st{i}>)
+   (door ^id <d{i}> ^room1 <a{i}> ^room2 <b{i}>)\n"
+        ));
+    }
+    src.push_str("  -->\n   (make note ^id <s> ^tag monitor))\n");
+
+    // Per-door and per-room monitors (affect-set width).
+    for (i, _) in doors.iter().enumerate() {
+        src.push_str(&format!(
+            "(p st*monitor-door-{i}
+                (goal ^id <g> ^state <s>)
+                (state ^id <s> ^dstatus <ds>)
+                (dstatus ^id <ds> ^door dr{i} ^status <st>)
+               -->
+                (make note ^id <s> ^tag mdoor{i}))\n"
+        ));
+    }
+    for r in 0..cfg.rooms {
+        src.push_str(&format!(
+            "(p st*monitor-room-{r}
+                (goal ^id <g> ^state <s>)
+                (state ^id <s> ^robot-at rm{r})
+                (dist ^room rm{r} ^value <n>)
+               -->
+                (make note ^id <s> ^tag mroom{r}))\n"
+        ));
+    }
+
+    let productions: Vec<Arc<_>> = parse_program(&src, &mut classes)
+        .expect("strips productions parse")
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+
+    let mut init = Vec::new();
+    let mut identifiers: Vec<Symbol> = vec![intern("ps-strips"), intern("s0")];
+    let w = |s: &str, classes: &ClassRegistry| -> Wme { parse_wme(s, classes).unwrap() };
+    init.push(w("(pspace ^id ps-strips ^name strips)", &classes));
+    for r in 0..cfg.rooms {
+        init.push(w(&format!("(room ^id rm{r})"), &classes));
+        init.push(w(&format!("(dist ^room rm{r} ^value {})", dist[r]), &classes));
+    }
+    for (i, &(a, b)) in doors.iter().enumerate() {
+        init.push(w(&format!("(door ^id dr{i} ^room1 rm{a} ^room2 rm{b})"), &classes));
+        let status = if cfg.closed_doors.contains(&i) { "closed" } else { "open" };
+        let ds = format!("ds0{i}");
+        identifiers.push(intern(&ds));
+        init.push(w(&format!("(dstatus ^id {ds} ^door dr{i} ^status {status})"), &classes));
+        init.push(w(&format!("(state ^id s0 ^dstatus {ds})"), &classes));
+    }
+    init.push(w(&format!("(state ^id s0 ^robot-at rm{})", cfg.start), &classes));
+    init.push(w(&format!("(target ^room rm{})", cfg.target), &classes));
+
+    SoarTask { name: "strips".into(), classes, productions, init_wmes: init, identifiers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_shape_and_long_chain() {
+        let t = strips(&StripsConfig::default());
+        assert!(t.production_count() >= 25);
+        let monitor = t
+            .productions
+            .iter()
+            .find(|p| p.name == intern("monitor-strips-state"))
+            .expect("long-chain production present");
+        // 5 header + 3 per door (8 doors at 6 rooms) = 29 CEs.
+        assert!(monitor.ce_count_flat() >= 25, "{}", monitor.ce_count_flat());
+    }
+
+    #[test]
+    fn distances_reach_all_rooms() {
+        let cfg = StripsConfig::default();
+        let d = bfs_dist(cfg.rooms, &doors_of(&cfg), cfg.target);
+        assert!(d.iter().all(|&x| x != u32::MAX));
+        assert_eq!(d[cfg.target], 0);
+    }
+
+    #[test]
+    fn trivial_world_halts_immediately() {
+        let cfg = StripsConfig { rooms: 3, closed_doors: vec![], start: 1, target: 1, chords: true };
+        let t = strips(&cfg);
+        let (report, _) =
+            crate::harness::run_serial(&t, crate::harness::RunMode::WithoutChunking, false);
+        assert_eq!(report.stop, psme_soar::StopReason::Halted);
+        assert_eq!(report.output, vec!["arrived"]);
+    }
+}

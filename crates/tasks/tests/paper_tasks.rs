@@ -1,0 +1,89 @@
+//! Full runs of the three paper tasks in all three run modes.
+
+use psme_tasks::{
+    cypress_sub, eight_puzzle, run_serial, scrambled, strips, CypressConfig, RunMode,
+    StripsConfig,
+};
+use psme_soar::StopReason;
+
+#[test]
+fn eight_puzzle_solves_and_learns() {
+    let task = eight_puzzle(&scrambled(4, 11));
+    let (without, _) = run_serial(&task, RunMode::WithoutChunking, false);
+    assert_eq!(without.stop, StopReason::Halted, "{:?}", without.stats);
+    assert_eq!(without.output, vec!["solved"]);
+    assert!(without.stats.impasses > 0, "ties occurred");
+    assert_eq!(without.stats.chunks_built, 0);
+
+    let (during, _) = run_serial(&task, RunMode::DuringChunking, false);
+    assert_eq!(during.stop, StopReason::Halted);
+    assert!(during.stats.chunks_built > 0, "learned chunks");
+
+    let (after, _) = run_serial(&task, RunMode::AfterChunking, false);
+    assert_eq!(after.stop, StopReason::Halted);
+    assert!(
+        after.stats.impasses < without.stats.impasses,
+        "chunks prevent impasses: {} vs {}",
+        after.stats.impasses,
+        without.stats.impasses
+    );
+    assert!(after.stats.decisions <= without.stats.decisions);
+}
+
+#[test]
+fn strips_solves_and_learns() {
+    let task = strips(&StripsConfig::default());
+    let (without, _) = run_serial(&task, RunMode::WithoutChunking, false);
+    assert_eq!(without.stop, StopReason::Halted, "{:?}", without.stats);
+    assert_eq!(without.output, vec!["arrived"]);
+    assert!(without.stats.impasses > 0);
+
+    let (during, _) = run_serial(&task, RunMode::DuringChunking, false);
+    assert_eq!(during.stop, StopReason::Halted);
+    assert!(during.stats.chunks_built > 0);
+
+    let (after, _) = run_serial(&task, RunMode::AfterChunking, false);
+    assert_eq!(after.stop, StopReason::Halted);
+    assert!(after.stats.impasses < without.stats.impasses);
+}
+
+#[test]
+fn strips_opens_closed_doors_when_needed() {
+    // Close every ring door on the short path: the robot must open one.
+    let cfg = StripsConfig { rooms: 6, closed_doors: vec![3, 4], start: 0, target: 4, chords: true };
+    let task = strips(&cfg);
+    let (r, _) = run_serial(&task, RunMode::WithoutChunking, false);
+    assert_eq!(r.stop, StopReason::Halted, "{:?}", r.stats);
+}
+
+#[test]
+fn cypress_derives_and_learns() {
+    let task = cypress_sub(&CypressConfig::default());
+    let (without, _) = run_serial(&task, RunMode::WithoutChunking, false);
+    assert_eq!(without.stop, StopReason::Halted, "{:?}", without.stats);
+    assert_eq!(without.output, vec!["derived"]);
+    assert!(without.stats.impasses >= 3, "ties at several depths: {:?}", without.stats);
+
+    let (during, _) = run_serial(&task, RunMode::DuringChunking, false);
+    assert_eq!(during.stop, StopReason::Halted);
+    assert!(during.stats.chunks_built >= 3, "{:?}", during.stats);
+
+    let (after, _) = run_serial(&task, RunMode::AfterChunking, false);
+    assert_eq!(after.stop, StopReason::Halted);
+    assert!(after.stats.impasses < without.stats.impasses);
+}
+
+#[test]
+fn chunk_ce_counts_exceed_task_production_ce_counts() {
+    // Table 5-1: "the chunks produced have about two to three times more
+    // CEs than the original hand-coded Soar productions".
+    let task = eight_puzzle(&scrambled(4, 21));
+    let (during, _) = run_serial(&task, RunMode::DuringChunking, false);
+    assert!(during.stats.chunks_built > 0);
+    let avg_chunk: f64 = during.chunks.iter().map(|c| c.ce_count_flat() as f64).sum::<f64>()
+        / during.chunks.len() as f64;
+    assert!(
+        avg_chunk > 3.0,
+        "chunks are substantial: avg {avg_chunk} CEs"
+    );
+}

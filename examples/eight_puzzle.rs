@@ -1,0 +1,49 @@
+//! Eight-puzzle-Soar in the paper's three run modes: without chunking,
+//! during chunking (learning), and after chunking (using what was learned).
+//!
+//! ```sh
+//! cargo run --release --example eight_puzzle
+//! ```
+
+use soar_psme::tasks::{eight_puzzle, run_serial, scrambled, RunMode};
+
+fn main() {
+    let board = scrambled(6, 2);
+    println!("initial board (0 = blank):");
+    for row in &board {
+        println!("  {row:?}");
+    }
+    let task = eight_puzzle(&board);
+    println!(
+        "\ntask: {} productions, {} initial wmes\n",
+        task.production_count(),
+        task.init_wmes.len()
+    );
+
+    for (label, mode) in [
+        ("without chunking", RunMode::WithoutChunking),
+        ("during chunking ", RunMode::DuringChunking),
+        ("after chunking  ", RunMode::AfterChunking),
+    ] {
+        let (report, engine) = run_serial(&task, mode, false);
+        println!(
+            "{label}: {:?} in {:>3} decisions | impasses {:>2} | chunks built {:>2} | \
+             firings {:>4} | match tasks {:>6}",
+            report.stop,
+            report.stats.decisions,
+            report.stats.impasses,
+            report.stats.chunks_built,
+            report.stats.firings,
+            engine.total_tasks(),
+        );
+    }
+
+    // Show one learned chunk: the compiled move-selection knowledge.
+    let (report, _) = run_serial(&task, RunMode::DuringChunking, false);
+    if let Some(chunk) = report.chunks.first() {
+        println!("\nfirst learned chunk ({} conditions):", chunk.ce_count_flat());
+        for ce in &chunk.ces {
+            println!("   {ce}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Reproduce the paper's headline experiment end to end: run a learning
+//! Soar task, capture the match-task traces, and replay them on the
+//! simulated Encore Multimax with 1–13 match processes under both task-queue
+//! organizations (Figures 6-1 and 6-4 in miniature).
+//!
+//! ```sh
+//! cargo run --release --example multimax_speedup
+//! ```
+
+use soar_psme::sim::{simulate_run, total_seconds, SimConfig, SimScheduler};
+use soar_psme::tasks::{cypress_sub, run_serial, CypressConfig, RunMode};
+
+fn main() {
+    let task = cypress_sub(&CypressConfig { roots: 2 });
+    println!("capturing match traces from a {} run…", task.name);
+    let (report, engine) = run_serial(&task, RunMode::WithoutChunking, true);
+    let cycles: Vec<_> = engine
+        .trace
+        .phase_cycles(soar_psme::rete::Phase::Match)
+        .cloned()
+        .collect();
+    println!(
+        "{:?}: {} decisions, {} elaboration cycles, {} match tasks\n",
+        report.stop,
+        report.stats.decisions,
+        cycles.len(),
+        engine.trace.total_tasks(),
+    );
+
+    for (label, sched) in [
+        ("single shared task queue (Figure 6-1)", SimScheduler::Single),
+        ("one queue per process  (Figure 6-4)", SimScheduler::Multi),
+    ] {
+        let uni = total_seconds(&simulate_run(&cycles, &SimConfig::new(1, sched)));
+        println!("{label}: simulated uniprocessor time {uni:.1} s");
+        for workers in [2usize, 4, 8, 13] {
+            let t = total_seconds(&simulate_run(&cycles, &SimConfig::new(workers, sched)));
+            let s = uni / t;
+            println!("  {workers:>2} processes: {s:>5.2}x  {}", "#".repeat((s * 4.0) as usize));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,65 @@
+//! Strips-Soar robot planning, run on the PSM-E parallel match engine with
+//! full instrumentation — queue spins, memory-line spins, tasks per cycle.
+//!
+//! ```sh
+//! cargo run --release --example strips_robot
+//! ```
+
+use soar_psme::engine::{EngineConfig, Scheduler};
+use soar_psme::tasks::{run_parallel, strips, RunMode, StripsConfig};
+
+fn main() {
+    let cfg = StripsConfig {
+        rooms: 8,
+        closed_doors: vec![2, 4],
+        start: 0,
+        target: 5,
+        chords: false,
+    };
+    let task = strips(&cfg);
+    println!(
+        "world: {} rooms, target rm{}, closed doors {:?}; {} productions \
+         (including the {}-CE monitor-strips-state of Figure 6-7)\n",
+        cfg.rooms,
+        cfg.target,
+        cfg.closed_doors,
+        task.production_count(),
+        task.productions
+            .iter()
+            .find(|p| p.name == soar_psme::ops::intern("monitor-strips-state"))
+            .map(|p| p.ce_count_flat())
+            .unwrap_or(0),
+    );
+
+    for workers in [1usize, 2, 4] {
+        let (report, engine) = run_parallel(
+            &task,
+            RunMode::DuringChunking,
+            EngineConfig {
+                workers,
+                scheduler: Scheduler::MultiQueue,
+                bucket_histograms: false,
+                ..Default::default()
+            },
+        );
+        let m = &engine.metrics;
+        let tasks = m.total_tasks();
+        let spins: u64 = m.cycles.iter().map(|c| c.queue.pop_spins + c.queue.push_spins).sum();
+        let failed: u64 = m.cycles.iter().map(|c| c.queue.failed_pops).sum();
+        println!(
+            "{workers} match process(es): {:?}, decisions {}, chunks {}, tasks {}, \
+             queue spins/task {:.2}, failed pops {}",
+            report.stop,
+            report.stats.decisions,
+            report.stats.chunks_built,
+            tasks,
+            spins as f64 / tasks.max(1) as f64,
+            failed,
+        );
+        if workers == 1 {
+            println!("  route taken: {:?}", report.output);
+        }
+    }
+    println!("\n(real threads on this host; the Multimax speedup curves come from");
+    println!(" `cargo bench -p psme-bench` which replays traces on the simulator)");
+}

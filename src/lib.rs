@@ -1,0 +1,22 @@
+//! # soar-psme — facade crate
+//!
+//! Reproduction of *Soar/PSM-E: Investigating Match Parallelism in a Learning
+//! Production System* (Tambe, Kalp, Gupta, Forgy, Milnes, Newell — PPoPP
+//! 1988). Re-exports the workspace crates under one roof:
+//!
+//! - [`ops`] — the OPS5/Soar production-system language
+//! - [`rete`] — the Rete match network with run-time production addition
+//! - [`engine`] — the PSM-E parallel match engine (task queues, workers)
+//! - [`soar`] — the Soar architecture (decide, impasses, chunking)
+//! - [`tasks`] — the paper's task suites (eight-puzzle, Strips, Cypress-sub)
+//! - [`sim`] — the Encore Multimax discrete-event simulator
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use psme_core as engine;
+pub use psme_ops as ops;
+pub use psme_rete as rete;
+pub use psme_sim as sim;
+pub use psme_soar as soar;
+pub use psme_tasks as tasks;

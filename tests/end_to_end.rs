@@ -1,0 +1,87 @@
+//! Cross-crate integration: the full paper pipeline through the facade
+//! crate — task → Soar agent → match engine → trace → Multimax simulator —
+//! plus chunk transfer between engines.
+
+use soar_psme::engine::{EngineConfig, Scheduler};
+use soar_psme::rete::Phase;
+use soar_psme::sim::{simulate_run, total_seconds, SimConfig, SimScheduler};
+use soar_psme::soar::StopReason;
+use soar_psme::tasks::{
+    eight_puzzle, run_parallel, run_serial, scrambled, strips, RunMode, StripsConfig,
+};
+
+#[test]
+fn full_pipeline_trace_to_simulated_speedup() {
+    let task = eight_puzzle(&scrambled(5, 4));
+    let (report, engine) = run_serial(&task, RunMode::WithoutChunking, true);
+    assert_eq!(report.stop, StopReason::Halted);
+
+    let cycles: Vec<_> = engine.trace.phase_cycles(Phase::Match).cloned().collect();
+    assert!(!cycles.is_empty());
+    let uni = total_seconds(&simulate_run(&cycles, &SimConfig::new(1, SimScheduler::Multi)));
+    let par = total_seconds(&simulate_run(&cycles, &SimConfig::new(8, SimScheduler::Multi)));
+    let speedup = uni / par;
+    assert!(speedup > 2.0, "8 simulated processes speed up the run: {speedup:.2}x");
+    assert!(speedup <= 8.0, "speedup bounded by the process count: {speedup:.2}x");
+}
+
+#[test]
+fn chunks_transfer_between_engine_kinds() {
+    // Learn on the serial engine, deploy the chunks on the parallel one.
+    let task = strips(&StripsConfig::default());
+    let (learned, _) = run_serial(&task, RunMode::DuringChunking, false);
+    assert!(learned.stats.chunks_built > 0);
+
+    let engine = soar_psme::engine::ParallelEngine::new(
+        soar_psme::rete::ReteNetwork::new(),
+        EngineConfig { workers: 2, scheduler: Scheduler::MultiQueue, ..Default::default() },
+    );
+    let mut agent = task.agent(engine);
+    for c in learned.chunks {
+        agent.load_production(c).unwrap();
+    }
+    let stop = agent.run(200);
+    assert_eq!(stop, StopReason::Halted);
+    assert_eq!(agent.stats.impasses, 0, "preloaded chunks preempt every tie");
+    assert_eq!(agent.output, vec!["arrived"]);
+}
+
+#[test]
+fn serial_and_parallel_agents_agree_on_behaviour() {
+    let task = eight_puzzle(&scrambled(4, 11));
+    let (ser, _) = run_serial(&task, RunMode::DuringChunking, false);
+    let (par, _) = run_parallel(
+        &task,
+        RunMode::DuringChunking,
+        EngineConfig { workers: 3, scheduler: Scheduler::SingleQueue, ..Default::default() },
+    );
+    assert_eq!(ser.stop, par.stop);
+    assert_eq!(ser.output, par.output);
+    assert_eq!(ser.stats.decisions, par.stats.decisions);
+    assert_eq!(ser.stats.impasses, par.stats.impasses);
+    assert_eq!(ser.stats.chunks_built, par.stats.chunks_built);
+    // Structurally identical chunks (order may differ).
+    let mut a: Vec<String> = ser.chunks.iter().map(|c| format!("{c}")).collect();
+    let mut b: Vec<String> = par.chunks.iter().map(|c| format!("{c}")).collect();
+    a.sort();
+    b.sort();
+    assert_eq!(a.len(), b.len());
+}
+
+#[test]
+fn update_phase_traces_are_captured_and_simulable() {
+    let task = eight_puzzle(&scrambled(5, 4));
+    let (report, engine) = run_serial(&task, RunMode::DuringChunking, true);
+    assert!(report.stats.chunks_built > 0);
+    let updates: Vec<_> = engine.trace.phase_cycles(Phase::Update).cloned().collect();
+    assert_eq!(
+        updates.len() as u64,
+        report.stats.chunks_built + task.productions.len() as u64 + 2, // + defaults
+        "one update phase per production addition"
+    );
+    let nonempty: Vec<_> = updates.into_iter().filter(|c| c.len() > 10).collect();
+    assert!(!nonempty.is_empty(), "chunk updates re-run WM through new nodes");
+    let uni = total_seconds(&simulate_run(&nonempty, &SimConfig::new(1, SimScheduler::Multi)));
+    let par = total_seconds(&simulate_run(&nonempty, &SimConfig::new(11, SimScheduler::Multi)));
+    assert!(uni / par > 2.0, "update phase parallelizes: {:.2}x", uni / par);
+}
