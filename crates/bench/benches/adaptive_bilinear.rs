@@ -13,7 +13,7 @@ use psme_tasks::{run_serial_with_orgs, RunMode};
 
 fn main() {
     println!("Adaptive bilinear reorganization (§7 future work, implemented)");
-    let (_, task) = paper_tasks().remove(1).into(); // strips: has the long chain
+    let (_, task) = paper_tasks().remove(1); // strips: has the long chain
     let cost = CostModel::default();
 
     // ---- Pass 1: run linear, diagnose. ----

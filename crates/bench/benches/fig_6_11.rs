@@ -19,7 +19,7 @@ fn main() {
     println!("Figures 6-11 / 6-12: Eight-puzzle tasks/cycle histograms");
     println!("paper: without chunking ≥60% of cycles < 100 tasks, ≈3% ≥ 1000;");
     println!("       after chunking > 30% of cycles have ≥ 1000 tasks");
-    let (_, task) = paper_tasks().remove(0).into();
+    let (_, task) = paper_tasks().remove(0);
     for (label, mode) in
         [("without chunking (Fig 6-11)", RunMode::WithoutChunking), ("after chunking (Fig 6-12)", RunMode::AfterChunking)]
     {

@@ -8,7 +8,7 @@ use psme_tasks::RunMode;
 fn main() {
     println!("Figure 6-5: Eight-puzzle — per-cycle speedups vs tasks/cycle (11 processes)");
     println!("paper: small cycles < 2x; some ≈300-task cycles stuck near 3x (long chains)");
-    let (_, task) = paper_tasks().remove(0).into();
+    let (_, task) = paper_tasks().remove(0);
     let (_, trace) = capture(&task, RunMode::WithoutChunking);
     let cycles = match_cycles(&trace);
     let c1 = SimConfig::new(1, SimScheduler::Multi);

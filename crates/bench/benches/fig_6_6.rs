@@ -7,7 +7,7 @@ use psme_tasks::RunMode;
 fn main() {
     println!("Figure 6-6: Eight-puzzle — tasks in system vs time (one large cycle, 11 procs)");
     println!("paper: an early burst (peak ≈140 at t=100) then a long 1–5-task tail (long chain)");
-    let (_, task) = paper_tasks().remove(0).into();
+    let (_, task) = paper_tasks().remove(0);
     let (_, trace) = capture(&task, RunMode::WithoutChunking);
     let cycles = match_cycles(&trace);
     let big = cycles.iter().max_by_key(|c| c.len()).expect("has cycles");

@@ -6,7 +6,7 @@ use psme_rete::{NetworkOrg, ReteNetwork};
 fn main() {
     println!("Figure 6-7: The long-chain production");
     println!("paper: monitor-strips-state has 43 CEs, producing a 43-deep join chain");
-    let (_, task) = paper_tasks().remove(1).into();
+    let (_, task) = paper_tasks().remove(1);
     let monitor = task
         .productions
         .iter()

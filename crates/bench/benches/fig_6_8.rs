@@ -8,7 +8,7 @@ use psme_sim::{simulate_cycle, SimConfig, SimScheduler};
 fn main() {
     println!("Figure 6-8: The constrained bilinear network");
     println!("paper: reduces monitor-strips-state's chain from 43 to ≈15 CEs");
-    let (_, task) = paper_tasks().remove(1).into();
+    let (_, task) = paper_tasks().remove(1);
     let monitor = task
         .productions
         .iter()

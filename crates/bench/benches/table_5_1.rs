@@ -41,7 +41,7 @@ fn main() {
             format!("{avg_task_ces:.0}"),
             format!("{avg_chunk_ces:.0}"),
             format!("{}", total_bytes / n),
-            format!("{}", if total_two > 0 { two_bytes_sum / total_two } else { 0 }),
+            format!("{}", two_bytes_sum.checked_div(total_two).unwrap_or(0)),
             format!("{}", chunks.len()),
         ]);
     }

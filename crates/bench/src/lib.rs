@@ -7,7 +7,8 @@
 //! and plain-text table rendering. Paper reference values are printed next
 //! to the measured ones; EXPERIMENTS.md records both.
 
-use psme_rete::{CycleTrace, Phase, RunTrace};
+use psme_obs::Json;
+use psme_rete::{CycleTrace, Phase, RunTrace, SerialEngine};
 use psme_sim::{simulate_run, total_seconds, SimConfig, SimScheduler};
 use psme_soar::SoarTask;
 use psme_tasks::{
@@ -41,6 +42,12 @@ pub fn paper_tasks() -> Vec<(&'static str, SoarTask)> {
 pub fn capture(task: &SoarTask, mode: RunMode) -> (RunReport, RunTrace) {
     let (report, engine) = run_serial(task, mode, true);
     (report, engine.trace)
+}
+
+/// Like [`capture`], but keep the whole engine — callers that profile
+/// per-node need the network to resolve production names.
+pub fn capture_engine(task: &SoarTask, mode: RunMode) -> (RunReport, SerialEngine) {
+    run_serial(task, mode, true)
 }
 
 /// Match-phase cycles of a run trace.
@@ -119,4 +126,39 @@ pub fn print_curve(title: &str, points: &[(usize, f64)], y_label: &str) {
 /// Format a float with two decimals.
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")
+}
+
+/// A `(workers, value)` sweep as a JSON array of objects.
+pub fn sweep_json(sweep: &[(usize, f64)], value_key: &str) -> Json {
+    Json::arr(sweep.iter().map(|&(w, v)| {
+        Json::obj([("workers", Json::from(w as u64)), (value_key, Json::float(v))])
+    }))
+}
+
+/// Write `BENCH_<name>.json` (under `$PSME_BENCH_DIR` or the current
+/// directory) and report where it went. Artifact failures must never sink
+/// a bench run, so errors are printed rather than propagated.
+pub fn emit_artifact(name: &str, doc: &Json) {
+    match psme_obs::write_artifact(name, doc) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nartifact {name}: write failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_serializes_and_parses_back() {
+        let doc = Json::obj([
+            ("figure", Json::from("6-1")),
+            ("speedups", sweep_json(&[(1, 1.0), (13, 7.25)], "speedup")),
+        ]);
+        let text = doc.pretty();
+        let back = Json::parse(&text).expect("exporter output must be well-formed JSON");
+        let arr = back.get("speedups").unwrap();
+        assert_eq!(arr.at(0).unwrap().get("workers").unwrap().as_u64(), Some(1));
+        assert_eq!(arr.at(1).unwrap().get("speedup").unwrap().as_f64(), Some(7.25));
+    }
 }

@@ -18,10 +18,11 @@
 use crate::metrics::{CycleMetrics, MetricsLog, WorkerStats};
 use crate::queue::{QueueStats, Scheduler, Task, TaskQueues};
 use parking_lot::{Condvar, Mutex, RwLock};
+use psme_obs::{ControlPhase, Counter, Recorder};
 use psme_ops::{Instantiation, Production, Wme, WmeId};
 use psme_rete::{
     fold_cs, instantiations_from_memories, process_beta, process_wme_change, seed_update,
-    AddOutcome, BuildError, CsChange, CycleOutcome, MemoryTable, NetworkOrg, NodeId,
+    AddOutcome, BuildError, CsChange, CycleOutcome, MemoryTable, NetworkOrg, NodeId, NodeKind,
     Phase, ReteNetwork, WmeStore,
 };
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, Ordering};
@@ -100,13 +101,19 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
                     // pushing it, even for a worker that woke late and is
                     // still in the previous cycle's work loop.
                     let min_node: NodeId = shared.min_node.load(Ordering::Relaxed);
+                    ws.counters.add(Counter::Tasks, 1);
                     match task {
                         Task::Alpha(w, d) => {
-                            process_wme_change(&net, &store, w, d, min_node, &mut |a| {
-                                pending.push(Task::Beta(a))
-                            });
+                            let (tests_run, _) =
+                                process_wme_change(&net, &store, w, d, min_node, &mut |a| {
+                                    pending.push(Task::Beta(a))
+                                });
+                            ws.counters.add(Counter::AlphaTasks, 1);
+                            ws.counters.add(Counter::Scanned, tests_run as u64);
+                            ws.counters.add(Counter::Emitted, pending.len() as u64);
                         }
                         Task::Beta(a) => {
+                            let cs_before = local_cs.len();
                             let stats = process_beta(
                                 &net,
                                 &shared.mem,
@@ -118,6 +125,18 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
                             );
                             ws.mem_spins += stats.spins;
                             ws.scanned += stats.scanned as u64;
+                            ws.counters.add(Counter::BetaTasks, 1);
+                            ws.counters.add(Counter::Scanned, stats.scanned as u64);
+                            ws.counters.add(Counter::Emitted, stats.emitted as u64);
+                            ws.counters.add(Counter::MemSpins, stats.spins);
+                            ws.counters.add(Counter::CsChanges, (local_cs.len() - cs_before) as u64);
+                            // A childless two-input activation is a null
+                            // activation in the paper's accounting.
+                            if stats.emitted == 0
+                                && matches!(net.node(a.node).kind, NodeKind::Join | NodeKind::Neg)
+                            {
+                                ws.counters.add(Counter::NullActivations, 1);
+                            }
                         }
                     }
                     // Children first, then retire self: the counter can only
@@ -161,6 +180,9 @@ pub struct ParallelEngine {
     config: EngineConfig,
     /// Per-cycle metrics log.
     pub metrics: MetricsLog,
+    /// Control-thread span recorder (match / §5.1 surgery / §5.2 update
+    /// phases; the embedding layer adds its own decide/chunk spans).
+    pub recorder: Recorder,
     cycle_count: u64,
 }
 
@@ -193,7 +215,14 @@ impl ParallelEngine {
                     .expect("spawn match process")
             })
             .collect();
-        ParallelEngine { shared, handles, config, metrics: MetricsLog::default(), cycle_count: 0 }
+        ParallelEngine {
+            shared,
+            handles,
+            config,
+            metrics: MetricsLog::default(),
+            recorder: Recorder::new(),
+            cycle_count: 0,
+        }
     }
 
     /// Number of match processes.
@@ -213,6 +242,10 @@ impl ParallelEngine {
         for (i, t) in seeds.into_iter().enumerate() {
             s.queues.push(i, t, &mut seed_stats);
         }
+        let span = self.recorder.start(match phase {
+            Phase::Match => ControlPhase::Match,
+            Phase::Update => ControlPhase::StateUpdate,
+        });
         let start = Instant::now();
         {
             let mut e = s.epoch.lock();
@@ -228,6 +261,7 @@ impl ParallelEngine {
             }
         }
         let wall_ns = start.elapsed().as_nanos() as u64;
+        self.recorder.finish_seq(span, self.cycle_count);
         debug_assert!(s.queues.all_empty());
 
         // Harvest.
@@ -244,6 +278,7 @@ impl ParallelEngine {
             cm.tasks += ws.tasks;
             cm.mem_spins += ws.mem_spins;
             cm.scanned += ws.scanned;
+            cm.counters.merge(&ws.counters);
             ws.reset();
         }
         if self.config.bucket_histograms {
@@ -307,6 +342,7 @@ impl ParallelEngine {
         prod: Arc<Production>,
         org: NetworkOrg,
     ) -> Result<AddOutcome, BuildError> {
+        let surgery = self.recorder.start(ControlPhase::NetworkSurgery);
         let (add, mut seeds) = {
             let mut net = self.shared.net.write();
             let add = net.add_production(prod, org)?;
@@ -316,6 +352,7 @@ impl ParallelEngine {
                 .collect();
             (add, seeds)
         };
+        self.recorder.finish_seq(surgery, self.cycle_count);
         {
             let store = self.shared.store.read();
             for (id, _) in store.iter_alive() {

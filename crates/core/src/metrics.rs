@@ -1,6 +1,7 @@
 //! Match-phase instrumentation (the measurements behind §6).
 
 use crate::queue::QueueStats;
+use psme_obs::{CounterSet, Json};
 use psme_rete::Phase;
 
 /// Everything measured about one cycle (match or update phase).
@@ -25,6 +26,8 @@ pub struct CycleMetrics {
     pub left_bucket_accesses: Vec<u64>,
     /// Per-line right-token access counts.
     pub right_bucket_accesses: Vec<u64>,
+    /// Merged worker counter sets (task mix, null activations, …).
+    pub counters: CounterSet,
 }
 
 impl CycleMetrics {
@@ -35,6 +38,48 @@ impl CycleMetrics {
         } else {
             (self.queue.pop_spins + self.queue.push_spins) as f64 / self.tasks as f64
         }
+    }
+
+    /// Memory-line lock spins per task — the §6.1 memory-contention
+    /// companion to [`Self::spins_per_task`] (which covers the queue
+    /// locks). High values mean workers are colliding on token memory
+    /// lines rather than on the scheduler.
+    pub fn contention_per_task(&self) -> f64 {
+        if self.tasks == 0 {
+            0.0
+        } else {
+            self.mem_spins as f64 / self.tasks as f64
+        }
+    }
+
+    /// As a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("cycle".to_string(), Json::from(self.cycle)),
+            (
+                "phase".to_string(),
+                match self.phase {
+                    Some(Phase::Match) => Json::from("match"),
+                    Some(Phase::Update) => Json::from("update"),
+                    None => Json::Null,
+                },
+            ),
+            ("tasks".to_string(), Json::from(self.tasks)),
+            ("wall_ns".to_string(), Json::from(self.wall_ns)),
+            ("pushes".to_string(), Json::from(self.queue.pushes)),
+            ("pops".to_string(), Json::from(self.queue.pops)),
+            ("failed_pops".to_string(), Json::from(self.queue.failed_pops)),
+            ("push_spins".to_string(), Json::from(self.queue.push_spins)),
+            ("pop_spins".to_string(), Json::from(self.queue.pop_spins)),
+            ("mem_spins".to_string(), Json::from(self.mem_spins)),
+            ("scanned".to_string(), Json::from(self.scanned)),
+            ("spins_per_task".to_string(), Json::float(self.spins_per_task())),
+            ("contention_per_task".to_string(), Json::float(self.contention_per_task())),
+        ];
+        if !self.counters.is_empty() {
+            fields.push(("counters".to_string(), self.counters.to_json()));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -49,6 +94,9 @@ pub struct WorkerStats {
     pub mem_spins: u64,
     /// Opposite entries scanned.
     pub scanned: u64,
+    /// Observability counters (task mix, null activations, …), kept on the
+    /// worker's stack and merged at the cycle barrier — no hot-path locks.
+    pub counters: CounterSet,
 }
 
 impl WorkerStats {
@@ -101,10 +149,22 @@ impl MetricsLog {
     /// (Figure 6-2): for each access count ≥ 1, the percentage of
     /// (bucket, cycle) observations with that count.
     pub fn left_access_distribution(&self) -> Vec<(u64, f64)> {
+        self.access_distribution(|c| &c.left_bucket_accesses)
+    }
+
+    /// The right-memory companion of [`Self::left_access_distribution`].
+    /// The paper's Figure 6-2 plots both: right memories (wme-keyed) hash
+    /// more uniformly than left memories (token-keyed), so this
+    /// distribution should sit closer to 1 access/bucket.
+    pub fn right_access_distribution(&self) -> Vec<(u64, f64)> {
+        self.access_distribution(|c| &c.right_bucket_accesses)
+    }
+
+    fn access_distribution(&self, side: impl Fn(&CycleMetrics) -> &Vec<u64>) -> Vec<(u64, f64)> {
         let mut counts: std::collections::BTreeMap<u64, u64> = Default::default();
         let mut total = 0u64;
         for c in &self.cycles {
-            for &a in &c.left_bucket_accesses {
+            for &a in side(c) {
                 if a > 0 {
                     *counts.entry(a).or_insert(0) += 1;
                     total += 1;
@@ -115,6 +175,33 @@ impl MetricsLog {
             .into_iter()
             .map(|(k, v)| (k, 100.0 * v as f64 / total.max(1) as f64))
             .collect()
+    }
+
+    /// Merged counters over the whole run.
+    pub fn total_counters(&self) -> CounterSet {
+        let mut all = CounterSet::new();
+        for c in &self.cycles {
+            all.merge(&c.counters);
+        }
+        all
+    }
+
+    /// The whole log as a JSON object: run totals plus the per-cycle array.
+    pub fn to_json(&self) -> Json {
+        let totals = self.total_counters();
+        let mut fields = vec![
+            ("cycles".to_string(), Json::from(self.cycles.len() as u64)),
+            ("total_tasks".to_string(), Json::from(self.total_tasks())),
+            ("total_wall_ns".to_string(), Json::from(self.total_wall_ns())),
+        ];
+        if !totals.is_empty() {
+            fields.push(("counters".to_string(), totals.to_json()));
+        }
+        fields.push((
+            "per_cycle".to_string(),
+            Json::arr(self.cycles.iter().map(CycleMetrics::to_json)),
+        ));
+        Json::Obj(fields)
     }
 }
 
@@ -152,9 +239,44 @@ mod tests {
         let mut log = MetricsLog::default();
         log.cycles.push(CycleMetrics {
             left_bucket_accesses: vec![0, 1, 1, 4],
+            right_bucket_accesses: vec![1, 1, 1, 0],
             ..Default::default()
         });
         let d = log.left_access_distribution();
         assert_eq!(d, vec![(1, 100.0 * 2.0 / 3.0), (4, 100.0 / 3.0)]);
+        // The right-side companion uses the same accounting over the other
+        // access vector.
+        assert_eq!(log.right_access_distribution(), vec![(1, 100.0)]);
+    }
+
+    #[test]
+    fn contention_per_task_tracks_mem_spins() {
+        let m = CycleMetrics { tasks: 8, mem_spins: 4, ..Default::default() };
+        assert!((m.contention_per_task() - 0.5).abs() < 1e-12);
+        assert_eq!(CycleMetrics::default().contention_per_task(), 0.0);
+    }
+
+    #[test]
+    fn metrics_log_serializes_to_json() {
+        use psme_obs::Counter;
+        let mut log = MetricsLog::default();
+        let mut c = CycleMetrics { cycle: 0, tasks: 12, wall_ns: 3400, mem_spins: 6, ..Default::default() };
+        c.phase = Some(Phase::Match);
+        c.queue.pushes = 12;
+        c.counters.add(Counter::Tasks, 12);
+        c.counters.add(Counter::NullActivations, 5);
+        log.cycles.push(c);
+        let j = log.to_json();
+        assert_eq!(j.get("total_tasks").and_then(|v| v.as_u64()), Some(12));
+        let cyc = j.get("per_cycle").unwrap().at(0).unwrap();
+        assert_eq!(cyc.get("phase").and_then(|v| v.as_str()), Some("match"));
+        assert_eq!(
+            cyc.get("counters").and_then(|c| c.get("null_activations")).and_then(|v| v.as_u64()),
+            Some(5)
+        );
+        assert!((cyc.get("contention_per_task").unwrap().as_f64().unwrap() - 0.5).abs() < 1e-12);
+        // And the document round-trips through the writer/parser.
+        let back = psme_obs::Json::parse(&j.pretty()).unwrap();
+        assert_eq!(back.get("total_wall_ns").and_then(|v| v.as_u64()), Some(3400));
     }
 }

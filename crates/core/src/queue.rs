@@ -229,8 +229,16 @@ mod tests {
                 loop {
                     if q.pop(w, &mut s).is_some() {
                         popped.fetch_add(1, Ordering::SeqCst);
-                    } else if done.load(Ordering::SeqCst) == 2 && q.pop(w, &mut s).is_none() {
-                        break;
+                    } else if done.load(Ordering::SeqCst) == 2 {
+                        // The failed pop above may predate the last pushes;
+                        // re-check now that all pushes are visible. The
+                        // re-pop must count its task, not discard it.
+                        match q.pop(w, &mut s) {
+                            Some(_) => {
+                                popped.fetch_add(1, Ordering::SeqCst);
+                            }
+                            None => break,
+                        }
                     }
                 }
             }));

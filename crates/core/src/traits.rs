@@ -36,6 +36,18 @@ pub trait MatchEngine {
 
     /// All current instantiations (quiescent-time helper).
     fn current_instantiations(&self) -> Vec<Instantiation>;
+
+    /// The engine's own control-thread span recorder, when it keeps one
+    /// (the parallel engine records match / §5.1 surgery / §5.2 state-update
+    /// spans; the serial engine records nothing).
+    fn recorder(&self) -> Option<&psme_obs::Recorder> {
+        None
+    }
+
+    /// The engine's per-cycle metrics log, when it keeps one.
+    fn metrics(&self) -> Option<&crate::metrics::MetricsLog> {
+        None
+    }
 }
 
 impl MatchEngine for SerialEngine {
@@ -111,5 +123,13 @@ impl MatchEngine for ParallelEngine {
 
     fn current_instantiations(&self) -> Vec<Instantiation> {
         ParallelEngine::current_instantiations(self)
+    }
+
+    fn recorder(&self) -> Option<&psme_obs::Recorder> {
+        Some(&self.recorder)
+    }
+
+    fn metrics(&self) -> Option<&crate::metrics::MetricsLog> {
+        Some(&self.metrics)
     }
 }

@@ -1,0 +1,34 @@
+//! Observability layer for the Soar/PSM-E reproduction.
+//!
+//! The paper's entire argument rests on *measurement*: Gupta's per-node
+//! activation counts, the null-activation overheads, the cost model behind
+//! the simulated speedups. This crate makes the same measurements
+//! first-class in the reproduction:
+//!
+//! - [`rec`] — a hand-rolled span/event recorder for the control thread's
+//!   phases (match, conflict resolution, decide, chunk build, §5.1 network
+//!   surgery, §5.2 state update) plus lock-free per-worker counters
+//!   ([`rec::CounterSet`]) that workers accumulate thread-locally and flush
+//!   at the cycle barrier they already cross.
+//! - [`profile`] — a per-node profiler over [`psme_rete::TaskRecord`]
+//!   streams producing §6-style hot-spot reports: activations, null
+//!   activations, opposite-memory entries scanned, attributed cost, with a
+//!   top-K table keyed back to production names.
+//! - [`json`] — a dependency-free JSON value type, writer and strict
+//!   parser (the build environment has no serde).
+//! - [`report`] — plain-text table rendering and `BENCH_<name>.json`
+//!   artifact emission for the bench harness.
+//!
+//! Everything is deliberately free of external dependencies and of hot-path
+//! synchronization: recording is owned by the thread doing the work, and
+//! aggregation happens at barriers that already exist.
+
+pub mod json;
+pub mod profile;
+pub mod rec;
+pub mod report;
+
+pub use json::Json;
+pub use profile::{HotSpotReport, NodeProfile, NodeProfiler};
+pub use rec::{ControlPhase, Counter, CounterSet, PhaseTotal, Recorder, SpanRecord};
+pub use report::{artifact_dir, artifact_path, write_artifact, write_json, TextTable};

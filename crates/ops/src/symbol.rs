@@ -135,8 +135,8 @@ mod tests {
         let results: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         // All threads must agree on the ids.
         for w in &results[1..] {
-            for (a, b) in results[0].iter().zip(w.iter().skip(0)) {
-                assert_eq!(sym_name(*a).len() > 0, sym_name(*b).len() > 0);
+            for (a, b) in results[0].iter().zip(w.iter()) {
+                assert_eq!(!sym_name(*a).is_empty(), !sym_name(*b).is_empty());
             }
         }
         assert_eq!(intern("sym-0"), intern("sym-0"));

@@ -112,7 +112,7 @@ pub fn code_size(net: &ReteNetwork, first_new: NodeId, model: &CodeSizeModel) ->
     ProdCodeSize {
         total_bytes: total,
         new_two_input: two,
-        bytes_per_two_input: if two > 0 { two_bytes / two } else { 0 },
+        bytes_per_two_input: two_bytes.checked_div(two).unwrap_or(0),
     }
 }
 

@@ -71,11 +71,11 @@ fn exists_conj(ctx: &mut Ctx<'_>, cs: &[Cond], depth: usize) -> bool {
     for i in 0..ctx.live.len() {
         let (_, w) = ctx.live[i];
         let mark = trail.len();
-        if test_cond(&cs[depth], w, &mut ctx.env, &mut trail) {
-            if exists_conj(ctx, cs, depth + 1) {
-                unwind(&mut ctx.env, &trail, 0);
-                return true;
-            }
+        if test_cond(&cs[depth], w, &mut ctx.env, &mut trail)
+            && exists_conj(ctx, cs, depth + 1)
+        {
+            unwind(&mut ctx.env, &trail, 0);
+            return true;
         }
         unwind(&mut ctx.env, &trail, mark);
         trail.truncate(mark);

@@ -101,6 +101,12 @@ pub fn instantiations_from_memories(
     out
 }
 
+/// Elapsed ns since `t0`, saturated to the [`TaskRecord::wall_ns`] width
+/// (`t0` is `None` when the engine isn't capturing).
+fn wall_ns_since(t0: Option<std::time::Instant>) -> u32 {
+    t0.map(|t| t.elapsed().as_nanos().min(u32::MAX as u128) as u32).unwrap_or(0)
+}
+
 /// Deterministic single-threaded match engine.
 pub struct SerialEngine {
     /// The compiled network.
@@ -179,6 +185,7 @@ impl SerialEngine {
             let tid = next_task;
             next_task += 1;
             let mut emitted = 0u32;
+            let t0 = self.capture.then(std::time::Instant::now);
             let (tests_run, _) =
                 process_wme_change(&self.net, &self.store, id, delta, 0, &mut |a| {
                     queue.push_back((a, Some(tid)));
@@ -195,6 +202,7 @@ impl SerialEngine {
                     scanned: tests_run,
                     emitted,
                     line: None,
+                    wall_ns: wall_ns_since(t0),
                 });
             }
         }
@@ -228,6 +236,7 @@ impl SerialEngine {
             *next_task += 1;
             executed += 1;
             let mut pending: Vec<Activation> = Vec::new();
+            let t0 = self.capture.then(std::time::Instant::now);
             let stats = process_beta(
                 &self.net,
                 &self.mem,
@@ -257,6 +266,7 @@ impl SerialEngine {
                     scanned: stats.scanned,
                     emitted: stats.emitted,
                     line: stats.line,
+                    wall_ns: wall_ns_since(t0),
                 });
             }
         }
@@ -298,6 +308,7 @@ impl SerialEngine {
             let tid = next_task;
             next_task += 1;
             let mut emitted = 0u32;
+            let t0 = self.capture.then(std::time::Instant::now);
             let (tests_run, _) =
                 process_wme_change(&self.net, &self.store, id, 1, first_new, &mut |a| {
                     queue.push_back((a, Some(tid)));
@@ -314,6 +325,7 @@ impl SerialEngine {
                     scanned: tests_run,
                     emitted,
                     line: None,
+                    wall_ns: wall_ns_since(t0),
                 });
             }
         }

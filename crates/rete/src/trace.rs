@@ -44,6 +44,20 @@ pub struct TaskRecord {
     pub emitted: u32,
     /// Memory line touched, if any.
     pub line: Option<u32>,
+    /// Measured wall time of the task in nanoseconds (0 when the engine
+    /// wasn't capturing timings; u32 caps one task at ~4.3 s, far beyond
+    /// any real activation).
+    pub wall_ns: u32,
+}
+
+impl TaskRecord {
+    /// A null activation in the paper's sense: a two-input node activation
+    /// that emitted no children — memory was updated and scanned, but no
+    /// new match progress resulted. Gupta measured these as a dominant
+    /// overhead; alpha and P-node tasks are excluded by definition.
+    pub fn is_null(&self) -> bool {
+        matches!(self.kind, TaskKind::Join | TaskKind::Neg) && self.emitted == 0
+    }
 }
 
 /// Which phase of a run a cycle belongs to.
@@ -107,7 +121,19 @@ mod tests {
     use super::*;
 
     fn rec(id: u32, parent: Option<u32>, kind: TaskKind) -> TaskRecord {
-        TaskRecord { id, parent, node: 1, kind, side: None, delta: 1, scanned: 0, emitted: 0, line: None }
+        TaskRecord { id, parent, node: 1, kind, side: None, delta: 1, scanned: 0, emitted: 0, line: None, wall_ns: 0 }
+    }
+
+    #[test]
+    fn null_activation_is_childless_two_input() {
+        let mut t = rec(0, None, TaskKind::Join);
+        assert!(t.is_null());
+        t.emitted = 1;
+        assert!(!t.is_null());
+        assert!(rec(1, None, TaskKind::Neg).is_null());
+        // Alpha and P-node tasks are never "null activations".
+        assert!(!rec(2, None, TaskKind::Alpha).is_null());
+        assert!(!rec(3, None, TaskKind::Prod).is_null());
     }
 
     #[test]

@@ -119,11 +119,7 @@ fn ncc_semantics_match_naive() {
                   -{ (block ^name <b> ^on <h>) (block ^name <b> ^color red) }
                 --> (halt))";
     let mut e = engine(&mut r, &[src]);
-    let p = parse_production(src, &mut {
-        let mut r2 = classes();
-        r2
-    })
-    .unwrap();
+    let p = parse_production(src, &mut classes()).unwrap();
 
     e.apply_changes(vec![parse_wme("(hand ^state h1)", &r).unwrap()], vec![]);
     assert_eq!(e.current_instantiations().len(), 1);

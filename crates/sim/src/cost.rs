@@ -93,6 +93,7 @@ mod tests {
             scanned,
             emitted,
             line: Some(0),
+            wall_ns: 0,
         }
     }
 

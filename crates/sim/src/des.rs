@@ -187,12 +187,11 @@ pub fn simulate_cycle(trace: &CycleTrace, cfg: &SimConfig) -> SimResult {
         // Pick the (worker, task) pair with the earliest possible start.
         // (start, seq, worker, queue) — seq breaks ties FIFO.
         let mut best: Option<(f64, u32, usize, usize)> = None;
-        for w in 0..workers {
-            let t_free = worker_free[w];
+        for (w, &t_free) in worker_free.iter().enumerate() {
             // Eligible task: own queue head first, else the earliest head
             // anywhere (stealing / cycling through other queues).
             let home = w % nqueues;
-            let cand_q = if queues[home].first().is_some() {
+            let cand_q = if !queues[home].is_empty() {
                 Some(home)
             } else {
                 queues
@@ -322,6 +321,7 @@ mod tests {
             scanned,
             emitted,
             line: Some(id % 64),
+            wall_ns: 0,
         }
     }
 

@@ -168,6 +168,7 @@ mod tests {
             scanned: 1,
             emitted: 1,
             line: Some(0),
+            wall_ns: 0,
         }
     }
 

@@ -32,6 +32,7 @@ fn dag_strategy() -> impl Strategy<Value = CycleTrace> {
                 scanned: rng.below(8) as u32,
                 emitted: rng.below(4) as u32,
                 line: Some(rng.below(16) as u32),
+                wall_ns: 0,
             });
         }
         CycleTrace { cycle: 0, phase: Phase::Match, tasks }

@@ -7,6 +7,7 @@ use crate::chunk::{ChunkRequest, Chunker};
 use crate::decide::{decide, Decision, GoalCtx};
 use crate::wm::{Provenance, WmBook};
 use psme_core::MatchEngine;
+use psme_obs::{ControlPhase, Recorder};
 use psme_ops::{
     intern, ClassRegistry, ConcreteAction, ConflictSet, Production, Symbol, Value,
     Wme, WmeId,
@@ -81,6 +82,11 @@ pub struct Agent<E: MatchEngine> {
     pub org_overrides: FxHashMap<Symbol, NetworkOrg>,
     /// Elaboration-cycle budget per phase (runaway guard).
     pub max_elab_cycles: u64,
+    /// Control-thread span recorder: match, conflict resolution, decide and
+    /// chunk-build phases as seen from the agent loop. (The parallel
+    /// engine's own recorder separately splits §5.1 network surgery from
+    /// the §5.2 state update; reporting layers absorb both.)
+    pub recorder: Recorder,
 }
 
 impl<E: MatchEngine> Agent<E> {
@@ -105,6 +111,7 @@ impl<E: MatchEngine> Agent<E> {
             org: NetworkOrg::Linear,
             org_overrides: FxHashMap::default(),
             max_elab_cycles: 400,
+            recorder: Recorder::new(),
         }
     }
 
@@ -123,7 +130,12 @@ impl<E: MatchEngine> Agent<E> {
             }
         }
         let org = self.org_overrides.get(&p.name).cloned().unwrap_or_else(|| self.org.clone());
+        // From the agent's viewpoint the whole run-time addition is one
+        // surgery span; the parallel engine's own recorder splits the §5.1
+        // compile from the §5.2 state update.
+        let span = self.recorder.start(ControlPhase::NetworkSurgery);
         let out = self.engine.add_production(p.clone(), org).map_err(|e| e.to_string())?;
+        self.recorder.finish_seq(span, self.stats.decisions);
         self.stats.update_tasks += out.update_tasks;
         self.prods.insert(p.name, p);
         self.merge_cs(out.cs);
@@ -297,6 +309,7 @@ impl<E: MatchEngine> Agent<E> {
                 }
             }
             if self.learning && !results.is_empty() {
+                let span = self.recorder.start(ControlPhase::ChunkBuild);
                 let req = ChunkRequest {
                     results: &results,
                     matched: &inst.wmes,
@@ -308,13 +321,18 @@ impl<E: MatchEngine> Agent<E> {
                 let built = self.engine.with_store(|s| {
                     self.chunker.build(req, &self.book, s, &self.classes, &lookup)
                 });
+                self.recorder.finish_seq(span, self.stats.decisions);
                 if let Some(chunk) = built {
                     pending_chunks.push(chunk);
                 }
             }
         }
+        let span = self.recorder.start(ControlPhase::Match);
         let out = self.engine.run_changes(changes);
+        self.recorder.finish_seq(span, self.stats.decisions);
+        let span = self.recorder.start(ControlPhase::ConflictResolution);
         self.merge_cs(out.cs);
+        self.recorder.finish_seq(span, self.stats.decisions);
         // "Soar adds chunks only at the end of an elaboration cycle, i.e.,
         // when the match is quiescent" (§5.1).
         for chunk in pending_chunks {
@@ -622,7 +640,10 @@ impl<E: MatchEngine> Agent<E> {
             if self.stats.decisions >= max_decisions {
                 return StopReason::DecisionLimit;
             }
-            if !self.decision_phase() {
+            let span = self.recorder.start(ControlPhase::Decide);
+            let progressed = self.decision_phase();
+            self.recorder.finish_seq(span, self.stats.decisions);
+            if !progressed {
                 return StopReason::Stuck;
             }
         }

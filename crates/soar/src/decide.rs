@@ -142,7 +142,7 @@ fn decide_slot(goal: &GoalCtx, role: Role, prefs: &[Preference]) -> SlotOutcome 
     }
     let mut candidates: Vec<Symbol> =
         acceptable.iter().copied().filter(|o| !rejects.contains(o)).collect();
-    candidates.sort_by(|a, b| sym_name(*a).cmp(&sym_name(*b)));
+    candidates.sort_by_key(|c| sym_name(*c));
     candidates.dedup();
 
     if candidates.is_empty() {

@@ -161,7 +161,7 @@ mod tests {
         assert_eq!(b.alive_index.get(&w), Some(&id));
         assert_eq!(b.level_of(id), 2);
         b.note_remove(id, &w);
-        assert!(b.alive_index.get(&w).is_none());
+        assert!(!b.alive_index.contains_key(&w));
         // level survives removal for in-flight references
         assert_eq!(b.level_of(id), 2);
     }

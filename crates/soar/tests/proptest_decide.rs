@@ -101,7 +101,7 @@ proptest! {
             if key.kind == psme_soar::ImpasseKind::Tie {
                 prop_assert!(key.items.len() >= 2);
                 let mut sorted = key.items.clone();
-                sorted.sort_by(|a, b| psme_ops::sym_name(*a).cmp(&psme_ops::sym_name(*b)));
+                sorted.sort_by_key(|s| psme_ops::sym_name(*s));
                 prop_assert_eq!(&key.items, &sorted, "items sorted deterministically");
                 for item in &key.items {
                     let scope_ok = |p: &&Preference| {

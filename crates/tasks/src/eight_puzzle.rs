@@ -48,9 +48,9 @@ pub fn scrambled(moves: usize, seed: u64) -> Board {
 }
 
 fn blank_pos(b: &Board) -> (usize, usize) {
-    for r in 0..3 {
-        for c in 0..3 {
-            if b[r][c] == 0 {
+    for (r, row) in b.iter().enumerate() {
+        for (c, &cell) in row.iter().enumerate() {
+            if cell == 0 {
                 return (r, c);
             }
         }

@@ -269,9 +269,9 @@ pub fn strips(cfg: &StripsConfig) -> SoarTask {
     let mut identifiers: Vec<Symbol> = vec![intern("ps-strips"), intern("s0")];
     let w = |s: &str, classes: &ClassRegistry| -> Wme { parse_wme(s, classes).unwrap() };
     init.push(w("(pspace ^id ps-strips ^name strips)", &classes));
-    for r in 0..cfg.rooms {
+    for (r, d) in dist.iter().enumerate().take(cfg.rooms) {
         init.push(w(&format!("(room ^id rm{r})"), &classes));
-        init.push(w(&format!("(dist ^room rm{r} ^value {})", dist[r]), &classes));
+        init.push(w(&format!("(dist ^room rm{r} ^value {d})"), &classes));
     }
     for (i, &(a, b)) in doors.iter().enumerate() {
         init.push(w(&format!("(door ^id dr{i} ^room1 rm{a} ^room2 rm{b})"), &classes));

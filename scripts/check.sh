@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must stay green on every commit.
+#
+#   build (release) -> tests (all crates) -> clippy (deny warnings)
+#
+# Runs fully offline against the vendored stub crates. If cargo still tries
+# to reach a registry (e.g. a stale lockfile on a fresh checkout), we retry
+# that step online and only fail if that attempt fails too.
+set -u
+cd "$(dirname "$0")/.."
+
+run_step() {
+    local name="$1"; shift
+    echo "==> ${name}: $*"
+    if CARGO_NET_OFFLINE=true "$@"; then
+        return 0
+    fi
+    # Distinguish "registry unreachable" from a real failure: retry online.
+    echo "==> ${name}: offline attempt failed, retrying with network access" >&2
+    if "$@"; then
+        return 0
+    fi
+    echo "!! ${name} failed" >&2
+    return 1
+}
+
+fail=0
+run_step "build" cargo build --release || fail=1
+run_step "test" cargo test -q --workspace || fail=1
+if cargo clippy --version >/dev/null 2>&1; then
+    run_step "clippy" cargo clippy -q --workspace --all-targets -- -D warnings || fail=1
+else
+    echo "==> clippy: not installed, skipping (install with: rustup component add clippy)" >&2
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "CHECK FAILED" >&2
+    exit 1
+fi
+echo "CHECK OK"

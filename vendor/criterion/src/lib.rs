@@ -1,0 +1,166 @@
+#![allow(clippy::all)]
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the small surface `benches/micro.rs` uses — groups,
+//! `bench_function`, `iter`/`iter_batched`, `criterion_group!`/
+//! `criterion_main!` — as a plain median-of-samples timer printing one
+//! line per benchmark. No plotting, no statistics beyond the median.
+
+use std::time::{Duration, Instant};
+
+/// How setup output is batched between timed runs (size hints are ignored
+/// by the stub; every batch is one element).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Each batch holds exactly one element.
+    PerIteration,
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f` for the configured number of samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = f();
+            self.durations.push(start.elapsed());
+            std::hint::black_box(out);
+        }
+    }
+
+    /// Time `routine` over fresh `setup` output, excluding setup time.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.durations.push(start.elapsed());
+            std::hint::black_box(out);
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {
+        let _ = self.parent;
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.samples();
+        BenchmarkGroup { name: name.into(), parent: self, sample_size }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.samples();
+        run_one(&id.into(), samples, f);
+        self
+    }
+
+    fn samples(&self) -> usize {
+        if self.default_samples == 0 { 10 } else { self.default_samples }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { samples, durations: Vec::with_capacity(samples) };
+    f(&mut b);
+    b.durations.sort();
+    let median = b.durations.get(b.durations.len() / 2).copied().unwrap_or_default();
+    println!("bench {name:<40} median {:>12.3} µs ({} samples)", median.as_secs_f64() * 1e6, b.durations.len());
+}
+
+/// Re-export so `criterion::black_box` works.
+pub use std::hint::black_box;
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0;
+        g.bench_function("f", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 3);
+        let mut batched = 0;
+        c.bench_function("h", |b| {
+            b.iter_batched(|| 1u32, |x| batched += x, BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 10);
+    }
+}

@@ -1,0 +1,318 @@
+//! The `Strategy` trait and the value-source implementations the workspace
+//! uses: integer ranges, tuples, `prop_map`, `Just`, and regex-lite string
+//! patterns (`"[a-z]{1,6}"`-style).
+
+use crate::test_runner::TestRng;
+
+/// A source of random values. Unlike real proptest there is no shrinking:
+/// `sample` draws a value directly from the deterministic per-case RNG.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `f` (resamples up to a bound, then keeps
+    /// the last draw — the stub never globally rejects).
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f, reason }
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// `prop_filter` adapter.
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..64 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter could not satisfy predicate: {}", self.reason);
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// String patterns: a `&str` is a regex-lite template. Supported: literal
+/// characters, escapes (`\n`, `\t`, `\r`, `\\`), character classes with
+/// ranges (`[a-z0-9_]`), and the repetitions `{m}`, `{m,n}`, `?`, `*`, `+`
+/// (`*`/`+` capped at 8).
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    Lit(char),
+    Class(Vec<(char, char)>),
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        _ => c,
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+    let mut out = Vec::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut prev: Option<char> = None;
+                while let Some(&k) = chars.peek() {
+                    if k == ']' {
+                        chars.next();
+                        break;
+                    }
+                    let k = chars.next().unwrap();
+                    let k = if k == '\\' { unescape(chars.next().unwrap_or('\\')) } else { k };
+                    if k == '-' && prev.is_some() && chars.peek().map_or(false, |&n| n != ']') {
+                        let hi = chars.next().unwrap();
+                        let hi = if hi == '\\' { unescape(chars.next().unwrap_or('\\')) } else { hi };
+                        let lo = prev.take().unwrap();
+                        ranges.pop();
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((k, k));
+                        prev = Some(k);
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Lit(unescape(chars.next().unwrap_or('\\'))),
+            c => Atom::Lit(c),
+        };
+        // Repetition postfix.
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for k in chars.by_ref() {
+                    if k == '}' {
+                        break;
+                    }
+                    spec.push(k);
+                }
+                match spec.split_once(',') {
+                    Some((a, b)) => {
+                        (a.trim().parse().unwrap_or(0), b.trim().parse().unwrap_or(0))
+                    }
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        out.push((atom, lo, hi));
+    }
+    out
+}
+
+fn sample_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let mut s = String::new();
+    for (atom, lo, hi) in parse_pattern(pat) {
+        let n = rng.usize_in(lo, hi + 1);
+        for _ in 0..n {
+            match &atom {
+                Atom::Lit(c) => s.push(*c),
+                Atom::Class(ranges) => {
+                    if ranges.is_empty() {
+                        continue;
+                    }
+                    let total: u64 =
+                        ranges.iter().map(|&(a, b)| (b as u64).saturating_sub(a as u64) + 1).sum();
+                    let mut pick = rng.below(total);
+                    for &(a, b) in ranges {
+                        let span = (b as u64).saturating_sub(a as u64) + 1;
+                        if pick < span {
+                            if let Some(c) = char::from_u32(a as u32 + pick as u32) {
+                                s.push(c);
+                            }
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 1)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3u8..9).sample(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (-5i32..5).sample(&mut r);
+            assert!((-5..5).contains(&w));
+            let x = (0usize..=3).sample(&mut r);
+            assert!(x <= 3);
+        }
+    }
+
+    #[test]
+    fn tuple_and_map_compose() {
+        let mut r = rng();
+        let s = (0u8..2, 10u64..20).prop_map(|(a, b)| a as u64 + b);
+        for _ in 0..100 {
+            let v = s.sample(&mut r);
+            assert!((10..22).contains(&v));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".sample(&mut r);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let t = "[ -~\\n]{0,200}".sample(&mut r);
+            assert!(t.len() <= 200);
+            assert!(t.chars().all(|c| c == '\n' || (' '..='~').contains(&c)), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn filter_and_just() {
+        let mut r = rng();
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut r) % 2, 0);
+        }
+        assert_eq!(Just(7u8).sample(&mut r), 7);
+    }
+}

@@ -1,0 +1,126 @@
+//! Config, error type, and the deterministic per-case RNG.
+
+/// Configuration accepted by `proptest!`'s `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for compatibility; the stub never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; the stub never rejects.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256, max_shrink_iters: 0, max_global_rejects: 1024 }
+    }
+}
+
+/// Why a test case failed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed with this message.
+    Fail(String),
+    /// The case asked to be rejected (`prop_assume!`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Result type produced by `proptest!` bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic splitmix64 generator; one per (test, case) pair, so runs
+/// are reproducible without any persistence files.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u64) -> TestRng {
+        let mut h = 0xcbf29ce484222325u64; // FNV-1a over the test name.
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        // Distinct stream per case.
+        TestRng { state: h ^ case.wrapping_mul(0x9E3779B97F4A7C15) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)` (`n = 0` yields 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform usize in `[lo, hi)`; empty ranges collapse to `lo`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            lo
+        } else {
+            lo + self.below((hi - lo) as u64) as usize
+        }
+    }
+
+    /// A bool that is true with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 <= p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = TestRng::for_case("range", 0);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+}

@@ -1,0 +1,102 @@
+#![allow(clippy::all)]
+//! Offline stand-in for the `rand` crate (splitmix64/xoshiro-flavoured).
+//!
+//! Nothing in the workspace's library code uses `rand` — the in-tree
+//! generators (`psme_rete::testgen::XorShift`) cover workload synthesis —
+//! but several crates declare it for tests and benches. This stub provides
+//! the conventional `Rng`/`SeedableRng`/`SmallRng`/`StdRng` surface so
+//! those manifests resolve offline, with a deterministic splitmix64 core.
+
+/// Core trait: a source of pseudo-random `u64`s plus convenience samplers.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform sample from a half-open integer range.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        let span = range.end.saturating_sub(range.start).max(1);
+        range.start + self.next_u64() % span
+    }
+
+    /// A random `bool` with probability 1/2.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`'s `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The small, fast generator (`rand::rngs::SmallRng` stand-in).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng { state: seed ^ 0xA076_1D64_78BD_642F }
+    }
+}
+
+/// The default generator (`rand::rngs::StdRng` stand-in; same core).
+pub type StdRng = SmallRng;
+
+/// `rand::rngs` module shape.
+pub mod rngs {
+    pub use super::{SmallRng, StdRng};
+}
+
+/// `rand::prelude` shape.
+pub mod prelude {
+    pub use super::{Rng, SeedableRng, SmallRng, StdRng};
+}
+
+/// A fresh generator seeded from the system clock (std feature).
+pub fn thread_rng() -> SmallRng {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED);
+    SmallRng::seed_from_u64(nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..100 {
+            let v = a.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}
