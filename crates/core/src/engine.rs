@@ -140,12 +140,13 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
                         }
                     }
                     // Children first, then retire self: the counter can only
-                    // reach zero at true quiescence.
+                    // reach zero at true quiescence. Under `WorkStealing`
+                    // the whole brood is published with one release store;
+                    // the locked schedulers push one-at-a-time, exactly as
+                    // the paper's configurations do.
                     if !pending.is_empty() {
                         shared.outstanding.fetch_add(pending.len() as i64, Ordering::AcqRel);
-                        for t in pending.drain(..) {
-                            shared.queues.push(wid, t, &mut ws.queue);
-                        }
+                        shared.queues.push_batch(wid, &mut pending, &mut ws.queue);
                     }
                     if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
                         let _g = shared.done.lock();
@@ -165,6 +166,12 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
         if !local_cs.is_empty() {
             shared.cs_raw.lock().append(&mut local_cs);
         }
+        // Mirror the scheduler counters into the observability set so the
+        // psme-obs JSON export carries them (zero under the paper
+        // schedulers, omitted from JSON).
+        ws.counters.add(Counter::Steals, ws.queue.steals);
+        ws.counters.add(Counter::StealFails, ws.queue.steal_fails);
+        ws.counters.add(Counter::Batches, ws.queue.batches);
         *shared.worker_stats[wid].lock() = ws;
         if shared.workers_active.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _g = shared.done.lock();
@@ -240,7 +247,10 @@ impl ParallelEngine {
         s.outstanding.store(seeds.len() as i64, Ordering::Release);
         let mut seed_stats = QueueStats::default();
         for (i, t) in seeds.into_iter().enumerate() {
-            s.queues.push(i, t, &mut seed_stats);
+            // Round-robin across queues for the paper schedulers; the
+            // work-stealing injector for `WorkStealing` (the control thread
+            // must never touch a deque's owner end).
+            s.queues.push_seed(i, t, &mut seed_stats);
         }
         let span = self.recorder.start(match phase {
             Phase::Match => ControlPhase::Match,
@@ -274,11 +284,7 @@ impl ParallelEngine {
         cm.queue.merge(&seed_stats);
         for w in &s.worker_stats {
             let mut ws = w.lock();
-            cm.queue.merge(&ws.queue);
-            cm.tasks += ws.tasks;
-            cm.mem_spins += ws.mem_spins;
-            cm.scanned += ws.scanned;
-            cm.counters.merge(&ws.counters);
+            cm.absorb_worker(&ws);
             ws.reset();
         }
         if self.config.bucket_histograms {

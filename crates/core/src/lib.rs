@@ -4,8 +4,10 @@
 //! exploiting parallelism "at the granularity of node activations" (§2.3),
 //! with
 //!
-//! * instrumented **task queues** — one shared central queue or one queue
-//!   per match process with cycling search ([`queue`]),
+//! * instrumented **task queues** — one shared central queue, one queue
+//!   per match process with cycling search, or per-worker Chase–Lev
+//!   work-stealing deques with batched activation transfer
+//!   ([`queue`], [`deque`]),
 //! * long-lived **match processes** coordinated with the control thread by
 //!   an outstanding-task counter and epoch condvars ([`engine`]),
 //! * hashed memories with per-line locks (from `psme-rete`), so
@@ -51,12 +53,14 @@
 //! assert_eq!(out.cs.added.len(), 1);
 //! ```
 
+pub mod deque;
 pub mod engine;
 pub mod metrics;
 pub mod queue;
 pub mod traits;
 
+pub use deque::{Steal, WsDeque};
 pub use engine::{EngineConfig, ParallelEngine};
 pub use metrics::{CycleMetrics, MetricsLog, WorkerStats};
-pub use queue::{QueueStats, Scheduler, Task, TaskQueues};
+pub use queue::{QueueStats, Scheduler, Task, TaskQueues, TASK_BATCH};
 pub use traits::MatchEngine;

@@ -52,6 +52,18 @@ impl CycleMetrics {
         }
     }
 
+    /// Fold one worker's per-cycle stats in at the barrier. All counters
+    /// saturate: a worker that clamped at `u64::MAX` (or a sum that would
+    /// overflow) must report `u64::MAX`, never a small wrapped value that
+    /// would read as "almost no work done".
+    pub fn absorb_worker(&mut self, ws: &WorkerStats) {
+        self.queue.merge(&ws.queue);
+        self.tasks = self.tasks.saturating_add(ws.tasks);
+        self.mem_spins = self.mem_spins.saturating_add(ws.mem_spins);
+        self.scanned = self.scanned.saturating_add(ws.scanned);
+        self.counters.merge(&ws.counters);
+    }
+
     /// As a JSON object.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
@@ -71,6 +83,9 @@ impl CycleMetrics {
             ("failed_pops".to_string(), Json::from(self.queue.failed_pops)),
             ("push_spins".to_string(), Json::from(self.queue.push_spins)),
             ("pop_spins".to_string(), Json::from(self.queue.pop_spins)),
+            ("steals".to_string(), Json::from(self.queue.steals)),
+            ("steal_fails".to_string(), Json::from(self.queue.steal_fails)),
+            ("batches".to_string(), Json::from(self.queue.batches)),
             ("mem_spins".to_string(), Json::from(self.mem_spins)),
             ("scanned".to_string(), Json::from(self.scanned)),
             ("spins_per_task".to_string(), Json::float(self.spins_per_task())),
@@ -254,6 +269,35 @@ mod tests {
         let m = CycleMetrics { tasks: 8, mem_spins: 4, ..Default::default() };
         assert!((m.contention_per_task() - 0.5).abs() < 1e-12);
         assert_eq!(CycleMetrics::default().contention_per_task(), 0.0);
+    }
+
+    #[test]
+    fn merge_saturates_on_overflow() {
+        // Regression: the barrier merge used plain `+=`, which wraps in
+        // release builds — a worker reporting huge counters would fold into
+        // a tiny total. Every merge path must saturate at u64::MAX.
+        let mut cm = CycleMetrics { tasks: u64::MAX - 5, ..Default::default() };
+        cm.queue.pop_spins = u64::MAX;
+        cm.mem_spins = 10;
+        let mut ws = WorkerStats { tasks: 100, mem_spins: u64::MAX, ..Default::default() };
+        ws.queue.pop_spins = 3;
+        ws.queue.pushes = 42;
+        ws.counters.add(psme_obs::Counter::Tasks, u64::MAX);
+        ws.counters.add(psme_obs::Counter::Steals, 7);
+        cm.absorb_worker(&ws);
+        assert_eq!(cm.tasks, u64::MAX, "tasks saturate");
+        assert_eq!(cm.queue.pop_spins, u64::MAX, "queue counters saturate");
+        assert_eq!(cm.mem_spins, u64::MAX, "mem spins saturate");
+        assert_eq!(cm.queue.pushes, 42, "non-overflowing fields stay exact");
+        assert_eq!(cm.counters.get(psme_obs::Counter::Tasks), u64::MAX);
+        // A second merge on an already-saturated set stays put.
+        let mut again = WorkerStats::default();
+        again.counters.add(psme_obs::Counter::Tasks, 1);
+        again.tasks = 1;
+        cm.absorb_worker(&again);
+        assert_eq!(cm.tasks, u64::MAX);
+        assert_eq!(cm.counters.get(psme_obs::Counter::Tasks), u64::MAX);
+        assert_eq!(cm.counters.get(psme_obs::Counter::Steals), 7);
     }
 
     #[test]

@@ -1,21 +1,41 @@
-//! Shared task queues (§2.3, §6.1).
+//! Shared task queues (§2.3, §6.1) plus a modern work-stealing scheduler.
 //!
 //! PSM-E holds node activations in "one or more shared task queues. Each
 //! individual match process performs match by picking up a task from one of
 //! these queues, processing the task and, if any new tasks are generated,
 //! pushing them onto one of the queues."
 //!
-//! Two schedulers, matching the paper's two configurations:
+//! Three schedulers — the paper's two configurations, reproduced exactly,
+//! plus one the 1988 hardware could not express:
 //!
 //! * [`Scheduler::SingleQueue`] — one central queue whose lock is the
 //!   system's contention hot spot (Figures 6-1, 6-3);
 //! * [`Scheduler::MultiQueue`] — one queue per match process; a process
 //!   pushes/pops its own queue and, when empty, "cycles through the other
-//!   processes' task queues, searching for a new task" (Figure 6-4).
+//!   processes' task queues, searching for a new task" (Figure 6-4);
+//! * [`Scheduler::WorkStealing`] — per-worker Chase–Lev deques
+//!   ([`crate::deque`]): the owner pushes and pops its own bottom without
+//!   locks, idle workers steal from a randomized victim's top with a single
+//!   CAS, and activations move in small batches (batched bottom publication,
+//!   batched injector drains, steal bursts) to amortize queue traffic and
+//!   cache misses. Seeds from the control thread enter through a spin-locked
+//!   *injector* queue, since only the owning worker may touch a deque's
+//!   bottom.
 //!
-//! All locks are instrumented TTAS spin locks so spins-per-access — the
-//! paper's contention metric — is measured, not inferred.
+//! The paper schedulers' locks are instrumented TTAS spin locks so
+//! spins-per-access — the paper's contention metric — is measured, not
+//! inferred. The work-stealing scheduler instead reports steal/steal-fail/
+//! batch counters.
+//!
+//! **Thread discipline** (matters only for `WorkStealing`): for a given
+//! worker index `w`, [`TaskQueues::push`], [`TaskQueues::push_batch`] and
+//! [`TaskQueues::pop`] must not be called from two threads concurrently —
+//! the engine guarantees this by construction (worker `w` is one OS
+//! thread), and single-threaded tests satisfy it trivially.
+//! [`TaskQueues::push_seed`] is the control thread's entry point and is
+//! safe concurrently with everything.
 
+use crate::deque::{Steal, WsDeque};
 use psme_ops::WmeId;
 use psme_rete::{Activation, SpinLock};
 use std::collections::VecDeque;
@@ -37,7 +57,15 @@ pub enum Scheduler {
     /// Per-process queues with cycling search.
     #[default]
     MultiQueue,
+    /// Per-process Chase–Lev deques with randomized stealing and batched
+    /// activation transfer.
+    WorkStealing,
 }
+
+/// Max tasks moved per batched operation (injector drain or steal burst).
+/// Small enough to keep work spread across workers, large enough to
+/// amortize the per-transfer atomics.
+pub const TASK_BATCH: usize = 8;
 
 /// Counters a worker accumulates against the queues.
 #[derive(Clone, Copy, Debug, Default)]
@@ -46,43 +74,77 @@ pub struct QueueStats {
     pub push_spins: u64,
     /// Spins while acquiring a queue lock to pop.
     pub pop_spins: u64,
-    /// Successful pops.
+    /// Successful pops (tasks handed out for execution).
     pub pops: u64,
-    /// Pushes.
+    /// Pushes (seeds, children, and batch-moved tasks).
     pub pushes: u64,
     /// Lock acquisitions that found an empty queue ("failed pop
-    /// operations", §6.1).
+    /// operations", §6.1); for `WorkStealing`, pop calls that found no
+    /// work anywhere.
     pub failed_pops: u64,
+    /// Tasks obtained from another worker's deque (`WorkStealing` only).
+    pub steals: u64,
+    /// Steal attempts that found the victim empty or lost the top CAS
+    /// race (`WorkStealing` only).
+    pub steal_fails: u64,
+    /// Batched operations that moved ≥ 2 tasks at once: batched bottom
+    /// publications, injector drains, steal bursts (`WorkStealing` only).
+    pub batches: u64,
 }
 
 impl QueueStats {
-    /// Merge another worker's counters into this one.
+    /// Merge another worker's counters into this one. Saturates instead of
+    /// wrapping: a long run must clamp at `u64::MAX`, not report tiny
+    /// wrapped totals (see `metrics::tests::merge_saturates_on_overflow`).
     pub fn merge(&mut self, o: &QueueStats) {
-        self.push_spins += o.push_spins;
-        self.pop_spins += o.pop_spins;
-        self.pops += o.pops;
-        self.pushes += o.pushes;
-        self.failed_pops += o.failed_pops;
+        self.push_spins = self.push_spins.saturating_add(o.push_spins);
+        self.pop_spins = self.pop_spins.saturating_add(o.pop_spins);
+        self.pops = self.pops.saturating_add(o.pops);
+        self.pushes = self.pushes.saturating_add(o.pushes);
+        self.failed_pops = self.failed_pops.saturating_add(o.failed_pops);
+        self.steals = self.steals.saturating_add(o.steals);
+        self.steal_fails = self.steal_fails.saturating_add(o.steal_fails);
+        self.batches = self.batches.saturating_add(o.batches);
     }
 }
 
-/// The task-queue set: 1 (single) or `workers` (multi) spin-locked deques.
+enum Queues {
+    /// Spin-locked FIFO queues: 1 (single) or `workers` (multi).
+    Locked(Vec<SpinLock<VecDeque<Task>>>),
+    /// One Chase–Lev deque per worker plus the control-side injector.
+    Stealing { injector: SpinLock<VecDeque<Task>>, deques: Vec<WsDeque<Task>> },
+}
+
+/// The task-queue set for one engine.
 pub struct TaskQueues {
-    queues: Vec<SpinLock<VecDeque<Task>>>,
+    q: Queues,
     scheduler: Scheduler,
+}
+
+/// splitmix64 — cheap stateless mix for victim randomization.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl TaskQueues {
     /// Build for `workers` match processes.
     pub fn new(scheduler: Scheduler, workers: usize) -> TaskQueues {
-        let n = match scheduler {
-            Scheduler::SingleQueue => 1,
-            Scheduler::MultiQueue => workers.max(1),
+        let workers = workers.max(1);
+        let q = match scheduler {
+            Scheduler::SingleQueue => Queues::Locked(vec![SpinLock::new(VecDeque::new())]),
+            Scheduler::MultiQueue => {
+                Queues::Locked((0..workers).map(|_| SpinLock::new(VecDeque::new())).collect())
+            }
+            Scheduler::WorkStealing => Queues::Stealing {
+                injector: SpinLock::new(VecDeque::new()),
+                deques: (0..workers).map(|_| WsDeque::new()).collect(),
+            },
         };
-        TaskQueues {
-            queues: (0..n).map(|_| SpinLock::new(VecDeque::new())).collect(),
-            scheduler,
-        }
+        TaskQueues { q, scheduler }
     }
 
     /// The scheduler in use.
@@ -90,51 +152,202 @@ impl TaskQueues {
         self.scheduler
     }
 
-    /// Number of physical queues.
+    /// Number of physical worker queues (the work-stealing injector is not
+    /// counted).
     pub fn num_queues(&self) -> usize {
-        self.queues.len()
+        match &self.q {
+            Queues::Locked(v) => v.len(),
+            Queues::Stealing { deques, .. } => deques.len(),
+        }
     }
 
     #[inline]
     fn home(&self, worker: usize) -> usize {
-        match self.scheduler {
-            Scheduler::SingleQueue => 0,
-            Scheduler::MultiQueue => worker % self.queues.len(),
-        }
+        worker % self.num_queues()
     }
 
-    /// Push a task from `worker` (to its own queue under `MultiQueue`).
-    pub fn push(&self, worker: usize, task: Task, stats: &mut QueueStats) {
-        let (mut g, spins) = self.queues[self.home(worker)].lock();
-        stats.push_spins += spins;
-        stats.pushes += 1;
-        g.push_back(task);
-    }
-
-    /// Pop a task for `worker`: own queue first, then cycle the others.
-    pub fn pop(&self, worker: usize, stats: &mut QueueStats) -> Option<Task> {
-        let n = self.queues.len();
-        let home = self.home(worker);
-        for i in 0..n {
-            let qi = (home + i) % n;
-            let (mut g, spins) = self.queues[qi].lock();
-            stats.pop_spins += spins;
-            if let Some(t) = g.pop_front() {
-                stats.pops += 1;
-                return Some(t);
+    /// Seed a task from the control thread. For the locked schedulers this
+    /// is exactly a [`Self::push`] as worker `worker` (preserving the
+    /// paper configurations' round-robin seeding); for `WorkStealing` the
+    /// seed goes to the injector, because the control thread must never
+    /// touch a deque's owner end.
+    pub fn push_seed(&self, worker: usize, task: Task, stats: &mut QueueStats) {
+        match &self.q {
+            Queues::Locked(_) => self.push(worker, task, stats),
+            Queues::Stealing { injector, .. } => {
+                let (mut g, spins) = injector.lock();
+                stats.push_spins += spins;
+                stats.pushes += 1;
+                g.push_back(task);
             }
-            stats.failed_pops += 1;
         }
-        None
+    }
+
+    /// Push a task from `worker` (to its own queue/deque except under
+    /// `SingleQueue`).
+    pub fn push(&self, worker: usize, task: Task, stats: &mut QueueStats) {
+        match &self.q {
+            Queues::Locked(queues) => {
+                let (mut g, spins) = queues[self.home(worker)].lock();
+                stats.push_spins += spins;
+                stats.pushes += 1;
+                g.push_back(task);
+            }
+            Queues::Stealing { deques, .. } => {
+                // SAFETY: worker `worker` is a single thread (module-level
+                // thread discipline).
+                unsafe { deques[self.home(worker)].push(task) };
+                stats.pushes += 1;
+            }
+        }
+    }
+
+    /// Push a batch of tasks from `worker`. For the locked schedulers this
+    /// is a plain push loop — bit-identical behaviour and accounting to the
+    /// paper configurations. For `WorkStealing` the whole batch is written
+    /// and published with a single release store of the deque bottom.
+    pub fn push_batch(&self, worker: usize, tasks: &mut Vec<Task>, stats: &mut QueueStats) {
+        match &self.q {
+            Queues::Locked(_) => {
+                for t in tasks.drain(..) {
+                    self.push(worker, t, stats);
+                }
+            }
+            Queues::Stealing { deques, .. } => {
+                let k = tasks.len() as u64;
+                if k == 0 {
+                    return;
+                }
+                if k >= 2 {
+                    stats.batches += 1;
+                }
+                stats.pushes += k;
+                // SAFETY: thread discipline as in `push`.
+                unsafe { deques[self.home(worker)].push_batch(tasks) };
+            }
+        }
+    }
+
+    /// Pop a task for `worker`.
+    ///
+    /// * Locked schedulers: own queue first, then cycle the others (§6.1).
+    /// * `WorkStealing`: own deque bottom, then a batched injector drain,
+    ///   then a steal burst from a randomized victim; every task beyond the
+    ///   first moved by a batch lands in `worker`'s own deque.
+    pub fn pop(&self, worker: usize, stats: &mut QueueStats) -> Option<Task> {
+        match &self.q {
+            Queues::Locked(queues) => {
+                let n = queues.len();
+                let home = self.home(worker);
+                for i in 0..n {
+                    let qi = (home + i) % n;
+                    let (mut g, spins) = queues[qi].lock();
+                    stats.pop_spins += spins;
+                    if let Some(t) = g.pop_front() {
+                        stats.pops += 1;
+                        return Some(t);
+                    }
+                    stats.failed_pops += 1;
+                }
+                None
+            }
+            Queues::Stealing { injector, deques } => {
+                let home = self.home(worker);
+                // 1. Own deque (lock-free LIFO).
+                // SAFETY: thread discipline as in `push`.
+                if let Some(t) = unsafe { deques[home].pop() } {
+                    stats.pops += 1;
+                    return Some(t);
+                }
+                // 2. Injector: drain a small batch under one lock
+                //    acquisition; execute the first, keep the rest local.
+                let mut moved: Vec<Task> = Vec::new();
+                let first = {
+                    let (mut g, spins) = injector.lock();
+                    stats.pop_spins += spins;
+                    let first = g.pop_front();
+                    if first.is_some() {
+                        while moved.len() + 1 < TASK_BATCH {
+                            match g.pop_front() {
+                                Some(t) => moved.push(t),
+                                None => break,
+                            }
+                        }
+                    }
+                    first
+                };
+                if let Some(t) = first {
+                    if !moved.is_empty() {
+                        stats.batches += 1;
+                        stats.pushes += moved.len() as u64;
+                        // SAFETY: thread discipline as in `push`.
+                        unsafe { deques[home].push_batch(&mut moved) };
+                    }
+                    stats.pops += 1;
+                    return Some(t);
+                }
+                // 3. Steal burst from a randomized victim. The mix of the
+                //    worker id with its own traffic counters gives a cheap
+                //    per-call pseudo-random starting point without shared
+                //    RNG state.
+                let n = deques.len();
+                if n > 1 {
+                    let r = mix64(
+                        (home as u64) ^ stats.pops.rotate_left(17) ^ stats.steal_fails.rotate_left(41),
+                    ) as usize;
+                    for i in 0..n - 1 {
+                        let victim = {
+                            let v = (r + i) % (n - 1);
+                            if v >= home {
+                                v + 1
+                            } else {
+                                v
+                            }
+                        };
+                        match deques[victim].steal() {
+                            Steal::Success(first) => {
+                                stats.steals += 1;
+                                debug_assert!(moved.is_empty());
+                                while moved.len() + 1 < TASK_BATCH {
+                                    match deques[victim].steal() {
+                                        Steal::Success(t) => {
+                                            stats.steals += 1;
+                                            moved.push(t);
+                                        }
+                                        _ => break,
+                                    }
+                                }
+                                if !moved.is_empty() {
+                                    stats.batches += 1;
+                                    stats.pushes += moved.len() as u64;
+                                    // SAFETY: thread discipline as in `push`.
+                                    unsafe { deques[home].push_batch(&mut moved) };
+                                }
+                                stats.pops += 1;
+                                return Some(first);
+                            }
+                            Steal::Retry | Steal::Empty => stats.steal_fails += 1,
+                        }
+                    }
+                }
+                stats.failed_pops += 1;
+                None
+            }
+        }
     }
 
     /// Are all queues empty? (Control-side check; racy by nature, callers
     /// rely on the outstanding-task counter for the real barrier.)
     pub fn all_empty(&self) -> bool {
-        self.queues.iter().all(|q| {
-            let (g, _) = q.lock();
-            g.is_empty()
-        })
+        match &self.q {
+            Queues::Locked(queues) => queues.iter().all(|q| {
+                let (g, _) = q.lock();
+                g.is_empty()
+            }),
+            Queues::Stealing { injector, deques } => {
+                injector.lock().0.is_empty() && deques.iter().all(|d| d.is_empty_hint())
+            }
+        }
     }
 }
 
@@ -152,6 +365,13 @@ mod tests {
         })
     }
 
+    fn node_of(t: Option<Task>) -> u32 {
+        match t {
+            Some(Task::Beta(a)) => a.node,
+            other => panic!("{other:?}"),
+        }
+    }
+
     #[test]
     fn single_queue_is_fifo() {
         let q = TaskQueues::new(Scheduler::SingleQueue, 4);
@@ -159,14 +379,8 @@ mod tests {
         let mut s = QueueStats::default();
         q.push(0, beta(1), &mut s);
         q.push(3, beta(2), &mut s);
-        match q.pop(2, &mut s) {
-            Some(Task::Beta(a)) => assert_eq!(a.node, 1),
-            other => panic!("{other:?}"),
-        }
-        match q.pop(1, &mut s) {
-            Some(Task::Beta(a)) => assert_eq!(a.node, 2),
-            other => panic!("{other:?}"),
-        }
+        assert_eq!(node_of(q.pop(2, &mut s)), 1);
+        assert_eq!(node_of(q.pop(1, &mut s)), 2);
         assert!(q.pop(0, &mut s).is_none());
         assert_eq!(s.pops, 2);
         assert_eq!(s.pushes, 2);
@@ -181,15 +395,9 @@ mod tests {
         q.push(0, beta(10), &mut s);
         q.push(1, beta(11), &mut s);
         // Worker 1 pops its own first.
-        match q.pop(1, &mut s) {
-            Some(Task::Beta(a)) => assert_eq!(a.node, 11),
-            other => panic!("{other:?}"),
-        }
+        assert_eq!(node_of(q.pop(1, &mut s)), 11);
         // Worker 1's queue now empty: steals worker 0's task.
-        match q.pop(1, &mut s) {
-            Some(Task::Beta(a)) => assert_eq!(a.node, 10),
-            other => panic!("{other:?}"),
-        }
+        assert_eq!(node_of(q.pop(1, &mut s)), 10);
         assert!(q.all_empty());
     }
 
@@ -202,50 +410,156 @@ mod tests {
     }
 
     #[test]
+    fn work_stealing_own_deque_is_lifo() {
+        let q = TaskQueues::new(Scheduler::WorkStealing, 4);
+        assert_eq!(q.num_queues(), 4);
+        let mut s = QueueStats::default();
+        q.push(2, beta(1), &mut s);
+        q.push(2, beta(2), &mut s);
+        assert_eq!(node_of(q.pop(2, &mut s)), 2, "owner pops the bottom");
+        assert_eq!(node_of(q.pop(2, &mut s)), 1);
+        assert!(q.pop(2, &mut s).is_none());
+        assert_eq!(s.pops, 2);
+        assert_eq!(s.pushes, 2);
+        assert_eq!(s.failed_pops, 1);
+        assert!(q.all_empty());
+    }
+
+    #[test]
+    fn work_stealing_steals_from_victims_and_counts() {
+        let q = TaskQueues::new(Scheduler::WorkStealing, 3);
+        let mut s0 = QueueStats::default();
+        for i in 0..20 {
+            q.push(0, beta(i), &mut s0);
+        }
+        // Worker 1 has nothing: must steal from worker 0 (FIFO from the
+        // top), bringing a burst into its own deque.
+        let mut s1 = QueueStats::default();
+        assert_eq!(node_of(q.pop(1, &mut s1)), 0, "steals the oldest task");
+        assert!(s1.steals >= 1, "steal counted");
+        assert!(s1.batches >= 1, "burst moved as a batch");
+        // Everything is popped exactly once across both workers.
+        let mut seen = vec![0u32; 20];
+        seen[0] += 1;
+        loop {
+            let before = seen.iter().sum::<u32>();
+            if let Some(t) = q.pop(1, &mut s1) {
+                seen[node_of(Some(t)) as usize] += 1;
+            }
+            if let Some(t) = q.pop(0, &mut s0) {
+                seen[node_of(Some(t)) as usize] += 1;
+            }
+            if seen.iter().sum::<u32>() == before {
+                break;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+        assert_eq!(s0.pops + s1.pops, 20);
+        assert!(q.all_empty());
+    }
+
+    #[test]
+    fn work_stealing_seeds_flow_through_injector_in_batches() {
+        let q = TaskQueues::new(Scheduler::WorkStealing, 2);
+        let mut cs = QueueStats::default();
+        for i in 0..TASK_BATCH as u32 + 3 {
+            q.push_seed(i as usize, beta(i), &mut cs);
+        }
+        assert_eq!(cs.pushes, TASK_BATCH as u64 + 3);
+        let mut s = QueueStats::default();
+        // First pop drains a batch: one executed, TASK_BATCH-1 moved local.
+        assert!(q.pop(0, &mut s).is_some());
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.pushes, TASK_BATCH as u64 - 1);
+        let mut n = 1;
+        while q.pop(0, &mut s).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, TASK_BATCH + 3);
+        assert_eq!(s.pops, n as u64);
+        assert!(q.all_empty());
+    }
+
+    #[test]
+    fn push_batch_publishes_all_tasks() {
+        for sched in [Scheduler::SingleQueue, Scheduler::MultiQueue, Scheduler::WorkStealing] {
+            let q = TaskQueues::new(sched, 3);
+            let mut s = QueueStats::default();
+            let mut batch: Vec<Task> = (0..10).map(beta).collect();
+            q.push_batch(1, &mut batch, &mut s);
+            assert!(batch.is_empty());
+            assert_eq!(s.pushes, 10);
+            let mut n = 0;
+            while q.pop(1, &mut s).is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 10, "{sched:?}");
+            if sched == Scheduler::WorkStealing {
+                assert_eq!(s.batches, 1, "one batched publication");
+            } else {
+                assert_eq!(s.batches, 0, "paper schedulers unchanged");
+            }
+        }
+    }
+
+    #[test]
+    fn queue_stats_merge_saturates() {
+        let mut a = QueueStats { pushes: u64::MAX - 1, steals: u64::MAX, ..Default::default() };
+        let b = QueueStats { pushes: 10, steals: 3, pops: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.pushes, u64::MAX, "saturates, never wraps");
+        assert_eq!(a.steals, u64::MAX);
+        assert_eq!(a.pops, 7);
+    }
+
+    #[test]
     fn concurrent_producers_consumers_preserve_tasks() {
         use std::sync::atomic::{AtomicU64, Ordering};
         use std::sync::Arc;
-        let q = Arc::new(TaskQueues::new(Scheduler::MultiQueue, 4));
-        let done = Arc::new(AtomicU64::new(0));
-        let popped = Arc::new(AtomicU64::new(0));
-        let mut handles = Vec::new();
-        for w in 0..2 {
-            let q = q.clone();
-            let done = done.clone();
-            handles.push(std::thread::spawn(move || {
-                let mut s = QueueStats::default();
-                for i in 0..5_000 {
-                    q.push(w, beta(i), &mut s);
-                }
-                done.fetch_add(1, Ordering::SeqCst);
-            }));
-        }
-        for w in 2..4 {
-            let q = q.clone();
-            let done = done.clone();
-            let popped = popped.clone();
-            handles.push(std::thread::spawn(move || {
-                let mut s = QueueStats::default();
-                loop {
-                    if q.pop(w, &mut s).is_some() {
-                        popped.fetch_add(1, Ordering::SeqCst);
-                    } else if done.load(Ordering::SeqCst) == 2 {
-                        // The failed pop above may predate the last pushes;
-                        // re-check now that all pushes are visible. The
-                        // re-pop must count its task, not discard it.
-                        match q.pop(w, &mut s) {
-                            Some(_) => {
-                                popped.fetch_add(1, Ordering::SeqCst);
+        for sched in [Scheduler::MultiQueue, Scheduler::WorkStealing] {
+            let q = Arc::new(TaskQueues::new(sched, 4));
+            let done = Arc::new(AtomicU64::new(0));
+            let popped = Arc::new(AtomicU64::new(0));
+            let mut handles = Vec::new();
+            for w in 0..2 {
+                let q = q.clone();
+                let done = done.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut s = QueueStats::default();
+                    for i in 0..5_000 {
+                        q.push(w, beta(i), &mut s);
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            for w in 2..4 {
+                let q = q.clone();
+                let done = done.clone();
+                let popped = popped.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut s = QueueStats::default();
+                    loop {
+                        if q.pop(w, &mut s).is_some() {
+                            popped.fetch_add(1, Ordering::SeqCst);
+                        } else if done.load(Ordering::SeqCst) == 2 {
+                            // The failed pop above may predate the last
+                            // pushes; re-check now that all pushes are
+                            // visible. The re-pop must count its task, not
+                            // discard it.
+                            match q.pop(w, &mut s) {
+                                Some(_) => {
+                                    popped.fetch_add(1, Ordering::SeqCst);
+                                }
+                                None => break,
                             }
-                            None => break,
                         }
                     }
-                }
-            }));
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(popped.load(Ordering::SeqCst), 10_000, "{sched:?}");
         }
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(popped.load(Ordering::SeqCst), 10_000);
     }
 }

@@ -1,0 +1,217 @@
+//! Property tests for the Chase–Lev work-stealing deque.
+//!
+//! Two angles: (1) a single-owner op sequence must behave exactly like a
+//! `VecDeque` model (pop is LIFO at the bottom, steal is FIFO at the top),
+//! and (2) a multi-thread stress over randomized interleavings must hand
+//! out every pushed value exactly once — no loss, no duplication — across
+//! the owner and concurrent stealers.
+
+use proptest::prelude::*;
+use psme_core::{Steal, WsDeque};
+use psme_rete::testgen::XorShift;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Push(u64),
+    PushBatch(Vec<u64>),
+    Pop,
+    StealSelf,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..8, any::<u64>(), prop::collection::vec(any::<u64>(), 0..12)).prop_map(
+        |(sel, v, batch)| match sel {
+            0..=2 => Op::Push(v),
+            3 => Op::PushBatch(batch),
+            4..=6 => Op::Pop,
+            _ => Op::StealSelf,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// With a single owner thread (steals issued from the same thread are
+    /// safe), any op sequence matches the VecDeque model: push/push_batch
+    /// append at the bottom, pop takes from the bottom, steal takes from
+    /// the top. With no concurrency, steal must never report `Retry`.
+    #[test]
+    fn single_owner_matches_vecdeque_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let d: WsDeque<u64> = WsDeque::new();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    // Safety: this test thread is the only owner.
+                    unsafe { d.push(v) };
+                    model.push_back(v);
+                }
+                Op::PushBatch(vs) => {
+                    let mut batch = vs.clone();
+                    // Safety: single owner thread.
+                    unsafe { d.push_batch(&mut batch) };
+                    prop_assert!(batch.is_empty(), "push_batch drains its input");
+                    model.extend(vs);
+                }
+                Op::Pop => {
+                    // Safety: single owner thread.
+                    let got = unsafe { d.pop() };
+                    prop_assert_eq!(got, model.pop_back());
+                }
+                Op::StealSelf => match d.steal() {
+                    Steal::Success(v) => prop_assert_eq!(Some(v), model.pop_front()),
+                    Steal::Empty => prop_assert!(model.is_empty()),
+                    Steal::Retry => prop_assert!(false, "Retry without concurrency"),
+                },
+            }
+            prop_assert_eq!(d.is_empty_hint(), model.is_empty());
+        }
+        // Drain what's left from the bottom: exact reverse of the model.
+        let mut rest = Vec::new();
+        // Safety: single owner thread.
+        while let Some(v) = unsafe { d.pop() } {
+            rest.push(v);
+        }
+        let expected: Vec<u64> = model.iter().rev().copied().collect();
+        prop_assert_eq!(rest, expected);
+    }
+}
+
+/// Pushing far past the initial capacity forces ring growth mid-stream;
+/// order must survive the buffer swap, including with a consumed prefix.
+#[test]
+fn growth_preserves_order() {
+    let d: WsDeque<u64> = WsDeque::new();
+    // Consume a prefix first so the live region wraps the ring.
+    for i in 0..40u64 {
+        unsafe { d.push(i) };
+    }
+    for i in 0..40u64 {
+        assert_eq!(d.steal(), Steal::Success(i));
+    }
+    for i in 0..5000u64 {
+        unsafe { d.push(i) };
+    }
+    assert_eq!(d.len_hint(), 5000);
+    for i in (2500..5000).rev() {
+        assert_eq!(unsafe { d.pop() }, Some(i));
+    }
+    for i in 0..2500 {
+        assert_eq!(d.steal(), Steal::Success(i));
+    }
+    assert!(d.is_empty_hint());
+}
+
+/// Unconsumed elements are dropped exactly once when the deque is dropped
+/// (exercises the retired-buffer reclamation path after growth).
+#[test]
+fn drop_runs_once_per_live_element() {
+    use std::sync::atomic::AtomicU64;
+    static DROPS: AtomicU64 = AtomicU64::new(0);
+    struct D;
+    impl Drop for D {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    {
+        let d: WsDeque<D> = WsDeque::new();
+        for _ in 0..300 {
+            unsafe { d.push(D) };
+        }
+        for _ in 0..100 {
+            drop(unsafe { d.pop() });
+        }
+    }
+    assert_eq!(DROPS.load(Ordering::Relaxed), 300);
+}
+
+/// The core linearizability claim, brute-forced: one owner interleaving
+/// pushes (single and batched) with pops while stealers hammer the top.
+/// Every pushed value must surface exactly once somewhere. 1000 seeded
+/// iterations vary the op mix, sizes, and thread timing.
+#[test]
+fn concurrent_steals_take_each_task_exactly_once() {
+    const ITERS: u64 = 1000;
+    for iter in 0..ITERS {
+        let mut rng = XorShift::new(0xD00D_5EED ^ iter);
+        let total = 16 + rng.below(112) as u64; // 16..128 values
+        let stealers = 1 + rng.below(3); // 1..=3 stealer threads
+        let d: WsDeque<u64> = WsDeque::new();
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..stealers {
+                handles.push(s.spawn({
+                    let d = &d;
+                    let done = &done;
+                    move || {
+                        let mut got = Vec::new();
+                        let mut lrng = XorShift::new(iter.rotate_left(17) ^ t as u64);
+                        loop {
+                            match d.steal() {
+                                Steal::Success(v) => got.push(v),
+                                Steal::Retry => std::hint::spin_loop(),
+                                Steal::Empty => {
+                                    if done.load(Ordering::Acquire) && d.is_empty_hint() {
+                                        break;
+                                    }
+                                    // Back off a little, randomly.
+                                    for _ in 0..lrng.below(8) {
+                                        std::hint::spin_loop();
+                                    }
+                                }
+                            }
+                        }
+                        got
+                    }
+                }));
+            }
+
+            // Owner: push everything in randomized chunks, interleaving pops.
+            let mut owner_got = Vec::new();
+            let mut next = 0u64;
+            while next < total {
+                if rng.chance(30) {
+                    let k = (1 + rng.below(7)) as u64;
+                    let mut batch: Vec<u64> =
+                        (next..(next + k).min(total)).collect();
+                    next += batch.len() as u64;
+                    // Safety: this closure body is the sole owner thread.
+                    unsafe { d.push_batch(&mut batch) };
+                } else {
+                    // Safety: sole owner thread.
+                    unsafe { d.push(next) };
+                    next += 1;
+                }
+                if rng.chance(35) {
+                    // Safety: sole owner thread.
+                    if let Some(v) = unsafe { d.pop() } {
+                        owner_got.push(v);
+                    }
+                }
+            }
+            // Drain the remainder from the owner end.
+            // Safety: sole owner thread.
+            while let Some(v) = unsafe { d.pop() } {
+                owner_got.push(v);
+            }
+            done.store(true, Ordering::Release);
+
+            let mut all = owner_got;
+            for h in handles {
+                all.extend(h.join().unwrap());
+            }
+            all.sort_unstable();
+            let expected: Vec<u64> = (0..total).collect();
+            assert_eq!(
+                all, expected,
+                "iteration {iter}: lost or duplicated tasks (total {total}, {stealers} stealers)"
+            );
+        });
+    }
+}

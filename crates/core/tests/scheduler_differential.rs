@@ -1,0 +1,222 @@
+//! Cross-scheduler differential suite: the gate for any scheduler change.
+//!
+//! For a grid of `testgen::random_system` seeds × every [`Scheduler`]
+//! variant × {1, 2, 4, 8} workers, the conflict set after **every** cycle
+//! must be identical to the serial reference engine's, and the full
+//! instantiation set must match the brute-force naive-matcher oracle. A
+//! scheduler is free to reorder tasks arbitrarily (the work-stealing owner
+//! end is even LIFO); it is never free to change what matches.
+
+use psme_core::{EngineConfig, ParallelEngine, Scheduler};
+use psme_ops::{Instantiation, WmeId};
+use psme_rete::testgen::{random_system, GenConfig, XorShift};
+use psme_rete::{naive, NetworkOrg, ReteNetwork, SerialEngine};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const ALL_SCHEDULERS: [Scheduler; 3] =
+    [Scheduler::SingleQueue, Scheduler::MultiQueue, Scheduler::WorkStealing];
+const WORKER_GRID: [usize; 4] = [1, 2, 4, 8];
+
+fn inst_set(v: Vec<Instantiation>) -> HashSet<Instantiation> {
+    v.into_iter().collect()
+}
+
+fn build_net(sys: &psme_rete::testgen::GeneratedSystem) -> ReteNetwork {
+    let mut net = ReteNetwork::new();
+    for p in &sys.productions {
+        net.add_production(Arc::new(p.clone()), NetworkOrg::Linear).unwrap();
+    }
+    net
+}
+
+/// Stream random wme batches through a parallel engine and the serial
+/// reference, checking the per-cycle CS delta and the oracle after every
+/// cycle.
+fn stream_test(seed: u64, cfg: EngineConfig, batches: usize) {
+    let sys = random_system(seed, GenConfig::default());
+    let mut par = ParallelEngine::new(build_net(&sys), cfg);
+    let mut ser = SerialEngine::new(build_net(&sys));
+    let mut rng = XorShift::new(seed ^ 0x5C4E_D01E);
+    for batch in 0..batches {
+        let n_add = rng.below(5) + 1;
+        let adds: Vec<_> = (0..n_add).map(|_| sys.random_wme(&mut rng)).collect();
+        let alive: Vec<WmeId> = ser.store.iter_alive().map(|(id, _)| id).collect();
+        let mut removes = Vec::new();
+        if !alive.is_empty() && rng.chance(55) {
+            removes.push(alive[rng.below(alive.len())]);
+        }
+        let po = par.apply_changes(adds.clone(), removes.clone());
+        let so = ser.apply_changes(adds, removes);
+        assert_eq!(
+            inst_set(po.cs.added.clone()),
+            inst_set(so.cs.added.clone()),
+            "added diverged: seed {seed} batch {batch} ({cfg:?})"
+        );
+        assert_eq!(
+            inst_set(po.cs.removed.clone()),
+            inst_set(so.cs.removed.clone()),
+            "removed diverged: seed {seed} batch {batch} ({cfg:?})"
+        );
+        let expected = naive::match_all(sys.productions.iter(), &ser.store);
+        assert_eq!(
+            inst_set(par.current_instantiations()),
+            expected,
+            "oracle diverged: seed {seed} batch {batch} ({cfg:?})"
+        );
+    }
+}
+
+fn grid_for(scheduler: Scheduler, seed_base: u64) {
+    for (i, &workers) in WORKER_GRID.iter().enumerate() {
+        for s in 0..3u64 {
+            stream_test(
+                seed_base + 10 * i as u64 + s,
+                EngineConfig { workers, scheduler, ..Default::default() },
+                4,
+            );
+        }
+    }
+}
+
+#[test]
+fn single_queue_grid_matches_serial_and_oracle() {
+    grid_for(Scheduler::SingleQueue, 1_000);
+}
+
+#[test]
+fn multi_queue_grid_matches_serial_and_oracle() {
+    grid_for(Scheduler::MultiQueue, 2_000);
+}
+
+#[test]
+fn work_stealing_grid_matches_serial_and_oracle() {
+    grid_for(Scheduler::WorkStealing, 3_000);
+}
+
+/// Same seeds across all three schedulers: every scheduler must agree with
+/// the serial engine, hence (transitively) with each other — checked
+/// directly here so a divergence names the scheduler pair.
+#[test]
+fn schedulers_agree_with_each_other() {
+    for seed in [7u64, 42, 4_711] {
+        let sys = random_system(seed, GenConfig::default());
+        let mut engines: Vec<ParallelEngine> = ALL_SCHEDULERS
+            .iter()
+            .map(|&scheduler| {
+                ParallelEngine::new(
+                    build_net(&sys),
+                    EngineConfig { workers: 4, scheduler, ..Default::default() },
+                )
+            })
+            .collect();
+        let mut rng = XorShift::new(seed ^ 0x00DD_5EED);
+        for _ in 0..4 {
+            let adds: Vec<_> = (0..3).map(|_| sys.random_wme(&mut rng)).collect();
+            let outs: Vec<_> =
+                engines.iter_mut().map(|e| e.apply_changes(adds.clone(), vec![])).collect();
+            for (sched, o) in ALL_SCHEDULERS.iter().zip(&outs).skip(1) {
+                assert_eq!(
+                    inst_set(o.cs.added.clone()),
+                    inst_set(outs[0].cs.added.clone()),
+                    "{sched:?} vs {:?} (seed {seed})",
+                    ALL_SCHEDULERS[0]
+                );
+            }
+        }
+    }
+}
+
+/// Mid-run production addition (§5.1 network surgery + §5.2 parallel state
+/// update) under work stealing: the engine compiles new productions while
+/// live tokens exist, runs the update phase through the deques, and must
+/// land on the same conflict set as the serial engine.
+#[test]
+fn work_stealing_runtime_addition_matches_serial() {
+    for seed in 300..306 {
+        let sys = random_system(seed, GenConfig::default());
+        let (first, second) = sys.productions.split_at(sys.productions.len() / 2);
+
+        let mut net_p = ReteNetwork::new();
+        let mut net_s = ReteNetwork::new();
+        for p in first {
+            net_p.add_production(Arc::new(p.clone()), NetworkOrg::Linear).unwrap();
+            net_s.add_production(Arc::new(p.clone()), NetworkOrg::Linear).unwrap();
+        }
+        let mut par = ParallelEngine::new(
+            net_p,
+            EngineConfig { workers: 4, scheduler: Scheduler::WorkStealing, ..Default::default() },
+        );
+        let mut ser = SerialEngine::new(net_s);
+
+        let mut rng = XorShift::new(seed ^ 0x77);
+        for _ in 0..3 {
+            let adds: Vec<_> = (0..4).map(|_| sys.random_wme(&mut rng)).collect();
+            par.apply_changes(adds.clone(), vec![]);
+            ser.apply_changes(adds, vec![]);
+        }
+        for p in second {
+            let po = par.add_production(Arc::new(p.clone()), NetworkOrg::Linear).unwrap();
+            let so = ser.add_production(Arc::new(p.clone()), NetworkOrg::Linear).unwrap();
+            assert_eq!(
+                inst_set(po.cs.added.clone()),
+                inst_set(so.cs.added.clone()),
+                "update-phase CS diverged at seed {seed}"
+            );
+        }
+        let expected = naive::match_all(sys.productions.iter(), &ser.store);
+        assert_eq!(inst_set(par.current_instantiations()), expected, "seed {seed}");
+
+        // Further cycles stay consistent after the surgery.
+        for _ in 0..3 {
+            let adds: Vec<_> = (0..2).map(|_| sys.random_wme(&mut rng)).collect();
+            let alive: Vec<WmeId> = ser.store.iter_alive().map(|(id, _)| id).collect();
+            let removes = vec![alive[rng.below(alive.len())]];
+            par.apply_changes(adds.clone(), removes.clone());
+            ser.apply_changes(adds, removes);
+            let expected = naive::match_all(sys.productions.iter(), &ser.store);
+            assert_eq!(inst_set(par.current_instantiations()), expected, "seed {seed} post");
+        }
+    }
+}
+
+/// Steal counters surface through the metrics pipeline: zero under the
+/// paper schedulers, live under work stealing once real contention for
+/// tasks exists.
+#[test]
+fn steal_counters_flow_into_metrics() {
+    let sys = random_system(11, GenConfig::default());
+    let mut rng = XorShift::new(13);
+    let adds: Vec<_> = (0..8).map(|_| sys.random_wme(&mut rng)).collect();
+
+    let mut multi = ParallelEngine::new(
+        build_net(&sys),
+        EngineConfig { workers: 4, scheduler: Scheduler::MultiQueue, ..Default::default() },
+    );
+    multi.apply_changes(adds.clone(), vec![]);
+    let m = multi.last_cycle_metrics().unwrap();
+    assert_eq!(m.queue.steals, 0, "paper scheduler never reports steals");
+    assert_eq!(m.queue.batches, 0, "paper scheduler never batches");
+    assert_eq!(m.counters.get(psme_obs::Counter::Steals), 0);
+
+    let mut ws = ParallelEngine::new(
+        build_net(&sys),
+        EngineConfig { workers: 4, scheduler: Scheduler::WorkStealing, ..Default::default() },
+    );
+    let out = ws.apply_changes(adds, vec![]);
+    let m = ws.last_cycle_metrics().unwrap();
+    assert_eq!(m.queue.pops, m.tasks, "every task was handed out exactly once");
+    assert_eq!(m.tasks, out.tasks);
+    assert!(m.queue.pushes >= m.tasks, "seeds + children + batch moves");
+    assert!(m.queue.batches >= 1, "seed batch drained through the injector");
+    assert_eq!(
+        m.counters.get(psme_obs::Counter::Steals),
+        m.queue.steals,
+        "obs counters mirror queue stats"
+    );
+    assert_eq!(m.counters.get(psme_obs::Counter::Batches), m.queue.batches);
+    // JSON export carries the new fields.
+    let j = m.to_json();
+    assert_eq!(j.get("steals").and_then(|v| v.as_u64()), Some(m.queue.steals));
+    assert_eq!(j.get("batches").and_then(|v| v.as_u64()), Some(m.queue.batches));
+}

@@ -278,11 +278,18 @@ pub enum Counter {
     MemSpins,
     /// Conflict-set changes produced.
     CsChanges,
+    /// Tasks taken from another worker's deque (work-stealing scheduler).
+    Steals,
+    /// Steal attempts that found an empty victim or lost the CAS race.
+    StealFails,
+    /// Batched transfers (batched publications, injector drains, steal
+    /// bursts) that moved ≥ 2 tasks at once.
+    Batches,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 11] = [
         Counter::Tasks,
         Counter::AlphaTasks,
         Counter::BetaTasks,
@@ -291,6 +298,9 @@ impl Counter {
         Counter::Emitted,
         Counter::MemSpins,
         Counter::CsChanges,
+        Counter::Steals,
+        Counter::StealFails,
+        Counter::Batches,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -304,13 +314,16 @@ impl Counter {
             Counter::Emitted => "emitted",
             Counter::MemSpins => "mem_spins",
             Counter::CsChanges => "cs_changes",
+            Counter::Steals => "steals",
+            Counter::StealFails => "steal_fails",
+            Counter::Batches => "batches",
         }
     }
 }
 
 /// A fixed-slot set of counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CounterSet([u64; 8]);
+pub struct CounterSet([u64; Counter::ALL.len()]);
 
 impl CounterSet {
     /// All-zero counters.
@@ -318,10 +331,11 @@ impl CounterSet {
         CounterSet::default()
     }
 
-    /// Bump one counter.
+    /// Bump one counter (saturating — a clamped counter must read as
+    /// `u64::MAX`, never wrap to a small value).
     #[inline]
     pub fn add(&mut self, c: Counter, n: u64) {
-        self.0[c as usize] += n;
+        self.0[c as usize] = self.0[c as usize].saturating_add(n);
     }
 
     /// Read one counter.
@@ -330,16 +344,17 @@ impl CounterSet {
         self.0[c as usize]
     }
 
-    /// Fold another set in (the barrier-side merge).
+    /// Fold another set in (the barrier-side merge). Saturating, like
+    /// [`Self::add`]: merging huge per-worker counts must clamp, not wrap.
     pub fn merge(&mut self, other: &CounterSet) {
         for i in 0..self.0.len() {
-            self.0[i] += other.0[i];
+            self.0[i] = self.0[i].saturating_add(other.0[i]);
         }
     }
 
     /// Reset to zero (workers reuse their set across cycles).
     pub fn reset(&mut self) {
-        self.0 = [0; 8];
+        self.0 = [0; Counter::ALL.len()];
     }
 
     /// `true` when every counter is zero.
@@ -410,6 +425,22 @@ mod tests {
         assert_eq!(j.get("alpha_tasks"), None, "zero counters omitted");
         a.reset();
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn counter_add_and_merge_saturate() {
+        let mut a = CounterSet::new();
+        a.add(Counter::Steals, u64::MAX - 1);
+        a.add(Counter::Steals, 5);
+        assert_eq!(a.get(Counter::Steals), u64::MAX, "add saturates");
+        let mut b = CounterSet::new();
+        b.add(Counter::Steals, 1);
+        b.add(Counter::Batches, 2);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::Steals), u64::MAX, "merge saturates");
+        assert_eq!(a.get(Counter::Batches), 2);
+        let j = a.to_json();
+        assert_eq!(j.get("batches").and_then(|v| v.as_u64()), Some(2));
     }
 
     #[test]

@@ -34,6 +34,16 @@ pub struct CostModel {
     /// ("these failed pop operations increase with an increasing number of
     /// processors, and interfere with the operation of the system", §6.1).
     pub failed_pop_interference: f64,
+    /// Work-stealing: owner-end deque operation (plain load/store on the
+    /// bottom, no lock, no fence on push) — far cheaper than a locked
+    /// queue critical section.
+    pub ws_owner_op: f64,
+    /// Work-stealing: one successful steal (SeqCst fence + top CAS on the
+    /// victim's deque; the only cross-worker serialization point).
+    pub ws_steal: f64,
+    /// Work-stealing: fixed cost of publishing one batch of children (a
+    /// single release store covers the whole batch).
+    pub ws_batch_publish: f64,
 }
 
 impl Default for CostModel {
@@ -49,6 +59,9 @@ impl Default for CostModel {
             queue_op: 42.0,
             spin: 18.0,
             failed_pop_interference: 12.0,
+            ws_owner_op: 6.0,
+            ws_steal: 25.0,
+            ws_batch_publish: 10.0,
         }
     }
 }

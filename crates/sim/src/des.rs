@@ -17,8 +17,12 @@ use psme_rete::{CycleTrace, TaskKind};
 pub enum SimScheduler {
     /// One central task queue.
     Single,
-    /// One queue per process, with stealing.
+    /// One queue per process, with cycling search over spin-locked queues.
     Multi,
+    /// Per-process Chase–Lev deques: owner pops are lock-free, only steals
+    /// serialize (on the victim's top CAS), children are published in one
+    /// batch, and idle processes cause no failed-pop lock interference.
+    WorkStealing,
 }
 
 /// Simulation parameters.
@@ -56,6 +60,10 @@ pub struct SimResult {
     pub queue_spins: u64,
     /// Total time waiting on memory-line locks (µs).
     pub line_wait_us: f64,
+    /// Cross-queue takes: pops served from a queue other than the worker's
+    /// own (steals under [`SimScheduler::WorkStealing`], cycling-search
+    /// hits under [`SimScheduler::Multi`]).
+    pub steals: u64,
     /// `(time_us, tasks_in_system)` samples when timeline recording is on.
     pub timeline: Vec<(f64, u32)>,
 }
@@ -135,7 +143,7 @@ pub fn simulate_cycle(trace: &CycleTrace, cfg: &SimConfig) -> SimResult {
     let workers = cfg.workers.max(1);
     let nqueues = match cfg.scheduler {
         SimScheduler::Single => 1,
-        SimScheduler::Multi => workers,
+        SimScheduler::Multi | SimScheduler::WorkStealing => workers,
     };
 
     // Children lists (push order = trace order).
@@ -218,18 +226,36 @@ pub fn simulate_cycle(trace: &CycleTrace, cfg: &SimConfig) -> SimResult {
         let t = &trace.tasks[p.idx];
         remaining -= 1;
 
-        // Pop through the queue lock. Idle processes doing failed pops
-        // interfere with real queue operations (§6.1) — but only processes
-        // in excess of the currently available tasks are actually spinning
-        // on empty queues.
-        let idle = worker_free.iter().filter(|&&f| f <= start).count().saturating_sub(1);
-        let available: usize =
-            queues.iter().map(|qq| qq.partition_point(|pp| pp.avail <= start)).sum();
-        let idle_excess = idle.saturating_sub(available);
-        let interference = idle_excess as f64 * cost.failed_pop_interference / nqueues as f64;
-        let grant = queue_locks[q].acquire(start, cost.queue_op + interference);
-        result.queue_wait_us += grant - start;
-        let mut now = grant + cost.queue_op + interference;
+        let mut now;
+        if cfg.scheduler == SimScheduler::WorkStealing {
+            if q == w % nqueues {
+                // Owner pop: plain bottom decrement, no lock, no
+                // interference from idle processes.
+                now = start + cost.ws_owner_op;
+            } else {
+                // Steal: serializes on the victim's top CAS only.
+                result.steals += 1;
+                let grant = queue_locks[q].acquire(start, cost.ws_steal);
+                result.queue_wait_us += grant - start;
+                now = grant + cost.ws_steal;
+            }
+        } else {
+            // Pop through the queue lock. Idle processes doing failed pops
+            // interfere with real queue operations (§6.1) — but only
+            // processes in excess of the currently available tasks are
+            // actually spinning on empty queues.
+            if q != w % nqueues {
+                result.steals += 1;
+            }
+            let idle = worker_free.iter().filter(|&&f| f <= start).count().saturating_sub(1);
+            let available: usize =
+                queues.iter().map(|qq| qq.partition_point(|pp| pp.avail <= start)).sum();
+            let idle_excess = idle.saturating_sub(available);
+            let interference = idle_excess as f64 * cost.failed_pop_interference / nqueues as f64;
+            let grant = queue_locks[q].acquire(start, cost.queue_op + interference);
+            result.queue_wait_us += grant - start;
+            now = grant + cost.queue_op + interference;
+        }
 
         // Memory-line critical section.
         let (locked, after) = cost.body_cost(t);
@@ -243,16 +269,30 @@ pub fn simulate_cycle(trace: &CycleTrace, cfg: &SimConfig) -> SimResult {
         now += after;
 
         // Push children; each becomes available at its push completion.
-        for &c in &children[p.idx] {
-            let cq = match cfg.scheduler {
-                SimScheduler::Single => 0,
-                SimScheduler::Multi => w,
-            };
-            let pg = queue_locks[cq].acquire(now, cost.queue_op);
-            result.queue_wait_us += pg - now;
-            now = pg + cost.queue_op;
-            avail_time[c] = now;
-            enqueue(&mut queues, cq, now, c, &mut seq);
+        // Under work stealing the whole brood is written and then published
+        // with one release store, so every child becomes available at the
+        // same instant and no lock is involved.
+        if cfg.scheduler == SimScheduler::WorkStealing {
+            if !children[p.idx].is_empty() {
+                now += cost.ws_batch_publish
+                    + cost.ws_owner_op * children[p.idx].len() as f64;
+                for &c in &children[p.idx] {
+                    avail_time[c] = now;
+                    enqueue(&mut queues, w, now, c, &mut seq);
+                }
+            }
+        } else {
+            for &c in &children[p.idx] {
+                let cq = match cfg.scheduler {
+                    SimScheduler::Single => 0,
+                    SimScheduler::Multi | SimScheduler::WorkStealing => w,
+                };
+                let pg = queue_locks[cq].acquire(now, cost.queue_op);
+                result.queue_wait_us += pg - now;
+                now = pg + cost.queue_op;
+                avail_time[c] = now;
+                enqueue(&mut queues, cq, now, c, &mut seq);
+            }
         }
         // Busy time is the schedule-invariant per-task cost; waits and
         // failed-pop interference are accounted separately.
@@ -355,6 +395,38 @@ mod tests {
         let p8 = simulate_cycle(&t, &SimConfig::new(8, SimScheduler::Multi)).makespan_us;
         let s = uni / p8;
         assert!(s < 1.2, "chain cannot parallelize: {s}");
+    }
+
+    #[test]
+    fn work_stealing_scales_at_least_as_well_as_locked_queues() {
+        let t = flat_trace(400);
+        let uni = simulate_cycle(&t, &SimConfig::new(1, SimScheduler::WorkStealing)).makespan_us;
+        for workers in [4usize, 8, 13] {
+            let ws = simulate_cycle(&t, &SimConfig::new(workers, SimScheduler::WorkStealing));
+            let single =
+                simulate_cycle(&t, &SimConfig::new(workers, SimScheduler::Single)).makespan_us;
+            assert!(
+                ws.makespan_us <= single,
+                "{workers} workers: ws {} vs single {single}",
+                ws.makespan_us
+            );
+            let s = uni / ws.makespan_us;
+            assert!(s > 0.8 * workers as f64, "{workers} workers: near-linear, got {s:.2}");
+        }
+        // A single root fanning out lands every child on one worker's
+        // deque: the other workers can only make progress by stealing.
+        let fan = CycleTrace {
+            cycle: 0,
+            phase: Phase::Match,
+            tasks: (0..100).map(|i| rec(i, (i > 0).then_some(0), 2, 0)).collect(),
+        };
+        let ws8 = simulate_cycle(&fan, &SimConfig::new(8, SimScheduler::WorkStealing));
+        assert!(ws8.steals > 0, "steals recorded on an imbalanced DAG");
+        assert_eq!(
+            simulate_cycle(&t, &SimConfig::new(1, SimScheduler::WorkStealing)).steals,
+            0,
+            "uniprocessor never steals"
+        );
     }
 
     #[test]

@@ -27,10 +27,26 @@ run_step() {
 fail=0
 run_step "build" cargo build --release || fail=1
 run_step "test" cargo test -q --workspace || fail=1
+# The cross-scheduler differential suite is the gate for scheduler changes;
+# run it by name so a filtered or partial test invocation can't skip it.
+run_step "scheduler differential" \
+    cargo test -q -p psme-core --test scheduler_differential || fail=1
 if cargo clippy --version >/dev/null 2>&1; then
     run_step "clippy" cargo clippy -q --workspace --all-targets -- -D warnings || fail=1
 else
     echo "==> clippy: not installed, skipping (install with: rustup component add clippy)" >&2
+fi
+
+# A proptest failure writes a regression seed under proptest-regressions/.
+# Those files must be checked in (so the seed keeps replaying in CI) — an
+# untracked one means a failure was reproduced locally and then ignored.
+if command -v git >/dev/null 2>&1 && git rev-parse --git-dir >/dev/null 2>&1; then
+    stray=$(git ls-files --others --exclude-standard -- '*proptest-regressions*')
+    if [ -n "$stray" ]; then
+        echo "!! untracked proptest regression files (check them in):" >&2
+        echo "$stray" >&2
+        fail=1
+    fi
 fi
 
 if [ "$fail" -ne 0 ]; then
