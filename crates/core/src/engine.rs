@@ -104,13 +104,16 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
                     ws.counters.add(Counter::Tasks, 1);
                     match task {
                         Task::Alpha(w, d) => {
-                            let (tests_run, _) =
+                            let (alpha, _) =
                                 process_wme_change(&net, &store, w, d, min_node, &mut |a| {
                                     pending.push(Task::Beta(a))
                                 });
                             ws.counters.add(Counter::AlphaTasks, 1);
-                            ws.counters.add(Counter::Scanned, tests_run as u64);
+                            ws.counters.add(Counter::Scanned, alpha.tests_run as u64);
                             ws.counters.add(Counter::Emitted, pending.len() as u64);
+                            ws.counters.add(Counter::AlphaProbes, alpha.probes as u64);
+                            ws.counters.add(Counter::AlphaCandidates, alpha.candidates as u64);
+                            ws.counters.add(Counter::AlphaTestsSaved, alpha.tests_saved as u64);
                         }
                         Task::Beta(a) => {
                             let cs_before = local_cs.len();

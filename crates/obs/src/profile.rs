@@ -284,6 +284,7 @@ mod tests {
             side: Some(Side::Left),
             delta: 1,
             scanned,
+            probes: 0,
             emitted,
             line: Some(0),
             wall_ns: 100,

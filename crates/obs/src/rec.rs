@@ -285,11 +285,18 @@ pub enum Counter {
     /// Batched transfers (batched publications, injector drains, steal
     /// bursts) that moved ≥ 2 tasks at once.
     Batches,
+    /// Alpha jump-table hash probes (one per indexed field per wme).
+    AlphaProbes,
+    /// Candidate alpha memories whose residual tests were consulted.
+    AlphaCandidates,
+    /// Constant/intra tests the linear alpha scan would have evaluated but
+    /// the discrimination index skipped.
+    AlphaTestsSaved,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 14] = [
         Counter::Tasks,
         Counter::AlphaTasks,
         Counter::BetaTasks,
@@ -301,6 +308,9 @@ impl Counter {
         Counter::Steals,
         Counter::StealFails,
         Counter::Batches,
+        Counter::AlphaProbes,
+        Counter::AlphaCandidates,
+        Counter::AlphaTestsSaved,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -317,6 +327,9 @@ impl Counter {
             Counter::Steals => "steals",
             Counter::StealFails => "steal_fails",
             Counter::Batches => "batches",
+            Counter::AlphaProbes => "alpha_probes",
+            Counter::AlphaCandidates => "alpha_candidates",
+            Counter::AlphaTestsSaved => "alpha_tests_saved",
         }
     }
 }

@@ -8,10 +8,42 @@
 //! wmes — matching wmes are stored per consuming two-input node in the
 //! hashed right memories — so an alpha memory is purely a discrimination
 //! point with a successor list.
+//!
+//! # Hash discrimination (the §5.1 jumptable, generalized)
+//!
+//! Discrimination is two-level. Level one is the class hash (PSM-E's
+//! class-indexing optimization that "reduces constant-test activations by
+//! almost half"). Level two is a per-class `(field, value)` **jump table**:
+//! every memory with at least one equality constant test is registered
+//! under exactly one such test — its *discriminator* — and a wme reaches it
+//! only through the hash bucket for `(field, wme.field)`. One probe per
+//! indexed field replaces a linear scan over every memory of the class,
+//! which is what keeps constant-test cost flat as chunks pile memories onto
+//! the network at run time.
+//!
+//! The remaining tests of each candidate (non-equality predicates, the
+//! equality tests beyond the discriminator, and intra-element tests) are
+//! *residual* tests. Residuals are interned into a per-class canonical pool
+//! so that a test shared by many memories — e.g. the `≠ nil`
+//! attribute-present test every variable field compiles to — is evaluated
+//! **once per wme**, not once per memory; candidates then read the memoized
+//! verdict. Memories with no equality test at all sit on an always-scanned
+//! fallthrough list but still share residual evaluations.
+//!
+//! The index is spliced incrementally by [`AlphaNet::intern`], so run-time
+//! chunk addition keeps it consistent without a rebuild, and a rolled-back
+//! addition (which leaves its interned memories in place, successor-less)
+//! leaves it consistent too — [`AlphaNet::validate_index`] checks the
+//! invariants and the differential proptests pin indexed ≡ linear. The old
+//! per-class linear scan survives as [`AlphaNet::classify_linear`], the
+//! differential oracle and the baseline of the `alpha_discrimination`
+//! bench.
 
 use crate::node::{NodeId, Side};
 use crate::util::FxHashMap;
 use psme_ops::{Pred, Symbol, Value, Wme};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Index of an alpha memory.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -57,6 +89,9 @@ impl Ord for PredOrd {
 }
 
 /// One alpha memory: class + canonical tests + successor edges.
+///
+/// The test vectors are `Arc`-shared with the intern map's key, so each
+/// canonical test set is stored exactly once.
 #[derive(Clone, Debug)]
 pub struct AlphaMem {
     /// This memory's id.
@@ -64,9 +99,9 @@ pub struct AlphaMem {
     /// Required wme class.
     pub class: Symbol,
     /// Constant tests (sorted).
-    pub tests: Vec<AlphaTest>,
+    pub tests: Arc<[AlphaTest]>,
     /// Intra-element tests (sorted).
-    pub intra: Vec<IntraTest>,
+    pub intra: Arc<[IntraTest]>,
     /// Two-input nodes fed by this memory (side is always `Right`).
     pub successors: Vec<(NodeId, Side)>,
 }
@@ -84,23 +119,155 @@ impl AlphaMem {
     }
 }
 
-type AlphaKey = (Symbol, Vec<AlphaTest>, Vec<IntraTest>);
+type AlphaKey = (Symbol, Arc<[AlphaTest]>, Arc<[IntraTest]>);
 
-/// The alpha network: all alpha memories, indexed by class.
+/// A residual test — one not consumed by jump-table routing — in the
+/// per-class canonical pool.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum ResidualTest {
+    Const(AlphaTest),
+    Intra(IntraTest),
+}
+
+impl ResidualTest {
+    #[inline]
+    fn eval(self, w: &Wme) -> bool {
+        match self {
+            ResidualTest::Const(t) => t.pred.0.eval(w.field(t.field), t.value),
+            ResidualTest::Intra(t) => t.pred.0.eval(w.field(t.field_a), w.field(t.field_b)),
+        }
+    }
+}
+
+/// How a memory is reached by the indexed classifier.
+#[derive(Clone, Debug)]
+enum Route {
+    /// Via the jump bucket for this equality test.
+    Jump { field: u16, value: Value },
+    /// On the class's always-scanned fallthrough list.
+    Always,
+}
+
+/// Per-memory index entry (parallel to `AlphaNet::mems`).
+#[derive(Clone, Debug)]
+struct MemIndexEntry {
+    route: Route,
+    /// Ids into the owning class's residual pool.
+    residual: Vec<u32>,
+}
+
+/// The per-class level-two discrimination structure.
 #[derive(Default, Debug)]
+struct ClassIndex {
+    /// Canonical pool of distinct residual tests.
+    pool: Vec<ResidualTest>,
+    pool_ids: FxHashMap<ResidualTest, u32>,
+    /// Fields with at least one jump bucket, sorted (probe order).
+    probe_fields: Vec<u16>,
+    /// `(field, value)` → memories discriminated by that equality test.
+    jump: FxHashMap<(u16, Value), Vec<AlphaMemId>>,
+    /// Memories with no equality constant test.
+    always: Vec<AlphaMemId>,
+    /// Sum of `test_count` over the class's memories — what the linear scan
+    /// would charge per wme (savings accounting).
+    linear_tests: u32,
+}
+
+impl ClassIndex {
+    fn test_id(&mut self, t: ResidualTest) -> u32 {
+        if let Some(&id) = self.pool_ids.get(&t) {
+            return id;
+        }
+        let id = self.pool.len() as u32;
+        self.pool.push(t);
+        self.pool_ids.insert(t, id);
+        id
+    }
+}
+
+/// Reusable per-thread memo for shared residual evaluation: slot `i` caches
+/// the verdict of the current class's pool test `i` for the wme being
+/// classified. Epoch stamping makes cross-call (and cross-class) reuse free
+/// of clearing costs; thread-locality makes concurrent `classify` calls
+/// from the match processes safe without touching the shared network.
+#[derive(Default)]
+struct EvalScratch {
+    stamp: Vec<u64>,
+    val: Vec<bool>,
+    epoch: u64,
+}
+
+impl EvalScratch {
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.val.resize(n, false);
+        }
+        self.epoch += 1;
+    }
+
+    /// Memoized evaluation; returns `(freshly_evaluated, verdict)`.
+    #[inline]
+    fn eval(&mut self, tid: u32, pool: &[ResidualTest], w: &Wme) -> (bool, bool) {
+        let i = tid as usize;
+        if self.stamp[i] == self.epoch {
+            return (false, self.val[i]);
+        }
+        let v = pool[i].eval(w);
+        self.stamp[i] = self.epoch;
+        self.val[i] = v;
+        (true, v)
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::default());
+}
+
+/// The alpha network: all alpha memories, indexed by class and, within each
+/// class, by a `(field, value)` jump table over equality constant tests.
+#[derive(Debug)]
 pub struct AlphaNet {
     mems: Vec<AlphaMem>,
     by_class: FxHashMap<Symbol, Vec<AlphaMemId>>,
     interned: FxHashMap<AlphaKey, AlphaMemId>,
+    class_index: FxHashMap<Symbol, ClassIndex>,
+    /// Parallel to `mems`.
+    entries: Vec<MemIndexEntry>,
+    /// When `false`, [`AlphaNet::classify`] falls back to the linear scan
+    /// (the `alpha_discrimination` bench's baseline switch).
+    pub use_index: bool,
+}
+
+impl Default for AlphaNet {
+    fn default() -> AlphaNet {
+        AlphaNet {
+            mems: Vec::new(),
+            by_class: FxHashMap::default(),
+            interned: FxHashMap::default(),
+            class_index: FxHashMap::default(),
+            entries: Vec::new(),
+            use_index: true,
+        }
+    }
 }
 
 /// Result of pushing one wme through the discrimination network.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct AlphaStats {
-    /// Constant/intra tests evaluated.
+    /// Constant/intra tests evaluated (jump-table probes count as one
+    /// hashed test each, like the class test).
     pub tests_run: u32,
     /// Alpha memories the wme entered.
     pub mems_matched: u32,
+    /// Jump-table probes performed (0 under the linear scan).
+    pub probes: u32,
+    /// Candidate memories whose residual tests were consulted (under the
+    /// linear scan: every memory of the class).
+    pub candidates: u32,
+    /// Tests the linear scan would have charged minus `tests_run`
+    /// (0 under the linear scan).
+    pub tests_saved: u32,
 }
 
 impl AlphaNet {
@@ -110,7 +277,9 @@ impl AlphaNet {
     }
 
     /// Get-or-create the alpha memory for a canonical test set. Returns the
-    /// id and whether it already existed (was shared).
+    /// id and whether it already existed (was shared). A newly created
+    /// memory is spliced into the discrimination index immediately, so
+    /// run-time additions need no rebuild.
     pub fn intern(
         &mut self,
         class: Symbol,
@@ -121,21 +290,61 @@ impl AlphaNet {
         tests.dedup();
         intra.sort_unstable();
         intra.dedup();
-        let key = (class, tests, intra);
+        // The canonical vectors are Arc-shared between the intern map's key
+        // and the memory itself: one buffer each, no deep clones.
+        let tests: Arc<[AlphaTest]> = tests.into();
+        let intra: Arc<[IntraTest]> = intra.into();
+        let key = (class, tests.clone(), intra.clone());
         if let Some(&id) = self.interned.get(&key) {
             return (id, true);
         }
         let id = AlphaMemId(self.mems.len() as u32);
-        self.mems.push(AlphaMem {
-            id,
-            class,
-            tests: key.1.clone(),
-            intra: key.2.clone(),
-            successors: Vec::new(),
-        });
+        self.mems.push(AlphaMem { id, class, tests, intra, successors: Vec::new() });
         self.by_class.entry(class).or_default().push(id);
         self.interned.insert(key, id);
+        self.splice_into_index(id);
         (id, false)
+    }
+
+    /// Register a new memory in its class's jump table / fallthrough list
+    /// and intern its residual tests into the class pool.
+    fn splice_into_index(&mut self, id: AlphaMemId) {
+        let (class, tests, intra, tcount) = {
+            let m = &self.mems[id.0 as usize];
+            (m.class, m.tests.clone(), m.intra.clone(), m.test_count() as u32)
+        };
+        let idx = self.class_index.entry(class).or_default();
+        idx.linear_tests = idx.linear_tests.saturating_add(tcount);
+        // The discriminator: the first equality constant test in canonical
+        // order (deterministic, so indexed and linear classification agree
+        // run-to-run).
+        let disc = tests.iter().position(|t| t.pred.0 == Pred::Eq);
+        let mut residual = Vec::with_capacity(tests.len() + intra.len());
+        for (i, t) in tests.iter().enumerate() {
+            if Some(i) != disc {
+                residual.push(idx.test_id(ResidualTest::Const(*t)));
+            }
+        }
+        for t in intra.iter() {
+            residual.push(idx.test_id(ResidualTest::Intra(*t)));
+        }
+        let route = match disc {
+            Some(i) => {
+                let t = tests[i];
+                idx.jump.entry((t.field, t.value)).or_default().push(id);
+                if !idx.probe_fields.contains(&t.field) {
+                    idx.probe_fields.push(t.field);
+                    idx.probe_fields.sort_unstable();
+                }
+                Route::Jump { field: t.field, value: t.value }
+            }
+            None => {
+                idx.always.push(id);
+                Route::Always
+            }
+        };
+        debug_assert_eq!(self.entries.len(), id.0 as usize);
+        self.entries.push(MemIndexEntry { route, residual });
     }
 
     /// Register a successor two-input node on an alpha memory.
@@ -159,8 +368,80 @@ impl AlphaNet {
     }
 
     /// Push a wme through the discrimination net, calling `hit` for each
-    /// matching alpha memory. Returns test/match counts for cost models.
-    pub fn classify(&self, w: &Wme, mut hit: impl FnMut(&AlphaMem)) -> AlphaStats {
+    /// matching alpha memory (in ascending memory-id order, matching the
+    /// linear scan). Returns test/match counts for cost models.
+    pub fn classify(&self, w: &Wme, hit: impl FnMut(&AlphaMem)) -> AlphaStats {
+        if self.use_index {
+            self.classify_indexed(w, hit)
+        } else {
+            self.classify_linear(w, hit)
+        }
+    }
+
+    fn classify_indexed(&self, w: &Wme, mut hit: impl FnMut(&AlphaMem)) -> AlphaStats {
+        // The class lookup is the first discrimination: one hashed test.
+        let mut stats = AlphaStats { tests_run: 1, ..AlphaStats::default() };
+        let Some(idx) = self.class_index.get(&w.class) else {
+            return stats;
+        };
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.begin(idx.pool.len());
+            let mut matched: Vec<AlphaMemId> = Vec::new();
+            for &id in &idx.always {
+                self.consider(idx, w, id, &mut scratch, &mut stats, &mut matched);
+            }
+            for &f in &idx.probe_fields {
+                // One hash probe per indexed field — the jumptable analogue:
+                // counted as a single test, like the class lookup.
+                stats.probes += 1;
+                stats.tests_run += 1;
+                if let Some(bucket) = idx.jump.get(&(f, w.field(f))) {
+                    for &id in bucket {
+                        self.consider(idx, w, id, &mut scratch, &mut stats, &mut matched);
+                    }
+                }
+            }
+            // Buckets partition the memories, so `matched` is duplicate-free;
+            // sorting restores the linear scan's ascending-id hit order.
+            matched.sort_unstable();
+            for id in matched {
+                stats.mems_matched += 1;
+                hit(&self.mems[id.0 as usize]);
+            }
+        });
+        stats.tests_saved = (1 + idx.linear_tests).saturating_sub(stats.tests_run);
+        stats
+    }
+
+    /// Evaluate one candidate's residual tests through the shared memo.
+    #[inline]
+    fn consider(
+        &self,
+        idx: &ClassIndex,
+        w: &Wme,
+        id: AlphaMemId,
+        scratch: &mut EvalScratch,
+        stats: &mut AlphaStats,
+        matched: &mut Vec<AlphaMemId>,
+    ) {
+        stats.candidates += 1;
+        for &tid in &self.entries[id.0 as usize].residual {
+            let (fresh, ok) = scratch.eval(tid, &idx.pool, w);
+            if fresh {
+                stats.tests_run += 1;
+            }
+            if !ok {
+                return;
+            }
+        }
+        matched.push(id);
+    }
+
+    /// The pre-index linear scan: every memory of the class is charged its
+    /// full constant-test chain. Kept as the differential oracle for the
+    /// indexed classifier and as the `alpha_discrimination` baseline.
+    pub fn classify_linear(&self, w: &Wme, mut hit: impl FnMut(&AlphaMem)) -> AlphaStats {
         let mut stats = AlphaStats::default();
         // The class test itself is the first discrimination (hash lookup,
         // counted as one test — PSM-E's class-indexing optimization that
@@ -169,6 +450,7 @@ impl AlphaNet {
         if let Some(ids) = self.by_class.get(&w.class) {
             for &id in ids {
                 let m = &self.mems[id.0 as usize];
+                stats.candidates += 1;
                 stats.tests_run += m.test_count() as u32;
                 if m.passes(w) {
                     stats.mems_matched += 1;
@@ -189,16 +471,94 @@ impl AlphaNet {
         self.mems.is_empty()
     }
 
+    /// Check every index invariant; returns a description of the first
+    /// violation. Used by the differential proptests and by debug builds
+    /// after network surgery (including rollback of failed additions).
+    pub fn validate_index(&self) -> Result<(), String> {
+        if self.entries.len() != self.mems.len() {
+            return Err(format!(
+                "index entries {} != memories {}",
+                self.entries.len(),
+                self.mems.len()
+            ));
+        }
+        let mut per_class_tests: FxHashMap<Symbol, u32> = FxHashMap::default();
+        for (m, e) in self.mems.iter().zip(&self.entries) {
+            let idx = self
+                .class_index
+                .get(&m.class)
+                .ok_or_else(|| format!("mem {} has no class index", m.id.0))?;
+            *per_class_tests.entry(m.class).or_insert(0) += m.test_count() as u32;
+            // Route points at a real discriminator and exactly one listing.
+            match e.route {
+                Route::Jump { field, value } => {
+                    let has = m
+                        .tests
+                        .iter()
+                        .any(|t| t.pred.0 == Pred::Eq && t.field == field && t.value == value);
+                    if !has {
+                        return Err(format!("mem {} routed by a test it lacks", m.id.0));
+                    }
+                    let bucket = idx
+                        .jump
+                        .get(&(field, value))
+                        .ok_or_else(|| format!("mem {} bucket missing", m.id.0))?;
+                    if bucket.iter().filter(|&&i| i == m.id).count() != 1 {
+                        return Err(format!("mem {} not listed once in its bucket", m.id.0));
+                    }
+                    if !idx.probe_fields.contains(&field) {
+                        return Err(format!("mem {} field {} not probed", m.id.0, field));
+                    }
+                    if idx.always.contains(&m.id) {
+                        return Err(format!("mem {} both jump-routed and always", m.id.0));
+                    }
+                }
+                Route::Always => {
+                    if m.tests.iter().any(|t| t.pred.0 == Pred::Eq) {
+                        return Err(format!("mem {} has an unused equality test", m.id.0));
+                    }
+                    if idx.always.iter().filter(|&&i| i == m.id).count() != 1 {
+                        return Err(format!("mem {} not listed once in always", m.id.0));
+                    }
+                }
+            }
+            // Residuals are valid pool ids covering tests ∖ discriminator.
+            let expect =
+                m.test_count() - matches!(e.route, Route::Jump { .. }) as usize;
+            if e.residual.len() != expect {
+                return Err(format!("mem {} residual count {}", m.id.0, e.residual.len()));
+            }
+            for &tid in &e.residual {
+                if tid as usize >= idx.pool.len() {
+                    return Err(format!("mem {} residual id {} out of pool", m.id.0, tid));
+                }
+            }
+        }
+        for (class, idx) in &self.class_index {
+            let expect = per_class_tests.get(class).copied().unwrap_or(0);
+            if idx.linear_tests != expect {
+                return Err(format!(
+                    "class {class} linear_tests {} != {expect}",
+                    idx.linear_tests
+                ));
+            }
+            if idx.pool.len() != idx.pool_ids.len() {
+                return Err(format!("class {class} pool/pool_ids diverge"));
+            }
+        }
+        Ok(())
+    }
+
     /// Count of distinct constant-test nodes under maximal sharing (each
     /// distinct `(class, field, pred, value)` is one shared node) — used by
     /// the code-size model.
     pub fn distinct_const_tests(&self) -> usize {
         let mut set = std::collections::HashSet::new();
         for m in &self.mems {
-            for t in &m.tests {
+            for t in m.tests.iter() {
                 set.insert((m.class, *t));
             }
-            for t in &m.intra {
+            for t in m.intra.iter() {
                 set.insert((m.class, AlphaTest { field: t.field_a, pred: t.pred, value: Value::Int(t.field_b as i64) }));
             }
         }
@@ -226,6 +586,20 @@ mod tests {
         AlphaTest { field, pred: PredOrd(pred), value }
     }
 
+    /// Both classifiers over the same wme, with full agreement checks.
+    fn both(a: &AlphaNet, w: &Wme) -> (Vec<AlphaMemId>, AlphaStats, AlphaStats) {
+        let mut ih = Vec::new();
+        let is = a.classify_indexed(w, |m| ih.push(m.id));
+        let mut lh = Vec::new();
+        let ls = a.classify_linear(w, |m| lh.push(m.id));
+        assert_eq!(ih, lh, "hit sets and order must agree");
+        assert_eq!(is.mems_matched, ls.mems_matched);
+        assert!(is.tests_run <= ls.tests_run, "indexed may never test more");
+        assert_eq!(is.tests_saved, ls.tests_run - is.tests_run);
+        a.validate_index().unwrap();
+        (ih, is, ls)
+    }
+
     #[test]
     fn intern_shares_equal_test_sets() {
         let mut a = AlphaNet::new();
@@ -244,6 +618,7 @@ mod tests {
         assert!(shared2);
         assert_eq!(id1, id2);
         assert_eq!(a.len(), 1);
+        a.validate_index().unwrap();
     }
 
     #[test]
@@ -267,6 +642,10 @@ mod tests {
         hits.clear();
         a.classify(&w(&r, "(hand ^state free)"), |m| hits.push(m.id));
         assert_eq!(hits.len(), 1);
+
+        both(&a, &w(&r, "(block ^name b1 ^color blue)"));
+        both(&a, &w(&r, "(block ^name b2 ^color red)"));
+        both(&a, &w(&r, "(hand ^state free)"));
     }
 
     #[test]
@@ -285,6 +664,7 @@ mod tests {
         hits.clear();
         a.classify(&w(&r, "(block ^name b1 ^on b2)"), |m| hits.push(m.id));
         assert!(hits.is_empty());
+        both(&a, &w(&r, "(block ^name b1 ^on b1)"));
     }
 
     #[test]
@@ -299,6 +679,7 @@ mod tests {
         hits.clear();
         a.classify(&w(&r, "(count ^n 5)"), |m| hits.push(m.id));
         assert!(hits.is_empty());
+        both(&a, &w(&r, "(count ^n 9)"));
     }
 
     #[test]
@@ -308,5 +689,100 @@ mod tests {
         a.add_successor(id, 3);
         a.add_successor(id, 7);
         assert_eq!(a.get(id).successors, vec![(3, Side::Right), (7, Side::Right)]);
+    }
+
+    #[test]
+    fn jump_routing_skips_unrelated_memories() {
+        let r = reg();
+        let mut a = AlphaNet::new();
+        // Many memories discriminated on the same field, distinct values:
+        // one probe replaces the whole scan.
+        for i in 0..20 {
+            a.intern(intern("block"), vec![t(0, Pred::Eq, Value::sym(&format!("b{i}")))], vec![]);
+        }
+        let (_, is, ls) = both(&a, &w(&r, "(block ^name b7)"));
+        assert_eq!(is.probes, 1);
+        assert_eq!(is.candidates, 1, "only the b7 memory is consulted");
+        assert_eq!(is.tests_run, 2, "class + one probe");
+        assert_eq!(ls.tests_run, 21, "linear pays every memory's chain");
+        assert_eq!(is.tests_saved, 19);
+    }
+
+    #[test]
+    fn shared_residual_tests_run_once_per_wme() {
+        let r = reg();
+        let mut a = AlphaNet::new();
+        // Three memories sharing the ≠nil attribute-present test on `on`,
+        // with no equality discriminator: the shared residual is evaluated
+        // once, not three times.
+        for pred in [Pred::Gt, Pred::Lt, Pred::Ge] {
+            a.intern(
+                intern("block"),
+                vec![t(2, Pred::Ne, Value::Nil), t(1, pred, Value::Int(3))],
+                vec![],
+            );
+        }
+        let (_, is, ls) = both(&a, &w(&r, "(block ^color 5 ^on x)"));
+        assert_eq!(ls.tests_run, 7, "1 class + 3×2 chain tests");
+        // Indexed: class + ≠nil once + three distinct predicate tests.
+        assert_eq!(is.tests_run, 5);
+        assert_eq!(is.candidates, 3);
+    }
+
+    #[test]
+    fn runtime_splice_keeps_index_consistent() {
+        let r = reg();
+        let mut a = AlphaNet::new();
+        a.intern(intern("block"), vec![t(1, Pred::Eq, Value::sym("blue"))], vec![]);
+        let wme = w(&r, "(block ^name b1 ^color blue ^on b1)");
+        let (h1, _, _) = both(&a, &wme);
+        assert_eq!(h1.len(), 1);
+        // Splice more memories at "run time" — same bucket, a new bucket on
+        // another field, a fallthrough, and an intra memory.
+        a.intern(intern("block"), vec![t(1, Pred::Eq, Value::sym("blue")), t(0, Pred::Eq, Value::sym("b1"))], vec![]);
+        a.intern(intern("block"), vec![t(0, Pred::Eq, Value::sym("b1"))], vec![]);
+        a.intern(intern("block"), vec![t(2, Pred::Ne, Value::Nil)], vec![]);
+        a.intern(
+            intern("block"),
+            vec![],
+            vec![IntraTest { field_a: 2, pred: PredOrd(Pred::Eq), field_b: 0 }],
+        );
+        let (h2, is, _) = both(&a, &wme);
+        assert_eq!(h2.len(), 5, "all five memories match");
+        assert_eq!(is.probes, 2, "fields 0 and 1 are probed");
+    }
+
+    #[test]
+    fn hit_order_is_ascending_memory_id() {
+        let r = reg();
+        let mut a = AlphaNet::new();
+        // Interleave routes so bucket order ≠ id order without the sort.
+        let (m0, _) = a.intern(intern("block"), vec![t(2, Pred::Ne, Value::Nil)], vec![]);
+        let (m1, _) = a.intern(intern("block"), vec![t(0, Pred::Eq, Value::sym("b1"))], vec![]);
+        let (m2, _) = a.intern(intern("block"), vec![], vec![]);
+        let (m3, _) = a.intern(intern("block"), vec![t(1, Pred::Eq, Value::sym("blue"))], vec![]);
+        let (hits, _, _) = both(&a, &w(&r, "(block ^name b1 ^color blue ^on b2)"));
+        assert_eq!(hits, vec![m0, m1, m2, m3]);
+    }
+
+    #[test]
+    fn linear_fallback_switch() {
+        let r = reg();
+        let mut a = AlphaNet::new();
+        a.intern(intern("block"), vec![t(1, Pred::Eq, Value::sym("blue"))], vec![]);
+        a.use_index = false;
+        let stats = a.classify(&w(&r, "(block ^color blue)"), |_| {});
+        assert_eq!(stats.probes, 0);
+        assert_eq!(stats.tests_saved, 0);
+        assert_eq!(stats.tests_run, 2);
+    }
+
+    #[test]
+    fn unknown_class_costs_one_test() {
+        let mut r = ClassRegistry::new();
+        r.declare_str("ghost", &["x"]);
+        let a = AlphaNet::new();
+        let stats = a.classify(&w(&r, "(ghost ^x 1)"), |_| unreachable!());
+        assert_eq!(stats, AlphaStats { tests_run: 1, ..AlphaStats::default() });
     }
 }

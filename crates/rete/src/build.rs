@@ -526,7 +526,11 @@ impl ReteNetwork {
         }
         // Note: alpha memories created by the failed build are left in place
         // with no successors; they are inert and will be reused if the same
-        // tests appear again.
+        // tests appear again. They stay spliced into the discrimination
+        // index (routing to a memory with no successors emits nothing), so
+        // rollback requires no index surgery.
+        #[cfg(debug_assertions)]
+        self.alpha.validate_index().expect("alpha index consistent after rollback");
     }
 
     fn alpha_set_successors(

@@ -67,7 +67,7 @@ pub mod trace;
 pub mod update;
 pub mod util;
 
-pub use alpha::{AlphaMem, AlphaMemId, AlphaNet};
+pub use alpha::{AlphaMem, AlphaMemId, AlphaNet, AlphaStats};
 pub use bilinear::{plan_bilinear, plan_chain_length};
 pub use build::{AddResult, BuildError};
 pub use codesize::{code_size, compile_time_us, CodeSizeModel, CodegenStyle, ProdCodeSize};

@@ -20,7 +20,7 @@ use crate::token::{Token, WmeStore};
 use psme_ops::WmeId;
 
 /// One unit of match work: a token arriving at a node input.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Activation {
     /// Destination node.
     pub node: NodeId,
@@ -83,18 +83,14 @@ fn tests_pass(node: &BetaNode, left: &Token, right: &Token, store: &WmeStore) ->
     })
 }
 
-/// Assemble a join's output token.
+/// Assemble a join's output token (one allocation: the merge spec's exact
+/// size lets the token buffer be filled directly).
 #[inline]
 fn merge_token(node: &BetaNode, left: &Token, right: &Token) -> Token {
-    let wmes: Vec<WmeId> = node
-        .merge
-        .iter()
-        .map(|m| match *m {
-            MergeSrc::L(s) => left.slot(s),
-            MergeSrc::R(s) => right.slot(s),
-        })
-        .collect();
-    Token::from_slice(&wmes)
+    Token::collect(node.merge.iter().map(|m| match *m {
+        MergeSrc::L(s) => left.slot(s),
+        MergeSrc::R(s) => right.slot(s),
+    }))
 }
 
 /// Process one beta activation.
@@ -332,7 +328,8 @@ fn emit_children(
 /// Push one wme change through the alpha network, emitting right
 /// activations on every successor of every matching alpha memory.
 ///
-/// Returns `(tests_run, activations_emitted)`.
+/// Returns the discrimination stats (tests run, probes, candidates, tests
+/// saved) and the number of activations emitted.
 pub fn process_wme_change(
     net: &ReteNetwork,
     store: &WmeStore,
@@ -340,7 +337,7 @@ pub fn process_wme_change(
     delta: i32,
     min_node: NodeId,
     emit: &mut dyn FnMut(Activation),
-) -> (u32, u32) {
+) -> (crate::alpha::AlphaStats, u32) {
     let token = Token::unit(wme);
     let w = store.get(wme).clone();
     let mut emitted = 0u32;
@@ -352,7 +349,7 @@ pub fn process_wme_change(
             }
         }
     });
-    (stats.tests_run, emitted)
+    (stats, emitted)
 }
 
 #[cfg(test)]
@@ -446,8 +443,8 @@ mod tests {
         // Filter above every node id: nothing may be emitted.
         process_wme_change(&net, &store, wa, 1, 10_000, &mut |a| emitted.push(a));
         assert!(emitted.is_empty());
-        let (tests, n) = process_wme_change(&net, &store, wa, 1, 0, &mut |_| {});
-        assert!(tests > 0);
+        let (stats, n) = process_wme_change(&net, &store, wa, 1, 0, &mut |_| {});
+        assert!(stats.tests_run > 0);
         assert_eq!(n, 1, "one successor at the join's right input");
         let _ = mem;
     }

@@ -186,7 +186,7 @@ impl SerialEngine {
             next_task += 1;
             let mut emitted = 0u32;
             let t0 = self.capture.then(std::time::Instant::now);
-            let (tests_run, _) =
+            let (alpha, _) =
                 process_wme_change(&self.net, &self.store, id, delta, 0, &mut |a| {
                     queue.push_back((a, Some(tid)));
                     emitted += 1;
@@ -199,7 +199,8 @@ impl SerialEngine {
                     kind: TaskKind::Alpha,
                     side: None,
                     delta,
-                    scanned: tests_run,
+                    scanned: alpha.tests_run,
+                    probes: alpha.probes,
                     emitted,
                     line: None,
                     wall_ns: wall_ns_since(t0),
@@ -264,6 +265,7 @@ impl SerialEngine {
                     side: Some(act.side),
                     delta: act.delta,
                     scanned: stats.scanned,
+                    probes: 0,
                     emitted: stats.emitted,
                     line: stats.line,
                     wall_ns: wall_ns_since(t0),
@@ -309,7 +311,7 @@ impl SerialEngine {
             next_task += 1;
             let mut emitted = 0u32;
             let t0 = self.capture.then(std::time::Instant::now);
-            let (tests_run, _) =
+            let (alpha, _) =
                 process_wme_change(&self.net, &self.store, id, 1, first_new, &mut |a| {
                     queue.push_back((a, Some(tid)));
                     emitted += 1;
@@ -322,7 +324,8 @@ impl SerialEngine {
                     kind: TaskKind::Alpha,
                     side: None,
                     delta: 1,
-                    scanned: tests_run,
+                    scanned: alpha.tests_run,
+                    probes: alpha.probes,
                     emitted,
                     line: None,
                     wall_ns: wall_ns_since(t0),

@@ -214,6 +214,96 @@ fn try_production(
     Production::new(name, ces, vars.into_names(), vec![], actions).ok()
 }
 
+/// Shape parameters for [`alpha_grid`] — random raw alpha-memory test sets
+/// over a small class/field/value grid, for the indexed ⇔ linear
+/// discrimination differential tests.
+#[derive(Clone, Copy, Debug)]
+pub struct AlphaGridConfig {
+    /// Number of wme classes.
+    pub classes: usize,
+    /// Attributes per class.
+    pub arity: usize,
+    /// Distinct values per field domain (small, so tests collide and get
+    /// shared between memories).
+    pub domain: usize,
+}
+
+impl Default for AlphaGridConfig {
+    fn default() -> AlphaGridConfig {
+        AlphaGridConfig { classes: 3, arity: 4, domain: 4 }
+    }
+}
+
+/// A class grid plus samplers for raw alpha test sets and wmes.
+#[derive(Debug)]
+pub struct AlphaGrid {
+    /// Class declarations (for building wmes).
+    pub classes: ClassRegistry,
+    class_names: Vec<psme_ops::Symbol>,
+    cfg: AlphaGridConfig,
+}
+
+/// Build the class grid for [`AlphaGridConfig`].
+pub fn alpha_grid(cfg: AlphaGridConfig) -> AlphaGrid {
+    let mut classes = ClassRegistry::new();
+    let mut class_names = Vec::new();
+    for c in 0..cfg.classes.max(1) {
+        let name = format!("g{c}");
+        let attrs: Vec<String> = (0..cfg.arity.max(1)).map(|a| format!("a{a}")).collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+        classes.declare_str(&name, &attr_refs);
+        class_names.push(intern(&name));
+    }
+    AlphaGrid { classes, class_names, cfg }
+}
+
+impl AlphaGrid {
+    /// Sample a raw alpha-memory spec `(class, const tests, intra tests)`,
+    /// equality-heavy (so most memories are jump-routable) but with
+    /// relational, `≠ nil` and intra-element tests mixed in, all drawn from
+    /// the same small domain so residual tests are shared across memories.
+    pub fn random_test_set(
+        &self,
+        rng: &mut XorShift,
+    ) -> (psme_ops::Symbol, Vec<crate::alpha::AlphaTest>, Vec<crate::alpha::IntraTest>) {
+        use crate::alpha::{AlphaTest, IntraTest, PredOrd};
+        let class = self.class_names[rng.below(self.class_names.len())];
+        let mut tests = Vec::new();
+        let mut intra = Vec::new();
+        for _ in 0..rng.below(4) {
+            let field = rng.below(self.cfg.arity) as u16;
+            if rng.chance(15) && self.cfg.arity >= 2 {
+                let field_b = rng.below(self.cfg.arity) as u16;
+                let pred = if rng.chance(70) { Pred::Eq } else { Pred::Ne };
+                intra.push(IntraTest { field_a: field, pred: PredOrd(pred), field_b });
+            } else {
+                let pred = if rng.chance(60) {
+                    Pred::Eq
+                } else {
+                    [Pred::Ne, Pred::Lt, Pred::Gt, Pred::Le, Pred::Ge][rng.below(5)]
+                };
+                tests.push(AlphaTest {
+                    field,
+                    pred: PredOrd(pred),
+                    value: random_value(rng, self.cfg.domain),
+                });
+            }
+        }
+        (class, tests, intra)
+    }
+
+    /// Sample a wme over the grid's classes and domains.
+    pub fn random_wme(&self, rng: &mut XorShift) -> Wme {
+        let ci = rng.below(self.class_names.len());
+        let decl = self.classes.get(self.class_names[ci]).unwrap().clone();
+        let mut w = Wme::empty(&decl);
+        for f in 0..self.cfg.arity {
+            w.fields[f] = random_value(rng, self.cfg.domain);
+        }
+        w
+    }
+}
+
 /// Build a long-chain production (Figure 6-7): `n` CEs where CE k+1 links
 /// to CE k through a shared variable, forcing `n` dependent node
 /// activations.

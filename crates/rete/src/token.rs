@@ -32,6 +32,13 @@ impl Token {
         Token { wmes: Arc::from(ws) }
     }
 
+    /// Build directly from an iterator of wme ids. With an exact-size
+    /// iterator the `Arc<[_]>` is filled in a single allocation — no
+    /// intermediate `Vec` (the hot path of every join activation).
+    pub fn collect(ws: impl Iterator<Item = WmeId>) -> Token {
+        Token { wmes: ws.collect() }
+    }
+
     /// Wme id at `slot`.
     #[inline]
     pub fn slot(&self, i: u16) -> WmeId {

@@ -40,6 +40,10 @@ pub struct TaskRecord {
     pub delta: i32,
     /// Opposite-memory entries examined (alpha: constant tests run).
     pub scanned: u32,
+    /// For alpha tasks: hashed jump-table probes included in `scanned`
+    /// (cheaper than chain tests under the cost model; 0 for beta tasks and
+    /// for the linear-scan classifier).
+    pub probes: u32,
     /// Child activations emitted.
     pub emitted: u32,
     /// Memory line touched, if any.
@@ -121,7 +125,7 @@ mod tests {
     use super::*;
 
     fn rec(id: u32, parent: Option<u32>, kind: TaskKind) -> TaskRecord {
-        TaskRecord { id, parent, node: 1, kind, side: None, delta: 1, scanned: 0, emitted: 0, line: None, wall_ns: 0 }
+        TaskRecord { id, parent, node: 1, kind, side: None, delta: 1, scanned: 0, probes: 0, emitted: 0, line: None, wall_ns: 0 }
     }
 
     #[test]

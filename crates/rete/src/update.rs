@@ -84,6 +84,12 @@ pub fn seed_update(net: &ReteNetwork, mem: &MemoryTable, first_new: NodeId) -> V
 /// memory (returned as ready activations). Engines that want to parallelize
 /// the alpha re-run itself should instead call [`seed_update`] and run
 /// [`process_wme_change`] per live wme as tasks.
+///
+/// The re-run routes through whatever classifier the network is configured
+/// with: when the discrimination index is on, each live wme probes the
+/// spliced jump table (which already contains the new production's alpha
+/// memories) instead of scanning the class linearly; the `min_node` filter
+/// then confines emission to the new nodes either way.
 pub fn update_seeds(
     net: &ReteNetwork,
     mem: &MemoryTable,
@@ -156,6 +162,42 @@ mod tests {
         e.net.add_production(Arc::new(p2), NetworkOrg::Linear).unwrap();
         let seeds = seed_update(&e.net, &e.mem, first_new);
         assert!(seeds.iter().all(|a| a.side != Side::Left), "{seeds:?}");
+    }
+
+    #[test]
+    fn alpha_rerun_agrees_with_linear_oracle() {
+        // The §5.2 re-run of working memory must produce identical seeds
+        // whether it routes through the spliced jump table or the linear
+        // scan — on a wm populated *before* the production was added.
+        let mut r = reg();
+        let mut engines: Vec<SerialEngine> = (0..2)
+            .map(|i| {
+                let mut net = ReteNetwork::new();
+                net.alpha.use_index = i == 0;
+                SerialEngine::new(net)
+            })
+            .collect();
+        let p1 = parse_production("(p base (a ^x <v>) (b ^x <v>) --> (halt))", &mut r).unwrap();
+        let p2 = parse_production("(p ext (a ^x <v>) (b ^y <v>) --> (halt))", &mut r).unwrap();
+        let mut all_seeds = Vec::new();
+        for e in &mut engines {
+            e.add_production(Arc::new(p1.clone()), NetworkOrg::Linear).unwrap();
+            for i in 0..3 {
+                e.apply_changes(
+                    vec![
+                        parse_wme(&format!("(a ^x {i} ^y {i})"), &r).unwrap(),
+                        parse_wme(&format!("(b ^x {i} ^y {i})"), &r).unwrap(),
+                    ],
+                    vec![],
+                );
+            }
+            let first_new = e.net.num_nodes() as NodeId;
+            e.net.add_production(Arc::new(p2.clone()), NetworkOrg::Linear).unwrap();
+            e.net.alpha.validate_index().unwrap();
+            all_seeds.push(update_seeds(&e.net, &e.mem, &e.store, first_new));
+        }
+        assert!(!all_seeds[0].is_empty(), "the update must have work to do");
+        assert_eq!(all_seeds[0], all_seeds[1], "indexed vs linear update seeds");
     }
 
     #[test]

@@ -16,6 +16,11 @@ pub struct CostModel {
     pub alpha_base: f64,
     /// Per constant test evaluated in the discrimination net.
     pub alpha_per_test: f64,
+    /// Per jump-table hash probe in the indexed discrimination net (a
+    /// hashed dispatch, cheaper than walking a constant-test chain — the
+    /// §5.1 jumptable is "considerably faster" than test-by-test
+    /// interpretation).
+    pub alpha_probe: f64,
     /// Base cost of a two-input activation (hash, compare, bookkeeping).
     pub beta_base: f64,
     /// Per opposite-memory entry examined (runs under the line lock).
@@ -51,6 +56,7 @@ impl Default for CostModel {
         CostModel {
             alpha_base: 80.0,
             alpha_per_test: 4.0,
+            alpha_probe: 2.0,
             beta_base: 220.0,
             per_scanned: 35.0,
             per_emit: 40.0,
@@ -72,7 +78,15 @@ impl CostModel {
     pub fn body_cost(&self, t: &TaskRecord) -> (f64, f64) {
         match t.kind {
             TaskKind::Alpha => {
-                (0.0, self.alpha_base + t.scanned as f64 * self.alpha_per_test)
+                // `scanned` includes the probes; probes are re-priced at
+                // the (cheaper) hashed-dispatch rate.
+                let chain = t.scanned.saturating_sub(t.probes) as f64;
+                (
+                    0.0,
+                    self.alpha_base
+                        + chain * self.alpha_per_test
+                        + t.probes as f64 * self.alpha_probe,
+                )
             }
             TaskKind::Join | TaskKind::Neg => (
                 self.line_hold_base + t.scanned as f64 * self.per_scanned,
@@ -104,6 +118,7 @@ mod tests {
             side: Some(Side::Left),
             delta: 1,
             scanned,
+            probes: 0,
             emitted,
             line: Some(0),
             wall_ns: 0,
@@ -132,6 +147,18 @@ mod tests {
         let a = m.total_cost(&rec(TaskKind::Alpha, 20, 3), 3);
         let j = m.total_cost(&rec(TaskKind::Join, 3, 1), 1);
         assert!(a < j, "alpha {a} < join {j}");
+    }
+
+    #[test]
+    fn probes_are_cheaper_than_chain_tests() {
+        let m = CostModel::default();
+        let mut indexed = rec(TaskKind::Alpha, 5, 0);
+        indexed.probes = 3;
+        let linear = rec(TaskKind::Alpha, 5, 0);
+        let (_, ci) = m.body_cost(&indexed);
+        let (_, cl) = m.body_cost(&linear);
+        assert!(ci < cl, "hashed probes re-priced below chain tests: {ci} vs {cl}");
+        assert!((ci - (m.alpha_base + 2.0 * m.alpha_per_test + 3.0 * m.alpha_probe)).abs() < 1e-9);
     }
 
     #[test]

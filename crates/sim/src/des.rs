@@ -359,6 +359,7 @@ mod tests {
             side: Some(Side::Left),
             delta: 1,
             scanned,
+            probes: 0,
             emitted,
             line: Some(id % 64),
             wall_ns: 0,

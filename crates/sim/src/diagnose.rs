@@ -166,6 +166,7 @@ mod tests {
             side: Some(Side::Left),
             delta: 1,
             scanned: 1,
+            probes: 0,
             emitted: 1,
             line: Some(0),
             wall_ns: 0,

@@ -30,6 +30,7 @@ fn dag_strategy() -> impl Strategy<Value = CycleTrace> {
                 side: Some(if rng.chance(50) { Side::Left } else { Side::Right }),
                 delta: if rng.chance(80) { 1 } else { -1 },
                 scanned: rng.below(8) as u32,
+                probes: if kind == TaskKind::Alpha { rng.below(3) as u32 } else { 0 },
                 emitted: rng.below(4) as u32,
                 line: Some(rng.below(16) as u32),
                 wall_ns: 0,

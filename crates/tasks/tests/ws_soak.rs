@@ -52,6 +52,33 @@ fn eight_puzzle_learning_run_matches_serial_under_work_stealing() {
         totals.get(psme_obs::Counter::Batches) > 0,
         "activations moved in batches: {totals:?}"
     );
+    // The alpha discrimination index carried the run: jump-table probes
+    // happened and the per-wme cost beat the linear scan's accounting.
+    assert!(totals.get(psme_obs::Counter::AlphaProbes) > 0, "index probed: {totals:?}");
+    assert!(
+        totals.get(psme_obs::Counter::AlphaTestsSaved)
+            > totals.get(psme_obs::Counter::AlphaCandidates),
+        "indexed discrimination saved work over linear: {totals:?}"
+    );
+}
+
+/// The learning soak agrees with the serial engine bit-for-bit under every
+/// scheduler — the discrimination index (spliced mid-run by each chunk
+/// addition) must be invisible to the agent under all three queue
+/// organizations.
+#[test]
+fn eight_puzzle_learning_run_matches_serial_under_all_schedulers() {
+    let task = eight_puzzle(&scrambled(4, 11));
+    let (ser, _) = run_serial(&task, RunMode::DuringChunking, false);
+    assert!(ser.stats.chunks_built > 0, "the soak must actually learn");
+    for sched in [Scheduler::SingleQueue, Scheduler::MultiQueue, Scheduler::WorkStealing] {
+        let (par, _) = run_parallel(
+            &task,
+            RunMode::DuringChunking,
+            EngineConfig { workers: 4, scheduler: sched, ..Default::default() },
+        );
+        assert_reports_match(&ser, &par, &format!("during-chunking {sched:?}4"));
+    }
 }
 
 /// The learned chunks must transfer: a fresh work-stealing run preloaded

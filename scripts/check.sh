@@ -31,6 +31,23 @@ run_step "test" cargo test -q --workspace || fail=1
 # run it by name so a filtered or partial test invocation can't skip it.
 run_step "scheduler differential" \
     cargo test -q -p psme-core --test scheduler_differential || fail=1
+# The alpha discrimination index is gated the same way: the indexed
+# classifier must stay observationally identical to the linear oracle.
+run_step "alpha differential" \
+    cargo test -q -p psme-rete --test proptest_alpha || fail=1
+
+# The committed alpha-discrimination artifact must exist and parse: it is
+# the evidence for the jump-table index's tests-per-wme reduction.
+alpha_artifact="crates/bench/BENCH_alpha_discrimination.json"
+if [ ! -f "$alpha_artifact" ]; then
+    echo "!! missing ${alpha_artifact} (regenerate: cargo bench -p psme-bench --bench alpha_discrimination)" >&2
+    fail=1
+elif command -v python3 >/dev/null 2>&1; then
+    if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$alpha_artifact"; then
+        echo "!! ${alpha_artifact} is not valid JSON" >&2
+        fail=1
+    fi
+fi
 if cargo clippy --version >/dev/null 2>&1; then
     run_step "clippy" cargo clippy -q --workspace --all-targets -- -D warnings || fail=1
 else
