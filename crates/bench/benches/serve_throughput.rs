@@ -1,0 +1,216 @@
+//! Serving-layer throughput: sessions/sec and p99 decision-cycle latency
+//! across 1–13 workers × {1, 8, 64} concurrent sessions × all three
+//! schedulers.
+//!
+//! Two halves, one artifact (`BENCH_serve_throughput.json`):
+//!
+//! * **Modeled sweeps** — the host has far fewer cores than the sweep, so
+//!   (exactly like the match-parallelism figures) the worker axis runs on
+//!   a deterministic model: per-session decision-cycle service times are
+//!   derived from *real captured traces* (each trace cycle costed on the
+//!   NS32032 model at one match process under the scheduler in question),
+//!   then fed to `psme_serve::des::simulate_serve`. The scheduler's
+//!   session-queue discipline enters as per-dispatch overhead: a single
+//!   shared queue serializes every pop (overhead grows with workers),
+//!   per-worker queues pay a constant lock hop, work-stealing deques pop
+//!   lock-free and pay only the occasional steal.
+//! * **Host measurement** — a small real [`psme_serve::serve`] run (every
+//!   scheduler, the host's own core budget) so the artifact also records
+//!   observed wall-clock behaviour, not just modeled behaviour.
+//!
+//! Acceptance gate (asserted here): modeled aggregate throughput at
+//! 8 workers / 64 sessions under work stealing ≥ 4× the 1-worker
+//! single-session baseline.
+
+use psme_bench::*;
+use psme_core::Scheduler;
+use psme_obs::{Json, Quantiles};
+use psme_serve::{build_topology, serve, simulate_serve, DesConfig, ServeConfig, SessionSpec};
+use psme_sim::{simulate_cycle, SimConfig, SimScheduler};
+use psme_tasks::{eight_puzzle, scrambled, RunMode};
+
+const SESSION_COUNTS: [usize; 3] = [1, 8, 64];
+
+const SCHEDULERS: [(&str, Scheduler, SimScheduler); 3] = [
+    ("single", Scheduler::SingleQueue, SimScheduler::Single),
+    ("multi", Scheduler::MultiQueue, SimScheduler::Multi),
+    ("work-stealing", Scheduler::WorkStealing, SimScheduler::WorkStealing),
+];
+
+/// Decision cycles per dispatch slice (matches `ServeConfig::default`).
+const SLICE: usize = 8;
+
+/// Base per-dispatch overhead: one session-queue pop + session handoff,
+/// seconds. Same order as the simulator's queue-access costs.
+const DISPATCH_BASE: f64 = 20e-6;
+
+/// Per-dispatch overhead for a scheduler at a worker count.
+///
+/// Single shared queue: every pop takes the one lock, so expected wait
+/// grows with the number of workers contending. Per-worker queues: a
+/// constant uncontended lock hop. Work-stealing deques: owner pops are
+/// lock-free; only the occasional steal pays.
+fn dispatch_overhead(sched: SimScheduler, workers: usize) -> f64 {
+    match sched {
+        SimScheduler::Single => DISPATCH_BASE * workers as f64,
+        SimScheduler::Multi => DISPATCH_BASE,
+        SimScheduler::WorkStealing => DISPATCH_BASE * 0.5,
+    }
+}
+
+/// Per-cycle service seconds for one session workload under a scheduler:
+/// every captured trace cycle costed at one match process (a served
+/// session's own match runs on the worker that holds it).
+fn service_vector(sched: SimScheduler, seed: u64, learning: bool) -> Vec<f64> {
+    let task = eight_puzzle(&scrambled(3, seed));
+    let mode = if learning { RunMode::DuringChunking } else { RunMode::WithoutChunking };
+    let (_, trace) = capture(&task, mode);
+    trace.cycles.iter().map(|c| simulate_cycle(c, &SimConfig::new(1, sched)).makespan_us * 1e-6).collect()
+}
+
+fn main() {
+    println!("serve_throughput: sessions/sec and p99 cycle latency");
+    println!(
+        "model: captured per-cycle costs -> serve DES; sweep {:?} workers x {SESSION_COUNTS:?} sessions",
+        WORKER_SWEEP
+    );
+
+    // One artifact section per scheduler; inside, one sweep per session
+    // count. The 8 distinct session workloads (a quarter learning, like
+    // the isolation gate) are tiled up to each session count.
+    let mut sched_json: Vec<(String, Json)> = Vec::new();
+    let mut gate_baseline = 0.0f64;
+    let mut gate_ws8 = 0.0f64;
+    for (label, _, sim_sched) in SCHEDULERS {
+        let workloads: Vec<Vec<f64>> =
+            (0..8).map(|seed| service_vector(sim_sched, seed, seed % 4 == 0)).collect();
+        let mut counts_json: Vec<(String, Json)> = Vec::new();
+        for n_sessions in SESSION_COUNTS {
+            let sessions: Vec<Vec<f64>> =
+                (0..n_sessions).map(|i| workloads[i % workloads.len()].clone()).collect();
+            let mut rows: Vec<Vec<String>> = Vec::new();
+            let mut sweep_points: Vec<Json> = Vec::new();
+            for &w in WORKER_SWEEP {
+                let r = simulate_serve(
+                    &sessions,
+                    &DesConfig {
+                        workers: w,
+                        slice: SLICE,
+                        dispatch_overhead: dispatch_overhead(sim_sched, w),
+                    },
+                );
+                let lat = Quantiles::from_samples(&r.cycle_latency);
+                if label == "work-stealing" && w == 1 && n_sessions == 1 {
+                    gate_baseline = r.sessions_per_sec;
+                }
+                if label == "work-stealing" && w == 8 && n_sessions == 64 {
+                    gate_ws8 = r.sessions_per_sec;
+                }
+                rows.push(vec![
+                    w.to_string(),
+                    f2(r.sessions_per_sec),
+                    f2(lat.p99 * 1e3),
+                    f2(r.makespan),
+                ]);
+                sweep_points.push(Json::obj([
+                    ("workers", Json::from(w as u64)),
+                    ("sessions_per_sec", Json::float(r.sessions_per_sec)),
+                    ("p50_cycle_ms", Json::float(lat.p50 * 1e3)),
+                    ("p99_cycle_ms", Json::float(lat.p99 * 1e3)),
+                    ("makespan_s", Json::float(r.makespan)),
+                ]));
+            }
+            print_table(
+                &format!("{label} / {n_sessions} sessions"),
+                &["workers", "sessions/s", "p99 cycle ms", "makespan s"],
+                &rows,
+            );
+            counts_json.push((n_sessions.to_string(), Json::arr(sweep_points)));
+        }
+        sched_json.push((label.to_string(), Json::Obj(counts_json)));
+    }
+
+    // The acceptance gate: 8 workers serving 64 sessions must deliver at
+    // least 4x the single-worker single-session throughput.
+    let ratio = gate_ws8 / gate_baseline.max(1e-12);
+    println!(
+        "\ngate: ws 8w/64s {:.2} sessions/s vs 1w/1s {:.2} sessions/s = {:.2}x (need >= 4)",
+        gate_ws8, gate_baseline, ratio
+    );
+    assert!(
+        ratio >= 4.0,
+        "8-worker/64-session throughput ({gate_ws8:.3}/s) must be >= 4x the \
+         1-worker/1-session baseline ({gate_baseline:.3}/s), got {ratio:.2}x"
+    );
+
+    // Host measurement: real serving loop, every scheduler, modest scale
+    // (8 sessions through a 4-slot table on up to 4 threads).
+    let mut host_json: Vec<(String, Json)> = Vec::new();
+    let specs: Vec<SessionSpec> = (0..8)
+        .map(|seed| SessionSpec {
+            name: format!("host-{seed}"),
+            task: eight_puzzle(&scrambled(3, seed)),
+            learning: seed % 4 == 0,
+        })
+        .collect();
+    let topo = build_topology(&specs[0].task);
+    for (label, sched, _) in SCHEDULERS {
+        let report = serve(
+            topo.clone(),
+            specs.clone(),
+            ServeConfig {
+                workers: 4,
+                scheduler: sched,
+                table_capacity: 4,
+                ..Default::default()
+            },
+        );
+        let lat = &report.aggregate_cycle_latency;
+        println!(
+            "host {label} 4w/8s: {:.2} sessions/s, p99 cycle {:.2} ms, shed {}",
+            report.sessions_per_sec,
+            lat.p99 * 1e-6,
+            report.shed
+        );
+        assert_eq!(report.shed, 0, "host run must not shed");
+        host_json.push((
+            label.to_string(),
+            Json::obj([
+                ("workers", Json::from(4u64)),
+                ("sessions", Json::from(8u64)),
+                ("sessions_per_sec", Json::float(report.sessions_per_sec)),
+                ("p50_cycle_ms", Json::float(lat.p50 * 1e-6)),
+                ("p99_cycle_ms", Json::float(lat.p99 * 1e-6)),
+                ("wall_seconds", Json::float(report.wall_seconds)),
+            ]),
+        ));
+    }
+
+    emit_artifact(
+        "serve_throughput",
+        &Json::obj([
+            ("figure", Json::from("serve-throughput")),
+            (
+                "title",
+                Json::from("Multi-session serving: sessions/sec and p99 cycle latency"),
+            ),
+            ("workers_swept", Json::arr(WORKER_SWEEP.iter().map(|&w| Json::from(w as u64)))),
+            (
+                "session_counts",
+                Json::arr(SESSION_COUNTS.iter().map(|&n| Json::from(n as u64))),
+            ),
+            ("slice_decisions", Json::from(SLICE as u64)),
+            ("model", Json::Obj(sched_json)),
+            (
+                "gate",
+                Json::obj([
+                    ("baseline_1w_1s_sessions_per_sec", Json::float(gate_baseline)),
+                    ("ws_8w_64s_sessions_per_sec", Json::float(gate_ws8)),
+                    ("ratio", Json::float(ratio)),
+                    ("required", Json::float(4.0)),
+                ]),
+            ),
+            ("host", Json::Obj(host_json)),
+        ]),
+    );
+}

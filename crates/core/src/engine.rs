@@ -105,7 +105,7 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
                     match task {
                         Task::Alpha(w, d) => {
                             let (alpha, _) =
-                                process_wme_change(&net, &store, w, d, min_node, &mut |a| {
+                                process_wme_change(&*net, &store, w, d, min_node, &mut |a| {
                                     pending.push(Task::Beta(a))
                                 });
                             ws.counters.add(Counter::AlphaTasks, 1);
@@ -118,7 +118,7 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
                         Task::Beta(a) => {
                             let cs_before = local_cs.len();
                             let stats = process_beta(
-                                &net,
+                                &*net,
                                 &shared.mem,
                                 &store,
                                 &a,
@@ -199,11 +199,24 @@ pub struct ParallelEngine {
 impl ParallelEngine {
     /// Spawn the match processes over a compiled network.
     pub fn new(net: ReteNetwork, config: EngineConfig) -> ParallelEngine {
+        ParallelEngine::with_state(net, psme_rete::MatchState::new(), config)
+    }
+
+    /// Spawn the match processes adopting an externally owned
+    /// [`psme_rete::MatchState`] (working memory + token memories), e.g. a
+    /// session's state handed over by the serving layer. `config.memory_lines`
+    /// is ignored — the adopted state's table is used as-is.
+    pub fn with_state(
+        net: ReteNetwork,
+        state: psme_rete::MatchState,
+        config: EngineConfig,
+    ) -> ParallelEngine {
+        let psme_rete::MatchState { mem, store } = state;
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             net: RwLock::new(net),
-            store: RwLock::new(WmeStore::new()),
-            mem: MemoryTable::new(config.memory_lines),
+            store: RwLock::new(store),
+            mem,
             queues: TaskQueues::new(config.scheduler, workers),
             outstanding: AtomicI64::new(0),
             min_node: AtomicU32::new(0),
@@ -298,7 +311,7 @@ impl ParallelEngine {
         let raw = std::mem::take(&mut *s.cs_raw.lock());
         let net = s.net.read();
         let store = s.store.read();
-        let cs = fold_cs(&net, &store, raw);
+        let cs = fold_cs(&*net, &store, raw);
         drop(store);
         drop(net);
         #[cfg(debug_assertions)]
@@ -355,7 +368,7 @@ impl ParallelEngine {
         let (add, mut seeds) = {
             let mut net = self.shared.net.write();
             let add = net.add_production(prod, org)?;
-            let seeds: Vec<Task> = seed_update(&net, &self.shared.mem, add.first_new)
+            let seeds: Vec<Task> = seed_update(&*net, &self.shared.mem, add.first_new)
                 .into_iter()
                 .map(Task::Beta)
                 .collect();
@@ -386,7 +399,7 @@ impl ParallelEngine {
     pub fn current_instantiations(&self) -> Vec<Instantiation> {
         let net = self.shared.net.read();
         let store = self.shared.store.read();
-        instantiations_from_memories(&net, &store, &self.shared.mem)
+        instantiations_from_memories(&*net, &store, &self.shared.mem)
     }
 
     /// Metrics for the most recent cycle.

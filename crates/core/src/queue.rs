@@ -108,16 +108,20 @@ impl QueueStats {
     }
 }
 
-enum Queues {
+enum Queues<T> {
     /// Spin-locked FIFO queues: 1 (single) or `workers` (multi).
-    Locked(Vec<SpinLock<VecDeque<Task>>>),
+    Locked(Vec<SpinLock<VecDeque<T>>>),
     /// One Chase–Lev deque per worker plus the control-side injector.
-    Stealing { injector: SpinLock<VecDeque<Task>>, deques: Vec<WsDeque<Task>> },
+    Stealing { injector: SpinLock<VecDeque<T>>, deques: Vec<WsDeque<T>> },
 }
 
 /// The task-queue set for one engine.
-pub struct TaskQueues {
-    q: Queues,
+///
+/// Generic over the work item: the match engine schedules [`Task`]s (the
+/// default), the serving layer schedules session ids through the same three
+/// policies.
+pub struct TaskQueues<T = Task> {
+    q: Queues<T>,
     scheduler: Scheduler,
 }
 
@@ -130,9 +134,9 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-impl TaskQueues {
+impl<T> TaskQueues<T> {
     /// Build for `workers` match processes.
-    pub fn new(scheduler: Scheduler, workers: usize) -> TaskQueues {
+    pub fn new(scheduler: Scheduler, workers: usize) -> TaskQueues<T> {
         let workers = workers.max(1);
         let q = match scheduler {
             Scheduler::SingleQueue => Queues::Locked(vec![SpinLock::new(VecDeque::new())]),
@@ -171,7 +175,7 @@ impl TaskQueues {
     /// paper configurations' round-robin seeding); for `WorkStealing` the
     /// seed goes to the injector, because the control thread must never
     /// touch a deque's owner end.
-    pub fn push_seed(&self, worker: usize, task: Task, stats: &mut QueueStats) {
+    pub fn push_seed(&self, worker: usize, task: T, stats: &mut QueueStats) {
         match &self.q {
             Queues::Locked(_) => self.push(worker, task, stats),
             Queues::Stealing { injector, .. } => {
@@ -185,7 +189,7 @@ impl TaskQueues {
 
     /// Push a task from `worker` (to its own queue/deque except under
     /// `SingleQueue`).
-    pub fn push(&self, worker: usize, task: Task, stats: &mut QueueStats) {
+    pub fn push(&self, worker: usize, task: T, stats: &mut QueueStats) {
         match &self.q {
             Queues::Locked(queues) => {
                 let (mut g, spins) = queues[self.home(worker)].lock();
@@ -206,7 +210,7 @@ impl TaskQueues {
     /// is a plain push loop — bit-identical behaviour and accounting to the
     /// paper configurations. For `WorkStealing` the whole batch is written
     /// and published with a single release store of the deque bottom.
-    pub fn push_batch(&self, worker: usize, tasks: &mut Vec<Task>, stats: &mut QueueStats) {
+    pub fn push_batch(&self, worker: usize, tasks: &mut Vec<T>, stats: &mut QueueStats) {
         match &self.q {
             Queues::Locked(_) => {
                 for t in tasks.drain(..) {
@@ -234,7 +238,7 @@ impl TaskQueues {
     /// * `WorkStealing`: own deque bottom, then a batched injector drain,
     ///   then a steal burst from a randomized victim; every task beyond the
     ///   first moved by a batch lands in `worker`'s own deque.
-    pub fn pop(&self, worker: usize, stats: &mut QueueStats) -> Option<Task> {
+    pub fn pop(&self, worker: usize, stats: &mut QueueStats) -> Option<T> {
         match &self.q {
             Queues::Locked(queues) => {
                 let n = queues.len();
@@ -261,7 +265,7 @@ impl TaskQueues {
                 }
                 // 2. Injector: drain a small batch under one lock
                 //    acquisition; execute the first, keep the rest local.
-                let mut moved: Vec<Task> = Vec::new();
+                let mut moved: Vec<T> = Vec::new();
                 let first = {
                     let (mut g, spins) = injector.lock();
                     stats.pop_spins += spins;
@@ -403,7 +407,7 @@ mod tests {
 
     #[test]
     fn failed_pops_count_per_queue_scanned() {
-        let q = TaskQueues::new(Scheduler::MultiQueue, 4);
+        let q: TaskQueues = TaskQueues::new(Scheduler::MultiQueue, 4);
         let mut s = QueueStats::default();
         assert!(q.pop(0, &mut s).is_none());
         assert_eq!(s.failed_pops, 4, "scanned all four empty queues");

@@ -3,7 +3,10 @@
 
 use crate::engine::ParallelEngine;
 use psme_ops::{Instantiation, Production, TimeTag, Wme, WmeId};
-use psme_rete::{AddOutcome, BuildError, CycleOutcome, NetworkOrg, Phase, ReteNetwork, SerialEngine, WmeStore};
+use psme_rete::{
+    AddOutcome, BuildError, CycleOutcome, NetworkOrg, Phase, ReteBuild, SerialEngine,
+    WmeStore,
+};
 use std::sync::Arc;
 
 /// Unified match-engine interface.
@@ -31,8 +34,9 @@ pub trait MatchEngine {
     /// Read access to the working-memory store.
     fn with_store<R>(&self, f: impl FnOnce(&WmeStore) -> R) -> R;
 
-    /// Read access to the network.
-    fn with_net<R>(&self, f: impl FnOnce(&ReteNetwork) -> R) -> R;
+    /// Number of beta nodes in the engine's network view (monolithic, or
+    /// shared base + session overlay).
+    fn num_net_nodes(&self) -> usize;
 
     /// All current instantiations (quiescent-time helper).
     fn current_instantiations(&self) -> Vec<Instantiation>;
@@ -50,17 +54,17 @@ pub trait MatchEngine {
     }
 }
 
-impl MatchEngine for SerialEngine {
+impl<N: ReteBuild> MatchEngine for SerialEngine<N> {
     fn apply_changes(&mut self, adds: Vec<Wme>, removes: Vec<WmeId>) -> CycleOutcome {
         SerialEngine::apply_changes(self, adds, removes)
     }
 
     fn add_wme(&mut self, w: Wme) -> (WmeId, TimeTag) {
-        self.store.add(w)
+        self.state.store.add(w)
     }
 
     fn remove_wme(&mut self, id: WmeId) -> bool {
-        self.store.remove(id).is_some()
+        self.state.store.remove(id).is_some()
     }
 
     fn run_changes(&mut self, changes: Vec<(WmeId, i32)>) -> CycleOutcome {
@@ -76,11 +80,11 @@ impl MatchEngine for SerialEngine {
     }
 
     fn with_store<R>(&self, f: impl FnOnce(&WmeStore) -> R) -> R {
-        f(&self.store)
+        f(&self.state.store)
     }
 
-    fn with_net<R>(&self, f: impl FnOnce(&ReteNetwork) -> R) -> R {
-        f(&self.net)
+    fn num_net_nodes(&self) -> usize {
+        self.net.num_nodes()
     }
 
     fn current_instantiations(&self) -> Vec<Instantiation> {
@@ -117,8 +121,8 @@ impl MatchEngine for ParallelEngine {
         ParallelEngine::with_store(self, f)
     }
 
-    fn with_net<R>(&self, f: impl FnOnce(&ReteNetwork) -> R) -> R {
-        ParallelEngine::with_net(self, f)
+    fn num_net_nodes(&self) -> usize {
+        ParallelEngine::with_net(self, |n| n.num_nodes())
     }
 
     fn current_instantiations(&self) -> Vec<Instantiation> {

@@ -30,7 +30,7 @@ fn stream_test(seed: u64, cfg: EngineConfig, batches: usize) {
     for batch in 0..batches {
         let n_add = rng.below(5) + 1;
         let adds: Vec<_> = (0..n_add).map(|_| sys.random_wme(&mut rng)).collect();
-        let alive: Vec<WmeId> = ser.store.iter_alive().map(|(id, _)| id).collect();
+        let alive: Vec<WmeId> = ser.state.store.iter_alive().map(|(id, _)| id).collect();
         let mut removes = Vec::new();
         if !alive.is_empty() && rng.chance(55) {
             removes.push(alive[rng.below(alive.len())]);
@@ -47,7 +47,7 @@ fn stream_test(seed: u64, cfg: EngineConfig, batches: usize) {
             inst_set(so.cs.removed.clone()),
             "removed diverged: seed {seed} batch {batch} ({cfg:?})"
         );
-        let expected = naive::match_all(sys.productions.iter(), &ser.store);
+        let expected = naive::match_all(sys.productions.iter(), &ser.state.store);
         assert_eq!(
             inst_set(par.current_instantiations()),
             expected,
@@ -141,17 +141,17 @@ fn parallel_runtime_addition_matches_serial() {
                 "update-phase CS diverged at seed {seed}"
             );
         }
-        let expected = naive::match_all(sys.productions.iter(), &ser.store);
+        let expected = naive::match_all(sys.productions.iter(), &ser.state.store);
         assert_eq!(inst_set(par.current_instantiations()), expected, "seed {seed}");
 
         // Further cycles stay consistent.
         for _ in 0..3 {
             let adds: Vec<_> = (0..2).map(|_| sys.random_wme(&mut rng)).collect();
-            let alive: Vec<WmeId> = ser.store.iter_alive().map(|(id, _)| id).collect();
+            let alive: Vec<WmeId> = ser.state.store.iter_alive().map(|(id, _)| id).collect();
             let removes = vec![alive[rng.below(alive.len())]];
             par.apply_changes(adds.clone(), removes.clone());
             ser.apply_changes(adds, removes);
-            let expected = naive::match_all(sys.productions.iter(), &ser.store);
+            let expected = naive::match_all(sys.productions.iter(), &ser.state.store);
             assert_eq!(inst_set(par.current_instantiations()), expected, "seed {seed} post");
         }
     }
@@ -201,7 +201,7 @@ fn match_engine_trait_is_interchangeable() {
         let adds: Vec<_> = (0..6).map(|_| sys.random_wme(&mut rng)).collect();
         e.apply_changes(adds, vec![]);
         e.with_store(|s| assert_eq!(s.live_count(), 6));
-        e.with_net(|n| assert!(n.num_nodes() > 1));
+        assert!(e.num_net_nodes() > 1);
         e.current_instantiations().len()
     }
     let sys = random_system(11, GenConfig::default());

@@ -41,7 +41,7 @@ fn stream_test(seed: u64, cfg: EngineConfig, batches: usize) {
     for batch in 0..batches {
         let n_add = rng.below(5) + 1;
         let adds: Vec<_> = (0..n_add).map(|_| sys.random_wme(&mut rng)).collect();
-        let alive: Vec<WmeId> = ser.store.iter_alive().map(|(id, _)| id).collect();
+        let alive: Vec<WmeId> = ser.state.store.iter_alive().map(|(id, _)| id).collect();
         let mut removes = Vec::new();
         if !alive.is_empty() && rng.chance(55) {
             removes.push(alive[rng.below(alive.len())]);
@@ -58,7 +58,7 @@ fn stream_test(seed: u64, cfg: EngineConfig, batches: usize) {
             inst_set(so.cs.removed.clone()),
             "removed diverged: seed {seed} batch {batch} ({cfg:?})"
         );
-        let expected = naive::match_all(sys.productions.iter(), &ser.store);
+        let expected = naive::match_all(sys.productions.iter(), &ser.state.store);
         assert_eq!(
             inst_set(par.current_instantiations()),
             expected,
@@ -164,17 +164,17 @@ fn work_stealing_runtime_addition_matches_serial() {
                 "update-phase CS diverged at seed {seed}"
             );
         }
-        let expected = naive::match_all(sys.productions.iter(), &ser.store);
+        let expected = naive::match_all(sys.productions.iter(), &ser.state.store);
         assert_eq!(inst_set(par.current_instantiations()), expected, "seed {seed}");
 
         // Further cycles stay consistent after the surgery.
         for _ in 0..3 {
             let adds: Vec<_> = (0..2).map(|_| sys.random_wme(&mut rng)).collect();
-            let alive: Vec<WmeId> = ser.store.iter_alive().map(|(id, _)| id).collect();
+            let alive: Vec<WmeId> = ser.state.store.iter_alive().map(|(id, _)| id).collect();
             let removes = vec![alive[rng.below(alive.len())]];
             par.apply_changes(adds.clone(), removes.clone());
             ser.apply_changes(adds, removes);
-            let expected = naive::match_all(sys.productions.iter(), &ser.store);
+            let expected = naive::match_all(sys.productions.iter(), &ser.state.store);
             assert_eq!(inst_set(par.current_instantiations()), expected, "seed {seed} post");
         }
     }

@@ -25,10 +25,12 @@
 
 pub mod json;
 pub mod profile;
+pub mod quantiles;
 pub mod rec;
 pub mod report;
 
 pub use json::Json;
 pub use profile::{HotSpotReport, NodeProfile, NodeProfiler};
+pub use quantiles::Quantiles;
 pub use rec::{ControlPhase, Counter, CounterSet, PhaseTotal, Recorder, SpanRecord};
 pub use report::{artifact_dir, artifact_path, write_artifact, write_json, TextTable};

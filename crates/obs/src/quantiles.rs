@@ -1,0 +1,115 @@
+//! Latency quantiles for per-session serving telemetry.
+//!
+//! The serving layer reports p50/p99 decision-cycle latency and queue wait
+//! per session. Sample counts are small (hundreds of cycles), so exact
+//! order statistics over the retained samples are cheap and unambiguous —
+//! no sketching. Quantiles use the nearest-rank method (`ceil(q·n)`), the
+//! convention the paper's latency tables imply: p99 of 100 samples is the
+//! 99th smallest, not an interpolation.
+
+use crate::json::Json;
+
+/// Summary statistics over a set of latency samples (nanoseconds, or any
+/// other nonnegative magnitude).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Quantiles {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 90th percentile (nearest rank).
+    pub p90: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Quantiles {
+    /// Compute from raw samples. Non-finite samples are a caller bug and
+    /// panic in debug builds; order is irrelevant (the slice is copied and
+    /// sorted internally).
+    pub fn from_samples(samples: &[f64]) -> Quantiles {
+        debug_assert!(samples.iter().all(|s| s.is_finite()), "non-finite latency sample");
+        if samples.is_empty() {
+            return Quantiles::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let n = sorted.len();
+        let rank = |q: f64| -> f64 {
+            let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+            sorted[k - 1]
+        };
+        Quantiles {
+            count: n as u64,
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+            max: sorted[n - 1],
+        }
+    }
+
+    /// Serialize for bench artifacts / run reports.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("mean", Json::float(self.mean)),
+            ("p50", Json::float(self.p50)),
+            ("p90", Json::float(self.p90)),
+            ("p99", Json::float(self.p99)),
+            ("max", Json::float(self.max)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        let q = Quantiles::from_samples(&[]);
+        assert_eq!(q, Quantiles::default());
+        assert_eq!(q.count, 0);
+    }
+
+    #[test]
+    fn nearest_rank_on_small_sets() {
+        // 1..=100: p50 = 50, p90 = 90, p99 = 99 under nearest-rank.
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let q = Quantiles::from_samples(&v);
+        assert_eq!(q.count, 100);
+        assert_eq!(q.p50, 50.0);
+        assert_eq!(q.p90, 90.0);
+        assert_eq!(q.p99, 99.0);
+        assert_eq!(q.max, 100.0);
+        assert!((q.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let q = Quantiles::from_samples(&[7.0]);
+        assert_eq!((q.p50, q.p90, q.p99, q.max), (7.0, 7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn order_independent() {
+        let a = Quantiles::from_samples(&[3.0, 1.0, 2.0]);
+        let b = Quantiles::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.p50, 2.0);
+    }
+
+    #[test]
+    fn json_round_trips_fields() {
+        let q = Quantiles::from_samples(&[1.0, 2.0]);
+        let s = q.to_json().to_string();
+        for key in ["count", "mean", "p50", "p90", "p99", "max"] {
+            assert!(s.contains(key), "{s}");
+        }
+    }
+}

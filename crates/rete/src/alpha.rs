@@ -306,6 +306,26 @@ impl AlphaNet {
         (id, false)
     }
 
+    /// Look up the memory for a canonical test set **without** creating
+    /// one. Canonicalizes exactly like [`AlphaNet::intern`], so a session
+    /// overlay can probe the frozen base network for a shareable memory
+    /// before interning privately.
+    pub fn lookup(
+        &self,
+        class: Symbol,
+        tests: &[AlphaTest],
+        intra: &[IntraTest],
+    ) -> Option<AlphaMemId> {
+        let mut tests = tests.to_vec();
+        tests.sort_unstable();
+        tests.dedup();
+        let mut intra = intra.to_vec();
+        intra.sort_unstable();
+        intra.dedup();
+        let key = (class, Arc::from(tests), Arc::from(intra));
+        self.interned.get(&key).copied()
+    }
+
     /// Register a new memory in its class's jump table / fallthrough list
     /// and intern its residual tests into the class pool.
     fn splice_into_index(&mut self, id: AlphaMemId) {

@@ -8,13 +8,69 @@
 //! (§5.2, see [`crate::update`]) afterwards so the new nodes' memories are
 //! consistent with current working memory.
 
-use crate::alpha::{AlphaTest, IntraTest, PredOrd};
+use crate::alpha::{AlphaMemId, AlphaTest, IntraTest, PredOrd};
 use crate::network::{NetworkOrg, ProdInfo, ReteNetwork};
-use crate::node::{BetaNode, JoinTest, KeyPart, MergeSrc, NodeId, NodeKind, RightSrc, ROOT};
+use crate::node::{
+    BetaNode, JoinTest, KeyPart, MergeSrc, NodeId, NodeKind, NodeSignature, RightSrc, ROOT,
+};
 use crate::util::FxHashMap;
 use psme_ops::{BindSite, Cond, CondElem, Pred, Production, Symbol, VarId};
 use std::fmt;
 use std::sync::Arc;
+
+/// What the production compiler needs from its target network. Implemented
+/// by [`ReteNetwork`] (monolithic append) and by
+/// [`crate::session::SessionNet`] (append into the session's overlay
+/// region, recording splices onto the frozen base as overlay deltas).
+pub(crate) trait BuildTarget {
+    /// Get-or-create the alpha memory for a canonical test set.
+    fn intern_alpha(
+        &mut self,
+        class: Symbol,
+        tests: Vec<AlphaTest>,
+        intra: Vec<IntraTest>,
+    ) -> AlphaMemId;
+    /// Look up a shareable two-input node with this signature.
+    fn find_shared_sig(&self, sig: &NodeSignature) -> Option<NodeId>;
+    /// Record `prod_name` on an existing shared node; returns
+    /// `(is_two_input, coverage_len, right_coverage_len)`.
+    fn note_shared(&mut self, id: NodeId, prod_name: Symbol) -> (bool, usize, usize);
+    /// Append a node, wiring its parent / right-source edges.
+    fn push_node(&mut self, node: BetaNode) -> NodeId;
+    /// The production index the in-progress build will occupy.
+    fn next_prod_index(&self) -> u32;
+}
+
+impl BuildTarget for ReteNetwork {
+    fn intern_alpha(
+        &mut self,
+        class: Symbol,
+        tests: Vec<AlphaTest>,
+        intra: Vec<IntraTest>,
+    ) -> AlphaMemId {
+        self.alpha.intern(class, tests, intra).0
+    }
+
+    fn find_shared_sig(&self, sig: &NodeSignature) -> Option<NodeId> {
+        self.find_shared(sig)
+    }
+
+    fn note_shared(&mut self, id: NodeId, prod_name: Symbol) -> (bool, usize, usize) {
+        let n = &mut self.betas[id as usize];
+        if !n.prod_names.contains(&prod_name) {
+            n.prod_names.push(prod_name);
+        }
+        (n.is_two_input(), n.coverage.len(), n.right_coverage.len())
+    }
+
+    fn push_node(&mut self, node: BetaNode) -> NodeId {
+        ReteNetwork::push_node(self, node)
+    }
+
+    fn next_prod_index(&self) -> u32 {
+        self.prods.len() as u32
+    }
+}
 
 /// A compile error (invalid production or invalid bilinear grouping).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,8 +99,8 @@ pub struct AddResult {
     pub p_node: NodeId,
 }
 
-struct Builder<'a> {
-    net: &'a mut ReteNetwork,
+struct Builder<'a, T: BuildTarget> {
+    net: &'a mut T,
     prod: &'a Production,
     prod_name: Symbol,
     /// pos_idx → flat condition index.
@@ -69,8 +125,8 @@ fn slot_of(cov: &[u16], flat: u16) -> Option<u16> {
     cov.iter().position(|&x| x == flat).map(|i| i as u16)
 }
 
-impl<'a> Builder<'a> {
-    fn err<T>(&self, msg: impl Into<String>) -> Result<T, BuildError> {
+impl<'a, T: BuildTarget> Builder<'a, T> {
+    fn err<R>(&self, msg: impl Into<String>) -> Result<R, BuildError> {
         Err(BuildError(format!("{}: {}", self.prod_name, msg.into())))
     }
 
@@ -190,19 +246,17 @@ impl<'a> Builder<'a> {
     fn make_node(&mut self, mut node: BetaNode) -> NodeId {
         node.prod_names = vec![self.prod_name];
         let sig = node.signature();
-        if let Some(id) = self.net.find_shared(&sig) {
-            let existing = &mut self.net.betas[id as usize];
+        if let Some(id) = self.net.find_shared_sig(&sig) {
+            let (two_input, cov_len, right_cov_len) = self.net.note_shared(id, self.prod_name);
             // Structural sanity: equal signatures imply equal token shapes.
             // (The *labels* in `coverage` may differ between the sharing
             // productions — e.g. a chunk whose shared prefix sits at other
             // flat CE indices — but slots are interpreted positionally per
             // production, so only the widths must agree.)
-            debug_assert_eq!(existing.coverage.len(), node.coverage.len());
-            debug_assert_eq!(existing.right_coverage.len(), node.right_coverage.len());
-            if !existing.prod_names.contains(&self.prod_name) {
-                existing.prod_names.push(self.prod_name);
-            }
-            if existing.is_two_input() {
+            debug_assert_eq!(cov_len, node.coverage.len());
+            debug_assert_eq!(right_cov_len, node.right_coverage.len());
+            let _ = (cov_len, right_cov_len);
+            if two_input {
                 self.shared_two += 1;
             }
             return id;
@@ -222,7 +276,7 @@ impl<'a> Builder<'a> {
         cov: &[u16],
     ) -> Result<(NodeId, Vec<u16>), BuildError> {
         let cc = self.compile_cond(c, f, cov)?;
-        let (alpha, _) = self.net.alpha.intern(c.class, cc.alpha_tests, cc.intra);
+        let alpha = self.net.intern_alpha(c.class, cc.alpha_tests, cc.intra);
         let left_key: Vec<KeyPart> =
             cc.eqs.iter().map(|&(ls, lf, _)| KeyPart::Val { slot: ls, field: lf }).collect();
         let right_key: Vec<KeyPart> =
@@ -253,7 +307,7 @@ impl<'a> Builder<'a> {
         let saved_locals = self.locals.clone();
         let cc = self.compile_cond(c, f, cov)?;
         self.locals = saved_locals; // CE-local bindings go out of scope
-        let (alpha, _) = self.net.alpha.intern(c.class, cc.alpha_tests, cc.intra);
+        let alpha = self.net.intern_alpha(c.class, cc.alpha_tests, cc.intra);
         let left_key: Vec<KeyPart> =
             cc.eqs.iter().map(|&(ls, lf, _)| KeyPart::Val { slot: ls, field: lf }).collect();
         let right_key: Vec<KeyPart> =
@@ -345,71 +399,39 @@ impl<'a> Builder<'a> {
     }
 }
 
-impl ReteNetwork {
-    /// Compile `prod` into the network with the given organization.
-    ///
-    /// May be called at any quiescent point, including at run time (Soar's
-    /// chunking); run [`crate::update::seed_update`] afterwards to fill the
-    /// new nodes' memories. On error the network is rolled back unchanged.
-    pub fn add_production(
-        &mut self,
-        prod: Arc<Production>,
-        org: NetworkOrg,
-    ) -> Result<AddResult, BuildError> {
-        let first_new = self.betas.len() as NodeId;
-        let res = self.add_production_inner(&prod, &org, first_new);
-        match res {
-            Ok((p_node, pos_slots, new_two, shared_two)) => {
-                let prod_idx = self.prods.len() as u32;
-                self.prods.push(ProdInfo {
-                    production: prod,
-                    p_node,
-                    pos_slots,
-                    first_new,
-                    new_two_input: new_two,
-                    shared_two_input: shared_two,
-                    org,
-                });
-                Ok(AddResult { prod_idx, first_new, new_two_input: new_two, shared_two_input: shared_two, p_node })
-            }
-            Err(e) => {
-                self.rollback(first_new);
-                Err(e)
-            }
+/// Compile one production into `net` (a monolithic network or a session
+/// overlay), appending nodes and returning
+/// `(p_node, pos_slots, new_two_input, shared_two_input)`. On error the
+/// target is left with partially appended nodes — the caller rolls back.
+pub(crate) fn build_production<T: BuildTarget>(
+    net: &mut T,
+    prod: &Arc<Production>,
+    org: &NetworkOrg,
+) -> Result<(NodeId, Vec<u16>, u32, u32), BuildError> {
+    // Flat condition indexing.
+    let mut flat_base = Vec::with_capacity(prod.ces.len());
+    let mut flat_of_pos = Vec::new();
+    let mut f: u16 = 0;
+    for ce in &prod.ces {
+        flat_base.push(f);
+        if ce.is_pos() {
+            flat_of_pos.push(f);
         }
+        f += ce.conds().len() as u16;
     }
+    let prod_idx = net.next_prod_index();
+    let mut b = Builder {
+        prod_name: prod.name,
+        prod: prod.as_ref(),
+        net,
+        flat_of_pos,
+        flat_base,
+        locals: FxHashMap::default(),
+        new_two: 0,
+        shared_two: 0,
+    };
 
-    fn add_production_inner(
-        &mut self,
-        prod: &Arc<Production>,
-        org: &NetworkOrg,
-        first_new: NodeId,
-    ) -> Result<(NodeId, Vec<u16>, u32, u32), BuildError> {
-        // Flat condition indexing.
-        let mut flat_base = Vec::with_capacity(prod.ces.len());
-        let mut flat_of_pos = Vec::new();
-        let mut f: u16 = 0;
-        for ce in &prod.ces {
-            flat_base.push(f);
-            if ce.is_pos() {
-                flat_of_pos.push(f);
-            }
-            f += ce.conds().len() as u16;
-        }
-        let prod_idx = self.prods.len() as u32;
-        let mut b = Builder {
-            prod_name: prod.name,
-            prod: prod.as_ref(),
-            net: self,
-            flat_of_pos,
-            flat_base,
-            locals: FxHashMap::default(),
-            new_two: 0,
-            shared_two: 0,
-        };
-        let _ = first_new;
-
-        let (cur, cov) = match org {
+    let (cur, cov) = match org {
             NetworkOrg::Linear => {
                 let ces: Vec<(usize, &CondElem)> = prod.ces.iter().enumerate().collect();
                 b.build_chain(&ces, ROOT, Vec::new())?
@@ -501,6 +523,45 @@ impl ReteNetwork {
             prod_names: vec![prod.name],
         });
         Ok((p_node, pos_slots, new_two, shared_two))
+}
+
+impl ReteNetwork {
+    /// Compile `prod` into the network with the given organization.
+    ///
+    /// May be called at any quiescent point, including at run time (Soar's
+    /// chunking); run [`crate::update::seed_update`] afterwards to fill the
+    /// new nodes' memories. On error the network is rolled back unchanged.
+    pub fn add_production(
+        &mut self,
+        prod: Arc<Production>,
+        org: NetworkOrg,
+    ) -> Result<AddResult, BuildError> {
+        let first_new = self.betas.len() as NodeId;
+        match build_production(self, &prod, &org) {
+            Ok((p_node, pos_slots, new_two, shared_two)) => {
+                let prod_idx = self.prods.len() as u32;
+                self.prods.push(ProdInfo {
+                    production: prod,
+                    p_node,
+                    pos_slots,
+                    first_new,
+                    new_two_input: new_two,
+                    shared_two_input: shared_two,
+                    org,
+                });
+                Ok(AddResult {
+                    prod_idx,
+                    first_new,
+                    new_two_input: new_two,
+                    shared_two_input: shared_two,
+                    p_node,
+                })
+            }
+            Err(e) => {
+                self.rollback(first_new);
+                Err(e)
+            }
+        }
     }
 
     /// Undo a failed addition: drop nodes `>= first_new` and all edges,

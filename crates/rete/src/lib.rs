@@ -60,12 +60,15 @@ pub mod node;
 pub mod ops5;
 pub mod process;
 pub mod serial;
+pub mod session;
+pub mod state;
 pub mod sync;
 pub mod testgen;
 pub mod token;
 pub mod trace;
 pub mod update;
 pub mod util;
+pub mod view;
 
 pub use alpha::{AlphaMem, AlphaMemId, AlphaNet, AlphaStats};
 pub use bilinear::{plan_bilinear, plan_chain_length};
@@ -80,7 +83,10 @@ pub use serial::{
     fold_cs, instantiation_of, instantiations_from_memories, AddOutcome, CsDelta, CycleOutcome,
     SerialEngine,
 };
+pub use session::{SessionNet, Topology};
+pub use state::MatchState;
 pub use sync::{SpinGuard, SpinLock};
 pub use token::{Token, WmeStore};
 pub use trace::{CycleTrace, Phase, RunTrace, TaskKind, TaskRecord};
 pub use update::{seed_update, update_seeds};
+pub use view::{ReteBuild, ReteView};

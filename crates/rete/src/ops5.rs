@@ -91,7 +91,7 @@ impl Ops5Runtime {
         self.fired_count += 1;
         let prod = self.prods.get(&inst.prod).expect("fired production exists").clone();
         let wme_arcs: Vec<Arc<Wme>> =
-            inst.wmes.iter().map(|id| self.engine.store.get(*id).clone()).collect();
+            inst.wmes.iter().map(|id| self.engine.state.store.get(*id).clone()).collect();
         let refs: Vec<&Wme> = wme_arcs.iter().map(|a| a.as_ref()).collect();
         let mut bindings = prod.bindings_of(&refs);
         let actions = prod.eval_rhs(&mut bindings, &mut || gensym("g"));
@@ -111,7 +111,7 @@ impl Ops5Runtime {
                 }
                 ConcreteAction::ModifyCe(k, fields) => {
                     let id = inst.wmes[k as usize - 1];
-                    let old = self.engine.store.get(id).clone();
+                    let old = self.engine.state.store.get(id).clone();
                     let mut new = (*old).clone();
                     for (f, v) in fields {
                         new.fields[f as usize] = v;

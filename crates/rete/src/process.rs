@@ -14,9 +14,9 @@
 //! emitted after the lock is released.
 
 use crate::memory::{Key, KeyElem, LeftEntry, MemoryTable, RightEntry};
-use crate::network::ReteNetwork;
 use crate::node::{BetaNode, KeyPart, MergeSrc, NodeId, NodeKind, Side, ROOT};
 use crate::token::{Token, WmeStore};
+use crate::view::ReteView;
 use psme_ops::WmeId;
 
 /// One unit of match work: a token arriving at a node input.
@@ -98,8 +98,8 @@ fn merge_token(node: &BetaNode, left: &Token, right: &Token) -> Token {
 /// `min_node` filters emissions during the run-time state update (§5.2):
 /// child activations targeting nodes below it are dropped. Use 0 for normal
 /// matching.
-pub fn process_beta(
-    net: &ReteNetwork,
+pub fn process_beta<N: ReteView + ?Sized>(
+    net: &N,
     mem: &MemoryTable,
     store: &WmeStore,
     act: &Activation,
@@ -148,7 +148,7 @@ pub fn process_beta(
                 for (rt, w) in matches {
                     let out = merge_token(node, &act.token, &rt);
                     stats.emitted +=
-                        emit_children(node, out, act.delta * w, min_node, emit);
+                        emit_children(net, node, out, act.delta * w, min_node, emit);
                 }
                 stats
             }
@@ -180,7 +180,7 @@ pub fn process_beta(
                 for (lt, w) in matches {
                     let out = merge_token(node, &lt, &act.token);
                     stats.emitted +=
-                        emit_children(node, out, act.delta * w, min_node, emit);
+                        emit_children(net, node, out, act.delta * w, min_node, emit);
                 }
                 stats
             }
@@ -232,7 +232,7 @@ pub fn process_beta(
                 drop(g);
                 if m_now == 0 {
                     stats.emitted +=
-                        emit_children(node, act.token.clone(), act.delta, min_node, emit);
+                        emit_children(net, node, act.token.clone(), act.delta, min_node, emit);
                 }
                 stats
             }
@@ -270,7 +270,7 @@ pub fn process_beta(
                 drop(g);
                 for (t, d) in transitions {
                     if d != 0 {
-                        stats.emitted += emit_children(node, t, d, min_node, emit);
+                        stats.emitted += emit_children(net, node, t, d, min_node, emit);
                     }
                 }
                 stats
@@ -305,7 +305,8 @@ fn upsert_right(right: &mut Vec<RightEntry>, node: NodeId, key: Key, token: &Tok
     right.push(RightEntry { node, key, token: token.clone(), weight: delta });
 }
 
-fn emit_children(
+fn emit_children<N: ReteView + ?Sized>(
+    net: &N,
     node: &BetaNode,
     token: Token,
     delta: i32,
@@ -316,7 +317,9 @@ fn emit_children(
         return 0;
     }
     let mut n = 0;
-    for &(child, side) in &node.out_edges {
+    // A node's own edges first, then any overlay splices: together these
+    // reproduce the monolithic successor append order (see `session.rs`).
+    for &(child, side) in node.out_edges.iter().chain(net.extra_out_edges(node.id)) {
         if child >= min_node {
             emit(Activation { node: child, side, token: token.clone(), delta });
             n += 1;
@@ -330,8 +333,8 @@ fn emit_children(
 ///
 /// Returns the discrimination stats (tests run, probes, candidates, tests
 /// saved) and the number of activations emitted.
-pub fn process_wme_change(
-    net: &ReteNetwork,
+pub fn process_wme_change<N: ReteView + ?Sized>(
+    net: &N,
     store: &WmeStore,
     wme: WmeId,
     delta: i32,
@@ -341,12 +344,10 @@ pub fn process_wme_change(
     let token = Token::unit(wme);
     let w = store.get(wme).clone();
     let mut emitted = 0u32;
-    let stats = net.alpha.classify(&w, |m| {
-        for &(child, side) in &m.successors {
-            if child >= min_node {
-                emit(Activation { node: child, side, token: token.clone(), delta });
-                emitted += 1;
-            }
+    let stats = net.classify_wme(&w, &mut |child, side| {
+        if child >= min_node {
+            emit(Activation { node: child, side, token: token.clone(), delta });
+            emitted += 1;
         }
     });
     (stats, emitted)

@@ -4,16 +4,25 @@
 //! [`crate::process`]. It is the correctness oracle for the parallel engine
 //! (identical conflict sets required), the trace producer for the Multimax
 //! simulator, and the uniprocessor baseline of the paper's speedup figures.
+//!
+//! The engine is generic over its network view: `SerialEngine<ReteNetwork>`
+//! (the default) owns a monolithic network, while
+//! `SerialEngine<SessionNet>` drives a session's chunk overlay over a
+//! shared frozen [`crate::session::Topology`]. Either way the mutable match
+//! state (working memory + token memories) lives in a [`MatchState`] owned
+//! by the engine — the topology/state split the serving layer multiplexes.
 
 use crate::build::{AddResult, BuildError};
 use crate::memory::MemoryTable;
 use crate::network::{NetworkOrg, ReteNetwork};
 use crate::node::{NodeId, NodeKind};
 use crate::process::{process_beta, process_wme_change, Activation, CsChange};
+use crate::state::MatchState;
 use crate::token::{Token, WmeStore};
 use crate::trace::{CycleTrace, Phase, RunTrace, TaskKind, TaskRecord};
 use crate::update::seed_update;
 use crate::util::FxHashMap;
+use crate::view::{ReteBuild, ReteView};
 use psme_ops::{Instantiation, Wme, WmeId};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -52,7 +61,7 @@ pub struct AddOutcome {
 /// Shared by the serial and parallel engines: weights may flicker during a
 /// cycle, so the conflict set is updated from the *net* per-token delta at
 /// quiescence, which must be −1, 0 or +1.
-pub fn fold_cs(net: &ReteNetwork, store: &WmeStore, raw: Vec<CsChange>) -> CsDelta {
+pub fn fold_cs<N: ReteView + ?Sized>(net: &N, store: &WmeStore, raw: Vec<CsChange>) -> CsDelta {
     let mut net_delta: FxHashMap<(u32, Token), i32> = FxHashMap::default();
     for c in raw {
         *net_delta.entry((c.prod, c.token)).or_insert(0) += c.delta;
@@ -72,13 +81,13 @@ pub fn fold_cs(net: &ReteNetwork, store: &WmeStore, raw: Vec<CsChange>) -> CsDel
 }
 
 /// Build the [`Instantiation`] for a P-node token.
-pub fn instantiation_of(
-    net: &ReteNetwork,
+pub fn instantiation_of<N: ReteView + ?Sized>(
+    net: &N,
     store: &WmeStore,
     prod: u32,
     token: &Token,
 ) -> Instantiation {
-    let info = &net.prods[prod as usize];
+    let info = net.prod_info(prod);
     let wmes: Vec<WmeId> = info.pos_slots.iter().map(|&s| token.slot(s)).collect();
     let tags = wmes.iter().map(|&w| store.tag(w)).collect();
     Instantiation { prod: info.production.name, wmes, tags }
@@ -86,15 +95,16 @@ pub fn instantiation_of(
 
 /// All current instantiations, read back from the P nodes' stored tokens
 /// (a quiescent-time debug/verification helper).
-pub fn instantiations_from_memories(
-    net: &ReteNetwork,
+pub fn instantiations_from_memories<N: ReteView + ?Sized>(
+    net: &N,
     store: &WmeStore,
     mem: &MemoryTable,
 ) -> Vec<Instantiation> {
     let mut out = Vec::new();
-    for (i, info) in net.prods.iter().enumerate() {
+    for i in 0..net.num_prods() as u32 {
+        let info = net.prod_info(i);
         for t in mem.left_tokens_of(info.p_node) {
-            out.push(instantiation_of(net, store, i as u32, &t));
+            out.push(instantiation_of(net, store, i, &t));
         }
     }
     out.sort_by(|a, b| (a.prod, &a.wmes).cmp(&(b.prod, &b.wmes)));
@@ -108,13 +118,11 @@ fn wall_ns_since(t0: Option<std::time::Instant>) -> u32 {
 }
 
 /// Deterministic single-threaded match engine.
-pub struct SerialEngine {
-    /// The compiled network.
-    pub net: ReteNetwork,
-    /// Hashed token memories.
-    pub mem: MemoryTable,
-    /// Working-memory store.
-    pub store: WmeStore,
+pub struct SerialEngine<N = ReteNetwork> {
+    /// The compiled network (monolithic, or a session's base + overlay).
+    pub net: N,
+    /// The mutable half: working memory + hashed token memories.
+    pub state: MatchState,
     /// When `true`, every cycle's tasks are recorded into [`Self::trace`].
     pub capture: bool,
     /// Captured traces (when `capture` is set).
@@ -123,24 +131,35 @@ pub struct SerialEngine {
     total_tasks: u64,
 }
 
-impl SerialEngine {
+impl<N> SerialEngine<N> {
     /// New engine over an existing network.
-    pub fn new(net: ReteNetwork) -> SerialEngine {
-        SerialEngine::with_memory(net, 4096)
+    pub fn new(net: N) -> SerialEngine<N> {
+        SerialEngine::with_state(net, MatchState::new())
     }
 
     /// New engine with an explicit memory-table size (tests use 1 line to
     /// force worst-case collisions).
-    pub fn with_memory(net: ReteNetwork, lines: usize) -> SerialEngine {
+    pub fn with_memory(net: N, lines: usize) -> SerialEngine<N> {
+        SerialEngine::with_state(net, MatchState::with_memory(lines))
+    }
+
+    /// New engine adopting an externally owned [`MatchState`] — the serving
+    /// layer's constructor (session state outlives engine configuration).
+    pub fn with_state(net: N, state: MatchState) -> SerialEngine<N> {
         SerialEngine {
             net,
-            mem: MemoryTable::new(lines),
-            store: WmeStore::new(),
+            state,
             capture: false,
             trace: RunTrace::default(),
             cycle_count: 0,
             total_tasks: 0,
         }
+    }
+
+    /// Decompose into network + state (e.g. to freeze the network into a
+    /// shared topology after compiling a base production set).
+    pub fn into_parts(self) -> (N, MatchState) {
+        (self.net, self.state)
     }
 
     /// Total tasks executed so far (match + update phases).
@@ -152,7 +171,9 @@ impl SerialEngine {
     pub fn cycles(&self) -> u64 {
         self.cycle_count
     }
+}
 
+impl<N: ReteView> SerialEngine<N> {
     /// Add wmes / remove wme ids, then run the match to quiescence.
     ///
     /// This is one "cycle" in the sense of the paper's measurements: all
@@ -161,11 +182,11 @@ impl SerialEngine {
     pub fn apply_changes(&mut self, adds: Vec<Wme>, removes: Vec<WmeId>) -> CycleOutcome {
         let mut changes: Vec<(WmeId, i32)> = Vec::with_capacity(adds.len() + removes.len());
         for w in adds {
-            let (id, _) = self.store.add(w);
+            let (id, _) = self.state.store.add(w);
             changes.push((id, 1));
         }
         for id in removes {
-            if self.store.remove(id).is_some() {
+            if self.state.store.remove(id).is_some() {
                 changes.push((id, -1));
             }
         }
@@ -175,7 +196,7 @@ impl SerialEngine {
     /// Inject pre-registered wme changes (used by the Soar layer, which
     /// manages the store itself).
     pub fn run_cycle(&mut self, changes: Vec<(WmeId, i32)>, phase: Phase) -> CycleOutcome {
-        self.mem.reset_access_counts();
+        self.state.mem.reset_access_counts();
         let mut queue: VecDeque<(Activation, Option<u32>)> = VecDeque::new();
         let mut tasks: Vec<TaskRecord> = Vec::new();
         let mut cs_raw: Vec<CsChange> = Vec::new();
@@ -187,7 +208,7 @@ impl SerialEngine {
             let mut emitted = 0u32;
             let t0 = self.capture.then(std::time::Instant::now);
             let (alpha, _) =
-                process_wme_change(&self.net, &self.store, id, delta, 0, &mut |a| {
+                process_wme_change(&self.net, &self.state.store, id, delta, 0, &mut |a| {
                     queue.push_back((a, Some(tid)));
                     emitted += 1;
                 });
@@ -219,7 +240,7 @@ impl SerialEngine {
             self.trace.cycles.push(CycleTrace { cycle: self.cycle_count - 1, phase, tasks });
         }
         #[cfg(debug_assertions)]
-        self.mem.assert_quiescent();
+        self.state.mem.assert_quiescent();
         outcome
     }
 
@@ -240,8 +261,8 @@ impl SerialEngine {
             let t0 = self.capture.then(std::time::Instant::now);
             let stats = process_beta(
                 &self.net,
-                &self.mem,
-                &self.store,
+                &self.state.mem,
+                &self.state.store,
                 &act,
                 min_node,
                 &mut |a| pending.push(a),
@@ -277,14 +298,23 @@ impl SerialEngine {
 
     /// Fold raw P-node emissions into net instantiation add/removes.
     fn fold_cs(&self, raw: Vec<CsChange>) -> CsDelta {
-        fold_cs(&self.net, &self.store, raw)
+        fold_cs(&self.net, &self.state.store, raw)
     }
 
     /// Build the [`Instantiation`] for a P-node token.
     pub fn instantiation_of(&self, prod: u32, token: &Token) -> Instantiation {
-        instantiation_of(&self.net, &self.store, prod, token)
+        instantiation_of(&self.net, &self.state.store, prod, token)
     }
 
+    /// Current instantiations of every production, read from the P nodes'
+    /// stored tokens (test/debug helper; the live conflict set is maintained
+    /// incrementally by callers from cycle deltas).
+    pub fn current_instantiations(&self) -> Vec<Instantiation> {
+        instantiations_from_memories(&self.net, &self.state.store, &self.state.mem)
+    }
+}
+
+impl<N: ReteBuild> SerialEngine<N> {
     /// Compile a production and run the §5.2 state update so it is
     /// "immediately available for use". Returns the new production's
     /// current instantiations.
@@ -301,18 +331,18 @@ impl SerialEngine {
         let mut next_task: u32 = 0;
 
         // Boundary seeds (the specially-executed last shared nodes).
-        for a in seed_update(&self.net, &self.mem, first_new) {
+        for a in seed_update(&self.net, &self.state.mem, first_new) {
             queue.push_back((a, None));
         }
         // Alpha re-run of all of WM, filtered to the new nodes.
-        let live: Vec<WmeId> = self.store.iter_alive().map(|(id, _)| id).collect();
+        let live: Vec<WmeId> = self.state.store.iter_alive().map(|(id, _)| id).collect();
         for id in live {
             let tid = next_task;
             next_task += 1;
             let mut emitted = 0u32;
             let t0 = self.capture.then(std::time::Instant::now);
             let (alpha, _) =
-                process_wme_change(&self.net, &self.store, id, 1, first_new, &mut |a| {
+                process_wme_change(&self.net, &self.state.store, id, 1, first_new, &mut |a| {
                     queue.push_back((a, Some(tid)));
                     emitted += 1;
                 });
@@ -339,25 +369,18 @@ impl SerialEngine {
             self.trace.cycles.push(CycleTrace { cycle: self.cycle_count, phase: Phase::Update, tasks });
         }
         #[cfg(debug_assertions)]
-        self.mem.assert_quiescent();
+        self.state.mem.assert_quiescent();
         Ok(AddOutcome { add, update_tasks, cs: self.fold_cs(cs_raw) })
-    }
-
-    /// Current instantiations of every production, read from the P nodes'
-    /// stored tokens (test/debug helper; the live conflict set is maintained
-    /// incrementally by callers from cycle deltas).
-    pub fn current_instantiations(&self) -> Vec<Instantiation> {
-        instantiations_from_memories(&self.net, &self.store, &self.mem)
     }
 }
 
-impl std::fmt::Debug for SerialEngine {
+impl<N: ReteView + std::fmt::Debug> std::fmt::Debug for SerialEngine<N> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
             "SerialEngine({:?}, {} wmes, {} cycles, {} tasks)",
             self.net,
-            self.store.live_count(),
+            self.state.store.live_count(),
             self.cycle_count,
             self.total_tasks
         )

@@ -1,0 +1,500 @@
+//! Shared network topology + per-session chunk overlays.
+//!
+//! The serving regime (many concurrent Soar sessions over one worker pool)
+//! splits the match network into:
+//!
+//! * [`Topology`] — a **frozen, immutable** compiled base network shared by
+//!   every session via `Arc`. Alpha index, beta DAG, intern tables: all
+//!   read-only after freeze.
+//! * [`SessionNet`] — one per session: the shared base plus a
+//!   session-private **overlay region**. Chunks a session learns at run
+//!   time are compiled into the overlay exactly as §5.1 would append them
+//!   to a monolithic network: node IDs are strictly increasing (overlay
+//!   ids start at the base node count), alpha memories the chunk needs are
+//!   either found in the frozen base intern table or interned privately
+//!   above the base id range, and the successor-list splices a chunk would
+//!   have performed on base nodes/memories are recorded as **overlay
+//!   deltas** ([`SessionNet::extra_out_edges`], alpha splices) consulted
+//!   during propagation instead of mutating the base.
+//!
+//! Because the overlay replays the monolithic append order exactly — same
+//! id assignment, same per-node successor order (base edges first, then
+//! splices in chronological order) — a session that learns chunk C over a
+//! frozen base B is *node-for-node identical* to a monolithic network built
+//! as B then C. That is the invariant the overlay-splice differential test
+//! pins, and what makes serve-vs-solo traces bit-for-bit comparable.
+//!
+//! No cross-session interference is possible by construction: the base is
+//! behind an immutable `Arc`, and every mutable structure (overlay vectors,
+//! splice maps, and the whole [`crate::state::MatchState`]) is owned by one
+//! session.
+
+use crate::alpha::{AlphaMemId, AlphaNet, AlphaStats, AlphaTest, IntraTest};
+use crate::build::{build_production, AddResult, BuildError, BuildTarget};
+use crate::network::{NetworkOrg, ProdInfo, ReteNetwork};
+use crate::node::{BetaNode, NodeId, NodeKind, NodeSignature, RightSrc, Side};
+use crate::util::FxHashMap;
+use crate::view::{ReteBuild, ReteView};
+use psme_ops::{Production, Symbol, Wme};
+use std::sync::Arc;
+
+/// An immutable, shareable compiled base network.
+///
+/// Freezing is a type-level promise: nothing hands out `&mut ReteNetwork`
+/// again, so any number of sessions may read it concurrently.
+pub struct Topology {
+    net: ReteNetwork,
+}
+
+impl Topology {
+    /// Freeze a compiled network into a shareable topology.
+    pub fn freeze(net: ReteNetwork) -> Arc<Topology> {
+        Arc::new(Topology { net })
+    }
+
+    /// The frozen network.
+    #[inline]
+    pub fn net(&self) -> &ReteNetwork {
+        &self.net
+    }
+
+    /// Beta nodes in the base (including the root).
+    pub fn num_nodes(&self) -> usize {
+        self.net.num_nodes()
+    }
+
+    /// Productions compiled into the base.
+    pub fn num_prods(&self) -> usize {
+        self.net.prods.len()
+    }
+}
+
+impl std::fmt::Debug for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Topology({:?})", self.net)
+    }
+}
+
+/// A session's view of the network: shared frozen base + private overlay.
+pub struct SessionNet {
+    topo: Arc<Topology>,
+    /// Base node / alpha-memory / production counts at freeze time (the
+    /// overlay id offsets; constant because the base is immutable).
+    base_nodes: NodeId,
+    base_alpha: u32,
+    base_prods: u32,
+    sharing: bool,
+    /// Overlay beta nodes; global id = `base_nodes + index`.
+    over_betas: Vec<BetaNode>,
+    /// Overlay productions; global index = `base_prods + index`.
+    over_prods: Vec<ProdInfo>,
+    /// Overlay alpha memories (local ids; global id = `base_alpha + local`).
+    over_alpha: AlphaNet,
+    /// Successor edges a chunk spliced onto *base* beta nodes.
+    beta_splices: FxHashMap<NodeId, Vec<(NodeId, Side)>>,
+    /// Successor edges a chunk spliced onto *base* alpha memories.
+    alpha_splices: FxHashMap<u32, Vec<(NodeId, Side)>>,
+    /// Signature index over overlay nodes (chunk-to-chunk sharing).
+    over_sigs: FxHashMap<NodeSignature, NodeId>,
+    /// Production names recorded against shared *base* nodes (the
+    /// monolithic build would have pushed onto the node's `prod_names`).
+    extra_prod_names: FxHashMap<NodeId, Vec<Symbol>>,
+}
+
+impl SessionNet {
+    /// A fresh session view over a frozen base, with an empty overlay.
+    pub fn new(topo: Arc<Topology>) -> SessionNet {
+        let base_nodes = topo.net().num_nodes() as NodeId;
+        let base_alpha = topo.net().alpha.len() as u32;
+        let base_prods = topo.net().prods.len() as u32;
+        let sharing = topo.net().sharing;
+        let mut over_alpha = AlphaNet::new();
+        over_alpha.use_index = topo.net().alpha.use_index;
+        SessionNet {
+            topo,
+            base_nodes,
+            base_alpha,
+            base_prods,
+            sharing,
+            over_betas: Vec::new(),
+            over_prods: Vec::new(),
+            over_alpha,
+            beta_splices: FxHashMap::default(),
+            alpha_splices: FxHashMap::default(),
+            over_sigs: FxHashMap::default(),
+            extra_prod_names: FxHashMap::default(),
+        }
+    }
+
+    /// The shared base topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Nodes in the session's private overlay region.
+    pub fn overlay_nodes(&self) -> usize {
+        self.over_betas.len()
+    }
+
+    /// Productions (chunks) in the overlay.
+    pub fn overlay_prods(&self) -> usize {
+        self.over_prods.len()
+    }
+
+    /// First overlay node id (== base node count at freeze).
+    pub fn base_nodes(&self) -> NodeId {
+        self.base_nodes
+    }
+
+    /// Total successor edges recorded as splices onto base nodes or base
+    /// alpha memories (telemetry: the overlay's footprint on the base).
+    pub fn splice_edges(&self) -> usize {
+        self.beta_splices.values().map(Vec::len).sum::<usize>()
+            + self.alpha_splices.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Production names recorded on a shared base node by overlay chunks.
+    pub fn extra_prod_names_of(&self, id: NodeId) -> &[Symbol] {
+        self.extra_prod_names.get(&id).map(|v| &v[..]).unwrap_or(&[])
+    }
+
+    /// Wire `child` as a successor of `src`, splicing when `src` is a base
+    /// node (the base is immutable) and appending in place when it is an
+    /// overlay node.
+    fn wire_edge(&mut self, src: NodeId, child: NodeId, side: Side) {
+        if src < self.base_nodes {
+            self.beta_splices.entry(src).or_default().push((child, side));
+        } else {
+            self.over_betas[(src - self.base_nodes) as usize].out_edges.push((child, side));
+        }
+    }
+
+    /// Undo a failed overlay build: drop overlay nodes `>= first_new` and
+    /// every splice / signature / overlay-alpha successor pointing at them.
+    /// Mirrors `ReteNetwork::rollback` scoped to the overlay (the base
+    /// needs no surgery — it was never touched).
+    fn rollback_overlay(&mut self, first_new: NodeId) {
+        self.over_betas.truncate((first_new - self.base_nodes) as usize);
+        for n in &mut self.over_betas {
+            n.out_edges.retain(|&(c, _)| c < first_new);
+        }
+        for v in self.beta_splices.values_mut() {
+            v.retain(|&(c, _)| c < first_new);
+        }
+        self.beta_splices.retain(|_, v| !v.is_empty());
+        for v in self.alpha_splices.values_mut() {
+            v.retain(|&(c, _)| c < first_new);
+        }
+        self.alpha_splices.retain(|_, v| !v.is_empty());
+        self.over_sigs.retain(|_, &mut id| id < first_new);
+        for i in 0..self.over_alpha.len() {
+            let keep: Vec<_> = self
+                .over_alpha
+                .get(AlphaMemId(i as u32))
+                .successors
+                .iter()
+                .copied()
+                .filter(|&(c, _)| c < first_new)
+                .collect();
+            self.over_alpha.mems_mut()[i].successors = keep;
+        }
+        // Overlay alpha memories interned by the failed build stay in
+        // place, successor-less and inert — same policy as the monolithic
+        // rollback.
+        #[cfg(debug_assertions)]
+        self.over_alpha.validate_index().expect("overlay alpha index consistent after rollback");
+    }
+}
+
+impl ReteView for SessionNet {
+    #[inline]
+    fn node(&self, id: NodeId) -> &BetaNode {
+        if id < self.base_nodes {
+            self.topo.net().node(id)
+        } else {
+            &self.over_betas[(id - self.base_nodes) as usize]
+        }
+    }
+
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.base_nodes as usize + self.over_betas.len()
+    }
+
+    #[inline]
+    fn extra_out_edges(&self, id: NodeId) -> &[(NodeId, Side)] {
+        self.beta_splices.get(&id).map(|v| &v[..]).unwrap_or(&[])
+    }
+
+    #[inline]
+    fn prod_info(&self, prod: u32) -> &ProdInfo {
+        if prod < self.base_prods {
+            &self.topo.net().prods[prod as usize]
+        } else {
+            &self.over_prods[(prod - self.base_prods) as usize]
+        }
+    }
+
+    #[inline]
+    fn num_prods(&self) -> usize {
+        self.base_prods as usize + self.over_prods.len()
+    }
+
+    fn classify_wme(&self, w: &Wme, hit: &mut dyn FnMut(NodeId, Side)) -> AlphaStats {
+        // Base memories are hit in ascending id order; for each, base
+        // successors precede the session's splices (chronological), which
+        // is exactly the monolithic append order. Overlay memories follow —
+        // their global ids all exceed every base id, so the combined hit
+        // order stays ascending, matching a monolithic network that
+        // compiled base-then-chunks.
+        let mut stats = self.topo.net().alpha.classify(w, |m| {
+            for &(child, side) in &m.successors {
+                hit(child, side);
+            }
+            if let Some(extra) = self.alpha_splices.get(&m.id.0) {
+                for &(child, side) in extra {
+                    hit(child, side);
+                }
+            }
+        });
+        if !self.over_alpha.is_empty() {
+            let os = self.over_alpha.classify(w, |m| {
+                for &(child, side) in &m.successors {
+                    hit(child, side);
+                }
+            });
+            stats.tests_run += os.tests_run;
+            stats.mems_matched += os.mems_matched;
+            stats.probes += os.probes;
+            stats.candidates += os.candidates;
+            stats.tests_saved += os.tests_saved;
+        }
+        stats
+    }
+}
+
+impl BuildTarget for SessionNet {
+    fn intern_alpha(
+        &mut self,
+        class: Symbol,
+        tests: Vec<AlphaTest>,
+        intra: Vec<IntraTest>,
+    ) -> AlphaMemId {
+        // Prefer a shared base memory (no insertion); fall back to a
+        // session-private memory above the base id range.
+        if let Some(id) = self.topo.net().alpha.lookup(class, &tests, &intra) {
+            return id;
+        }
+        let (local, _) = self.over_alpha.intern(class, tests, intra);
+        AlphaMemId(self.base_alpha + local.0)
+    }
+
+    fn find_shared_sig(&self, sig: &NodeSignature) -> Option<NodeId> {
+        self.topo.net().find_shared(sig).or_else(|| {
+            if self.sharing {
+                self.over_sigs.get(sig).copied()
+            } else {
+                None
+            }
+        })
+    }
+
+    fn note_shared(&mut self, id: NodeId, prod_name: Symbol) -> (bool, usize, usize) {
+        if id < self.base_nodes {
+            let (two, cov, rcov, listed) = {
+                let n = self.topo.net().node(id);
+                (
+                    n.is_two_input(),
+                    n.coverage.len(),
+                    n.right_coverage.len(),
+                    n.prod_names.contains(&prod_name),
+                )
+            };
+            let names = self.extra_prod_names.entry(id).or_default();
+            if !listed && !names.contains(&prod_name) {
+                names.push(prod_name);
+            }
+            (two, cov, rcov)
+        } else {
+            let n = &mut self.over_betas[(id - self.base_nodes) as usize];
+            if !n.prod_names.contains(&prod_name) {
+                n.prod_names.push(prod_name);
+            }
+            (n.is_two_input(), n.coverage.len(), n.right_coverage.len())
+        }
+    }
+
+    fn push_node(&mut self, mut node: BetaNode) -> NodeId {
+        let id = self.base_nodes + self.over_betas.len() as NodeId;
+        node.id = id;
+        let parent = node.parent;
+        let right = node.right;
+        let sig = node.signature();
+        let is_prod = matches!(node.kind, NodeKind::Prod { .. });
+        self.over_betas.push(node);
+        // The root lives in the base, so every overlay node has a parent
+        // edge to wire (possibly a splice onto a base node).
+        self.wire_edge(parent, id, Side::Left);
+        match right {
+            Some(RightSrc::Alpha(a)) => {
+                if a.0 < self.base_alpha {
+                    self.alpha_splices.entry(a.0).or_default().push((id, Side::Right));
+                } else {
+                    self.over_alpha.add_successor(AlphaMemId(a.0 - self.base_alpha), id);
+                }
+            }
+            Some(RightSrc::Beta(b)) => self.wire_edge(b, id, Side::Right),
+            None => {}
+        }
+        if self.sharing && !is_prod {
+            self.over_sigs.insert(sig, id);
+        }
+        id
+    }
+
+    fn next_prod_index(&self) -> u32 {
+        self.base_prods + self.over_prods.len() as u32
+    }
+}
+
+impl ReteBuild for SessionNet {
+    fn add_production(
+        &mut self,
+        prod: Arc<Production>,
+        org: NetworkOrg,
+    ) -> Result<AddResult, BuildError> {
+        let first_new = self.num_nodes() as NodeId;
+        match build_production(self, &prod, &org) {
+            Ok((p_node, pos_slots, new_two, shared_two)) => {
+                let prod_idx = self.base_prods + self.over_prods.len() as u32;
+                self.over_prods.push(ProdInfo {
+                    production: prod,
+                    p_node,
+                    pos_slots,
+                    first_new,
+                    new_two_input: new_two,
+                    shared_two_input: shared_two,
+                    org,
+                });
+                Ok(AddResult {
+                    prod_idx,
+                    first_new,
+                    new_two_input: new_two,
+                    shared_two_input: shared_two,
+                    p_node,
+                })
+            }
+            Err(e) => {
+                self.rollback_overlay(first_new);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SessionNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SessionNet(base {} nodes / {} prods, overlay {} nodes / {} prods, {} splices)",
+            self.base_nodes,
+            self.base_prods,
+            self.over_betas.len(),
+            self.over_prods.len(),
+            self.splice_edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ROOT;
+    use psme_ops::{parse_production, ClassRegistry};
+
+    fn reg() -> ClassRegistry {
+        let mut r = ClassRegistry::new();
+        r.declare_str("a", &["x", "y"]);
+        r.declare_str("b", &["x", "y"]);
+        r
+    }
+
+    fn base(r: &mut ClassRegistry) -> Arc<Topology> {
+        let mut net = ReteNetwork::new();
+        let p = parse_production("(p base (a ^x <v>) (b ^x <v>) --> (halt))", r).unwrap();
+        net.add_production(Arc::new(p), NetworkOrg::Linear).unwrap();
+        Topology::freeze(net)
+    }
+
+    #[test]
+    fn empty_overlay_mirrors_base() {
+        let mut r = reg();
+        let topo = base(&mut r);
+        let s = SessionNet::new(topo.clone());
+        assert_eq!(s.num_nodes(), topo.num_nodes());
+        assert_eq!(s.num_prods(), topo.num_prods());
+        assert_eq!(s.overlay_nodes(), 0);
+        assert_eq!(s.node(ROOT).kind, NodeKind::Root);
+    }
+
+    #[test]
+    fn overlay_ids_match_monolithic_append() {
+        // Building the same chunk into (a) a monolithic copy of the base
+        // and (b) a session overlay must assign identical node ids,
+        // production indices and alpha-memory ids.
+        let mut r = reg();
+        let mut mono = ReteNetwork::new();
+        let pb = parse_production("(p base (a ^x <v>) (b ^x <v>) --> (halt))", &mut r).unwrap();
+        mono.add_production(Arc::new(pb.clone()), NetworkOrg::Linear).unwrap();
+        let topo = {
+            let mut net = ReteNetwork::new();
+            net.add_production(Arc::new(pb), NetworkOrg::Linear).unwrap();
+            Topology::freeze(net)
+        };
+        let mut sess = SessionNet::new(topo);
+
+        let chunk =
+            parse_production("(p chunk (a ^x <v>) (b ^x <v>) (a ^y <v>) --> (halt))", &mut r)
+                .unwrap();
+        let rm = mono.add_production(Arc::new(chunk.clone()), NetworkOrg::Linear).unwrap();
+        let rs = sess.add_production(Arc::new(chunk), NetworkOrg::Linear).unwrap();
+        assert_eq!(rm, rs, "monolithic and overlay AddResults agree");
+        assert_eq!(mono.num_nodes(), sess.num_nodes());
+        assert_eq!(mono.alpha.len(), sess.base_alpha as usize + sess.over_alpha.len());
+        // The chunk shares the base (a⋈b) prefix: its new nodes hang off a
+        // base boundary node, visible as splices.
+        assert!(sess.splice_edges() > 0);
+        // Edge chains equal the monolithic successor lists on every node.
+        for id in 0..mono.num_nodes() as NodeId {
+            let mono_edges = &ReteView::node(&mono, id).out_edges;
+            let sess_edges: Vec<_> = sess
+                .node(id)
+                .out_edges
+                .iter()
+                .chain(sess.extra_out_edges(id))
+                .copied()
+                .collect();
+            assert_eq!(*mono_edges, sess_edges, "node {id} successor order");
+        }
+    }
+
+    #[test]
+    fn failed_overlay_build_rolls_back() {
+        let mut r = reg();
+        let topo = base(&mut r);
+        let mut sess = SessionNet::new(topo);
+        let good =
+            parse_production("(p g (a ^x <v>) (b ^x <v>) (b ^y <v>) --> (halt))", &mut r).unwrap();
+        sess.add_production(Arc::new(good), NetworkOrg::Linear).unwrap();
+        let nodes = sess.num_nodes();
+        let splices = sess.splice_edges();
+        let bad = parse_production("(p bad (a ^x <v>) (b ^x <v>) --> (halt))", &mut r).unwrap();
+        let err = sess
+            .add_production(Arc::new(bad), NetworkOrg::Bilinear(vec![vec![0], vec![1, 1]]))
+            .unwrap_err();
+        assert!(err.0.contains("partition"), "{err}");
+        assert_eq!(sess.num_nodes(), nodes, "overlay rollback removed new nodes");
+        assert_eq!(sess.splice_edges(), splices);
+        assert_eq!(sess.overlay_prods(), 1);
+    }
+}

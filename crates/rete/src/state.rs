@@ -1,0 +1,51 @@
+//! Per-session mutable match state, split from the network topology.
+//!
+//! The compiled network (alpha index, beta DAG, intern tables) is
+//! read-mostly: after the base productions are compiled it changes only
+//! when a chunk is added. Everything a *run* mutates — working memory and
+//! the hashed left/right token memories — lives here instead, so N
+//! sessions can share one frozen base topology
+//! ([`crate::session::Topology`]) while each owns its `MatchState`. The
+//! §5.2 state update for a session's chunk runs against that session's
+//! state only.
+
+use crate::memory::MemoryTable;
+use crate::token::WmeStore;
+
+/// The mutable half of a match engine: working memory + token memories.
+pub struct MatchState {
+    /// Hashed left/right token memories (§6.1 memory lines).
+    pub mem: MemoryTable,
+    /// Working-memory store.
+    pub store: WmeStore,
+}
+
+impl MatchState {
+    /// Fresh state with the default memory-table size.
+    pub fn new() -> MatchState {
+        MatchState::with_memory(4096)
+    }
+
+    /// Fresh state with an explicit memory-table size (tests use 1 line to
+    /// force worst-case collisions).
+    pub fn with_memory(lines: usize) -> MatchState {
+        MatchState { mem: MemoryTable::new(lines), store: WmeStore::new() }
+    }
+}
+
+impl Default for MatchState {
+    fn default() -> MatchState {
+        MatchState::new()
+    }
+}
+
+impl std::fmt::Debug for MatchState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MatchState({} live wmes, {} memory lines)",
+            self.store.live_count(),
+            self.mem.num_lines()
+        )
+    }
+}

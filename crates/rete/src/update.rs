@@ -17,16 +17,19 @@
 //! parallelizes, Figure 6-9) then drains those seeds with the same filter.
 
 use crate::memory::MemoryTable;
-use crate::network::ReteNetwork;
 use crate::node::{NodeId, RightSrc, Side, ROOT};
 use crate::process::{process_wme_change, Activation};
 use crate::token::{Token, WmeStore};
+use crate::view::ReteView;
 
 /// Enumerate the output tokens an *old* node currently stores, by reading
 /// the memory of one of its old consumers (every old non-root node has at
 /// least one, because chains terminate in P nodes which store their inputs).
-fn outputs_of_old_node(
-    net: &ReteNetwork,
+///
+/// On an overlay view the consumer may be reached through a splice edge
+/// (base node → overlay child), so both edge lists are consulted.
+fn outputs_of_old_node<N: ReteView + ?Sized>(
+    net: &N,
     mem: &MemoryTable,
     node: NodeId,
     first_new: NodeId,
@@ -35,7 +38,7 @@ fn outputs_of_old_node(
         return vec![Token::empty()];
     }
     let n = net.node(node);
-    for &(child, side) in &n.out_edges {
+    for &(child, side) in n.out_edges.iter().chain(net.extra_out_edges(node)) {
         if child < first_new {
             return match side {
                 Side::Left => mem.left_tokens_of(child),
@@ -54,7 +57,11 @@ fn outputs_of_old_node(
 /// The caller must be at a quiescent point (no cycle in flight) and must
 /// afterwards process the seeds **and** one alpha re-run of all live wmes
 /// with `min_node = first_new`; [`update_seeds`] bundles both.
-pub fn seed_update(net: &ReteNetwork, mem: &MemoryTable, first_new: NodeId) -> Vec<Activation> {
+pub fn seed_update<N: ReteView + ?Sized>(
+    net: &N,
+    mem: &MemoryTable,
+    first_new: NodeId,
+) -> Vec<Activation> {
     let mut seeds = Vec::new();
     for id in first_new..net.num_nodes() as NodeId {
         let n = net.node(id);
@@ -90,8 +97,8 @@ pub fn seed_update(net: &ReteNetwork, mem: &MemoryTable, first_new: NodeId) -> V
 /// spliced jump table (which already contains the new production's alpha
 /// memories) instead of scanning the class linearly; the `min_node` filter
 /// then confines emission to the new nodes either way.
-pub fn update_seeds(
-    net: &ReteNetwork,
+pub fn update_seeds<N: ReteView + ?Sized>(
+    net: &N,
     mem: &MemoryTable,
     store: &WmeStore,
     first_new: NodeId,
@@ -106,7 +113,7 @@ pub fn update_seeds(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::network::NetworkOrg;
+    use crate::network::{NetworkOrg, ReteNetwork};
     use crate::serial::SerialEngine;
     use psme_ops::{parse_production, parse_wme, ClassRegistry};
     use std::sync::Arc;
@@ -141,7 +148,7 @@ mod tests {
         let first_new = e.net.num_nodes() as NodeId;
         let res = e.net.add_production(Arc::new(p2), NetworkOrg::Linear).unwrap();
         assert_eq!(res.first_new, first_new);
-        let seeds = seed_update(&e.net, &e.mem, first_new);
+        let seeds = seed_update(&e.net, &e.state.mem, first_new);
         let left_seeds: Vec<_> = seeds.iter().filter(|a| a.side == Side::Left).collect();
         assert_eq!(left_seeds.len(), 3, "one per stored boundary token");
         assert!(left_seeds.iter().all(|a| a.node >= first_new));
@@ -160,7 +167,7 @@ mod tests {
         let p2 = parse_production("(p fresh (b ^x 2) --> (halt))", &mut r).unwrap();
         let first_new = e.net.num_nodes() as NodeId;
         e.net.add_production(Arc::new(p2), NetworkOrg::Linear).unwrap();
-        let seeds = seed_update(&e.net, &e.mem, first_new);
+        let seeds = seed_update(&e.net, &e.state.mem, first_new);
         assert!(seeds.iter().all(|a| a.side != Side::Left), "{seeds:?}");
     }
 
@@ -194,7 +201,7 @@ mod tests {
             let first_new = e.net.num_nodes() as NodeId;
             e.net.add_production(Arc::new(p2.clone()), NetworkOrg::Linear).unwrap();
             e.net.alpha.validate_index().unwrap();
-            all_seeds.push(update_seeds(&e.net, &e.mem, &e.store, first_new));
+            all_seeds.push(update_seeds(&e.net, &e.state.mem, &e.state.store, first_new));
         }
         assert!(!all_seeds[0].is_empty(), "the update must have work to do");
         assert_eq!(all_seeds[0], all_seeds[1], "indexed vs linear update seeds");
@@ -213,7 +220,7 @@ mod tests {
         let p2 = parse_production("(p nb (b ^x <v>) --> (halt))", &mut r).unwrap();
         let first_new = e.net.num_nodes() as NodeId;
         e.net.add_production(Arc::new(p2), NetworkOrg::Linear).unwrap();
-        let seeds = update_seeds(&e.net, &e.mem, &e.store, first_new);
+        let seeds = update_seeds(&e.net, &e.state.mem, &e.state.store, first_new);
         // The (b ^x 1) wme reaches the new node's right input; the (a …)
         // wme is filtered out (its successors are all old).
         assert_eq!(seeds.len(), 1);

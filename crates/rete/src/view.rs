@@ -1,0 +1,103 @@
+//! Read and build interfaces over a Rete network.
+//!
+//! The node-processing semantics ([`crate::process`]), the §5.2 state
+//! update ([`crate::update`]) and the serial engine are generic over
+//! [`ReteView`] so they run unchanged against either a plain
+//! [`ReteNetwork`] or a [`crate::session::SessionNet`] — a shared frozen
+//! base topology plus a session-private chunk overlay. The distinction the
+//! trait captures is exactly the overlay's: node/production lookup may
+//! resolve into an overlay region, and successor traversal must consult
+//! overlay *splice deltas* in addition to a node's own edge list (the base
+//! is immutable, so a session records the edges a chunk would have spliced
+//! into it as out-of-band deltas).
+
+use crate::alpha::AlphaStats;
+use crate::build::{AddResult, BuildError};
+use crate::network::{NetworkOrg, ProdInfo, ReteNetwork};
+use crate::node::{BetaNode, NodeId, Side};
+use psme_ops::{Production, Wme};
+use std::sync::Arc;
+
+/// Read access to a (possibly overlaid) Rete network.
+pub trait ReteView {
+    /// Borrow a node (base or overlay).
+    fn node(&self, id: NodeId) -> &BetaNode;
+
+    /// Total beta nodes visible, including the root and any overlay.
+    fn num_nodes(&self) -> usize;
+
+    /// Successor edges spliced onto `id` by an overlay, in splice order.
+    /// Always empty for a monolithic network (splices land directly in
+    /// `out_edges` there); propagation iterates `out_edges` then these, so
+    /// the combined order equals the monolithic append order.
+    fn extra_out_edges(&self, id: NodeId) -> &[(NodeId, Side)];
+
+    /// Per-production bookkeeping for the P node index `prod`.
+    fn prod_info(&self, prod: u32) -> &ProdInfo;
+
+    /// Total productions visible (base + overlay).
+    fn num_prods(&self) -> usize;
+
+    /// Push one wme through the constant-test network, emitting every
+    /// successor edge of every matching alpha memory — including overlay
+    /// splices and overlay-private memories, in the same order a monolithic
+    /// network would emit them.
+    fn classify_wme(&self, w: &Wme, hit: &mut dyn FnMut(NodeId, Side)) -> AlphaStats;
+}
+
+/// A network that also supports run-time production addition (§5.1).
+pub trait ReteBuild: ReteView {
+    /// Compile `prod` into the network (or its overlay region). The caller
+    /// runs the §5.2 state update afterwards; on error the network is
+    /// rolled back unchanged.
+    fn add_production(
+        &mut self,
+        prod: Arc<Production>,
+        org: NetworkOrg,
+    ) -> Result<AddResult, BuildError>;
+}
+
+impl ReteView for ReteNetwork {
+    #[inline]
+    fn node(&self, id: NodeId) -> &BetaNode {
+        ReteNetwork::node(self, id)
+    }
+
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        ReteNetwork::num_nodes(self)
+    }
+
+    #[inline]
+    fn extra_out_edges(&self, _id: NodeId) -> &[(NodeId, Side)] {
+        &[]
+    }
+
+    #[inline]
+    fn prod_info(&self, prod: u32) -> &ProdInfo {
+        &self.prods[prod as usize]
+    }
+
+    #[inline]
+    fn num_prods(&self) -> usize {
+        self.prods.len()
+    }
+
+    fn classify_wme(&self, w: &Wme, hit: &mut dyn FnMut(NodeId, Side)) -> AlphaStats {
+        self.alpha.classify(w, |m| {
+            for &(child, side) in &m.successors {
+                hit(child, side);
+            }
+        })
+    }
+}
+
+impl ReteBuild for ReteNetwork {
+    fn add_production(
+        &mut self,
+        prod: Arc<Production>,
+        org: NetworkOrg,
+    ) -> Result<AddResult, BuildError> {
+        ReteNetwork::add_production(self, prod, org)
+    }
+}

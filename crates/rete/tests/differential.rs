@@ -21,7 +21,7 @@ fn run_stream(seed: u64, cfg: GenConfig, batches: usize, engines: &mut [&mut Ser
     for batch in 0..batches {
         let n_add = rng.below(4) + 1;
         let adds: Vec<_> = (0..n_add).map(|_| sys.random_wme(&mut rng)).collect();
-        let alive: Vec<WmeId> = engines[0].store.iter_alive().map(|(id, _)| id).collect();
+        let alive: Vec<WmeId> = engines[0].state.store.iter_alive().map(|(id, _)| id).collect();
         let mut removes = Vec::new();
         if !alive.is_empty() && rng.chance(60) {
             removes.push(alive[rng.below(alive.len())]);
@@ -35,7 +35,7 @@ fn run_stream(seed: u64, cfg: GenConfig, batches: usize, engines: &mut [&mut Ser
         for e in engines.iter_mut() {
             e.apply_changes(adds.clone(), removes.clone());
         }
-        let expected = naive::match_all(sys.productions.iter(), &engines[0].store);
+        let expected = naive::match_all(sys.productions.iter(), &engines[0].state.store);
         for (i, e) in engines.iter().enumerate() {
             assert_eq!(
                 inst_set(e.current_instantiations()),
@@ -121,18 +121,18 @@ fn runtime_addition_matches_upfront() {
         for p in second {
             eb.add_production(Arc::new(p.clone()), NetworkOrg::Linear).unwrap();
         }
-        let expected = naive::match_all(sys.productions.iter(), &ea.store);
+        let expected = naive::match_all(sys.productions.iter(), &ea.state.store);
         assert_eq!(inst_set(ea.current_instantiations()), expected, "seed {seed} (A)");
         assert_eq!(inst_set(eb.current_instantiations()), expected, "seed {seed} (B)");
 
         // Phase 3: more changes, including removes.
         for _ in 0..4 {
             let adds: Vec<_> = (0..2).map(|_| sys.random_wme(&mut rng)).collect();
-            let alive: Vec<WmeId> = ea.store.iter_alive().map(|(id, _)| id).collect();
+            let alive: Vec<WmeId> = ea.state.store.iter_alive().map(|(id, _)| id).collect();
             let removes = if alive.is_empty() { vec![] } else { vec![alive[rng.below(alive.len())]] };
             ea.apply_changes(adds.clone(), removes.clone());
             eb.apply_changes(adds, removes);
-            let expected = naive::match_all(sys.productions.iter(), &ea.store);
+            let expected = naive::match_all(sys.productions.iter(), &ea.state.store);
             assert_eq!(inst_set(ea.current_instantiations()), expected, "seed {seed} (A, ph3)");
             assert_eq!(inst_set(eb.current_instantiations()), expected, "seed {seed} (B, ph3)");
         }
@@ -178,15 +178,15 @@ fn deletes_fully_unwind_state() {
         let mut rng = XorShift::new(seed);
         let adds: Vec<_> = (0..8).map(|_| sys.random_wme(&mut rng)).collect();
         e.apply_changes(adds, vec![]);
-        let alive: Vec<WmeId> = e.store.iter_alive().map(|(id, _)| id).collect();
+        let alive: Vec<WmeId> = e.state.store.iter_alive().map(|(id, _)| id).collect();
         e.apply_changes(vec![], alive);
         assert!(e.current_instantiations().is_empty(), "seed {seed}");
-        e.mem.compact();
+        e.state.mem.compact();
         // After compaction, only first-level right memories may retain
         // nothing; all weights were zeroed, so every line is empty.
-        for (l, r) in e.mem.access_counts() {
+        for (l, r) in e.state.mem.access_counts() {
             let _ = (l, r);
         }
-        assert!(e.store.live_count() == 0);
+        assert!(e.state.store.live_count() == 0);
     }
 }

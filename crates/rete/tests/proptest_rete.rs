@@ -37,14 +37,14 @@ proptest! {
                     eng.apply_changes(vec![w], vec![]);
                 }
                 _ => {
-                    let alive: Vec<WmeId> = eng.store.iter_alive().map(|(id, _)| id).collect();
+                    let alive: Vec<WmeId> = eng.state.store.iter_alive().map(|(id, _)| id).collect();
                     if !alive.is_empty() {
                         let id = alive[pick as usize % alive.len()];
                         eng.apply_changes(vec![], vec![id]);
                     }
                 }
             }
-            let expected = naive::match_all(sys.productions.iter(), &eng.store);
+            let expected = naive::match_all(sys.productions.iter(), &eng.state.store);
             prop_assert_eq!(inst_set(eng.current_instantiations()), expected);
         }
     }
@@ -59,7 +59,7 @@ proptest! {
         let adds: Vec<_> = (0..n).map(|_| sys.random_wme(&mut rng)).collect();
         eng.apply_changes(adds, vec![]);
         // Remove in a permuted order, one batch of two at a time.
-        let mut alive: Vec<WmeId> = eng.store.iter_alive().map(|(id, _)| id).collect();
+        let mut alive: Vec<WmeId> = eng.state.store.iter_alive().map(|(id, _)| id).collect();
         let mut k = 0;
         while !alive.is_empty() {
             let i = order[k % order.len()] % alive.len();
@@ -70,8 +70,8 @@ proptest! {
         prop_assert!(eng.current_instantiations().is_empty());
         // assert_quiescent runs inside apply_changes under debug; also check
         // nothing is left after compaction.
-        eng.mem.compact();
-        prop_assert_eq!(eng.store.live_count(), 0);
+        eng.state.mem.compact();
+        prop_assert_eq!(eng.state.store.live_count(), 0);
     }
 
     /// A production added at run time behaves exactly as if it had been

@@ -53,7 +53,7 @@ fn incremental_add_then_delete_round_trips() {
     assert_eq!(out2.cs.removed.len(), 1);
 
     // Unblock: it returns.
-    let blocker = e.store.find_alive(&parse_wme("(block ^name b2 ^on b1)", &r).unwrap());
+    let blocker = e.state.store.find_alive(&parse_wme("(block ^name b2 ^on b1)", &r).unwrap());
     let out3 = e.apply_changes(vec![], vec![blocker.unwrap()]);
     assert_eq!(out3.cs.added.len(), 1);
 }
@@ -71,8 +71,8 @@ fn mixed_add_remove_in_one_cycle() {
     );
     assert_eq!(o1.cs.added.len(), 1);
     // Swap the block for a blue one and retarget the hand, in ONE batch.
-    let b1 = e.store.find_alive(&parse_wme("(block ^name b1 ^color red)", &r).unwrap()).unwrap();
-    let h = e.store.find_alive(&parse_wme("(hand ^holds red)", &r).unwrap()).unwrap();
+    let b1 = e.state.store.find_alive(&parse_wme("(block ^name b1 ^color red)", &r).unwrap()).unwrap();
+    let h = e.state.store.find_alive(&parse_wme("(hand ^holds red)", &r).unwrap()).unwrap();
     let o2 = e.apply_changes(
         vec![
             parse_wme("(block ^name b2 ^color blue)", &r).unwrap(),
@@ -103,11 +103,11 @@ fn negation_counts_multiple_blockers() {
     assert_eq!(e.current_instantiations().len(), 2);
     // Remove one blocker: b1 is still blocked by y (the not-counter must not
     // hit zero yet); only y remains clear.
-    let x = e.store.find_alive(&parse_wme("(block ^name x ^on b1)", &r).unwrap()).unwrap();
+    let x = e.state.store.find_alive(&parse_wme("(block ^name x ^on b1)", &r).unwrap()).unwrap();
     e.apply_changes(vec![], vec![x]);
     assert_eq!(e.current_instantiations().len(), 1);
     // Remove the second blocker: b1 becomes clear again.
-    let y = e.store.find_alive(&parse_wme("(block ^name y ^on b1)", &r).unwrap()).unwrap();
+    let y = e.state.store.find_alive(&parse_wme("(block ^name y ^on b1)", &r).unwrap()).unwrap();
     e.apply_changes(vec![], vec![y]);
     assert_eq!(e.current_instantiations().len(), 1);
 }
@@ -133,11 +133,11 @@ fn ncc_semantics_match_naive() {
     assert_eq!(e.current_instantiations().len(), 0);
 
     // Cross-check against the oracle at this state.
-    let naive: HashSet<_> = psme_rete::naive::match_all([&p], &e.store).into_iter().collect();
+    let naive: HashSet<_> = psme_rete::naive::match_all([&p], &e.state.store).into_iter().collect();
     assert_eq!(naive.len(), 0);
 
     // Break the conjunction again: unblocked.
-    let red = e.store.find_alive(&parse_wme("(block ^name b1 ^color red)", &r).unwrap()).unwrap();
+    let red = e.state.store.find_alive(&parse_wme("(block ^name b1 ^color red)", &r).unwrap()).unwrap();
     e.apply_changes(vec![], vec![red]);
     assert_eq!(e.current_instantiations().len(), 1);
 }
@@ -241,9 +241,9 @@ fn bilinear_network_is_equivalent_to_linear() {
     assert_eq!(lin.current_instantiations().len(), 2);
 
     // Deleting the goal kills everything in both.
-    let g = lin.store.find_alive(&parse_wme("(goal ^id g1 ^state s1)", &r).unwrap()).unwrap();
+    let g = lin.state.store.find_alive(&parse_wme("(goal ^id g1 ^state s1)", &r).unwrap()).unwrap();
     lin.apply_changes(vec![], vec![g]);
-    let g2 = bil.store.find_alive(&parse_wme("(goal ^id g1 ^state s1)", &r).unwrap()).unwrap();
+    let g2 = bil.state.store.find_alive(&parse_wme("(goal ^id g1 ^state s1)", &r).unwrap()).unwrap();
     bil.apply_changes(vec![], vec![g2]);
     assert!(lin.current_instantiations().is_empty());
     assert!(bil.current_instantiations().is_empty());
@@ -391,7 +391,7 @@ fn program_scale_smoke() {
     e.apply_changes(adds, vec![]);
 
     let naive: HashSet<_> =
-        psme_rete::naive::match_all(prods.iter(), &e.store).into_iter().collect();
+        psme_rete::naive::match_all(prods.iter(), &e.state.store).into_iter().collect();
     assert_eq!(inst_set(&e.current_instantiations()), naive);
     assert!(!naive.is_empty());
 }

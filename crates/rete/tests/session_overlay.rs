@@ -1,0 +1,225 @@
+//! Overlay-splice differential: a session that learns chunks into its
+//! private overlay over a frozen shared base must be indistinguishable —
+//! in match results *and* network shape — from a freshly built monolithic
+//! network containing the same productions.
+//!
+//! Three-way comparison per random system and change stream:
+//!
+//! 1. **session** — `SerialEngine<SessionNet>` over a frozen [`Topology`],
+//!    chunks added at run time into the overlay (splices onto the frozen
+//!    base recorded as session-local deltas);
+//! 2. **incremental monolithic** — `SerialEngine<ReteNetwork>` with the
+//!    same base, same run-time additions, mutating the network in place;
+//! 3. **fresh monolithic** — a network compiled with base *and* chunks up
+//!    front, fed a replay of the full change history.
+//!
+//! All three must agree with each other and with the brute-force
+//! [`naive`] oracle after every batch, and the session's view (base +
+//! overlay + splices) must be node-for-node, edge-for-edge identical to
+//! the incremental monolithic network.
+
+use psme_ops::{Instantiation, Production, Wme, WmeId};
+use psme_rete::testgen::{random_system, GenConfig, XorShift};
+use psme_rete::{
+    naive, plan_bilinear, NetworkOrg, NodeId, ReteNetwork, ReteView, SerialEngine, SessionNet,
+    Topology,
+};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn inst_set(v: Vec<Instantiation>) -> HashSet<Instantiation> {
+    v.into_iter().collect()
+}
+
+/// Compile `prods` (in order) into a fresh monolithic network.
+fn monolithic(prods: &[Production], org: &dyn Fn(&Production) -> NetworkOrg) -> ReteNetwork {
+    let mut net = ReteNetwork::new();
+    for p in prods {
+        net.add_production(Arc::new(p.clone()), org(p)).unwrap();
+    }
+    net
+}
+
+/// The session's effective successor list for a node: its own edges (base
+/// or overlay) followed by any session-local splices.
+fn session_edges(sess: &SessionNet, id: NodeId) -> Vec<(NodeId, psme_rete::Side)> {
+    sess.node(id).out_edges.iter().chain(sess.extra_out_edges(id)).copied().collect()
+}
+
+/// Base + overlay + splices must equal the monolithic network node for
+/// node: same count, same per-node successor order (the monolithic append
+/// order), same production count.
+fn assert_same_shape(mono: &ReteNetwork, sess: &SessionNet, ctx: &str) {
+    assert_eq!(mono.num_nodes(), sess.num_nodes(), "{ctx}: node count");
+    assert_eq!(mono.num_prods(), sess.num_prods(), "{ctx}: production count");
+    for id in 0..mono.num_nodes() as NodeId {
+        let mono_edges = &ReteView::node(mono, id).out_edges;
+        assert_eq!(*mono_edges, session_edges(sess, id), "{ctx}: node {id} successor order");
+    }
+}
+
+/// Drive the three engines and the oracle through one random system.
+///
+/// The generated productions are split: the first half form the shared
+/// base (compiled before freeze), the second half play the role of chunks
+/// learned at run time after working memory is already populated.
+fn run_differential(seed: u64, org: &dyn Fn(&Production) -> NetworkOrg) {
+    let sys = random_system(seed, GenConfig::default());
+    let (base, chunks) = sys.productions.split_at(sys.productions.len() / 2);
+    if chunks.is_empty() {
+        return;
+    }
+
+    // Incremental monolithic engine and the frozen-base session engine.
+    let mut mono = SerialEngine::new(monolithic(base, org));
+    let topo = Topology::freeze(monolithic(base, org));
+    let base_nodes = topo.num_nodes();
+    let mut sess = SerialEngine::new(SessionNet::new(topo.clone()));
+    assert_same_shape(&mono.net, &sess.net, &format!("seed {seed} pre-chunk"));
+
+    let mut rng = XorShift::new(seed ^ 0x5E55_10AD);
+    // Full change history, replayed later into the fresh monolithic engine.
+    let mut history: Vec<(Vec<Wme>, Vec<WmeId>)> = Vec::new();
+    let batch = |mono: &mut SerialEngine, sess: &mut SerialEngine<SessionNet>,
+                     rng: &mut XorShift,
+                     history: &mut Vec<(Vec<Wme>, Vec<WmeId>)>| {
+        let adds: Vec<Wme> = (0..rng.below(3) + 1).map(|_| sys.random_wme(rng)).collect();
+        let alive: Vec<WmeId> = mono.state.store.iter_alive().map(|(id, _)| id).collect();
+        let mut removes = Vec::new();
+        if !alive.is_empty() && rng.chance(50) {
+            removes.push(alive[rng.below(alive.len())]);
+        }
+        mono.apply_changes(adds.clone(), removes.clone());
+        sess.apply_changes(adds.clone(), removes.clone());
+        history.push((adds, removes));
+    };
+
+    // Phase 1: populate working memory with only the base compiled.
+    for b in 0..4 {
+        batch(&mut mono, &mut sess, &mut rng, &mut history);
+        let expected = naive::match_all(base.iter(), &mono.state.store);
+        let ctx = format!("seed {seed} phase 1 batch {b}");
+        assert_eq!(inst_set(mono.current_instantiations()), expected, "{ctx}: monolithic");
+        assert_eq!(inst_set(sess.current_instantiations()), expected, "{ctx}: session");
+    }
+
+    // Phase 2: learn the chunks at run time — overlay vs in-place — against
+    // the now-populated working memory (§5.2 update on both paths). The
+    // AddResult (node ids, production index, sharing counts) must coincide.
+    for (ci, c) in chunks.iter().enumerate() {
+        let rm = mono.add_production(Arc::new(c.clone()), org(c)).unwrap();
+        let rs = sess.add_production(Arc::new(c.clone()), org(c)).unwrap();
+        assert_eq!(rm.add, rs.add, "seed {seed} chunk {ci}: AddResult");
+        assert!(rm.cs.removed.is_empty() && rs.cs.removed.is_empty());
+        assert_eq!(
+            inst_set(rm.cs.added.clone()),
+            inst_set(rs.cs.added),
+            "seed {seed} chunk {ci}: immediate instantiations"
+        );
+        assert_eq!(
+            inst_set(rm.cs.added),
+            inst_set(naive::match_production(c, &mono.state.store)),
+            "seed {seed} chunk {ci}: oracle on the new production"
+        );
+    }
+    assert_same_shape(&mono.net, &sess.net, &format!("seed {seed} post-chunk"));
+    assert_eq!(sess.net.overlay_prods(), chunks.len(), "seed {seed}: chunks in overlay");
+    assert_eq!(
+        sess.net.overlay_nodes(),
+        sess.net.num_nodes() - base_nodes,
+        "seed {seed}: overlay holds exactly the growth"
+    );
+    assert_eq!(topo.num_nodes(), base_nodes, "seed {seed}: frozen base untouched");
+
+    // Phase 3: keep mutating working memory with the chunks live.
+    for b in 0..4 {
+        batch(&mut mono, &mut sess, &mut rng, &mut history);
+        let expected = naive::match_all(sys.productions.iter(), &mono.state.store);
+        let ctx = format!("seed {seed} phase 3 batch {b}");
+        assert_eq!(inst_set(mono.current_instantiations()), expected, "{ctx}: monolithic");
+        assert_eq!(inst_set(sess.current_instantiations()), expected, "{ctx}: session");
+    }
+
+    // Fresh monolithic network with base + chunks compiled up front, fed
+    // the identical change history (same WME id assignment), must land on
+    // the same match state — and the same node count as base + overlay.
+    let mut fresh = SerialEngine::new(monolithic(&sys.productions, org));
+    for (adds, removes) in history {
+        fresh.apply_changes(adds, removes);
+    }
+    assert_eq!(fresh.net.num_nodes(), sess.net.num_nodes(), "seed {seed}: fresh node count");
+    let expected = naive::match_all(sys.productions.iter(), &fresh.state.store);
+    assert_eq!(inst_set(fresh.current_instantiations()), expected, "seed {seed}: fresh");
+    assert_eq!(inst_set(sess.current_instantiations()), expected, "seed {seed}: session vs fresh");
+}
+
+#[test]
+fn overlay_chunks_match_monolithic_linear() {
+    for seed in 0..40 {
+        run_differential(seed, &|_| NetworkOrg::Linear);
+    }
+}
+
+#[test]
+fn overlay_chunks_match_monolithic_bilinear() {
+    // Bilinear chunk compilation produces different share points and splice
+    // patterns onto the frozen base than the linear chains do.
+    for seed in 100..130 {
+        run_differential(seed, &|p| match plan_bilinear(p, 1) {
+            Some(groups) if groups.len() >= 2 => NetworkOrg::Bilinear(groups),
+            _ => NetworkOrg::Linear,
+        });
+    }
+}
+
+#[test]
+fn overlay_never_mutates_the_shared_base() {
+    // Two sessions over one topology learn *different* chunk sets; each
+    // must match its own monolithic twin, and neither sees the other's
+    // chunks (the base Arc is shared — any leak through it would cross).
+    for seed in 200..220 {
+        let sys = random_system(seed, GenConfig::default());
+        if sys.productions.len() < 3 {
+            continue;
+        }
+        let (base, rest) = sys.productions.split_at(sys.productions.len() / 3);
+        let (chunks_a, chunks_b) = rest.split_at(rest.len() / 2);
+        if chunks_a.is_empty() || chunks_b.is_empty() {
+            continue;
+        }
+        let org = |_: &Production| NetworkOrg::Linear;
+        let topo = Topology::freeze(monolithic(base, &org));
+        let mut sa = SerialEngine::new(SessionNet::new(topo.clone()));
+        let mut sb = SerialEngine::new(SessionNet::new(topo.clone()));
+
+        let mut rng = XorShift::new(seed ^ 0xB0B0);
+        let mut adds: Vec<Wme> = (0..6).map(|_| sys.random_wme(&mut rng)).collect();
+        adds.dedup();
+        sa.apply_changes(adds.clone(), vec![]);
+        sb.apply_changes(adds.clone(), vec![]);
+        for c in chunks_a {
+            sa.add_production(Arc::new(c.clone()), NetworkOrg::Linear).unwrap();
+        }
+        for c in chunks_b {
+            sb.add_production(Arc::new(c.clone()), NetworkOrg::Linear).unwrap();
+        }
+        let more: Vec<Wme> = (0..4).map(|_| sys.random_wme(&mut rng)).collect();
+        sa.apply_changes(more.clone(), vec![]);
+        sb.apply_changes(more, vec![]);
+
+        let visible_a: Vec<Production> = base.iter().chain(chunks_a).cloned().collect();
+        let visible_b: Vec<Production> = base.iter().chain(chunks_b).cloned().collect();
+        assert_eq!(
+            inst_set(sa.current_instantiations()),
+            naive::match_all(visible_a.iter(), &sa.state.store),
+            "seed {seed}: session A sees base + its own chunks only"
+        );
+        assert_eq!(
+            inst_set(sb.current_instantiations()),
+            naive::match_all(visible_b.iter(), &sb.state.store),
+            "seed {seed}: session B sees base + its own chunks only"
+        );
+        assert_eq!(topo.num_nodes() + sa.net.overlay_nodes(), sa.net.num_nodes());
+        assert_eq!(topo.num_nodes() + sb.net.overlay_nodes(), sb.net.num_nodes());
+    }
+}

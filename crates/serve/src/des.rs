@@ -1,0 +1,176 @@
+//! Deterministic discrete-event model of the serving loop.
+//!
+//! The host running this reproduction has far fewer cores than the sweep
+//! the paper-style figures need (1–13 workers), so — exactly like the
+//! Multimax simulator in `psme-sim` does for match parallelism — serving
+//! throughput is swept on a model: K workers, one logical ready queue,
+//! round-robin slices, per-cycle service times supplied by the caller
+//! (derived from captured real traces). Everything is exact arithmetic
+//! over the inputs; no randomness, no wall clock — the same inputs always
+//! produce the same figures.
+//!
+//! The model's simplifications relative to [`crate::serve`]: a single
+//! FIFO ready queue ordered by ready time (ties broken by session index),
+//! and a constant per-dispatch overhead standing in for the scheduler's
+//! queue traffic. Relative throughput across worker counts — the quantity
+//! the `serve_throughput` figures report — is insensitive to both.
+
+/// Model configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DesConfig {
+    /// Worker count (the sweep variable).
+    pub workers: usize,
+    /// Decision cycles per dispatch slice.
+    pub slice: usize,
+    /// Seconds of dispatch overhead per slice (queue pop + handoff).
+    pub dispatch_overhead: f64,
+}
+
+/// Model outputs.
+#[derive(Clone, Debug)]
+pub struct DesResult {
+    /// Time the last session completed (seconds).
+    pub makespan: f64,
+    /// Completed sessions per second (`n / makespan`).
+    pub sessions_per_sec: f64,
+    /// Per-session completion times, in input order (seconds).
+    pub completions: Vec<f64>,
+    /// Per-cycle latency samples (slice queue wait + own service time),
+    /// seconds; quantile them with `psme_obs::Quantiles`.
+    pub cycle_latency: Vec<f64>,
+}
+
+/// Simulate serving `sessions` (one inner `Vec<f64>` of per-cycle service
+/// seconds each) on `cfg.workers` workers. All sessions arrive at t=0.
+pub fn simulate_serve(sessions: &[Vec<f64>], cfg: &DesConfig) -> DesResult {
+    let n = sessions.len();
+    let workers = cfg.workers.max(1);
+    let slice = cfg.slice.max(1);
+    let mut completions = vec![0.0f64; n];
+    let mut cycle_latency: Vec<f64> = Vec::new();
+    if n == 0 {
+        return DesResult {
+            makespan: 0.0,
+            sessions_per_sec: 0.0,
+            completions,
+            cycle_latency,
+        };
+    }
+    // Ready list: (ready_time, session, next_cycle), kept sorted by
+    // (ready_time, session) — a priority queue small enough for Vec ops.
+    let mut ready: Vec<(f64, usize, usize)> = (0..n).map(|s| (0.0, s, 0)).collect();
+    let mut worker_free = vec![0.0f64; workers];
+    while !ready.is_empty() {
+        // Earliest-ready session (FIFO by ready time, index tie-break) to
+        // the earliest-free worker.
+        let ri = ready
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 .0, a.1 .1).partial_cmp(&(b.1 .0, b.1 .1)).expect("finite times")
+            })
+            .map(|(i, _)| i)
+            .expect("nonempty");
+        let (ready_t, s, first_cycle) = ready.swap_remove(ri);
+        let wi = worker_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+            .map(|(i, _)| i)
+            .expect("workers >= 1");
+        let start = worker_free[wi].max(ready_t) + cfg.dispatch_overhead;
+        let wait = start - ready_t;
+        let cycles = &sessions[s];
+        let last = (first_cycle + slice).min(cycles.len());
+        let mut t = start;
+        for &c in &cycles[first_cycle..last] {
+            t += c;
+            cycle_latency.push(wait + c);
+        }
+        worker_free[wi] = t;
+        if last < cycles.len() {
+            ready.push((t, s, last));
+        } else {
+            completions[s] = t;
+        }
+    }
+    let makespan = completions.iter().cloned().fold(0.0, f64::max);
+    DesResult {
+        makespan,
+        sessions_per_sec: if makespan > 0.0 { n as f64 / makespan } else { 0.0 },
+        completions,
+        cycle_latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, cycles: usize, c: f64) -> Vec<Vec<f64>> {
+        (0..n).map(|_| vec![c; cycles]).collect()
+    }
+
+    #[test]
+    fn single_session_single_worker_is_sum_of_cycles() {
+        let r = simulate_serve(
+            &uniform(1, 10, 0.5),
+            &DesConfig { workers: 1, slice: 4, dispatch_overhead: 0.0 },
+        );
+        assert!((r.makespan - 5.0).abs() < 1e-12, "{}", r.makespan);
+        assert_eq!(r.cycle_latency.len(), 10);
+    }
+
+    #[test]
+    fn k_workers_scale_independent_sessions_linearly() {
+        // 8 identical sessions, no overhead: 8 workers finish in the time
+        // 1 worker needs for one session.
+        let sessions = uniform(8, 20, 0.1);
+        let cfg1 = DesConfig { workers: 1, slice: 20, dispatch_overhead: 0.0 };
+        let cfg8 = DesConfig { workers: 8, slice: 20, dispatch_overhead: 0.0 };
+        let r1 = simulate_serve(&sessions, &cfg1);
+        let r8 = simulate_serve(&sessions, &cfg8);
+        assert!((r8.makespan - 2.0).abs() < 1e-9, "{}", r8.makespan);
+        assert!((r1.makespan - 16.0).abs() < 1e-9, "{}", r1.makespan);
+        assert!((r8.sessions_per_sec / r1.sessions_per_sec - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_wait_shows_up_in_latency() {
+        // Two sessions, one worker: the second session's first slice waits
+        // for the first session's slice.
+        let sessions = uniform(2, 2, 1.0);
+        let r = simulate_serve(
+            &sessions,
+            &DesConfig { workers: 1, slice: 2, dispatch_overhead: 0.0 },
+        );
+        assert_eq!(r.cycle_latency.len(), 4);
+        let max_lat = r.cycle_latency.iter().cloned().fold(0.0, f64::max);
+        assert!((max_lat - 3.0).abs() < 1e-12, "waited 2s + 1s service, got {max_lat}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let sessions: Vec<Vec<f64>> =
+            (0..5).map(|i| (0..7).map(|j| 0.01 * ((i * 7 + j) as f64 + 1.0)).collect()).collect();
+        let cfg = DesConfig { workers: 3, slice: 2, dispatch_overhead: 0.001 };
+        let a = simulate_serve(&sessions, &cfg);
+        let b = simulate_serve(&sessions, &cfg);
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.cycle_latency, b.cycle_latency);
+    }
+
+    #[test]
+    fn dispatch_overhead_slows_small_slices_more() {
+        let sessions = uniform(4, 16, 0.1);
+        let small = simulate_serve(
+            &sessions,
+            &DesConfig { workers: 2, slice: 1, dispatch_overhead: 0.05 },
+        );
+        let large = simulate_serve(
+            &sessions,
+            &DesConfig { workers: 2, slice: 8, dispatch_overhead: 0.05 },
+        );
+        assert!(small.makespan > large.makespan);
+    }
+}

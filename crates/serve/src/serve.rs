@@ -1,0 +1,253 @@
+//! The serving loop: admission, session table, worker pool, dispatch.
+//!
+//! All sessions arrive up front (a batch-arrival open system degenerates to
+//! this on a closed benchmark). Admission is two-stage:
+//!
+//! 1. the **session table** holds at most `table_capacity` live sessions
+//!    (each owns a `MatchState` and an overlay, so the table bounds memory);
+//! 2. arrivals beyond that wait in a **bounded admission queue** of depth
+//!    `admission_depth`; on overflow the *oldest* waiting entry is shed
+//!    (shed-oldest keeps the freshest work under overload, and the shed
+//!    set is deterministic — reported, never silently dropped).
+//!
+//! Dispatch: live sessions circulate as ids through a
+//! [`psme_core::TaskQueues`] instance — the same three scheduler policies
+//! as the match engine's task queues (§2.3/§6.1), here scheduling whole
+//! decision-cycle slices instead of node activations. A worker pops a
+//! session, runs up to `slice_decisions` decision cycles, and either
+//! re-enqueues it (round-robin) or retires it and admits the next waiting
+//! session. A session halting (`(halt)` on the RHS) retires **only that
+//! session**; the loop drains the rest.
+
+use crate::session::{Session, SessionReport, SessionSpec};
+use psme_core::{QueueStats, Scheduler, TaskQueues};
+use psme_obs::{Json, Quantiles};
+use psme_rete::Topology;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Serving-loop configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Dispatch policy for the session queue.
+    pub scheduler: Scheduler,
+    /// Max live sessions in the table.
+    pub table_capacity: usize,
+    /// Max sessions waiting for a table slot; overflow sheds the oldest.
+    pub admission_depth: usize,
+    /// Per-session decision budget (the harness's budget by default).
+    pub max_decisions: u64,
+    /// Decision cycles per dispatch slice.
+    pub slice_decisions: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            scheduler: Scheduler::default(),
+            table_capacity: 64,
+            admission_depth: 256,
+            max_decisions: 400,
+            slice_decisions: 8,
+        }
+    }
+}
+
+/// Outcome of one [`serve`] call.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-session reports, in spec order (shed sessions included, marked).
+    pub sessions: Vec<SessionReport>,
+    /// Sessions shed by admission backpressure.
+    pub shed: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Completed sessions per second.
+    pub sessions_per_sec: f64,
+    /// Decision-cycle latency pooled over all completed sessions (ns).
+    pub aggregate_cycle_latency: Quantiles,
+    /// Queue stats merged over all workers.
+    pub queue_stats: QueueStats,
+    /// Echo of the config used.
+    pub workers: usize,
+    /// Echo of the config used.
+    pub scheduler: Scheduler,
+}
+
+impl ServeReport {
+    /// Serialize for artifacts.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("workers", Json::from(self.workers as u64)),
+            ("scheduler", Json::from(format!("{:?}", self.scheduler))),
+            ("shed", Json::from(self.shed as u64)),
+            ("wall_seconds", Json::float(self.wall_seconds)),
+            ("sessions_per_sec", Json::float(self.sessions_per_sec)),
+            ("cycle_latency_ns", self.aggregate_cycle_latency.to_json()),
+            ("sessions", Json::arr(self.sessions.iter().map(|s| s.to_json()))),
+        ])
+    }
+}
+
+struct Inner {
+    topo: Arc<Topology>,
+    specs: Vec<SessionSpec>,
+    cfg: ServeConfig,
+    /// Session ids in flight, tagged with their enqueue instant.
+    queues: TaskQueues<(u32, Instant)>,
+    /// One slot per spec; `Some` while the session is live but not being
+    /// stepped. The queue hands out exclusive ownership of an id, so a slot
+    /// is never contended — the mutex only makes the handoff `Sync`.
+    slots: Vec<Mutex<Option<Session>>>,
+    pending: Mutex<VecDeque<usize>>,
+    reports: Mutex<Vec<Option<SessionReport>>>,
+    /// Sessions admitted or waiting, not yet retired. Workers exit when it
+    /// reaches zero.
+    remaining: AtomicI64,
+    stats: Mutex<QueueStats>,
+    /// Raw cycle-latency samples pooled across sessions (ns), for the
+    /// aggregate quantiles (per-session reports keep only summaries).
+    cycle_pool: Mutex<Vec<f64>>,
+}
+
+fn worker_loop(inner: &Inner, wid: usize) {
+    let mut qs = QueueStats::default();
+    loop {
+        match inner.queues.pop(wid, &mut qs) {
+            Some((idx, enqueued)) => {
+                let idx = idx as usize;
+                let wait_ns = enqueued.elapsed().as_nanos() as f64;
+                let mut sess = inner.slots[idx]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("queued session is in its slot");
+                sess.wait_ns.push(wait_ns);
+                sess.slices += 1;
+                let mut stop = None;
+                for _ in 0..inner.cfg.slice_decisions.max(1) {
+                    let t0 = Instant::now();
+                    let r = sess.agent.step(inner.cfg.max_decisions);
+                    sess.cycle_ns.push(t0.elapsed().as_nanos() as f64);
+                    if let Some(r) = r {
+                        stop = Some(r);
+                        break;
+                    }
+                }
+                match stop {
+                    None => {
+                        *inner.slots[idx].lock().expect("slot lock") = Some(sess);
+                        inner.queues.push(wid, (idx as u32, Instant::now()), &mut qs);
+                    }
+                    Some(reason) => {
+                        inner
+                            .cycle_pool
+                            .lock()
+                            .expect("pool lock")
+                            .extend_from_slice(&sess.cycle_ns);
+                        inner.reports.lock().expect("reports lock")[idx] =
+                            Some(sess.into_report(reason));
+                        // A table slot freed: admit the next waiting session.
+                        let next = inner.pending.lock().expect("pending lock").pop_front();
+                        if let Some(n) = next {
+                            let s = Session::build(&inner.specs[n], &inner.topo);
+                            *inner.slots[n].lock().expect("slot lock") = Some(s);
+                            inner.queues.push(wid, (n as u32, Instant::now()), &mut qs);
+                        }
+                        inner.remaining.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+            }
+            None => {
+                if inner.remaining.load(Ordering::Acquire) <= 0 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+    inner.stats.lock().expect("stats lock").merge(&qs);
+}
+
+/// Serve a batch of sessions over a shared topology.
+///
+/// Panics if two specs share a name (reports would be ambiguous).
+pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, cfg: ServeConfig) -> ServeReport {
+    {
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "duplicate session names");
+    }
+    let workers = cfg.workers.max(1);
+    let n = specs.len();
+    let cap = cfg.table_capacity.max(1);
+
+    // Stage the batch arrival: first `cap` go live, the rest queue for
+    // admission; queue overflow sheds the oldest waiting entries.
+    let overflow: Vec<usize> = (cap.min(n)..n).collect();
+    let shed_count = overflow.len().saturating_sub(cfg.admission_depth);
+    let (shed, waiting) = overflow.split_at(shed_count);
+    let mut reports: Vec<Option<SessionReport>> = (0..n).map(|_| None).collect();
+    for &i in shed {
+        reports[i] = Some(SessionReport::shed(specs[i].name.clone()));
+    }
+
+    let inner = Inner {
+        queues: TaskQueues::new(cfg.scheduler, workers),
+        slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        pending: Mutex::new(waiting.iter().copied().collect()),
+        reports: Mutex::new(reports),
+        remaining: AtomicI64::new((cap.min(n) + waiting.len()) as i64),
+        stats: Mutex::new(QueueStats::default()),
+        cycle_pool: Mutex::new(Vec::new()),
+        topo,
+        specs,
+        cfg,
+    };
+
+    let t0 = Instant::now();
+    let mut seed_stats = QueueStats::default();
+    for i in 0..cap.min(n) {
+        let s = Session::build(&inner.specs[i], &inner.topo);
+        *inner.slots[i].lock().expect("slot lock") = Some(s);
+        inner.queues.push_seed(i % workers, (i as u32, Instant::now()), &mut seed_stats);
+    }
+    std::thread::scope(|scope| {
+        for wid in 0..workers {
+            let inner = &inner;
+            std::thread::Builder::new()
+                .name(format!("psm-serve-{wid}"))
+                .spawn_scoped(scope, move || worker_loop(inner, wid))
+                .expect("spawn serve worker");
+        }
+    });
+    let wall_seconds = t0.elapsed().as_secs_f64();
+
+    let Inner { reports, stats, cfg, cycle_pool, .. } = inner;
+    let mut stats = stats.into_inner().expect("stats lock");
+    stats.merge(&seed_stats);
+    let sessions: Vec<SessionReport> = reports
+        .into_inner()
+        .expect("reports lock")
+        .into_iter()
+        .map(|r| r.expect("every session retired or shed"))
+        .collect();
+    let completed = sessions.iter().filter(|s| !s.was_shed()).count();
+    let all_cycles = cycle_pool.into_inner().expect("pool lock");
+    ServeReport {
+        shed: sessions.iter().filter(|s| s.was_shed()).count(),
+        sessions,
+        wall_seconds,
+        sessions_per_sec: if wall_seconds > 0.0 { completed as f64 / wall_seconds } else { 0.0 },
+        aggregate_cycle_latency: Quantiles::from_samples(&all_cycles),
+        queue_stats: stats,
+        workers,
+        scheduler: cfg.scheduler,
+    }
+}

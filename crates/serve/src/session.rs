@@ -1,0 +1,167 @@
+//! Session construction over a shared topology, and per-session reports.
+
+use psme_obs::{Json, Quantiles};
+use psme_rete::{MatchState, ReteNetwork, SerialEngine, SessionNet, Topology};
+use psme_soar::{Agent, AgentStats, SoarTask, StopReason};
+use std::sync::Arc;
+
+/// One session to admit: a task instance (same production set as the shared
+/// topology, its own initial working memory) plus a learning flag.
+#[derive(Clone, Debug)]
+pub struct SessionSpec {
+    /// Session name (unique per serve call; used in reports).
+    pub name: String,
+    /// The task instance. Its productions must be the ones the shared
+    /// topology was compiled from ([`build_topology`] on a task with the
+    /// same production set, in the same order).
+    pub task: SoarTask,
+    /// Learn chunks during the run (into this session's private overlay).
+    pub learning: bool,
+}
+
+/// Compile a task's base network (default + task productions, canonical
+/// order) and freeze it into a shared topology.
+///
+/// The scratch agent compiles against empty working memory, so every
+/// load finds zero instantiations and leaves the discarded scratch state
+/// empty — sessions adopting this topology start bit-identical to a solo
+/// agent that compiled the same productions itself.
+pub fn build_topology(task: &SoarTask) -> Arc<Topology> {
+    let engine: SerialEngine = SerialEngine::new(ReteNetwork::new());
+    let mut agent = Agent::new(engine, task.classes.clone());
+    task.install_productions(&mut agent);
+    let scratch: SerialEngine = SerialEngine::new(ReteNetwork::new());
+    let (net, state) = std::mem::replace(&mut agent.engine, scratch).into_parts();
+    debug_assert_eq!(state.store.live_count(), 0, "base compile must not touch WM");
+    Topology::freeze(net)
+}
+
+/// Per-session serving telemetry.
+#[derive(Clone, Debug, Default)]
+pub struct SessionTelemetry {
+    /// Latency of each decision cycle (`Agent::step`), nanoseconds.
+    pub cycle_latency: Quantiles,
+    /// Wait between being queued and being picked up by a worker,
+    /// nanoseconds (one sample per dispatch slice).
+    pub queue_wait: Quantiles,
+    /// Dispatch slices this session consumed.
+    pub slices: u64,
+    /// Beta nodes in this session's private overlay at completion.
+    pub overlay_nodes: usize,
+    /// Productions (chunks) in this session's private overlay.
+    pub overlay_prods: usize,
+}
+
+/// Everything one served session produced.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// Session name from its [`SessionSpec`].
+    pub name: String,
+    /// `None` if the session was shed by admission backpressure before
+    /// ever running.
+    pub stop: Option<StopReason>,
+    /// Agent counters (zeroed for shed sessions).
+    pub stats: AgentStats,
+    /// Names of chunks learned in this session's overlay.
+    pub chunk_names: Vec<String>,
+    /// `(write …)` output.
+    pub output: Vec<String>,
+    /// Serving telemetry.
+    pub telemetry: SessionTelemetry,
+}
+
+impl SessionReport {
+    /// Shed-marker report.
+    pub(crate) fn shed(name: String) -> SessionReport {
+        SessionReport {
+            name,
+            stop: None,
+            stats: AgentStats::default(),
+            chunk_names: Vec::new(),
+            output: Vec::new(),
+            telemetry: SessionTelemetry::default(),
+        }
+    }
+
+    /// Was this session shed by admission backpressure?
+    pub fn was_shed(&self) -> bool {
+        self.stop.is_none()
+    }
+
+    /// Serialize for artifacts.
+    pub fn to_json(&self) -> Json {
+        let t = &self.telemetry;
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            (
+                "stop",
+                match self.stop {
+                    Some(s) => Json::from(format!("{s:?}")),
+                    None => Json::from("Shed"),
+                },
+            ),
+            ("decisions", Json::from(self.stats.decisions)),
+            ("chunks_built", Json::from(self.stats.chunks_built)),
+            ("cycle_latency_ns", t.cycle_latency.to_json()),
+            ("queue_wait_ns", t.queue_wait.to_json()),
+            ("slices", Json::from(t.slices)),
+            ("overlay_nodes", Json::from(t.overlay_nodes as u64)),
+            ("overlay_prods", Json::from(t.overlay_prods as u64)),
+        ])
+    }
+}
+
+/// A live session in the table: an agent over its private overlay network
+/// and match state, plus raw telemetry samples.
+pub(crate) struct Session {
+    pub(crate) name: String,
+    pub(crate) agent: Agent<SerialEngine<SessionNet>>,
+    pub(crate) cycle_ns: Vec<f64>,
+    pub(crate) wait_ns: Vec<f64>,
+    pub(crate) slices: u64,
+}
+
+impl Session {
+    /// Build and install a session over the shared topology. Productions
+    /// are adopted (already compiled into the base), initial wmes and the
+    /// top goal materialize in this session's own [`MatchState`].
+    pub(crate) fn build(spec: &SessionSpec, topo: &Arc<Topology>) -> Session {
+        let net = SessionNet::new(topo.clone());
+        let engine = SerialEngine::with_state(net, MatchState::new());
+        let mut agent = Agent::new(engine, spec.task.classes.clone());
+        spec.task.install_adopted(&mut agent);
+        agent.learning = spec.learning;
+        Session {
+            name: spec.name.clone(),
+            agent,
+            cycle_ns: Vec::new(),
+            wait_ns: Vec::new(),
+            slices: 0,
+        }
+    }
+
+    /// Finish: fold samples into a report.
+    pub(crate) fn into_report(self, stop: StopReason) -> SessionReport {
+        let net = &self.agent.engine.net;
+        let telemetry = SessionTelemetry {
+            cycle_latency: Quantiles::from_samples(&self.cycle_ns),
+            queue_wait: Quantiles::from_samples(&self.wait_ns),
+            slices: self.slices,
+            overlay_nodes: net.overlay_nodes(),
+            overlay_prods: net.overlay_prods(),
+        };
+        SessionReport {
+            name: self.name,
+            stop: Some(stop),
+            stats: self.agent.stats,
+            chunk_names: self
+                .agent
+                .learned_chunks()
+                .iter()
+                .map(|c| psme_ops::sym_name(c.name).to_string())
+                .collect(),
+            output: self.agent.output.clone(),
+            telemetry,
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Session-isolation gates for the serving layer.
+//!
+//! N sessions multiplexed over one shared topology must each produce
+//! **bit-for-bit** the run a solo agent produces on the same task with its
+//! own monolithic network — same stop reason, same counters, same chunk
+//! names, same `(write …)` output — including sessions that learn chunks
+//! mid-run into their private overlays. Any cross-session leakage (shared
+//! token memories, overlay splices visible to a neighbour, a chunk
+//! compiled into the shared base) breaks at least one of these fields.
+
+use proptest::prelude::*;
+use psme_core::Scheduler;
+use psme_serve::{build_topology, serve, ServeConfig, SessionReport, SessionSpec};
+use psme_soar::StopReason;
+use psme_tasks::{eight_puzzle, run_serial, scrambled, RunMode, RunReport};
+
+/// Solo reference run for a spec: the plain harness over a monolithic
+/// network, learning mapped to the paper's run modes.
+fn solo(spec: &SessionSpec) -> RunReport {
+    let mode = if spec.learning { RunMode::DuringChunking } else { RunMode::WithoutChunking };
+    run_serial(&spec.task, mode, false).0
+}
+
+fn spec(seed: u64, moves: usize, learning: bool) -> SessionSpec {
+    SessionSpec {
+        name: format!("s{seed}-{moves}-{}", if learning { "learn" } else { "fixed" }),
+        task: eight_puzzle(&scrambled(moves, seed)),
+        learning,
+    }
+}
+
+fn assert_session_matches_solo(sr: &SessionReport, solo: &RunReport, ctx: &str) {
+    assert_eq!(sr.stop, Some(solo.stop), "{ctx}: stop reason");
+    let (a, b) = (&sr.stats, &solo.stats);
+    assert_eq!(a.decisions, b.decisions, "{ctx}: decisions");
+    assert_eq!(a.elaboration_cycles, b.elaboration_cycles, "{ctx}: elaboration cycles");
+    assert_eq!(a.impasses, b.impasses, "{ctx}: impasses");
+    assert_eq!(a.chunks_built, b.chunks_built, "{ctx}: chunks built");
+    assert_eq!(a.firings, b.firings, "{ctx}: firings");
+    assert_eq!(a.wme_adds, b.wme_adds, "{ctx}: wme adds");
+    assert_eq!(a.wme_removes, b.wme_removes, "{ctx}: wme removes");
+    assert_eq!(a.update_tasks, b.update_tasks, "{ctx}: update tasks");
+    let solo_chunks: Vec<String> =
+        solo.chunks.iter().map(|c| psme_ops::sym_name(c.name).to_string()).collect();
+    assert_eq!(sr.chunk_names, solo_chunks, "{ctx}: chunk names");
+    assert_eq!(sr.output, solo.output, "{ctx}: (write …) output");
+    // A learning session must have grown its own overlay, and only then.
+    if sr.stats.chunks_built > 0 {
+        assert!(sr.telemetry.overlay_nodes > 0, "{ctx}: chunks built but overlay empty");
+        assert_eq!(
+            sr.telemetry.overlay_prods as u64, sr.stats.chunks_built,
+            "{ctx}: one overlay production per chunk"
+        );
+    } else {
+        assert_eq!(sr.telemetry.overlay_nodes, 0, "{ctx}: no chunks, no overlay");
+    }
+}
+
+/// The acceptance gate: 64 concurrent sessions (a quarter of them
+/// learning) over one shared topology, dispatched work-stealing over 4
+/// workers through a 16-slot table, produce exactly the 64 solo traces.
+#[test]
+fn sixty_four_sessions_match_sixty_four_solo_runs() {
+    let specs: Vec<SessionSpec> =
+        (0..64).map(|seed| spec(seed, 3, seed % 4 == 0)).collect();
+    let solos: Vec<RunReport> = specs.iter().map(solo).collect();
+    assert!(
+        solos.iter().any(|r| r.stats.chunks_built > 0),
+        "the gate must include mid-run learning"
+    );
+    let topo = build_topology(&specs[0].task);
+    let base_nodes = topo.num_nodes();
+    let report = serve(
+        topo,
+        specs.clone(),
+        ServeConfig {
+            workers: 4,
+            scheduler: Scheduler::WorkStealing,
+            table_capacity: 16,
+            admission_depth: 64,
+            ..Default::default()
+        },
+    );
+    assert_eq!(report.shed, 0, "capacity covers the batch — nothing shed");
+    assert_eq!(report.sessions.len(), 64);
+    for (sr, (sp, solo)) in report.sessions.iter().zip(specs.iter().zip(&solos)) {
+        assert_eq!(sr.name, sp.name, "report order follows spec order");
+        assert_session_matches_solo(sr, solo, &sp.name);
+    }
+    // The shared base was never touched: a fresh topology compiled from
+    // the same task is still node-for-node the same size.
+    assert_eq!(build_topology(&specs[0].task).num_nodes(), base_nodes);
+}
+
+/// Same isolation under every dispatch scheduler and a worker sweep.
+#[test]
+fn all_schedulers_preserve_session_isolation() {
+    let specs: Vec<SessionSpec> = (0..6).map(|seed| spec(seed + 100, 3, seed % 2 == 0)).collect();
+    let solos: Vec<RunReport> = specs.iter().map(solo).collect();
+    let topo = build_topology(&specs[0].task);
+    for sched in [Scheduler::SingleQueue, Scheduler::MultiQueue, Scheduler::WorkStealing] {
+        for workers in [1, 3] {
+            let report = serve(
+                topo.clone(),
+                specs.clone(),
+                ServeConfig {
+                    workers,
+                    scheduler: sched,
+                    table_capacity: 4,
+                    ..Default::default()
+                },
+            );
+            for (sr, solo) in report.sessions.iter().zip(&solos) {
+                assert_session_matches_solo(sr, solo, &format!("{sched:?}/{workers}w/{}", sr.name));
+            }
+        }
+    }
+}
+
+/// Regression (satellite): a session executing `(halt)` terminates that
+/// session only — the serving loop keeps draining the others, and they
+/// still match their solos exactly.
+#[test]
+fn halt_in_one_session_does_not_stop_the_serving_loop() {
+    // A near-solved board halts almost immediately; the rest are longer
+    // runs admitted *behind* it through a 2-slot table, so they are still
+    // in flight (or not even admitted) when the halt lands.
+    let mut specs = vec![spec(7, 1, false)];
+    specs.extend((0..4).map(|seed| spec(seed + 200, 4, seed % 2 == 0)));
+    let solos: Vec<RunReport> = specs.iter().map(solo).collect();
+    assert_eq!(solos[0].stop, StopReason::Halted, "the bait session must halt");
+    let topo = build_topology(&specs[0].task);
+    let report = serve(
+        topo,
+        specs.clone(),
+        ServeConfig {
+            workers: 2,
+            scheduler: Scheduler::WorkStealing,
+            table_capacity: 2,
+            ..Default::default()
+        },
+    );
+    assert_eq!(report.sessions[0].stop, Some(StopReason::Halted));
+    assert_eq!(report.shed, 0);
+    for (sr, solo) in report.sessions.iter().zip(&solos) {
+        assert_session_matches_solo(sr, solo, &sr.name.clone());
+    }
+}
+
+/// Admission backpressure: a table of 2 with a waiting queue of 1 sheds
+/// the *oldest* overflow entries deterministically, and the survivors are
+/// untouched by the shedding.
+#[test]
+fn backpressure_sheds_oldest_and_serves_the_rest() {
+    let specs: Vec<SessionSpec> = (0..6).map(|seed| spec(seed + 300, 2, false)).collect();
+    let solos: Vec<RunReport> = specs.iter().map(solo).collect();
+    let topo = build_topology(&specs[0].task);
+    let report = serve(
+        topo,
+        specs.clone(),
+        ServeConfig {
+            workers: 1,
+            scheduler: Scheduler::MultiQueue,
+            table_capacity: 2,
+            admission_depth: 1,
+            ..Default::default()
+        },
+    );
+    // Overflow = sessions 2..6 (4 of them); depth 1 keeps only the newest.
+    assert_eq!(report.shed, 3);
+    for (i, solo) in solos.iter().enumerate() {
+        let sr = &report.sessions[i];
+        if (2..5).contains(&i) {
+            assert!(sr.was_shed(), "session {i} is oldest overflow — shed");
+        } else {
+            assert!(!sr.was_shed(), "session {i} survives");
+            assert_session_matches_solo(sr, solo, &sr.name.clone());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, .. ProptestConfig::default() })]
+
+    /// Random small batches: any mix of seeds, learning flags, scheduler
+    /// and worker count preserves per-session solo equivalence.
+    #[test]
+    fn random_batches_preserve_isolation(
+        n in 2usize..5,
+        base_seed in 0u64..1000,
+        learn_mask in 0u32..16,
+        sched_ix in 0usize..3,
+        workers in 1usize..4,
+    ) {
+        let scheduler = [Scheduler::SingleQueue, Scheduler::MultiQueue, Scheduler::WorkStealing]
+            [sched_ix];
+        let specs: Vec<SessionSpec> = (0..n)
+            .map(|i| spec(base_seed * 64 + i as u64, 3, learn_mask & (1 << i) != 0))
+            .collect();
+        let solos: Vec<RunReport> = specs.iter().map(solo).collect();
+        let topo = build_topology(&specs[0].task);
+        let report = serve(
+            topo,
+            specs.clone(),
+            ServeConfig { workers, scheduler, table_capacity: 3, ..Default::default() },
+        );
+        for (sr, solo) in report.sessions.iter().zip(&solos) {
+            assert_session_matches_solo(sr, solo, &format!("{scheduler:?}/{workers}w/{}", sr.name));
+        }
+    }
+}

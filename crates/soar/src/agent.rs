@@ -142,6 +142,16 @@ impl<E: MatchEngine> Agent<E> {
         Ok(())
     }
 
+    /// Register a production that is *already compiled* into the engine's
+    /// network (a shared-topology base production). Only the agent-side
+    /// bookkeeping happens — no network surgery, no state update. With empty
+    /// working memory this is observationally identical to
+    /// [`Self::load_production`], which compiles against empty memories and
+    /// finds zero instantiations.
+    pub fn adopt_production(&mut self, p: Arc<Production>) {
+        self.prods.insert(p.name, p);
+    }
+
     /// Register a task object identifier (so chunking variablizes it).
     pub fn register_identifier(&mut self, s: Symbol) {
         self.book.register_identifier(s);
@@ -627,24 +637,35 @@ impl<E: MatchEngine> Agent<E> {
         })
     }
 
+    /// One elaborate–decide step of the [`Self::run`] loop. Returns
+    /// `Some(reason)` when the run is over, `None` to continue. The serving
+    /// layer interleaves many agents by calling this directly (one decision
+    /// cycle per call), so the step must leave the agent resumable.
+    pub fn step(&mut self, max_decisions: u64) -> Option<StopReason> {
+        assert!(!self.stack.is_empty(), "push_top_goal first");
+        if let Err(r) = self.elaboration_phase() {
+            return Some(r);
+        }
+        if self.halt_requested {
+            return Some(StopReason::Halted);
+        }
+        if self.stats.decisions >= max_decisions {
+            return Some(StopReason::DecisionLimit);
+        }
+        let span = self.recorder.start(ControlPhase::Decide);
+        let progressed = self.decision_phase();
+        self.recorder.finish_seq(span, self.stats.decisions);
+        if !progressed {
+            return Some(StopReason::Stuck);
+        }
+        None
+    }
+
     /// Run the elaborate–decide loop for up to `max_decisions` decisions.
     pub fn run(&mut self, max_decisions: u64) -> StopReason {
-        assert!(!self.stack.is_empty(), "push_top_goal first");
         loop {
-            if let Err(r) = self.elaboration_phase() {
+            if let Some(r) = self.step(max_decisions) {
                 return r;
-            }
-            if self.halt_requested {
-                return StopReason::Halted;
-            }
-            if self.stats.decisions >= max_decisions {
-                return StopReason::DecisionLimit;
-            }
-            let span = self.recorder.start(ControlPhase::Decide);
-            let progressed = self.decision_phase();
-            self.recorder.finish_seq(span, self.stats.decisions);
-            if !progressed {
-                return StopReason::Stuck;
             }
         }
     }

@@ -25,6 +25,16 @@ impl SoarTask {
     /// Install into an agent: identifiers, default + task productions,
     /// initial wmes, top goal. Returns the top goal id.
     pub fn install<E: MatchEngine>(&self, agent: &mut Agent<E>) -> Symbol {
+        self.install_productions(agent);
+        agent.add_init_wmes(self.init_wmes.clone());
+        agent.push_top_goal()
+    }
+
+    /// The compile half of [`Self::install`]: identifiers plus default +
+    /// task productions, in the canonical load order (defaults first). The
+    /// serving layer uses this alone to build a shared base network, then
+    /// freezes it into a [`psme_rete::Topology`].
+    pub fn install_productions<E: MatchEngine>(&self, agent: &mut Agent<E>) {
         for &id in &self.identifiers {
             agent.register_identifier(id);
         }
@@ -36,6 +46,25 @@ impl SoarTask {
             agent
                 .load_production(p.clone())
                 .unwrap_or_else(|e| panic!("task {} production failed to load: {e}", self.name));
+        }
+    }
+
+    /// Install into an agent whose engine already contains the task's
+    /// compiled base network (a session over a shared topology): productions
+    /// are adopted — bookkeeping only, no network surgery — in the same
+    /// canonical order as [`Self::install_productions`], then initial wmes
+    /// and the top goal are created in this session's own match state.
+    /// Returns the top goal id.
+    pub fn install_adopted<E: MatchEngine>(&self, agent: &mut Agent<E>) -> Symbol {
+        for &id in &self.identifiers {
+            agent.register_identifier(id);
+        }
+        let mut classes = agent.classes.clone();
+        for p in crate::defaults::default_productions(&mut classes) {
+            agent.adopt_production(p);
+        }
+        for p in &self.productions {
+            agent.adopt_production(p.clone());
         }
         agent.add_init_wmes(self.init_wmes.clone());
         agent.push_top_goal()

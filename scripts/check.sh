@@ -35,6 +35,11 @@ run_step "scheduler differential" \
 # classifier must stay observationally identical to the linear oracle.
 run_step "alpha differential" \
     cargo test -q -p psme-rete --test proptest_alpha || fail=1
+# The serving layer's gate: N concurrent sessions over one shared topology
+# must stay bit-for-bit identical to N solo runs (including mid-run chunk
+# learning); run it by name so a filtered invocation can't skip it.
+run_step "serve isolation" \
+    cargo test -q -p psme-serve --test serve_isolation || fail=1
 
 # The committed alpha-discrimination artifact must exist and parse: it is
 # the evidence for the jump-table index's tests-per-wme reduction.
@@ -45,6 +50,19 @@ if [ ! -f "$alpha_artifact" ]; then
 elif command -v python3 >/dev/null 2>&1; then
     if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$alpha_artifact"; then
         echo "!! ${alpha_artifact} is not valid JSON" >&2
+        fail=1
+    fi
+fi
+
+# Same for the serving-throughput artifact: the committed evidence for the
+# 8-worker >= 4x single-session throughput gate.
+serve_artifact="crates/bench/BENCH_serve_throughput.json"
+if [ ! -f "$serve_artifact" ]; then
+    echo "!! missing ${serve_artifact} (regenerate: cargo bench -p psme-bench --bench serve_throughput)" >&2
+    fail=1
+elif command -v python3 >/dev/null 2>&1; then
+    if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$serve_artifact"; then
+        echo "!! ${serve_artifact} is not valid JSON" >&2
         fail=1
     fi
 fi
