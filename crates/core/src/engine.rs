@@ -21,9 +21,9 @@ use parking_lot::{Condvar, Mutex, RwLock};
 use psme_obs::{ControlPhase, Counter, Recorder};
 use psme_ops::{Instantiation, Production, Wme, WmeId};
 use psme_rete::{
-    fold_cs, instantiations_from_memories, process_beta, process_wme_change, seed_update,
-    AddOutcome, BuildError, CsChange, CycleOutcome, MemoryTable, NetworkOrg, NodeId, NodeKind,
-    Phase, ReteNetwork, WmeStore,
+    fold_cs, instantiations_from_memories, process_beta_scratch, process_wme_change, seed_update,
+    AddOutcome, BetaScratch, BuildError, CsChange, CycleOutcome, MemoryTable, NetworkOrg, NodeId,
+    NodeKind, Phase, ReteNetwork, WmeStore,
 };
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -73,6 +73,9 @@ struct Shared {
 
 fn worker_loop(shared: Arc<Shared>, wid: usize) {
     let mut seen_epoch = 0u64;
+    // Per-worker reusable beta-scan scratch: survives across tasks and
+    // cycles, so the steady state allocates nothing per activation.
+    let mut scratch = BetaScratch::default();
     loop {
         {
             let mut e = shared.epoch.lock();
@@ -117,12 +120,13 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
                         }
                         Task::Beta(a) => {
                             let cs_before = local_cs.len();
-                            let stats = process_beta(
+                            let stats = process_beta_scratch(
                                 &*net,
                                 &shared.mem,
                                 &store,
                                 &a,
                                 min_node,
+                                &mut scratch,
                                 &mut |child| pending.push(Task::Beta(child)),
                                 &mut |c| local_cs.push(c),
                             );
@@ -130,6 +134,8 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
                             ws.scanned += stats.scanned as u64;
                             ws.counters.add(Counter::BetaTasks, 1);
                             ws.counters.add(Counter::Scanned, stats.scanned as u64);
+                            ws.counters.add(Counter::HashRejects, stats.hash_rejects as u64);
+                            ws.counters.add(Counter::EntriesSkipped, stats.skipped as u64);
                             ws.counters.add(Counter::Emitted, stats.emitted as u64);
                             ws.counters.add(Counter::MemSpins, stats.spins);
                             ws.counters.add(Counter::CsChanges, (local_cs.len() - cs_before) as u64);
@@ -256,9 +262,6 @@ impl ParallelEngine {
     /// Run a set of seed tasks to quiescence and harvest metrics + CS delta.
     fn run_tasks(&mut self, seeds: Vec<Task>, min_node: NodeId, phase: Phase) -> CycleOutcome {
         let s = &self.shared;
-        if self.config.bucket_histograms {
-            s.mem.reset_access_counts();
-        }
         s.min_node.store(min_node, Ordering::Relaxed);
         s.outstanding.store(seeds.len() as i64, Ordering::Release);
         let mut seed_stats = QueueStats::default();
@@ -304,6 +307,9 @@ impl ParallelEngine {
             ws.reset();
         }
         if self.config.bucket_histograms {
+            // Per-cycle histograms (Figure 6-2): the incremental `end_cycle`
+            // below zeroed every line written last cycle, so the counts
+            // harvested here are this cycle's alone.
             let counts = s.mem.access_counts();
             cm.left_bucket_accesses = counts.iter().map(|&(l, _)| l).collect();
             cm.right_bucket_accesses = counts.iter().map(|&(_, r)| r).collect();
@@ -316,6 +322,9 @@ impl ParallelEngine {
         drop(net);
         #[cfg(debug_assertions)]
         s.mem.assert_quiescent();
+        // Incremental quiescent housekeeping: compact + counter-reset only
+        // the lines this cycle dirtied (after the histogram harvest).
+        cm.counters.add(Counter::LinesCompacted, s.mem.end_cycle());
         let tasks = cm.tasks;
         self.metrics.cycles.push(cm);
         self.cycle_count += 1;

@@ -284,6 +284,8 @@ mod tests {
             side: Some(Side::Left),
             delta: 1,
             scanned,
+            hash_rejects: 0,
+            skipped: 0,
             probes: 0,
             emitted,
             line: Some(0),

@@ -270,8 +270,18 @@ pub enum Counter {
     /// Two-input activations that emitted nothing (the paper's null
     /// activations — work that contributes no matches).
     NullActivations,
-    /// Opposite-memory entries scanned.
+    /// Opposite-memory candidate entries scanned (same destination node;
+    /// co-hashed entries of other nodes count as `EntriesSkipped`).
     Scanned,
+    /// Candidates rejected by the stored 64-bit key-hash compare before any
+    /// structural key compare (indexed memory probes only).
+    HashRejects,
+    /// Co-hashed entries of other nodes traversed by the reference
+    /// whole-line memory scan (0 when the per-node line index is on).
+    EntriesSkipped,
+    /// Memory lines compacted/counter-reset by the incremental end-of-cycle
+    /// housekeeping (dirty lines only; clean lines are skipped unlocked).
+    LinesCompacted,
     /// Child activations emitted.
     Emitted,
     /// Memory-line lock spins.
@@ -296,12 +306,15 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 17] = [
         Counter::Tasks,
         Counter::AlphaTasks,
         Counter::BetaTasks,
         Counter::NullActivations,
         Counter::Scanned,
+        Counter::HashRejects,
+        Counter::EntriesSkipped,
+        Counter::LinesCompacted,
         Counter::Emitted,
         Counter::MemSpins,
         Counter::CsChanges,
@@ -321,6 +334,9 @@ impl Counter {
             Counter::BetaTasks => "beta_tasks",
             Counter::NullActivations => "null_activations",
             Counter::Scanned => "scanned",
+            Counter::HashRejects => "hash_rejects",
+            Counter::EntriesSkipped => "entries_skipped",
+            Counter::LinesCompacted => "lines_compacted",
             Counter::Emitted => "emitted",
             Counter::MemSpins => "mem_spins",
             Counter::CsChanges => "cs_changes",

@@ -74,11 +74,14 @@ pub use alpha::{AlphaMem, AlphaMemId, AlphaNet, AlphaStats};
 pub use bilinear::{plan_bilinear, plan_chain_length};
 pub use build::{AddResult, BuildError};
 pub use codesize::{code_size, compile_time_us, CodeSizeModel, CodegenStyle, ProdCodeSize};
-pub use memory::{Key, KeyElem, LineData, MemoryTable};
+pub use memory::{key_hash, Key, KeyElem, LeftEntry, LineData, MemoryTable, RightEntry, KEY_INLINE};
 pub use network::{NetStats, NetworkOrg, ProdInfo, ReteNetwork};
 pub use node::{BetaNode, JoinTest, KeyPart, NodeId, NodeKind, RightSrc, Side, ROOT};
 pub use ops5::{Ops5Runtime, Ops5Stop};
-pub use process::{process_beta, process_wme_change, ActStats, Activation, CsChange};
+pub use process::{
+    make_key, process_beta, process_beta_scratch, process_wme_change, ActStats, Activation,
+    BetaScratch, CsChange,
+};
 pub use serial::{
     fold_cs, instantiation_of, instantiations_from_memories, AddOutcome, CsDelta, CycleOutcome,
     SerialEngine,

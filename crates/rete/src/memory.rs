@@ -18,12 +18,41 @@
 //! exist while a cycle's tasks are in flight. Left entries additionally
 //! carry `m`, the number (summed weight) of matching right tokens — the
 //! not-node counter of §2.2.
+//!
+//! ## Hot-path organization
+//!
+//! Beyond the paper's layout, the probe path is organized for constant
+//! factors:
+//!
+//! * **Hash-first probes.** Every entry stores the 64-bit hash of its key,
+//!   computed once when the activation arrives. A probe compares hashes
+//!   before any structural [`Key`] compare; mismatches are counted as
+//!   `hash_rejects` and cost one word compare.
+//! * **Per-node grouping.** Each line keeps its entries *grouped by
+//!   destination node* (ascending node id, insertion order within a node).
+//!   A probe binary-searches for its node's run and examines only real
+//!   candidates; co-hashed entries of other nodes are never touched. The
+//!   pre-overhaul whole-line scan survives behind `use_index = false` as
+//!   the differential oracle (the `classify_linear` precedent) — it walks
+//!   the entire line, counting the non-candidates it filters as
+//!   `entries_skipped`.
+//! * **Inline keys.** [`Key`] stores up to [`KEY_INLINE`] elements inline
+//!   and only spills longer keys to the heap, so `make_key` on the
+//!   activation hot path allocates nothing for typical join keys.
+//! * **Padded lines.** Each line is `#[repr(align(64))]` so neighbouring
+//!   spinlocks never share a cache line (no false sharing between workers
+//!   probing adjacent lines).
+//! * **Incremental housekeeping.** A per-line dirty flag (readable without
+//!   the lock) marks lines written this cycle; [`MemoryTable::end_cycle`]
+//!   compacts and counter-resets only those, instead of locking all 2^k
+//!   lines at every cycle boundary.
 
 use crate::node::NodeId;
 use crate::sync::{SpinGuard, SpinLock};
 use crate::token::Token;
 use crate::util::fxhash;
 use psme_ops::{Value, WmeId};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// One element of a memory key.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -34,15 +63,111 @@ pub enum KeyElem {
     W(WmeId),
 }
 
+/// Keys up to this many elements are stored inline (no heap allocation on
+/// the activation hot path); longer keys spill to a boxed slice.
+pub const KEY_INLINE: usize = 4;
+
+const KEY_FILL: KeyElem = KeyElem::W(WmeId(0));
+
+#[derive(Clone, Debug)]
+enum KeyRepr {
+    /// `len` live elements of `elems`; the rest is padding, never read.
+    Inline { len: u8, elems: [KeyElem; KEY_INLINE] },
+    /// Spilled storage for keys longer than [`KEY_INLINE`].
+    Spill(Box<[KeyElem]>),
+}
+
 /// A computed memory key: the equality bindings of a token at a node.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
-pub struct Key(pub Box<[KeyElem]>);
+///
+/// Equality, hashing and ordering are all over [`Key::elems`]; whether the
+/// elements live inline or spilled is invisible.
+#[derive(Clone, Debug)]
+pub struct Key(KeyRepr);
+
+impl Key {
+    /// The empty key (P nodes, nodes with no equality bindings).
+    pub fn empty() -> Key {
+        Key(KeyRepr::Inline { len: 0, elems: [KEY_FILL; KEY_INLINE] })
+    }
+
+    /// Build from an iterator whose exact length is known up front —
+    /// inline (allocation-free) when `len <= KEY_INLINE`.
+    pub fn build(len: usize, it: impl Iterator<Item = KeyElem>) -> Key {
+        if len <= KEY_INLINE {
+            let mut elems = [KEY_FILL; KEY_INLINE];
+            let mut n = 0usize;
+            for e in it {
+                elems[n] = e;
+                n += 1;
+            }
+            debug_assert_eq!(n, len, "iterator length mismatch");
+            Key(KeyRepr::Inline { len: n as u8, elems })
+        } else {
+            Key(KeyRepr::Spill(it.collect()))
+        }
+    }
+
+    /// Build from a slice.
+    pub fn from_slice(elems: &[KeyElem]) -> Key {
+        Key::build(elems.len(), elems.iter().copied())
+    }
+
+    /// The key elements.
+    #[inline]
+    pub fn elems(&self) -> &[KeyElem] {
+        match &self.0 {
+            KeyRepr::Inline { len, elems } => &elems[..*len as usize],
+            KeyRepr::Spill(b) => b,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elems().len()
+    }
+
+    /// `true` for the empty key.
+    pub fn is_empty(&self) -> bool {
+        self.elems().is_empty()
+    }
+}
+
+impl Default for Key {
+    fn default() -> Key {
+        Key::empty()
+    }
+}
+
+impl PartialEq for Key {
+    #[inline]
+    fn eq(&self, other: &Key) -> bool {
+        self.elems() == other.elems()
+    }
+}
+
+impl Eq for Key {}
+
+impl std::hash::Hash for Key {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.elems().hash(state);
+    }
+}
+
+/// The 64-bit hash of a key — computed once per activation, stored in every
+/// entry, and compared before any structural [`Key`] compare.
+#[inline]
+pub fn key_hash(key: &Key) -> u64 {
+    fxhash(key)
+}
 
 /// An entry in a left memory.
 #[derive(Clone, Debug)]
 pub struct LeftEntry {
     /// Destination node.
     pub node: NodeId,
+    /// Hash of `key` (hash-first probe rejection).
+    pub hash: u64,
     /// Equality-binding key.
     pub key: Key,
     /// The stored token.
@@ -58,6 +183,8 @@ pub struct LeftEntry {
 pub struct RightEntry {
     /// Destination node.
     pub node: NodeId,
+    /// Hash of `key` (hash-first probe rejection).
+    pub hash: u64,
     /// Equality-binding key.
     pub key: Key,
     /// The stored token (a unit token for alpha-sourced inputs).
@@ -67,11 +194,16 @@ pub struct RightEntry {
 }
 
 /// The pair of corresponding left/right buckets guarded by one lock.
+///
+/// Both vectors are kept *grouped by destination node* (ascending node id,
+/// insertion order within a node): probes binary-search for their node's
+/// run, and removals are order-preserving so grouping is an invariant, not
+/// a sometimes-true property.
 #[derive(Default, Debug)]
 pub struct LineData {
-    /// Left-memory entries hashed to this line.
+    /// Left-memory entries hashed to this line, grouped by node.
     pub left: Vec<LeftEntry>,
-    /// Right-memory entries hashed to this line.
+    /// Right-memory entries hashed to this line, grouped by node.
     pub right: Vec<RightEntry>,
     /// Left-token accesses this cycle (Figure 6-2 instrumentation).
     pub left_accesses: u64,
@@ -79,10 +211,136 @@ pub struct LineData {
     pub right_accesses: u64,
 }
 
+/// Find `node`'s contiguous run in a grouped slice: `(start, end)`.
+#[inline]
+fn run_of<E>(v: &[E], node: NodeId, node_of: impl Fn(&E) -> NodeId) -> (usize, usize) {
+    let start = v.partition_point(|e| node_of(e) < node);
+    let len = v[start..].partition_point(|e| node_of(e) == node);
+    (start, start + len)
+}
+
+impl LineData {
+    /// The contiguous run of left entries for `node`.
+    #[inline]
+    pub fn left_run(&self, node: NodeId) -> (usize, usize) {
+        run_of(&self.left, node, |e| e.node)
+    }
+
+    /// The contiguous run of right entries for `node`.
+    #[inline]
+    pub fn right_run(&self, node: NodeId) -> (usize, usize) {
+        run_of(&self.right, node, |e| e.node)
+    }
+
+    /// Add `delta` to the weight of the left entry for `(node, token)`,
+    /// creating it (at its node run's end, preserving grouping) or removing
+    /// it at weight zero. With `use_index`, candidate entries are rejected
+    /// on hash inequality before the structural token compare — sound
+    /// because a node's key is a function of the token, so equal
+    /// `(node, token)` implies equal hash.
+    #[allow(clippy::too_many_arguments)]
+    pub fn upsert_left(
+        &mut self,
+        node: NodeId,
+        key: &Key,
+        hash: u64,
+        token: &Token,
+        delta: i32,
+        m: i32,
+        use_index: bool,
+    ) {
+        let (s, e) = self.left_run(node);
+        for i in s..e {
+            let en = &self.left[i];
+            if use_index && en.hash != hash {
+                continue;
+            }
+            if en.token == *token {
+                self.left[i].weight += delta;
+                if self.left[i].weight == 0 {
+                    // Order-preserving removal keeps the grouping invariant.
+                    self.left.remove(i);
+                }
+                return;
+            }
+        }
+        self.left.insert(
+            e,
+            LeftEntry { node, hash, key: key.clone(), token: token.clone(), weight: delta, m },
+        );
+    }
+
+    /// Right-memory counterpart of [`Self::upsert_left`].
+    pub fn upsert_right(
+        &mut self,
+        node: NodeId,
+        key: &Key,
+        hash: u64,
+        token: &Token,
+        delta: i32,
+        use_index: bool,
+    ) {
+        let (s, e) = self.right_run(node);
+        for i in s..e {
+            let en = &self.right[i];
+            if use_index && en.hash != hash {
+                continue;
+            }
+            if en.token == *token {
+                self.right[i].weight += delta;
+                if self.right[i].weight == 0 {
+                    self.right.remove(i);
+                }
+                return;
+            }
+        }
+        self.right.insert(
+            e,
+            RightEntry { node, hash, key: key.clone(), token: token.clone(), weight: delta },
+        );
+    }
+
+    /// Assert the grouping invariant (debug/test helper).
+    pub fn check_grouped(&self) {
+        assert!(
+            self.left.windows(2).all(|w| w[0].node <= w[1].node),
+            "left entries not grouped by node"
+        );
+        assert!(
+            self.right.windows(2).all(|w| w[0].node <= w[1].node),
+            "right entries not grouped by node"
+        );
+    }
+}
+
+/// One memory line: the spin-locked bucket pair plus its dirty flag,
+/// padded to a cache line so adjacent locks never false-share.
+#[repr(align(64))]
+struct Line {
+    lock: SpinLock<LineData>,
+    /// Written this cycle? Readable without the lock — quiescent
+    /// housekeeping skips clean lines entirely. The cycle barrier provides
+    /// the happens-before edge, so relaxed ordering suffices.
+    dirty: AtomicBool,
+}
+
+impl Line {
+    fn new() -> Line {
+        Line { lock: SpinLock::new(LineData::default()), dirty: AtomicBool::new(false) }
+    }
+}
+
 /// The global memory table: `2^k` lines, each a [`SpinLock`]`<`[`LineData`]`>`.
 pub struct MemoryTable {
-    lines: Box<[SpinLock<LineData>]>,
+    lines: Box<[Line]>,
     mask: u64,
+    /// Probe through the per-node line index with hash-first rejection
+    /// (default). `false` selects the reference whole-line scan with
+    /// structural compares — the pre-overhaul behaviour, kept as the
+    /// differential oracle and the cost baseline.
+    pub use_index: bool,
+    /// Total lines compacted by [`Self::end_cycle`] over the table's life.
+    compacted_total: AtomicU64,
 }
 
 impl MemoryTable {
@@ -90,8 +348,10 @@ impl MemoryTable {
     pub fn new(lines: usize) -> MemoryTable {
         let n = lines.next_power_of_two().max(1);
         MemoryTable {
-            lines: (0..n).map(|_| SpinLock::new(LineData::default())).collect(),
+            lines: (0..n).map(|_| Line::new()).collect(),
             mask: (n - 1) as u64,
+            use_index: true,
+            compacted_total: AtomicU64::new(0),
         }
     }
 
@@ -100,22 +360,63 @@ impl MemoryTable {
         self.lines.len()
     }
 
+    /// The line index for a node and a precomputed key hash.
+    #[inline]
+    pub fn line_of_hash(&self, node: NodeId, khash: u64) -> u32 {
+        (fxhash(&(node, khash)) & self.mask) as u32
+    }
+
     /// The line index for a node/key pair.
     #[inline]
     pub fn line_of(&self, node: NodeId, key: &Key) -> u32 {
-        (fxhash(&(node, key)) & self.mask) as u32
+        self.line_of_hash(node, key_hash(key))
     }
 
     /// Lock a line; returns the guard and the spin count.
     #[inline]
     pub fn lock(&self, line: u32) -> (SpinGuard<'_, LineData>, u64) {
-        self.lines[line as usize].lock()
+        self.lines[line as usize].lock.lock()
     }
 
-    /// Reset the per-line access counters (called at cycle boundaries).
+    /// Mark a line written this cycle (activation processing calls this
+    /// while holding the line lock; [`Self::end_cycle`] clears it).
+    #[inline]
+    pub fn touch(&self, line: u32) {
+        self.lines[line as usize].dirty.store(true, Ordering::Relaxed);
+    }
+
+    /// Quiescent housekeeping: for every line written since the last call,
+    /// drop zero-weight entries, reset the access counters and clear the
+    /// dirty flag. Clean lines are skipped without locking. Returns the
+    /// number of lines compacted.
+    pub fn end_cycle(&self) -> u64 {
+        let mut n = 0u64;
+        for l in self.lines.iter() {
+            if !l.dirty.load(Ordering::Relaxed) {
+                continue;
+            }
+            let (mut g, _) = l.lock.lock();
+            g.left.retain(|e| e.weight != 0);
+            g.right.retain(|e| e.weight != 0);
+            g.left_accesses = 0;
+            g.right_accesses = 0;
+            l.dirty.store(false, Ordering::Relaxed);
+            n += 1;
+        }
+        self.compacted_total.fetch_add(n, Ordering::Relaxed);
+        n
+    }
+
+    /// Total lines compacted by [`Self::end_cycle`] so far.
+    pub fn lines_compacted_total(&self) -> u64 {
+        self.compacted_total.load(Ordering::Relaxed)
+    }
+
+    /// Reset the per-line access counters on **every** line (full sweep;
+    /// [`Self::end_cycle`] is the incremental variant engines use).
     pub fn reset_access_counts(&self) {
         for l in self.lines.iter() {
-            let (mut g, _) = l.lock();
+            let (mut g, _) = l.lock.lock();
             g.left_accesses = 0;
             g.right_accesses = 0;
         }
@@ -126,48 +427,50 @@ impl MemoryTable {
         self.lines
             .iter()
             .map(|l| {
-                let (g, _) = l.lock();
+                let (g, _) = l.lock.lock();
                 (g.left_accesses, g.right_accesses)
             })
             .collect()
     }
 
-    /// Enumerate the stored left tokens of `node` with positive weight
-    /// (used by the state-update seeder and by tests). Locks lines one at a
-    /// time; callers run at quiescence.
-    pub fn left_tokens_of(&self, node: NodeId) -> Vec<Token> {
+    /// Enumerate the stored left tokens of `node` with positive weight, as
+    /// `(token, weight)` pairs — no per-unit-of-weight cloning (used by the
+    /// state-update seeder and by tests). Locks lines one at a time;
+    /// callers run at quiescence, where every weight is 1.
+    pub fn left_tokens_of(&self, node: NodeId) -> Vec<(Token, i32)> {
         let mut out = Vec::new();
         for l in self.lines.iter() {
-            let (g, _) = l.lock();
-            for e in g.left.iter().filter(|e| e.node == node && e.weight > 0) {
-                for _ in 0..e.weight {
-                    out.push(e.token.clone());
-                }
+            let (g, _) = l.lock.lock();
+            let (s, e) = g.left_run(node);
+            for en in g.left[s..e].iter().filter(|en| en.weight > 0) {
+                out.push((en.token.clone(), en.weight));
             }
         }
         out
     }
 
-    /// Enumerate the stored right tokens of `node` with positive weight.
-    pub fn right_tokens_of(&self, node: NodeId) -> Vec<Token> {
+    /// Enumerate the stored right tokens of `node` with positive weight, as
+    /// `(token, weight)` pairs.
+    pub fn right_tokens_of(&self, node: NodeId) -> Vec<(Token, i32)> {
         let mut out = Vec::new();
         for l in self.lines.iter() {
-            let (g, _) = l.lock();
-            for e in g.right.iter().filter(|e| e.node == node && e.weight > 0) {
-                for _ in 0..e.weight {
-                    out.push(e.token.clone());
-                }
+            let (g, _) = l.lock.lock();
+            let (s, e) = g.right_run(node);
+            for en in g.right[s..e].iter().filter(|en| en.weight > 0) {
+                out.push((en.token.clone(), en.weight));
             }
         }
         out
     }
 
-    /// Assert the quiescence invariant: every weight is 0 or 1 and every
-    /// not-counter is non-negative. Panics otherwise (used by tests and
+    /// Assert the quiescence invariant: every weight is 0 or 1, every
+    /// not-counter is non-negative, every stored hash matches its key, and
+    /// every line is grouped by node. Panics otherwise (used by tests and
     /// debug assertions at cycle boundaries).
     pub fn assert_quiescent(&self) {
         for (i, l) in self.lines.iter().enumerate() {
-            let (g, _) = l.lock();
+            let (g, _) = l.lock.lock();
+            g.check_grouped();
             for e in &g.left {
                 assert!(
                     e.weight == 0 || e.weight == 1,
@@ -177,6 +480,7 @@ impl MemoryTable {
                     e.token
                 );
                 assert!(e.m >= 0, "line {i}: negative not-counter {} node {}", e.m, e.node);
+                assert_eq!(e.hash, key_hash(&e.key), "line {i}: stale left hash node {}", e.node);
             }
             for e in &g.right {
                 assert!(
@@ -186,14 +490,16 @@ impl MemoryTable {
                     e.node,
                     e.token
                 );
+                assert_eq!(e.hash, key_hash(&e.key), "line {i}: stale right hash node {}", e.node);
             }
         }
     }
 
-    /// Drop zero-weight entries (housekeeping between cycles).
+    /// Drop zero-weight entries on every line (full-sweep housekeeping;
+    /// tests use it, engines use the incremental [`Self::end_cycle`]).
     pub fn compact(&self) {
         for l in self.lines.iter() {
-            let (mut g, _) = l.lock();
+            let (mut g, _) = l.lock.lock();
             g.left.retain(|e| e.weight != 0);
             g.right.retain(|e| e.weight != 0);
         }
@@ -211,7 +517,15 @@ mod tests {
     use super::*;
 
     fn key(vals: &[i64]) -> Key {
-        Key(vals.iter().map(|&v| KeyElem::V(Value::Int(v))).collect())
+        Key::build(vals.len(), vals.iter().map(|&v| KeyElem::V(Value::Int(v))))
+    }
+
+    fn left(node: NodeId, k: Key, token: Token, weight: i32) -> LeftEntry {
+        LeftEntry { node, hash: key_hash(&k), key: k, token, weight, m: 0 }
+    }
+
+    fn right(node: NodeId, k: Key, token: Token, weight: i32) -> RightEntry {
+        RightEntry { node, hash: key_hash(&k), key: k, token, weight }
     }
 
     #[test]
@@ -231,6 +545,32 @@ mod tests {
         // any single pair, but these specific ones differ)
         let same = (m.line_of(5, &k1) == m.line_of(6, &k1)) && (m.line_of(5, &k1) == m.line_of(5, &k2));
         assert!(!same);
+        // the precomputed-hash path is the same function
+        assert_eq!(m.line_of(5, &k1), m.line_of_hash(5, key_hash(&k1)));
+    }
+
+    #[test]
+    fn inline_and_spilled_keys_are_interchangeable() {
+        // 4 elements stay inline, 5 spill; equality/hash/elems must not care.
+        let short = key(&[1, 2, 3, 4]);
+        let long = key(&[1, 2, 3, 4, 5]);
+        assert!(matches!(short.0, KeyRepr::Inline { .. }));
+        assert!(matches!(long.0, KeyRepr::Spill(_)));
+        assert_eq!(short.len(), 4);
+        assert_eq!(long.len(), 5);
+        assert_ne!(short, long);
+        let spilled_short = Key(KeyRepr::Spill(short.elems().into()));
+        assert_eq!(short, spilled_short);
+        assert_eq!(key_hash(&short), key_hash(&spilled_short));
+        assert_eq!(fxhash(&short), fxhash(&spilled_short));
+        assert!(Key::default().is_empty());
+        assert_eq!(Key::from_slice(short.elems()), short);
+    }
+
+    #[test]
+    fn lines_are_cache_line_padded() {
+        assert_eq!(std::mem::align_of::<Line>(), 64, "one line per cache line");
+        assert!(std::mem::size_of::<Line>().is_multiple_of(64));
     }
 
     #[test]
@@ -242,13 +582,28 @@ mod tests {
         {
             let line = m.line_of(7, &k);
             let (mut g, _) = m.lock(line);
-            g.left.push(LeftEntry { node: 7, key: k.clone(), token: t1.clone(), weight: 1, m: 0 });
-            g.left.push(LeftEntry { node: 7, key: k.clone(), token: t2.clone(), weight: 0, m: 0 });
-            g.left.push(LeftEntry { node: 8, key: k.clone(), token: t2.clone(), weight: 1, m: 0 });
+            g.left.push(left(7, k.clone(), t1.clone(), 1));
+            g.left.push(left(7, k.clone(), t2.clone(), 0));
+            g.left.push(left(8, k.clone(), t2.clone(), 1));
         }
-        assert_eq!(m.left_tokens_of(7), vec![t1]);
-        assert_eq!(m.left_tokens_of(8), vec![t2]);
+        assert_eq!(m.left_tokens_of(7), vec![(t1, 1)]);
+        assert_eq!(m.left_tokens_of(8), vec![(t2, 1)]);
         assert!(m.right_tokens_of(7).is_empty());
+    }
+
+    #[test]
+    fn node_runs_are_found_by_binary_search() {
+        let mut d = LineData::default();
+        let k = key(&[]);
+        for node in [2u32, 2, 5, 9, 9, 9] {
+            d.left.push(left(node, k.clone(), Token::empty(), 1));
+        }
+        d.check_grouped();
+        assert_eq!(d.left_run(2), (0, 2));
+        assert_eq!(d.left_run(5), (2, 3));
+        assert_eq!(d.left_run(9), (3, 6));
+        assert_eq!(d.left_run(7), (3, 3), "absent node: empty run");
+        assert_eq!(d.right_run(2), (0, 0));
     }
 
     #[test]
@@ -256,12 +611,44 @@ mod tests {
         let m = MemoryTable::new(1);
         {
             let (mut g, _) = m.lock(0);
-            g.right.push(RightEntry { node: 1, key: key(&[]), token: Token::empty(), weight: 0 });
-            g.right.push(RightEntry { node: 1, key: key(&[]), token: Token::empty(), weight: 1 });
+            g.right.push(right(1, key(&[]), Token::empty(), 0));
+            g.right.push(right(1, key(&[]), Token::empty(), 1));
         }
         m.compact();
         let (g, _) = m.lock(0);
         assert_eq!(g.right.len(), 1);
+    }
+
+    #[test]
+    fn end_cycle_touches_only_dirty_lines() {
+        let m = MemoryTable::new(4);
+        {
+            let (mut g, _) = m.lock(1);
+            g.left.push(left(3, key(&[]), Token::empty(), 0));
+            g.left_accesses = 7;
+        }
+        m.touch(1);
+        // Line 2 has state but was never marked dirty: it must be skipped.
+        {
+            let (mut g, _) = m.lock(2);
+            g.right.push(right(4, key(&[]), Token::empty(), 0));
+            g.right_accesses = 3;
+        }
+        assert_eq!(m.end_cycle(), 1, "only the dirty line is compacted");
+        assert_eq!(m.lines_compacted_total(), 1);
+        {
+            let (g, _) = m.lock(1);
+            assert!(g.left.is_empty(), "zero-weight entry dropped");
+            assert_eq!(g.left_accesses, 0, "access counter reset");
+        }
+        {
+            let (g, _) = m.lock(2);
+            assert_eq!(g.right.len(), 1, "clean line untouched");
+            assert_eq!(g.right_accesses, 3);
+        }
+        // The dirty flag was cleared: a second pass compacts nothing.
+        assert_eq!(m.end_cycle(), 0);
+        assert_eq!(m.lines_compacted_total(), 1);
     }
 
     #[test]
@@ -270,7 +657,19 @@ mod tests {
         let m = MemoryTable::new(1);
         {
             let (mut g, _) = m.lock(0);
-            g.left.push(LeftEntry { node: 1, key: key(&[]), token: Token::empty(), weight: -1, m: 0 });
+            g.left.push(left(1, key(&[]), Token::empty(), -1));
+        }
+        m.assert_quiescent();
+    }
+
+    #[test]
+    #[should_panic(expected = "grouped")]
+    fn assert_quiescent_catches_ungrouped_lines() {
+        let m = MemoryTable::new(1);
+        {
+            let (mut g, _) = m.lock(0);
+            g.left.push(left(9, key(&[]), Token::empty(), 1));
+            g.left.push(left(3, key(&[]), Token::empty(), 1));
         }
         m.assert_quiescent();
     }

@@ -12,8 +12,23 @@
 //! the opposite bucket — runs under the memory-line lock, exactly the
 //! locking discipline the paper describes (§6.1). Child activations are
 //! emitted after the lock is released.
+//!
+//! The opposite-bucket scan has two modes, selected by
+//! [`MemoryTable::use_index`]:
+//!
+//! * **indexed** (default): the key's hash is computed once per activation,
+//!   the scan is bounded to the destination node's run within the line, and
+//!   entries are rejected on hash inequality (`hash_rejects`) before any
+//!   structural [`Key`] compare;
+//! * **reference**: the pre-overhaul whole-line scan with structural
+//!   compares — the differential oracle. Non-candidate entries it filters
+//!   by node id are counted as `skipped`.
+//!
+//! `scanned` counts same-node candidates only, and is identical in both
+//! modes — so indexed and reference runs produce bit-identical traces apart
+//! from the `hash_rejects`/`skipped` cost columns.
 
-use crate::memory::{Key, KeyElem, LeftEntry, MemoryTable, RightEntry};
+use crate::memory::{key_hash, Key, KeyElem, MemoryTable};
 use crate::node::{BetaNode, KeyPart, MergeSrc, NodeId, NodeKind, Side, ROOT};
 use crate::token::{Token, WmeStore};
 use crate::view::ReteView;
@@ -46,8 +61,15 @@ pub struct CsChange {
 /// Cost-relevant counters from processing one activation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ActStats {
-    /// Opposite-memory entries examined (same destination node).
+    /// Opposite-memory candidate entries examined (same destination node).
     pub scanned: u32,
+    /// Candidates rejected by the one-word hash compare before any
+    /// structural key compare (indexed probes only; 0 in reference mode).
+    pub hash_rejects: u32,
+    /// Co-hashed entries of *other* nodes traversed by the reference
+    /// whole-line scan (0 when the per-node index is on — the run bounds
+    /// never visit them).
+    pub skipped: u32,
     /// Child activations emitted.
     pub emitted: u32,
     /// Memory line touched (two-input and P nodes).
@@ -56,16 +78,25 @@ pub struct ActStats {
     pub spins: u64,
 }
 
-/// Compute a memory key for `token` under `spec`.
+/// Reusable per-worker scratch for [`process_beta_scratch`]: the match /
+/// transition buffer survives across activations so the steady state
+/// allocates nothing per activation.
+#[derive(Default, Debug)]
+pub struct BetaScratch {
+    matches: Vec<(Token, i32)>,
+}
+
+/// Compute a memory key for `token` under `spec` — inline (allocation-free)
+/// for keys of up to [`crate::memory::KEY_INLINE`] elements.
 #[inline]
 pub fn make_key(spec: &[KeyPart], token: &Token, store: &WmeStore) -> Key {
-    Key(spec
-        .iter()
-        .map(|p| match *p {
+    Key::build(
+        spec.len(),
+        spec.iter().map(|p| match *p {
             KeyPart::Val { slot, field } => KeyElem::V(store.value(token.slot(slot), field)),
             KeyPart::Id { slot } => KeyElem::W(token.slot(slot)),
-        })
-        .collect())
+        }),
+    )
 }
 
 /// Evaluate the non-equality consistency tests between a left token and a
@@ -93,11 +124,9 @@ fn merge_token(node: &BetaNode, left: &Token, right: &Token) -> Token {
     }))
 }
 
-/// Process one beta activation.
-///
-/// `min_node` filters emissions during the run-time state update (§5.2):
-/// child activations targeting nodes below it are dropped. Use 0 for normal
-/// matching.
+/// Process one beta activation (convenience wrapper that brings its own
+/// scratch; hot loops should hold a [`BetaScratch`] and call
+/// [`process_beta_scratch`]).
 pub fn process_beta<N: ReteView + ?Sized>(
     net: &N,
     mem: &MemoryTable,
@@ -107,21 +136,45 @@ pub fn process_beta<N: ReteView + ?Sized>(
     emit: &mut dyn FnMut(Activation),
     cs_emit: &mut dyn FnMut(CsChange),
 ) -> ActStats {
+    let mut scratch = BetaScratch::default();
+    process_beta_scratch(net, mem, store, act, min_node, &mut scratch, emit, cs_emit)
+}
+
+/// Process one beta activation, reusing `scratch` across calls.
+///
+/// `min_node` filters emissions during the run-time state update (§5.2):
+/// child activations targeting nodes below it are dropped. Use 0 for normal
+/// matching.
+#[allow(clippy::too_many_arguments)]
+pub fn process_beta_scratch<N: ReteView + ?Sized>(
+    net: &N,
+    mem: &MemoryTable,
+    store: &WmeStore,
+    act: &Activation,
+    min_node: NodeId,
+    scratch: &mut BetaScratch,
+    emit: &mut dyn FnMut(Activation),
+    cs_emit: &mut dyn FnMut(CsChange),
+) -> ActStats {
     let node = net.node(act.node);
     let mut stats = ActStats::default();
+    let use_index = mem.use_index;
+    scratch.matches.clear();
     match node.kind {
         NodeKind::Root => stats,
         NodeKind::Prod { prod } => {
             // P nodes store their input tokens (so that a later chunk
             // sharing this whole chain can enumerate the parent's outputs)
             // and update the conflict set.
-            let key = Key::default();
-            let line = mem.line_of(act.node, &key);
+            let key = Key::empty();
+            let khash = key_hash(&key);
+            let line = mem.line_of_hash(act.node, khash);
             stats.line = Some(line);
             let (mut g, spins) = mem.lock(line);
             stats.spins = spins;
+            mem.touch(line);
             g.left_accesses += 1;
-            upsert_left(&mut g.left, act.node, key, &act.token, act.delta, 0);
+            g.upsert_left(act.node, &key, khash, &act.token, act.delta, 0, use_index);
             drop(g);
             cs_emit(CsChange { prod, token: act.token.clone(), delta: act.delta });
             stats.emitted = 1;
@@ -130,57 +183,77 @@ pub fn process_beta<N: ReteView + ?Sized>(
         NodeKind::Join => match act.side {
             Side::Left => {
                 let key = make_key(&node.left_key, &act.token, store);
-                let line = mem.line_of(act.node, &key);
+                let khash = key_hash(&key);
+                let line = mem.line_of_hash(act.node, khash);
                 stats.line = Some(line);
                 let (mut g, spins) = mem.lock(line);
                 stats.spins = spins;
+                mem.touch(line);
                 g.left_accesses += 1;
-                upsert_left(&mut g.left, act.node, key.clone(), &act.token, act.delta, 0);
-                let mut matches: Vec<(Token, i32)> = Vec::new();
-                for e in g.right.iter().filter(|e| e.node == act.node) {
+                g.upsert_left(act.node, &key, khash, &act.token, act.delta, 0, use_index);
+                let (s, e) = if use_index { g.right_run(act.node) } else { (0, g.right.len()) };
+                for en in &g.right[s..e] {
+                    if en.node != act.node {
+                        stats.skipped += 1;
+                        continue;
+                    }
                     stats.scanned += 1;
-                    if e.weight != 0 && e.key == key && tests_pass(node, &act.token, &e.token, store)
-                    {
-                        matches.push((e.token.clone(), e.weight));
+                    if en.weight == 0 {
+                        continue;
+                    }
+                    if use_index && en.hash != khash {
+                        stats.hash_rejects += 1;
+                        continue;
+                    }
+                    if en.key == key && tests_pass(node, &act.token, &en.token, store) {
+                        scratch.matches.push((en.token.clone(), en.weight));
                     }
                 }
                 drop(g);
-                for (rt, w) in matches {
+                for (rt, w) in scratch.matches.drain(..) {
                     let out = merge_token(node, &act.token, &rt);
-                    stats.emitted +=
-                        emit_children(net, node, out, act.delta * w, min_node, emit);
+                    stats.emitted += emit_children(net, node, out, act.delta * w, min_node, emit);
                 }
                 stats
             }
             Side::Right => {
                 let key = make_key(&node.right_key, &act.token, store);
-                let line = mem.line_of(act.node, &key);
+                let khash = key_hash(&key);
+                let line = mem.line_of_hash(act.node, khash);
                 stats.line = Some(line);
                 let (mut g, spins) = mem.lock(line);
                 stats.spins = spins;
+                mem.touch(line);
                 g.right_accesses += 1;
-                upsert_right(&mut g.right, act.node, key.clone(), &act.token, act.delta);
-                let mut matches: Vec<(Token, i32)> = Vec::new();
+                g.upsert_right(act.node, &key, khash, &act.token, act.delta, use_index);
                 if node.parent == ROOT {
                     // The root's single output is the weight-1 empty token.
-                    matches.push((Token::empty(), 1));
+                    scratch.matches.push((Token::empty(), 1));
                     stats.scanned += 1;
                 } else {
-                    for e in g.left.iter().filter(|e| e.node == act.node) {
+                    let (s, e) = if use_index { g.left_run(act.node) } else { (0, g.left.len()) };
+                    for en in &g.left[s..e] {
+                        if en.node != act.node {
+                            stats.skipped += 1;
+                            continue;
+                        }
                         stats.scanned += 1;
-                        if e.weight != 0
-                            && e.key == key
-                            && tests_pass(node, &e.token, &act.token, store)
-                        {
-                            matches.push((e.token.clone(), e.weight));
+                        if en.weight == 0 {
+                            continue;
+                        }
+                        if use_index && en.hash != khash {
+                            stats.hash_rejects += 1;
+                            continue;
+                        }
+                        if en.key == key && tests_pass(node, &en.token, &act.token, store) {
+                            scratch.matches.push((en.token.clone(), en.weight));
                         }
                     }
                 }
                 drop(g);
-                for (lt, w) in matches {
+                for (lt, w) in scratch.matches.drain(..) {
                     let out = merge_token(node, &lt, &act.token);
-                    stats.emitted +=
-                        emit_children(net, node, out, act.delta * w, min_node, emit);
+                    stats.emitted += emit_children(net, node, out, act.delta * w, min_node, emit);
                 }
                 stats
             }
@@ -188,47 +261,61 @@ pub fn process_beta<N: ReteView + ?Sized>(
         NodeKind::Neg => match act.side {
             Side::Left => {
                 let key = make_key(&node.left_key, &act.token, store);
-                let line = mem.line_of(act.node, &key);
+                let khash = key_hash(&key);
+                let line = mem.line_of_hash(act.node, khash);
                 stats.line = Some(line);
                 let (mut g, spins) = mem.lock(line);
                 stats.spins = spins;
+                mem.touch(line);
                 g.left_accesses += 1;
                 // Find or create the entry; a fresh entry computes its
                 // not-counter m by scanning the right bucket.
-                let idx = g
-                    .left
-                    .iter()
-                    .position(|e| e.node == act.node && e.token == act.token);
-                let (m_now, remove_at) = match idx {
+                let (ls, le) = g.left_run(act.node);
+                let idx = (ls..le).find(|&i| {
+                    let en = &g.left[i];
+                    (!use_index || en.hash == khash) && en.token == act.token
+                });
+                let m_now = match idx {
                     Some(i) => {
                         g.left[i].weight += act.delta;
                         let m = g.left[i].m;
-                        let rm = if g.left[i].weight == 0 { Some(i) } else { None };
-                        (m, rm)
+                        if g.left[i].weight == 0 {
+                            g.left.remove(i);
+                        }
+                        m
                     }
                     None => {
                         let mut m = 0i32;
-                        let mut scanned = 0u32;
-                        for e in g.right.iter().filter(|e| e.node == act.node) {
-                            scanned += 1;
-                            if e.key == key && tests_pass(node, &act.token, &e.token, store) {
-                                m += e.weight;
+                        let (s, e) =
+                            if use_index { g.right_run(act.node) } else { (0, g.right.len()) };
+                        for en in &g.right[s..e] {
+                            if en.node != act.node {
+                                stats.skipped += 1;
+                                continue;
+                            }
+                            stats.scanned += 1;
+                            if use_index && en.hash != khash {
+                                stats.hash_rejects += 1;
+                                continue;
+                            }
+                            if en.key == key && tests_pass(node, &act.token, &en.token, store) {
+                                m += en.weight;
                             }
                         }
-                        stats.scanned += scanned;
-                        g.left.push(LeftEntry {
-                            node: act.node,
-                            key: key.clone(),
-                            token: act.token.clone(),
-                            weight: act.delta,
-                            m,
-                        });
-                        (m, None)
+                        g.left.insert(
+                            le,
+                            crate::memory::LeftEntry {
+                                node: act.node,
+                                hash: khash,
+                                key,
+                                token: act.token.clone(),
+                                weight: act.delta,
+                                m,
+                            },
+                        );
+                        m
                     }
                 };
-                if let Some(i) = remove_at {
-                    g.left.swap_remove(i);
-                }
                 drop(g);
                 if m_now == 0 {
                     stats.emitted +=
@@ -238,37 +325,41 @@ pub fn process_beta<N: ReteView + ?Sized>(
             }
             Side::Right => {
                 let key = make_key(&node.right_key, &act.token, store);
-                let line = mem.line_of(act.node, &key);
+                let khash = key_hash(&key);
+                let line = mem.line_of_hash(act.node, khash);
                 stats.line = Some(line);
                 let (mut g, spins) = mem.lock(line);
                 stats.spins = spins;
+                mem.touch(line);
                 g.right_accesses += 1;
-                upsert_right(&mut g.right, act.node, key.clone(), &act.token, act.delta);
-                // Adjust the not-counters of matching left tokens; emit the
-                // blocked/unblocked transitions.
-                let mut transitions: Vec<(Token, i32)> = Vec::new();
-                // Split borrows: collect left indices first.
-                let mut updates: Vec<usize> = Vec::new();
-                for (i, e) in g.left.iter().enumerate() {
-                    if e.node == act.node {
-                        stats.scanned += 1;
-                        if e.key == key && tests_pass(node, &e.token, &act.token, store) {
-                            updates.push(i);
+                g.upsert_right(act.node, &key, khash, &act.token, act.delta, use_index);
+                // Adjust the not-counters of matching left tokens; collect
+                // the blocked/unblocked transitions.
+                let (s, e) = if use_index { g.left_run(act.node) } else { (0, g.left.len()) };
+                for i in s..e {
+                    let en = &g.left[i];
+                    if en.node != act.node {
+                        stats.skipped += 1;
+                        continue;
+                    }
+                    stats.scanned += 1;
+                    if use_index && en.hash != khash {
+                        stats.hash_rejects += 1;
+                        continue;
+                    }
+                    if en.key == key && tests_pass(node, &en.token, &act.token, store) {
+                        let en = &mut g.left[i];
+                        let m_old = en.m;
+                        en.m += act.delta;
+                        if m_old == 0 && en.m != 0 {
+                            scratch.matches.push((en.token.clone(), -en.weight));
+                        } else if m_old != 0 && en.m == 0 {
+                            scratch.matches.push((en.token.clone(), en.weight));
                         }
                     }
                 }
-                for i in updates {
-                    let e = &mut g.left[i];
-                    let m_old = e.m;
-                    e.m += act.delta;
-                    if m_old == 0 && e.m != 0 {
-                        transitions.push((e.token.clone(), -e.weight));
-                    } else if m_old != 0 && e.m == 0 {
-                        transitions.push((e.token.clone(), e.weight));
-                    }
-                }
                 drop(g);
-                for (t, d) in transitions {
+                for (t, d) in scratch.matches.drain(..) {
                     if d != 0 {
                         stats.emitted += emit_children(net, node, t, d, min_node, emit);
                     }
@@ -277,32 +368,6 @@ pub fn process_beta<N: ReteView + ?Sized>(
             }
         },
     }
-}
-
-fn upsert_left(left: &mut Vec<LeftEntry>, node: NodeId, key: Key, token: &Token, delta: i32, m: i32) {
-    if let Some(e) = left.iter_mut().find(|e| e.node == node && e.token == *token) {
-        e.weight += delta;
-        if e.weight == 0 {
-            let idx = left
-                .iter()
-                .position(|e| e.node == node && e.token == *token)
-                .expect("entry just updated");
-            left.swap_remove(idx);
-        }
-        return;
-    }
-    left.push(LeftEntry { node, key, token: token.clone(), weight: delta, m });
-}
-
-fn upsert_right(right: &mut Vec<RightEntry>, node: NodeId, key: Key, token: &Token, delta: i32) {
-    if let Some(i) = right.iter().position(|e| e.node == node && e.token == *token) {
-        right[i].weight += delta;
-        if right[i].weight == 0 {
-            right.swap_remove(i);
-        }
-        return;
-    }
-    right.push(RightEntry { node, key, token: token.clone(), weight: delta });
 }
 
 fn emit_children<N: ReteView + ?Sized>(
@@ -379,8 +444,11 @@ mod tests {
     ) -> Vec<CsChange> {
         let mut queue = vec![seed];
         let mut cs = Vec::new();
+        let mut scratch = BetaScratch::default();
         while let Some(act) = queue.pop() {
-            process_beta(net, mem, store, &act, 0, &mut |a| queue.push(a), &mut |c| cs.push(c));
+            process_beta_scratch(net, mem, store, &act, 0, &mut scratch, &mut |a| queue.push(a), &mut |c| {
+                cs.push(c)
+            });
         }
         cs
     }
@@ -395,9 +463,9 @@ mod tests {
             &t,
             &store,
         );
-        assert_eq!(key.0.len(), 2);
-        assert_eq!(key.0[0], crate::memory::KeyElem::V(Value::Int(7)));
-        assert_eq!(key.0[1], crate::memory::KeyElem::W(id));
+        assert_eq!(key.elems().len(), 2);
+        assert_eq!(key.elems()[0], crate::memory::KeyElem::V(Value::Int(7)));
+        assert_eq!(key.elems()[1], crate::memory::KeyElem::W(id));
     }
 
     #[test]
@@ -463,5 +531,50 @@ mod tests {
         assert_eq!(emitted.len(), 1);
         assert_eq!(emitted[0].token.len(), 1);
         assert_eq!(stats.scanned, 1, "the implicit empty token counts as one scan");
+    }
+
+    #[test]
+    fn indexed_and_reference_probes_agree_and_account_differently() {
+        // Two memories over the same 1-line table (every node co-hashed):
+        // indexed probes must emit the same matches as the reference
+        // whole-line scan, with `skipped` > 0 only in reference mode and
+        // `hash_rejects` > 0 only in indexed mode.
+        let (r, net, _, mut store) = setup();
+        for mode in [true, false] {
+            let mut mem = MemoryTable::new(1);
+            mem.use_index = mode;
+            let mut cs = Vec::new();
+            let mut stats_sum = ActStats::default();
+            // Several (a, b) pairs with distinct keys: only the same-key
+            // pair joins; different-key right entries are hash-rejectable.
+            let mut ids = Vec::new();
+            for i in 0..4 {
+                ids.push(store.add(parse_wme(&format!("(a ^x {i})"), &r).unwrap()).0);
+                ids.push(store.add(parse_wme(&format!("(b ^x {i})"), &r).unwrap()).0);
+            }
+            for &w in &ids {
+                let mut pending = Vec::new();
+                process_wme_change(&net, &store, w, 1, 0, &mut |a| pending.push(a));
+                let mut queue = pending;
+                while let Some(act) = queue.pop() {
+                    let s = process_beta(&net, &mem, &store, &act, 0, &mut |a| queue.push(a), &mut |c| {
+                        cs.push(c)
+                    });
+                    stats_sum.scanned += s.scanned;
+                    stats_sum.hash_rejects += s.hash_rejects;
+                    stats_sum.skipped += s.skipped;
+                }
+            }
+            let net_weight: i32 = cs.iter().map(|c| c.delta).sum();
+            assert_eq!(net_weight, 4, "one instantiation per pair (mode {mode})");
+            if mode {
+                assert!(stats_sum.hash_rejects > 0, "indexed probes hash-reject");
+                assert_eq!(stats_sum.skipped, 0, "run bounds never visit other nodes");
+            } else {
+                assert_eq!(stats_sum.hash_rejects, 0, "reference scan never hash-rejects");
+                assert!(stats_sum.skipped > 0, "whole-line scan traverses other nodes");
+            }
+            mem.assert_quiescent();
+        }
     }
 }

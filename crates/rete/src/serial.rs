@@ -16,7 +16,7 @@ use crate::build::{AddResult, BuildError};
 use crate::memory::MemoryTable;
 use crate::network::{NetworkOrg, ReteNetwork};
 use crate::node::{NodeId, NodeKind};
-use crate::process::{process_beta, process_wme_change, Activation, CsChange};
+use crate::process::{process_beta_scratch, process_wme_change, Activation, BetaScratch, CsChange};
 use crate::state::MatchState;
 use crate::token::{Token, WmeStore};
 use crate::trace::{CycleTrace, Phase, RunTrace, TaskKind, TaskRecord};
@@ -103,8 +103,10 @@ pub fn instantiations_from_memories<N: ReteView + ?Sized>(
     let mut out = Vec::new();
     for i in 0..net.num_prods() as u32 {
         let info = net.prod_info(i);
-        for t in mem.left_tokens_of(info.p_node) {
-            out.push(instantiation_of(net, store, i, &t));
+        for (t, w) in mem.left_tokens_of(info.p_node) {
+            for _ in 0..w {
+                out.push(instantiation_of(net, store, i, &t));
+            }
         }
     }
     out.sort_by(|a, b| (a.prod, &a.wmes).cmp(&(b.prod, &b.wmes)));
@@ -129,6 +131,8 @@ pub struct SerialEngine<N = ReteNetwork> {
     pub trace: RunTrace,
     cycle_count: u64,
     total_tasks: u64,
+    /// Reusable beta-scan scratch (the serial engine is its own "worker").
+    scratch: BetaScratch,
 }
 
 impl<N> SerialEngine<N> {
@@ -153,6 +157,7 @@ impl<N> SerialEngine<N> {
             trace: RunTrace::default(),
             cycle_count: 0,
             total_tasks: 0,
+            scratch: BetaScratch::default(),
         }
     }
 
@@ -196,7 +201,6 @@ impl<N: ReteView> SerialEngine<N> {
     /// Inject pre-registered wme changes (used by the Soar layer, which
     /// manages the store itself).
     pub fn run_cycle(&mut self, changes: Vec<(WmeId, i32)>, phase: Phase) -> CycleOutcome {
-        self.state.mem.reset_access_counts();
         let mut queue: VecDeque<(Activation, Option<u32>)> = VecDeque::new();
         let mut tasks: Vec<TaskRecord> = Vec::new();
         let mut cs_raw: Vec<CsChange> = Vec::new();
@@ -221,6 +225,8 @@ impl<N: ReteView> SerialEngine<N> {
                     side: None,
                     delta,
                     scanned: alpha.tests_run,
+                    hash_rejects: 0,
+                    skipped: 0,
                     probes: alpha.probes,
                     emitted,
                     line: None,
@@ -241,6 +247,9 @@ impl<N: ReteView> SerialEngine<N> {
         }
         #[cfg(debug_assertions)]
         self.state.mem.assert_quiescent();
+        // Incremental quiescent housekeeping: only the lines this cycle
+        // wrote are compacted and counter-reset.
+        self.state.mem.end_cycle();
         outcome
     }
 
@@ -259,12 +268,13 @@ impl<N: ReteView> SerialEngine<N> {
             executed += 1;
             let mut pending: Vec<Activation> = Vec::new();
             let t0 = self.capture.then(std::time::Instant::now);
-            let stats = process_beta(
+            let stats = process_beta_scratch(
                 &self.net,
                 &self.state.mem,
                 &self.state.store,
                 &act,
                 min_node,
+                &mut self.scratch,
                 &mut |a| pending.push(a),
                 &mut |c| cs_raw.push(c),
             );
@@ -286,6 +296,8 @@ impl<N: ReteView> SerialEngine<N> {
                     side: Some(act.side),
                     delta: act.delta,
                     scanned: stats.scanned,
+                    hash_rejects: stats.hash_rejects,
+                    skipped: stats.skipped,
                     probes: 0,
                     emitted: stats.emitted,
                     line: stats.line,
@@ -355,6 +367,8 @@ impl<N: ReteBuild> SerialEngine<N> {
                     side: None,
                     delta: 1,
                     scanned: alpha.tests_run,
+                    hash_rejects: 0,
+                    skipped: 0,
                     probes: alpha.probes,
                     emitted,
                     line: None,
@@ -370,6 +384,7 @@ impl<N: ReteBuild> SerialEngine<N> {
         }
         #[cfg(debug_assertions)]
         self.state.mem.assert_quiescent();
+        self.state.mem.end_cycle();
         Ok(AddOutcome { add, update_tasks, cs: self.fold_cs(cs_raw) })
     }
 }

@@ -6,6 +6,7 @@
 //! the consuming node's coverage metadata, so the same representation serves
 //! linear chains, bilinear group joins and NCC subnetworks.
 
+use crate::util::{fxhash, FxHashMap};
 use psme_ops::{TimeTag, Value, Wme, WmeId};
 use std::fmt;
 use std::sync::Arc;
@@ -90,6 +91,11 @@ pub struct WmeStore {
     wmes: Vec<StoredWme>,
     next_tag: u64,
     live: usize,
+    /// Content-hash index over *live* wmes: bucket of candidate ids in
+    /// ascending-id order (insertion order; removal is order-preserving).
+    /// Makes [`Self::find_alive`] — the RHS `make` dedup path — O(bucket)
+    /// instead of O(live).
+    alive_idx: FxHashMap<u64, Vec<WmeId>>,
 }
 
 impl WmeStore {
@@ -103,6 +109,7 @@ impl WmeStore {
         self.next_tag += 1;
         let id = WmeId(self.wmes.len() as u32);
         let tag = TimeTag(self.next_tag);
+        self.alive_idx.entry(fxhash(&wme)).or_default().push(id);
         self.wmes.push(StoredWme { wme: Arc::new(wme), tag, alive: true });
         self.live += 1;
         (id, tag)
@@ -116,7 +123,17 @@ impl WmeStore {
         }
         s.alive = false;
         self.live -= 1;
-        Some(s.wme.clone())
+        let wme = s.wme.clone();
+        let h = fxhash(wme.as_ref());
+        if let Some(bucket) = self.alive_idx.get_mut(&h) {
+            if let Some(pos) = bucket.iter().position(|&b| b == id) {
+                bucket.remove(pos);
+            }
+            if bucket.is_empty() {
+                self.alive_idx.remove(&h);
+            }
+        }
+        Some(wme)
     }
 
     /// The wme for an id (alive or dead).
@@ -149,9 +166,20 @@ impl WmeStore {
             .map(|(i, s)| (WmeId(i as u32), &s.wme))
     }
 
-    /// Find a live wme structurally equal to `w`.
+    /// Find the first (lowest-id) live wme structurally equal to `w`.
+    ///
+    /// Probes the content-hash index and verifies structurally (hash
+    /// collisions land in the same bucket but fail the `==`); the bucket's
+    /// ascending-id order preserves the old linear scan's "first match"
+    /// answer.
     pub fn find_alive(&self, w: &Wme) -> Option<WmeId> {
-        self.iter_alive().find(|(_, s)| s.as_ref() == w).map(|(id, _)| id)
+        self.alive_idx.get(&fxhash(w)).and_then(|bucket| {
+            bucket.iter().copied().find(|&id| {
+                let s = &self.wmes[id.0 as usize];
+                debug_assert!(s.alive, "index holds a dead wme");
+                s.wme.as_ref() == w
+            })
+        })
     }
 
     /// Number of live wmes.
@@ -221,6 +249,54 @@ mod tests {
         assert_eq!(s.find_alive(&mk(&r, "(a ^x 1)")), None);
         s.remove(id);
         assert_eq!(s.find_alive(&mk(&r, "(a ^x 1 ^y blue)")), None);
+    }
+
+    #[test]
+    fn find_alive_index_survives_removal() {
+        // Regression: the content-hash index must stay consistent with the
+        // store across add/remove, including duplicates of equal content.
+        let r = reg();
+        let mut s = WmeStore::new();
+        let (id1, _) = s.add(mk(&r, "(a ^x 1 ^y blue)"));
+        let (id2, _) = s.add(mk(&r, "(a ^x 1 ^y blue)"));
+        let (id3, _) = s.add(mk(&r, "(a ^x 2)"));
+        // Duplicates: the lowest live id wins (the old linear scan's answer).
+        assert_eq!(s.find_alive(&mk(&r, "(a ^x 1 ^y blue)")), Some(id1));
+        s.remove(id1);
+        assert_eq!(s.find_alive(&mk(&r, "(a ^x 1 ^y blue)")), Some(id2));
+        s.remove(id2);
+        assert_eq!(s.find_alive(&mk(&r, "(a ^x 1 ^y blue)")), None);
+        assert_eq!(s.find_alive(&mk(&r, "(a ^x 2)")), Some(id3));
+        // Re-adding equal content after full removal finds the new id.
+        let (id4, _) = s.add(mk(&r, "(a ^x 1 ^y blue)"));
+        assert_eq!(s.find_alive(&mk(&r, "(a ^x 1 ^y blue)")), Some(id4));
+        // Double-remove must not corrupt the bucket of a re-added twin.
+        assert!(s.remove(id1).is_none());
+        assert_eq!(s.find_alive(&mk(&r, "(a ^x 1 ^y blue)")), Some(id4));
+        // Every live wme is findable; every dead one is not.
+        for (id, w) in s.iter_alive() {
+            assert_eq!(s.find_alive(w), Some(id));
+        }
+    }
+
+    #[test]
+    fn find_alive_agrees_with_linear_scan() {
+        // Differential check against the pre-index reference definition.
+        let r = reg();
+        let mut s = WmeStore::new();
+        let mut all = Vec::new();
+        for i in 0..20 {
+            let (id, _) = s.add(mk(&r, &format!("(a ^x {} ^y blue)", i % 7)));
+            all.push(id);
+        }
+        for &id in all.iter().step_by(3) {
+            s.remove(id);
+        }
+        for i in 0..8 {
+            let probe = mk(&r, &format!("(a ^x {i} ^y blue)"));
+            let reference = s.iter_alive().find(|(_, w)| w.as_ref() == &probe).map(|(id, _)| id);
+            assert_eq!(s.find_alive(&probe), reference, "probe x={i}");
+        }
     }
 
     #[test]

@@ -38,8 +38,19 @@ pub struct TaskRecord {
     pub side: Option<Side>,
     /// +1 add / −1 delete.
     pub delta: i32,
-    /// Opposite-memory entries examined (alpha: constant tests run).
+    /// Opposite-memory candidate entries examined (alpha: constant tests
+    /// run). Candidates only — co-hashed entries of other nodes are counted
+    /// in `skipped`, so indexed and reference memory runs agree on this
+    /// column.
     pub scanned: u32,
+    /// Candidates rejected by the stored-hash compare before any structural
+    /// key compare (indexed probes only; 0 for alpha tasks and for the
+    /// reference whole-line scan).
+    pub hash_rejects: u32,
+    /// Co-hashed entries of *other* destination nodes traversed by the
+    /// reference whole-line scan (0 with the per-node line index, which
+    /// never visits them; 0 for alpha tasks).
+    pub skipped: u32,
     /// For alpha tasks: hashed jump-table probes included in `scanned`
     /// (cheaper than chain tests under the cost model; 0 for beta tasks and
     /// for the linear-scan classifier).
@@ -125,7 +136,7 @@ mod tests {
     use super::*;
 
     fn rec(id: u32, parent: Option<u32>, kind: TaskKind) -> TaskRecord {
-        TaskRecord { id, parent, node: 1, kind, side: None, delta: 1, scanned: 0, probes: 0, emitted: 0, line: None, wall_ns: 0 }
+        TaskRecord { id, parent, node: 1, kind, side: None, delta: 1, scanned: 0, hash_rejects: 0, skipped: 0, probes: 0, emitted: 0, line: None, wall_ns: 0 }
     }
 
     #[test]

@@ -22,7 +22,8 @@ use crate::process::{process_wme_change, Activation};
 use crate::token::{Token, WmeStore};
 use crate::view::ReteView;
 
-/// Enumerate the output tokens an *old* node currently stores, by reading
+/// Enumerate the output tokens (with stored weights — all 1 at the
+/// quiescent point this runs at) an *old* node currently stores, by reading
 /// the memory of one of its old consumers (every old non-root node has at
 /// least one, because chains terminate in P nodes which store their inputs).
 ///
@@ -33,9 +34,9 @@ fn outputs_of_old_node<N: ReteView + ?Sized>(
     mem: &MemoryTable,
     node: NodeId,
     first_new: NodeId,
-) -> Vec<Token> {
+) -> Vec<(Token, i32)> {
     if node == ROOT {
-        return vec![Token::empty()];
+        return vec![(Token::empty(), 1)];
     }
     let n = net.node(node);
     for &(child, side) in n.out_edges.iter().chain(net.extra_out_edges(node)) {
@@ -70,16 +71,16 @@ pub fn seed_update<N: ReteView + ?Sized>(
         // children during the update run itself; the root's single empty
         // token is implicit in right-activation processing.)
         if n.parent < first_new && n.parent != ROOT {
-            for t in outputs_of_old_node(net, mem, n.parent, first_new) {
-                seeds.push(Activation { node: id, side: Side::Left, token: t, delta: 1 });
+            for (t, w) in outputs_of_old_node(net, mem, n.parent, first_new) {
+                seeds.push(Activation { node: id, side: Side::Left, token: t, delta: w });
             }
         }
         // Right seeds from an old beta source (a chunk sharing part of an
         // NCC subnetwork or bilinear group chain).
         if let Some(RightSrc::Beta(b)) = n.right {
             if b < first_new {
-                for t in outputs_of_old_node(net, mem, b, first_new) {
-                    seeds.push(Activation { node: id, side: Side::Right, token: t, delta: 1 });
+                for (t, w) in outputs_of_old_node(net, mem, b, first_new) {
+                    seeds.push(Activation { node: id, side: Side::Right, token: t, delta: w });
                 }
             }
         }

@@ -1,0 +1,258 @@
+//! Differential properties for the beta-memory overhaul: the indexed
+//! probe path (hash-first rejection + per-node line runs) must be
+//! observationally identical to the reference whole-line scan it replaced,
+//! over arbitrary add/delete interleavings — including deletes overtaking
+//! adds, Neg not-counters and NCC subnetworks — plus an exact-accounting
+//! fixture for the new `hash_rejects` / `entries_skipped` counters.
+
+use proptest::prelude::*;
+use psme_rete::testgen::{random_system, GenConfig, XorShift};
+use psme_rete::{
+    process_beta, process_wme_change, Activation, CsChange, MatchState, MemoryTable, NetworkOrg,
+    NodeId, ReteNetwork, SerialEngine, TaskKind, Token, WmeStore,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn build_net(sys: &psme_rete::testgen::GeneratedSystem) -> ReteNetwork {
+    let mut net = ReteNetwork::new();
+    for p in &sys.productions {
+        net.add_production(Arc::new(p.clone()), NetworkOrg::Linear).unwrap();
+    }
+    net
+}
+
+type NodeTokens = (NodeId, Vec<(Token, i32)>, Vec<(Token, i32)>);
+
+/// Quiescent memory contents per node, order-normalized.
+fn snapshot(net: &ReteNetwork, mem: &MemoryTable) -> Vec<NodeTokens> {
+    let sort = |mut v: Vec<(Token, i32)>| {
+        v.sort_by(|a, b| a.0.wmes().cmp(b.0.wmes()));
+        v
+    };
+    (0..net.num_nodes() as NodeId)
+        .map(|n| (n, sort(mem.left_tokens_of(n)), sort(mem.right_tokens_of(n))))
+        .collect()
+}
+
+/// Drain a queue of seed activations through one memory, returning the net
+/// conflict-set weight per (production, token).
+fn drain_all(
+    net: &ReteNetwork,
+    mem: &MemoryTable,
+    store: &WmeStore,
+    seeds: &[Activation],
+) -> HashMap<(u32, Token), i32> {
+    let mut queue: Vec<Activation> = Vec::new();
+    let mut cs: Vec<CsChange> = Vec::new();
+    for seed in seeds {
+        queue.push(seed.clone());
+        while let Some(act) = queue.pop() {
+            process_beta(net, mem, store, &act, 0, &mut |a| queue.push(a), &mut |c| cs.push(c));
+        }
+    }
+    let mut folded: HashMap<(u32, Token), i32> = HashMap::new();
+    for c in cs {
+        *folded.entry((c.prod, c.token)).or_insert(0) += c.delta;
+    }
+    folded.retain(|_, d| *d != 0);
+    folded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Engine-level differential: a serial engine probing through the
+    /// per-node index behaves bit-for-bit like one running the reference
+    /// whole-line scan — same per-cycle conflict-set deltas, same
+    /// instantiations, same quiescent memory contents — on 2-line tables
+    /// where every node co-hashes with others.
+    #[test]
+    fn indexed_memory_equals_reference_scan(
+        seed in 0u64..10_000,
+        script in prop::collection::vec((0u8..4, 0u16..200), 1..20),
+    ) {
+        let sys = random_system(seed, GenConfig::default());
+        let mut engines: Vec<SerialEngine> = (0..2)
+            .map(|i| {
+                let mut e = SerialEngine::with_memory(build_net(&sys), 2);
+                e.state.mem.use_index = i == 0;
+                e
+            })
+            .collect();
+        let mut rng = XorShift::new(seed ^ 0xBEEF);
+        for (op, pick) in script {
+            let outs: Vec<_> = match op {
+                0..=2 => {
+                    let w = sys.random_wme(&mut rng);
+                    engines.iter_mut().map(|e| e.apply_changes(vec![w.clone()], vec![])).collect()
+                }
+                _ => {
+                    let alive: Vec<_> =
+                        engines[0].state.store.iter_alive().map(|(id, _)| id).collect();
+                    if alive.is_empty() {
+                        continue;
+                    }
+                    let id = alive[pick as usize % alive.len()];
+                    engines.iter_mut().map(|e| e.apply_changes(vec![], vec![id])).collect()
+                }
+            };
+            prop_assert_eq!(&outs[0].cs.added, &outs[1].cs.added, "cycle adds diverge");
+            prop_assert_eq!(&outs[0].cs.removed, &outs[1].cs.removed, "cycle removes diverge");
+        }
+        prop_assert_eq!(
+            engines[0].current_instantiations(),
+            engines[1].current_instantiations()
+        );
+        prop_assert_eq!(
+            snapshot(&engines[0].net, &engines[0].state.mem),
+            snapshot(&engines[1].net, &engines[1].state.mem)
+        );
+        for e in &engines {
+            e.state.mem.assert_quiescent();
+        }
+    }
+
+    /// Activation-level differential with deletes overtaking adds: both
+    /// memory modes process the same shuffled interleaving of add and
+    /// delete activations (so a delete can run before its add, leaving
+    /// transient −1 entries) on a 1-line table and must agree on the net
+    /// conflict set and on the (empty) quiescent memory. Neg not-counters
+    /// and NCC subnetworks are exercised via the generator's neg/ncc CEs.
+    #[test]
+    fn shuffled_delete_overtakes_add(
+        seed in 0u64..10_000,
+        n in 2usize..8,
+    ) {
+        let sys = random_system(seed, GenConfig { neg_pct: 60, ncc_pct: 40, ..GenConfig::default() });
+        let net = build_net(&sys);
+        let mut store = WmeStore::new();
+        let mut rng = XorShift::new(seed ^ 0xD00D);
+        // Register n wmes; every one gets an add AND a delete seed, so the
+        // net effect of the whole stream is zero.
+        let mut seeds: Vec<Activation> = Vec::new();
+        for _ in 0..n {
+            let (id, _) = store.add(sys.random_wme(&mut rng));
+            for delta in [1, -1] {
+                process_wme_change(&net, &store, id, delta, 0, &mut |a| seeds.push(a));
+            }
+        }
+        // One shuffle, shared by both modes: deletes routinely land first.
+        for i in (1..seeds.len()).rev() {
+            seeds.swap(i, rng.below(i + 1));
+        }
+        let mut results = Vec::new();
+        for use_index in [true, false] {
+            let mut mem = MemoryTable::new(1);
+            mem.use_index = use_index;
+            let cs = drain_all(&net, &mem, &store, &seeds);
+            mem.assert_quiescent();
+            mem.compact();
+            prop_assert_eq!(snapshot(&net, &mem), snapshot(&net, &MemoryTable::new(1)),
+                "add+delete pairs must annihilate (use_index={})", use_index);
+            results.push(cs);
+        }
+        prop_assert_eq!(&results[0], &results[1], "net conflict sets diverge");
+        prop_assert!(results[0].is_empty(), "balanced stream nets to zero: {:?}", results[0]);
+    }
+
+    /// Same interleaving differential, but unbalanced (only a suffix of the
+    /// wmes is deleted): the two modes must agree on the surviving matches
+    /// and memory contents, which are generally non-empty.
+    #[test]
+    fn shuffled_partial_deletes_agree(
+        seed in 0u64..10_000,
+        n in 2usize..8,
+        del_from in 0usize..6,
+    ) {
+        let sys = random_system(seed, GenConfig { neg_pct: 50, ncc_pct: 30, ..GenConfig::default() });
+        let net = build_net(&sys);
+        let mut store = WmeStore::new();
+        let mut rng = XorShift::new(seed ^ 0xCAFE);
+        let mut seeds: Vec<Activation> = Vec::new();
+        for i in 0..n {
+            let (id, _) = store.add(sys.random_wme(&mut rng));
+            process_wme_change(&net, &store, id, 1, 0, &mut |a| seeds.push(a));
+            if i >= del_from.min(n - 1) {
+                store.remove(id);
+                process_wme_change(&net, &store, id, -1, 0, &mut |a| seeds.push(a));
+            }
+        }
+        for i in (1..seeds.len()).rev() {
+            seeds.swap(i, rng.below(i + 1));
+        }
+        let mut results = Vec::new();
+        for use_index in [true, false] {
+            let mut mem = MemoryTable::new(1);
+            mem.use_index = use_index;
+            let cs = drain_all(&net, &mem, &store, &seeds);
+            mem.assert_quiescent();
+            results.push((cs, snapshot(&net, &mem)));
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+    }
+}
+
+/// Exact accounting on a hand-built fixture: one two-join production on a
+/// 1-line table, a fixed wme script, and hand-computed counter totals for
+/// both memory modes (see the step-by-step derivation in the comments).
+#[test]
+fn exact_hash_reject_and_skip_accounting() {
+    use psme_ops::{parse_production, parse_wme, ClassRegistry};
+    let mut r = ClassRegistry::new();
+    r.declare_str("a", &["x"]);
+    r.declare_str("b", &["x"]);
+    let prod = parse_production("(p t (a ^x <v>) (b ^x <v>) --> (halt))", &mut r).unwrap();
+
+    let mut totals = Vec::new();
+    for use_index in [true, false] {
+        let mut net = ReteNetwork::new();
+        net.add_production(Arc::new(prod.clone()), NetworkOrg::Linear).unwrap();
+        let mut e = SerialEngine::with_state(net, MatchState::with_memory(1));
+        e.state.mem.use_index = use_index;
+        e.capture = true;
+        // Step 1: a1 → J1 right (scans the implicit root token: scanned 1),
+        //         emits [a1] → J2 left (right run empty: scanned 0; the
+        //         reference whole-line scan traverses J1's a1 entry:
+        //         skipped 1).
+        e.apply_changes(vec![parse_wme("(a ^x 1)", &r).unwrap()], vec![]);
+        // Step 2: b1 → J2 right (left holds J2:[a1] key=1: scanned 1,
+        //         match) → P node (no scan). No other-node left entries yet.
+        e.apply_changes(vec![parse_wme("(b ^x 1)", &r).unwrap()], vec![]);
+        // Step 3: b2 (^x 2) → J2 right: candidate [a1] key=1 vs key=2 —
+        //         scanned 1, hash-rejected when indexed; the reference scan
+        //         also traverses the P node's stored token: skipped 1.
+        e.apply_changes(vec![parse_wme("(b ^x 2)", &r).unwrap()], vec![]);
+        // Step 4: a2 (^x 2) → J1 right (scanned 1), emits [a2] → J2 left:
+        //         candidates b1 (hash-rejected when indexed) and b2
+        //         (match): scanned 2; reference skips J1's {a1, a2}:
+        //         skipped 2 → P node.
+        e.apply_changes(vec![parse_wme("(a ^x 2)", &r).unwrap()], vec![]);
+
+        let (mut scanned, mut rejects, mut skipped, mut prods) = (0u32, 0u32, 0u32, 0u32);
+        for c in &e.trace.cycles {
+            for t in &c.tasks {
+                if t.kind == TaskKind::Alpha {
+                    continue;
+                }
+                scanned += t.scanned;
+                rejects += t.hash_rejects;
+                skipped += t.skipped;
+                if t.kind == TaskKind::Prod {
+                    prods += 1;
+                }
+            }
+        }
+        assert_eq!(prods, 2, "two instantiations fire (use_index={use_index})");
+        assert_eq!(scanned, 6, "candidates are mode-independent (use_index={use_index})");
+        if use_index {
+            assert_eq!(rejects, 2, "b2 vs [a1], then b1 vs [a2]");
+            assert_eq!(skipped, 0, "run bounds never visit other nodes");
+        } else {
+            assert_eq!(rejects, 0, "reference scan never hash-rejects");
+            assert_eq!(skipped, 4, "J1's a1 once, P's token once, J1's {{a1,a2}} once");
+        }
+        totals.push(e.current_instantiations());
+    }
+    assert_eq!(totals[0], totals[1], "both modes find the same matches");
+}

@@ -23,8 +23,16 @@ pub struct CostModel {
     pub alpha_probe: f64,
     /// Base cost of a two-input activation (hash, compare, bookkeeping).
     pub beta_base: f64,
-    /// Per opposite-memory entry examined (runs under the line lock).
+    /// Per opposite-memory candidate fully examined — structural key
+    /// compare plus consistency tests, under the line lock.
     pub per_scanned: f64,
+    /// Per candidate rejected by the stored 64-bit hash compare before any
+    /// structural work (indexed probes; one word compare under the lock).
+    pub per_hash_reject: f64,
+    /// Per co-hashed entry of another node traversed and filtered by the
+    /// reference whole-line scan (a node-id compare and pointer bump under
+    /// the lock; 0 entries when the per-node line index is on).
+    pub per_skip: f64,
     /// Per child activation constructed.
     pub per_emit: f64,
     /// Base cost of a P-node activation (conflict-set update).
@@ -59,6 +67,8 @@ impl Default for CostModel {
             alpha_probe: 2.0,
             beta_base: 220.0,
             per_scanned: 35.0,
+            per_hash_reject: 6.0,
+            per_skip: 4.0,
             per_emit: 40.0,
             prod_base: 170.0,
             line_hold_base: 60.0,
@@ -88,10 +98,20 @@ impl CostModel {
                         + t.probes as f64 * self.alpha_probe,
                 )
             }
-            TaskKind::Join | TaskKind::Neg => (
-                self.line_hold_base + t.scanned as f64 * self.per_scanned,
-                self.beta_base + t.emitted as f64 * self.per_emit,
-            ),
+            TaskKind::Join | TaskKind::Neg => {
+                // `scanned` counts candidates in both memory modes; the
+                // hash-rejected ones cost a word compare instead of the
+                // full structural examine, and the reference scan pays
+                // `per_skip` for each co-hashed entry it filters by node.
+                let full = t.scanned.saturating_sub(t.hash_rejects) as f64;
+                (
+                    self.line_hold_base
+                        + full * self.per_scanned
+                        + t.hash_rejects as f64 * self.per_hash_reject
+                        + t.skipped as f64 * self.per_skip,
+                    self.beta_base + t.emitted as f64 * self.per_emit,
+                )
+            }
             TaskKind::Prod => (self.line_hold_base, self.prod_base),
         }
     }
@@ -118,6 +138,8 @@ mod tests {
             side: Some(Side::Left),
             delta: 1,
             scanned,
+            hash_rejects: 0,
+            skipped: 0,
             probes: 0,
             emitted,
             line: Some(0),
@@ -166,5 +188,36 @@ mod tests {
         let m = CostModel::default();
         let (locked, _) = m.body_cost(&rec(TaskKind::Join, 8, 0));
         assert!(locked > m.line_hold_base);
+    }
+
+    #[test]
+    fn hash_rejected_candidates_are_cheap() {
+        let m = CostModel::default();
+        let reference = rec(TaskKind::Join, 8, 1);
+        let mut indexed = reference;
+        indexed.hash_rejects = 6;
+        let (l_ref, a_ref) = m.body_cost(&reference);
+        let (l_idx, a_idx) = m.body_cost(&indexed);
+        assert_eq!(a_ref, a_idx, "emission cost unchanged");
+        assert!(l_idx < l_ref, "hash rejects shrink lock hold: {l_idx} vs {l_ref}");
+        let expect = m.line_hold_base + 2.0 * m.per_scanned + 6.0 * m.per_hash_reject;
+        assert!((l_idx - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn whole_line_skips_cost_but_less_than_candidates() {
+        let m = CostModel::default();
+        assert!(m.per_skip < m.per_hash_reject);
+        assert!(m.per_hash_reject < m.per_scanned);
+        let indexed = rec(TaskKind::Neg, 3, 0);
+        let mut reference = indexed;
+        reference.skipped = 20;
+        let (l_idx, _) = m.body_cost(&indexed);
+        let (l_ref, _) = m.body_cost(&reference);
+        assert!((l_ref - l_idx - 20.0 * m.per_skip).abs() < 1e-9);
+        // The indexed probe of the same task DAG is never costlier: equal
+        // scanned, zero skipped, and each hash reject replaces a full
+        // examine at a lower rate.
+        assert!(l_idx <= l_ref);
     }
 }

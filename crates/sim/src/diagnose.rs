@@ -166,6 +166,8 @@ mod tests {
             side: Some(Side::Left),
             delta: 1,
             scanned: 1,
+            hash_rejects: 0,
+            skipped: 0,
             probes: 0,
             emitted: 1,
             line: Some(0),

@@ -53,6 +53,8 @@ mod profile_tests {
             side: Some(Side::Left),
             delta: 1,
             scanned: 3,
+            hash_rejects: 0,
+            skipped: 0,
             probes: 0,
             emitted: if kind == TaskKind::Prod { 0 } else { 1 },
             line: Some(node % 8),

@@ -35,6 +35,11 @@ run_step "scheduler differential" \
 # classifier must stay observationally identical to the linear oracle.
 run_step "alpha differential" \
     cargo test -q -p psme-rete --test proptest_alpha || fail=1
+# The beta-memory overhaul is gated the same way: the indexed hash-first
+# probe must stay observationally identical to the reference whole-line
+# scan over random add/delete interleavings.
+run_step "memory differential" \
+    cargo test -q -p psme-rete --test proptest_memory || fail=1
 # The serving layer's gate: N concurrent sessions over one shared topology
 # must stay bit-for-bit identical to N solo runs (including mid-run chunk
 # learning); run it by name so a filtered invocation can't skip it.
@@ -63,6 +68,18 @@ if [ ! -f "$serve_artifact" ]; then
 elif command -v python3 >/dev/null 2>&1; then
     if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$serve_artifact"; then
         echo "!! ${serve_artifact} is not valid JSON" >&2
+        fail=1
+    fi
+fi
+# And for the memory-probe artifact: the committed evidence for the
+# indexed probe's entries-examined reduction.
+memory_artifact="crates/bench/BENCH_memory_probe.json"
+if [ ! -f "$memory_artifact" ]; then
+    echo "!! missing ${memory_artifact} (regenerate: cargo bench -p psme-bench --bench memory_probe)" >&2
+    fail=1
+elif command -v python3 >/dev/null 2>&1; then
+    if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$memory_artifact"; then
+        echo "!! ${memory_artifact} is not valid JSON" >&2
         fail=1
     fi
 fi
