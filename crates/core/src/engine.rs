@@ -18,11 +18,11 @@
 use crate::metrics::{CycleMetrics, MetricsLog, WorkerStats};
 use crate::queue::{QueueStats, Scheduler, Task, TaskQueues};
 use parking_lot::{Condvar, Mutex, RwLock};
-use psme_obs::{ControlPhase, Counter, Recorder};
+use psme_obs::{ControlPhase, Counter, Recorder, TraceKind, TraceRing, SESSION_NONE};
 use psme_ops::{Instantiation, Production, Wme, WmeId};
 use psme_rete::{
-    fold_cs, instantiations_from_memories, process_beta_scratch, process_wme_change, seed_update,
-    AddOutcome, BetaScratch, BuildError, CsChange, CycleOutcome, MemoryTable, NetworkOrg, NodeId,
+    instantiations_from_memories, process_beta_scratch, process_wme_change, seed_update,
+    AddOutcome, BetaScratch, BuildError, CsFold, CycleOutcome, MemoryTable, NetworkOrg, NodeId,
     NodeKind, Phase, ReteNetwork, WmeStore,
 };
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, Ordering};
@@ -67,7 +67,11 @@ struct Shared {
     done_cv: Condvar,
     workers_active: AtomicI64,
     shutdown: AtomicBool,
-    cs_raw: Mutex<Vec<CsChange>>,
+    /// Per-emission-folded conflict-set delta: workers fold locally and
+    /// merge their maps here at the cycle barrier, so the control thread
+    /// sorts only the net nonzero entries instead of re-keying a raw
+    /// change vector every cycle.
+    cs_fold: Mutex<CsFold>,
     worker_stats: Vec<Mutex<WorkerStats>>,
 }
 
@@ -91,7 +95,8 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
         let net = shared.net.read();
         let store = shared.store.read();
         let mut ws = WorkerStats::default();
-        let mut local_cs: Vec<CsChange> = Vec::new();
+        let mut local_cs = CsFold::default();
+        let mut cs_emitted = 0u64;
         let mut pending: Vec<Task> = Vec::new();
         loop {
             match shared.queues.pop(wid, &mut ws.queue) {
@@ -119,7 +124,7 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
                             ws.counters.add(Counter::AlphaTestsSaved, alpha.tests_saved as u64);
                         }
                         Task::Beta(a) => {
-                            let cs_before = local_cs.len();
+                            let cs_before = cs_emitted;
                             let stats = process_beta_scratch(
                                 &*net,
                                 &shared.mem,
@@ -128,7 +133,10 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
                                 min_node,
                                 &mut scratch,
                                 &mut |child| pending.push(Task::Beta(child)),
-                                &mut |c| local_cs.push(c),
+                                &mut |c| {
+                                    cs_emitted += 1;
+                                    local_cs.add(c);
+                                },
                             );
                             ws.mem_spins += stats.spins;
                             ws.scanned += stats.scanned as u64;
@@ -138,7 +146,7 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
                             ws.counters.add(Counter::EntriesSkipped, stats.skipped as u64);
                             ws.counters.add(Counter::Emitted, stats.emitted as u64);
                             ws.counters.add(Counter::MemSpins, stats.spins);
-                            ws.counters.add(Counter::CsChanges, (local_cs.len() - cs_before) as u64);
+                            ws.counters.add(Counter::CsChanges, cs_emitted - cs_before);
                             // A childless two-input activation is a null
                             // activation in the paper's accounting.
                             if stats.emitted == 0
@@ -173,7 +181,7 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
         drop(store);
         drop(net);
         if !local_cs.is_empty() {
-            shared.cs_raw.lock().append(&mut local_cs);
+            shared.cs_fold.lock().merge(local_cs);
         }
         // Mirror the scheduler counters into the observability set so the
         // psme-obs JSON export carries them (zero under the paper
@@ -199,6 +207,10 @@ pub struct ParallelEngine {
     /// Control-thread span recorder (match / §5.1 surgery / §5.2 update
     /// phases; the embedding layer adds its own decide/chunk spans).
     pub recorder: Recorder,
+    /// Cycle-phase boundary events (PhaseBegin/PhaseEnd), same taxonomy
+    /// as the serve trace — drain into a `TraceLog` to merge engine and
+    /// serving timelines.
+    pub trace: TraceRing,
     cycle_count: u64,
 }
 
@@ -232,7 +244,7 @@ impl ParallelEngine {
             done_cv: Condvar::new(),
             workers_active: AtomicI64::new(0),
             shutdown: AtomicBool::new(false),
-            cs_raw: Mutex::new(Vec::new()),
+            cs_fold: Mutex::new(CsFold::default()),
             worker_stats: (0..workers).map(|_| Mutex::new(WorkerStats::default())).collect(),
         });
         let handles = (0..workers)
@@ -244,12 +256,17 @@ impl ParallelEngine {
                     .expect("spawn match process")
             })
             .collect();
+        let recorder = Recorder::new();
+        // The control thread emits phase boundaries; its ring id is one
+        // past the last match process's.
+        let trace = TraceRing::new(workers as u32, 4096, recorder.origin());
         ParallelEngine {
             shared,
             handles,
             config,
             metrics: MetricsLog::default(),
-            recorder: Recorder::new(),
+            recorder,
+            trace,
             cycle_count: 0,
         }
     }
@@ -271,10 +288,18 @@ impl ParallelEngine {
             // must never touch a deque's owner end).
             s.queues.push_seed(i, t, &mut seed_stats);
         }
-        let span = self.recorder.start(match phase {
+        let cphase = match phase {
             Phase::Match => ControlPhase::Match,
             Phase::Update => ControlPhase::StateUpdate,
-        });
+        };
+        let span = self.recorder.start(cphase);
+        self.trace.emit(
+            TraceKind::PhaseBegin(cphase),
+            SESSION_NONE,
+            self.cycle_count,
+            self.cycle_count,
+            0,
+        );
         let start = Instant::now();
         {
             let mut e = s.epoch.lock();
@@ -291,6 +316,13 @@ impl ParallelEngine {
         }
         let wall_ns = start.elapsed().as_nanos() as u64;
         self.recorder.finish_seq(span, self.cycle_count);
+        self.trace.emit(
+            TraceKind::PhaseEnd(cphase),
+            SESSION_NONE,
+            self.cycle_count,
+            self.cycle_count,
+            wall_ns,
+        );
         debug_assert!(s.queues.all_empty());
 
         // Harvest.
@@ -314,10 +346,10 @@ impl ParallelEngine {
             cm.left_bucket_accesses = counts.iter().map(|&(l, _)| l).collect();
             cm.right_bucket_accesses = counts.iter().map(|&(_, r)| r).collect();
         }
-        let raw = std::mem::take(&mut *s.cs_raw.lock());
+        let fold = std::mem::take(&mut *s.cs_fold.lock());
         let net = s.net.read();
         let store = s.store.read();
-        let cs = fold_cs(&*net, &store, raw);
+        let cs = fold.into_delta(&*net, &store);
         drop(store);
         drop(net);
         #[cfg(debug_assertions)]
@@ -374,6 +406,13 @@ impl ParallelEngine {
         org: NetworkOrg,
     ) -> Result<AddOutcome, BuildError> {
         let surgery = self.recorder.start(ControlPhase::NetworkSurgery);
+        self.trace.emit(
+            TraceKind::PhaseBegin(ControlPhase::NetworkSurgery),
+            SESSION_NONE,
+            self.cycle_count,
+            self.cycle_count,
+            0,
+        );
         let (add, mut seeds) = {
             let mut net = self.shared.net.write();
             let add = net.add_production(prod, org)?;
@@ -383,7 +422,14 @@ impl ParallelEngine {
                 .collect();
             (add, seeds)
         };
-        self.recorder.finish_seq(surgery, self.cycle_count);
+        let surgery_ns = self.recorder.finish_seq(surgery, self.cycle_count);
+        self.trace.emit(
+            TraceKind::PhaseEnd(ControlPhase::NetworkSurgery),
+            SESSION_NONE,
+            self.cycle_count,
+            self.cycle_count,
+            surgery_ns,
+        );
         {
             let store = self.shared.store.read();
             for (id, _) in store.iter_alive() {

@@ -14,6 +14,11 @@
 //!   streams producing §6-style hot-spot reports: activations, null
 //!   activations, opposite-memory entries scanned, attributed cost, with a
 //!   top-K table keyed back to production names.
+//! - [`trace`] — the flight recorder: per-worker fixed-capacity event
+//!   rings (drop-oldest, per-worker sequence numbers, no hot-path
+//!   allocation or locking), a merged run-level [`trace::TraceLog`], an
+//!   anomaly-triggered [`trace::FlightRecorder`], and Chrome
+//!   `trace_event` export for `chrome://tracing` / Perfetto.
 //! - [`json`] — a dependency-free JSON value type, writer and strict
 //!   parser (the build environment has no serde).
 //! - [`report`] — plain-text table rendering and `BENCH_<name>.json`
@@ -28,9 +33,14 @@ pub mod profile;
 pub mod quantiles;
 pub mod rec;
 pub mod report;
+pub mod trace;
 
 pub use json::Json;
 pub use profile::{HotSpotReport, NodeProfile, NodeProfiler};
-pub use quantiles::Quantiles;
+pub use quantiles::{Quantiles, Reservoir};
 pub use rec::{ControlPhase, Counter, CounterSet, PhaseTotal, Recorder, SpanRecord};
 pub use report::{artifact_dir, artifact_path, write_artifact, write_json, TextTable};
+pub use trace::{
+    DumpTrigger, FlightConfig, FlightDump, FlightRecorder, TraceConfig, TraceEvent, TraceKind,
+    TraceLog, TraceRing, SESSION_NONE,
+};

@@ -6,6 +6,12 @@
 //! no sketching. Quantiles use the nearest-rank method (`ceil(q·n)`), the
 //! convention the paper's latency tables imply: p99 of 100 samples is the
 //! 99th smallest, not an interpolation.
+//!
+//! For *barrier-side* aggregation — combining per-worker latency streams
+//! without shipping every raw sample — [`Reservoir`] keeps a bounded,
+//! deterministic decimating sample set that supports `merge` and yields a
+//! [`Quantiles`] summary on demand (used by the trace flight recorder's
+//! running p99 and the serve loop's pooled cycle latency).
 
 use crate::json::Json;
 
@@ -23,6 +29,9 @@ pub struct Quantiles {
     pub p90: f64,
     /// 99th percentile (nearest rank).
     pub p99: f64,
+    /// 99.9th percentile (nearest rank) — tail detail the flight recorder
+    /// and the sharded serve path key on.
+    pub p999: f64,
     /// Largest sample.
     pub max: f64,
 }
@@ -49,6 +58,7 @@ impl Quantiles {
             p50: rank(0.50),
             p90: rank(0.90),
             p99: rank(0.99),
+            p999: rank(0.999),
             max: sorted[n - 1],
         }
     }
@@ -61,8 +71,126 @@ impl Quantiles {
             ("p50", Json::float(self.p50)),
             ("p90", Json::float(self.p90)),
             ("p99", Json::float(self.p99)),
+            ("p999", Json::float(self.p999)),
             ("max", Json::float(self.max)),
         ])
+    }
+}
+
+/// A bounded, deterministic sample reservoir that can be merged.
+///
+/// Workers fill private reservoirs on the hot path (a push is an array
+/// write, amortized O(1), no locks) and the control thread merges them at
+/// the barriers the engine already has. When a reservoir fills it
+/// *decimates*: every second retained sample is dropped and the keep
+/// stride doubles, so the retained set stays a uniform, deterministic
+/// thinning of the input stream — the same pushes always retain the same
+/// samples, unlike randomized reservoir sampling. Quantiles over the
+/// retained set approximate the stream's; `count` reports the *true*
+/// number of samples observed.
+#[derive(Clone, Debug)]
+pub struct Reservoir {
+    samples: Vec<f64>,
+    cap: usize,
+    /// Keep every `stride`-th pushed sample (power of two).
+    stride: u64,
+    /// Pushes until the next retained sample.
+    skip: u64,
+    seen: u64,
+}
+
+/// Default retained-sample bound: small enough to sort per flight-recorder
+/// refresh, large enough for stable p999 over long streams.
+pub const DEFAULT_RESERVOIR_CAP: usize = 4096;
+
+impl Default for Reservoir {
+    fn default() -> Reservoir {
+        Reservoir::new(DEFAULT_RESERVOIR_CAP)
+    }
+}
+
+impl Reservoir {
+    /// An empty reservoir retaining at most `cap` samples (min 2).
+    pub fn new(cap: usize) -> Reservoir {
+        Reservoir { samples: Vec::new(), cap: cap.max(2), stride: 1, skip: 0, seen: 0 }
+    }
+
+    /// Observe one sample.
+    pub fn push(&mut self, v: f64) {
+        self.seen += 1;
+        if self.skip > 0 {
+            self.skip -= 1;
+            return;
+        }
+        if self.samples.len() >= self.cap {
+            self.decimate();
+        }
+        self.samples.push(v);
+        self.skip = self.stride - 1;
+    }
+
+    /// Observe a batch.
+    pub fn extend(&mut self, samples: &[f64]) {
+        for &v in samples {
+            self.push(v);
+        }
+    }
+
+    /// Drop every second retained sample and double the keep stride.
+    fn decimate(&mut self) {
+        let mut i = 0usize;
+        self.samples.retain(|_| {
+            let keep = i.is_multiple_of(2);
+            i += 1;
+            keep
+        });
+        self.stride *= 2;
+    }
+
+    /// Fold another reservoir in (the barrier-side merge). Both sides are
+    /// first thinned to a common stride so neither stream is over-weighted.
+    pub fn merge(&mut self, other: &Reservoir) {
+        let mut theirs = other.samples.clone();
+        let mut their_stride = other.stride;
+        while self.stride < their_stride {
+            self.decimate();
+        }
+        while their_stride < self.stride {
+            let mut i = 0usize;
+            theirs.retain(|_| {
+                let keep = i.is_multiple_of(2);
+                i += 1;
+                keep
+            });
+            their_stride *= 2;
+        }
+        self.samples.extend_from_slice(&theirs);
+        self.seen += other.seen;
+        while self.samples.len() > self.cap {
+            self.decimate();
+        }
+    }
+
+    /// Total samples observed (not just retained).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Retained sample count.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when nothing was ever pushed.
+    pub fn is_empty(&self) -> bool {
+        self.seen == 0
+    }
+
+    /// Summarize the retained samples; `count` is the true observed count.
+    pub fn quantiles(&self) -> Quantiles {
+        let mut q = Quantiles::from_samples(&self.samples);
+        q.count = self.seen;
+        q
     }
 }
 
@@ -108,8 +236,77 @@ mod tests {
     fn json_round_trips_fields() {
         let q = Quantiles::from_samples(&[1.0, 2.0]);
         let s = q.to_json().to_string();
-        for key in ["count", "mean", "p50", "p90", "p99", "max"] {
+        for key in ["count", "mean", "p50", "p90", "p99", "p999", "max"] {
             assert!(s.contains(key), "{s}");
         }
+    }
+
+    #[test]
+    fn p999_separates_from_p99_on_large_sets() {
+        // 1..=10000: nearest-rank p99 = 9900, p999 = 9990.
+        let v: Vec<f64> = (1..=10_000).map(|i| i as f64).collect();
+        let q = Quantiles::from_samples(&v);
+        assert_eq!(q.p99, 9900.0);
+        assert_eq!(q.p999, 9990.0);
+        assert_eq!(q.max, 10_000.0);
+    }
+
+    #[test]
+    fn reservoir_below_cap_is_exact() {
+        let mut r = Reservoir::new(64);
+        let v: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        r.extend(&v);
+        assert_eq!(r.len(), 50);
+        assert_eq!(r.seen(), 50);
+        assert_eq!(r.quantiles(), Quantiles::from_samples(&v));
+    }
+
+    #[test]
+    fn reservoir_decimates_deterministically_and_stays_bounded() {
+        let mut a = Reservoir::new(16);
+        let mut b = Reservoir::new(16);
+        for i in 0..10_000 {
+            a.push(i as f64);
+            b.push(i as f64);
+        }
+        assert!(a.len() <= 16, "{}", a.len());
+        assert_eq!(a.seen(), 10_000);
+        assert_eq!(a.quantiles(), b.quantiles(), "same pushes, same retained set");
+        assert_eq!(a.quantiles().count, 10_000, "count reports true observations");
+    }
+
+    #[test]
+    fn reservoir_quantiles_track_the_stream() {
+        let mut r = Reservoir::new(512);
+        for i in 1..=100_000u64 {
+            r.push(i as f64);
+        }
+        let q = r.quantiles();
+        // Uniform ramp: decimated quantiles stay within a few strides.
+        assert!((q.p50 - 50_000.0).abs() / 50_000.0 < 0.02, "p50 {}", q.p50);
+        assert!((q.p99 - 99_000.0).abs() / 99_000.0 < 0.02, "p99 {}", q.p99);
+    }
+
+    #[test]
+    fn reservoir_merge_combines_streams() {
+        // Two workers each observe half a ramp; the merged reservoir must
+        // summarize the union without over-weighting either side.
+        let mut lo = Reservoir::new(256);
+        let mut hi = Reservoir::new(256);
+        for i in 1..=4000u64 {
+            lo.push(i as f64);
+            hi.push((i + 4000) as f64);
+        }
+        let mut merged = lo.clone();
+        merged.merge(&hi);
+        assert_eq!(merged.seen(), 8000);
+        assert!(merged.len() <= 256);
+        let q = merged.quantiles();
+        assert!((q.p50 - 4000.0).abs() / 4000.0 < 0.05, "p50 {}", q.p50);
+        assert!(q.max >= 7900.0, "max {}", q.max);
+        // Merging empty is a no-op.
+        let before = merged.quantiles();
+        merged.merge(&Reservoir::new(256));
+        assert_eq!(merged.quantiles(), before);
     }
 }

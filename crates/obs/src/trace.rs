@@ -1,0 +1,912 @@
+//! Flight-recorder event tracing for the serving stack.
+//!
+//! End-of-run aggregates (quantiles, shed counts) cannot explain a tail
+//! spike after the fact — by the time p99 moved, the events that caused it
+//! are gone. This module keeps the event stream itself, cheaply enough to
+//! leave on in production:
+//!
+//! * **[`TraceRing`]** — each worker owns a fixed-capacity ring buffer.
+//!   Emitting an event is a branch, a timestamp and an array write: no
+//!   allocation, no locks, no syscalls on the hot path. When the ring is
+//!   full the *oldest* event is overwritten and a dropped counter bumps —
+//!   recent history is what a flight recorder is for. Every event carries
+//!   a monotonic per-worker sequence number, so merged traces are
+//!   gap-checkable.
+//! * **[`TraceLog`]** — rings merge into a run-level log at barriers the
+//!   serving loop already has (worker exit, end of run). Sealing sorts by
+//!   `(t_ns, worker, seq)` into one causally-ordered timeline.
+//! * **[`FlightRecorder`]** — an anomaly detector over the merged stream:
+//!   a slice that ran longer than a configurable multiple of the running
+//!   p99 (kept in a deterministic [`Reservoir`]), any shed, or a session
+//!   halt triggers a dump of the last N events — the "black box" readout.
+//! * **Export** — [`TraceLog::to_json`] is the compact run-trace artifact;
+//!   [`TraceLog::chrome_json`] emits Chrome `trace_event` JSON loadable in
+//!   `chrome://tracing` / Perfetto, with one track per worker, instant
+//!   markers for admission-control events, and per-session flow arrows
+//!   stitching a session's slices across workers.
+//!
+//! Event timestamps are nanoseconds from a run origin the caller supplies
+//! (one `Instant` shared by all rings of a run), so per-worker streams
+//! merge on a common clock. Simulated runs ([`TraceRing::emit_at`]) stamp
+//! virtual time instead — the DES sweeps emit the same event stream.
+
+use crate::json::Json;
+use crate::quantiles::Reservoir;
+use crate::rec::ControlPhase;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// `session` value for events not attributed to any session (engine
+/// phases on the control thread).
+pub const SESSION_NONE: u32 = u32::MAX;
+
+/// What happened. The serving-loop lifecycle events carry the session id;
+/// the phase events reuse [`ControlPhase`] so engine traces and serve
+/// traces share one taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Session took a table slot (batch staging or post-retire admit).
+    Admitted,
+    /// Session entered the dispatch queues for the first time.
+    Enqueued,
+    /// Worker popped the session; `arg_ns` = queue wait, `cycle_lo` = the
+    /// session's decision count entering the slice.
+    SliceStart,
+    /// Slice finished; `arg_ns` = execution time, `cycle_lo..cycle_hi` =
+    /// the decision range the slice covered.
+    SliceEnd,
+    /// Session went back into the dispatch queues after a slice.
+    Reenqueued,
+    /// Session completed and left the table.
+    Retired,
+    /// Session shed by admission backpressure (never ran).
+    Shed,
+    /// Session executed `(halt)`.
+    Halted,
+    /// A control phase opened (`arg_ns` unused).
+    PhaseBegin(ControlPhase),
+    /// A control phase closed (`arg_ns` = phase duration).
+    PhaseEnd(ControlPhase),
+}
+
+impl TraceKind {
+    /// Stable snake_case name (used as the JSON discriminant).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Admitted => "admitted",
+            TraceKind::Enqueued => "enqueued",
+            TraceKind::SliceStart => "slice_start",
+            TraceKind::SliceEnd => "slice_end",
+            TraceKind::Reenqueued => "reenqueued",
+            TraceKind::Retired => "retired",
+            TraceKind::Shed => "shed",
+            TraceKind::Halted => "halted",
+            TraceKind::PhaseBegin(_) => "phase_begin",
+            TraceKind::PhaseEnd(_) => "phase_end",
+        }
+    }
+
+    /// The control phase, for phase-boundary events.
+    pub fn phase(self) -> Option<ControlPhase> {
+        match self {
+            TraceKind::PhaseBegin(p) | TraceKind::PhaseEnd(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// One trace event. `Copy` and flat — a ring slot is a plain array write.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the run origin (virtual time in DES traces).
+    pub t_ns: u64,
+    /// Emitting worker (the control thread uses an id past the last worker).
+    pub worker: u32,
+    /// Monotonic per-worker sequence number.
+    pub seq: u64,
+    /// Session id, or [`SESSION_NONE`].
+    pub session: u32,
+    /// Event type.
+    pub kind: TraceKind,
+    /// First decision cycle covered (slice events; 0 otherwise).
+    pub cycle_lo: u64,
+    /// One past the last decision cycle covered (slice events; 0 otherwise).
+    pub cycle_hi: u64,
+    /// Kind-specific duration: queue wait for `SliceStart`, execution time
+    /// for `SliceEnd`, phase duration for `PhaseEnd`, else 0.
+    pub arg_ns: u64,
+}
+
+impl TraceEvent {
+    /// Compact JSON for the run-trace artifact.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("t_ns".to_string(), Json::from(self.t_ns)),
+            ("w".to_string(), Json::from(self.worker)),
+            ("seq".to_string(), Json::from(self.seq)),
+            ("kind".to_string(), Json::from(self.kind.name())),
+        ];
+        if self.session != SESSION_NONE {
+            fields.push(("session".to_string(), Json::from(self.session)));
+        }
+        if let Some(p) = self.kind.phase() {
+            fields.push(("phase".to_string(), Json::from(p.name())));
+        }
+        if self.cycle_lo != 0 || self.cycle_hi != 0 {
+            fields.push(("cycle_lo".to_string(), Json::from(self.cycle_lo)));
+            fields.push(("cycle_hi".to_string(), Json::from(self.cycle_hi)));
+        }
+        if self.arg_ns != 0 {
+            fields.push(("arg_ns".to_string(), Json::from(self.arg_ns)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Tracing configuration, embedded in the serve config (always-on by
+/// default — the `trace_overhead` bench gates the cost).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Master switch. Disabled rings make `emit` a single branch.
+    pub enabled: bool,
+    /// Per-worker ring capacity (events).
+    pub ring_cap: usize,
+    /// Bound on the merged run-level log (0 = unbounded). Overflow drops
+    /// oldest, counted.
+    pub merged_cap: usize,
+    /// Also fold each retired session's control-phase spans into the trace
+    /// (B/E pairs per session track in the Chrome export). Off by default:
+    /// a 400-decision session emits thousands of phase events and would
+    /// evict the serving events a flight recorder exists to keep.
+    pub session_phases: bool,
+    /// Flight-recorder triggering.
+    pub flight: FlightConfig,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            enabled: true,
+            ring_cap: 4096,
+            merged_cap: 1 << 20,
+            session_phases: false,
+            flight: FlightConfig::default(),
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Tracing switched off entirely.
+    pub fn disabled() -> TraceConfig {
+        TraceConfig { enabled: false, ..TraceConfig::default() }
+    }
+}
+
+/// A fixed-capacity, drop-oldest event ring owned by one worker.
+///
+/// All methods take `&mut self`: the ring is thread-local by construction
+/// and never shared — merging happens by draining into a [`TraceLog`] at a
+/// barrier, from the owning thread.
+#[derive(Debug)]
+pub struct TraceRing {
+    worker: u32,
+    origin: Instant,
+    enabled: bool,
+    cap: usize,
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// An enabled ring for `worker` with `cap` slots, stamping against
+    /// `origin` (share one origin across all rings of a run).
+    pub fn new(worker: u32, cap: usize, origin: Instant) -> TraceRing {
+        TraceRing {
+            worker,
+            origin,
+            enabled: true,
+            cap: cap.max(1),
+            buf: Vec::new(),
+            head: 0,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled ring: every emit is a single branch, nothing is stored.
+    pub fn disabled(worker: u32) -> TraceRing {
+        TraceRing {
+            worker,
+            origin: Instant::now(),
+            enabled: false,
+            cap: 1,
+            buf: Vec::new(),
+            head: 0,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Build from config (disabled config ⇒ disabled ring).
+    pub fn from_config(worker: u32, cfg: &TraceConfig, origin: Instant) -> TraceRing {
+        if cfg.enabled {
+            TraceRing::new(worker, cfg.ring_cap, origin)
+        } else {
+            TraceRing::disabled(worker)
+        }
+    }
+
+    /// Is this ring recording?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Emitting worker id.
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten since the last drain.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Emit an event stamped with the current time.
+    #[inline]
+    pub fn emit(&mut self, kind: TraceKind, session: u32, cycle_lo: u64, cycle_hi: u64, arg_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let t_ns = self.origin.elapsed().as_nanos() as u64;
+        self.push(TraceEvent {
+            t_ns,
+            worker: self.worker,
+            seq: 0,
+            session,
+            kind,
+            cycle_lo,
+            cycle_hi,
+            arg_ns,
+        });
+    }
+
+    /// Emit an event at an explicit timestamp (virtual DES time, or a
+    /// retro-stamped span boundary).
+    #[inline]
+    pub fn emit_at(
+        &mut self,
+        t_ns: u64,
+        kind: TraceKind,
+        session: u32,
+        cycle_lo: u64,
+        cycle_hi: u64,
+        arg_ns: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceEvent {
+            t_ns,
+            worker: self.worker,
+            seq: 0,
+            session,
+            kind,
+            cycle_lo,
+            cycle_hi,
+            arg_ns,
+        });
+    }
+
+    #[inline]
+    fn push(&mut self, mut ev: TraceEvent) {
+        ev.seq = self.next_seq;
+        self.next_seq += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            // Full: overwrite the oldest slot. One array write, no shift.
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Take the buffered events, oldest first, plus the number dropped
+    /// since the last drain. The ring resets and keeps counting sequence
+    /// numbers from where it left off.
+    pub fn drain(&mut self) -> (Vec<TraceEvent>, u64) {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        self.buf.clear();
+        self.head = 0;
+        let dropped = std::mem::take(&mut self.dropped);
+        (out, dropped)
+    }
+}
+
+/// The merged run-level trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    /// Merged events; causally ordered after [`TraceLog::seal`].
+    pub events: Vec<TraceEvent>,
+    /// Total events lost: ring overwrites plus merged-cap evictions.
+    pub dropped: u64,
+    /// Bound applied at seal time (0 = unbounded).
+    pub merged_cap: usize,
+}
+
+impl TraceLog {
+    /// An empty log bounded to `merged_cap` events at seal (0 = unbounded).
+    pub fn with_cap(merged_cap: usize) -> TraceLog {
+        TraceLog { merged_cap, ..TraceLog::default() }
+    }
+
+    /// Drain one worker ring into the log (call at a barrier, from the
+    /// ring's owning thread or after it has quiesced).
+    pub fn absorb(&mut self, ring: &mut TraceRing) {
+        let (evs, dropped) = ring.drain();
+        self.events.extend_from_slice(&evs);
+        self.dropped += dropped;
+    }
+
+    /// Sort into one causally-ordered timeline `(t_ns, worker, seq)` and
+    /// apply the merged cap, dropping oldest.
+    pub fn seal(&mut self) {
+        self.events.sort_by_key(|e| (e.t_ns, e.worker, e.seq));
+        if self.merged_cap > 0 && self.events.len() > self.merged_cap {
+            let excess = self.events.len() - self.merged_cap;
+            self.events.drain(..excess);
+            self.dropped += excess as u64;
+        }
+    }
+
+    /// Is the log in sealed `(t_ns, worker, seq)` order?
+    pub fn is_sorted(&self) -> bool {
+        self.events.windows(2).all(|w| {
+            (w[0].t_ns, w[0].worker, w[0].seq) <= (w[1].t_ns, w[1].worker, w[1].seq)
+        })
+    }
+
+    /// The compact run-trace artifact.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("events", Json::from(self.events.len() as u64)),
+            ("dropped", Json::from(self.dropped)),
+            ("trace", Json::arr(self.events.iter().map(|e| e.to_json()))),
+        ])
+    }
+
+    /// Chrome `trace_event` JSON (load in `chrome://tracing` or Perfetto).
+    ///
+    /// Layout: process 1 is the serve worker pool (one thread track per
+    /// worker; the control thread's track is the id past the last worker).
+    /// Slices appear as complete (`X`) events spanning their execution
+    /// time; admission-control events are instants; a session's hops
+    /// between workers are flow arrows keyed by session id. Session-level
+    /// control-phase spans (when captured) land in process 2, one thread
+    /// track per session.
+    pub fn chrome_json(&self) -> Json {
+        let us = |t_ns: u64| Json::float(t_ns as f64 / 1e3);
+        let mut out: Vec<Json> = Vec::new();
+        // Track-naming metadata.
+        let mut workers: Vec<u32> = self.events.iter().map(|e| e.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        out.push(Json::obj([
+            ("name", Json::from("process_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(1u32)),
+            ("args", Json::obj([("name", Json::from("psme-serve"))])),
+        ]));
+        for &w in &workers {
+            out.push(Json::obj([
+                ("name", Json::from("thread_name")),
+                ("ph", Json::from("M")),
+                ("pid", Json::from(1u32)),
+                ("tid", Json::from(w)),
+                ("args", Json::obj([("name", Json::from(format!("worker-{w}")))])),
+            ]));
+        }
+        let mut session_tracks: Vec<u32> = self
+            .events
+            .iter()
+            .filter(|e| e.kind.phase().is_some() && e.session != SESSION_NONE)
+            .map(|e| e.session)
+            .collect();
+        session_tracks.sort_unstable();
+        session_tracks.dedup();
+        if !session_tracks.is_empty() {
+            out.push(Json::obj([
+                ("name", Json::from("process_name")),
+                ("ph", Json::from("M")),
+                ("pid", Json::from(2u32)),
+                ("args", Json::obj([("name", Json::from("session-phases"))])),
+            ]));
+            for &s in &session_tracks {
+                out.push(Json::obj([
+                    ("name", Json::from("thread_name")),
+                    ("ph", Json::from("M")),
+                    ("pid", Json::from(2u32)),
+                    ("tid", Json::from(s)),
+                    ("args", Json::obj([("name", Json::from(format!("session-{s}")))])),
+                ]));
+            }
+        }
+        // Flow arrows need a start (`s`) strictly before the finish (`f`);
+        // track which session flows are open.
+        let mut open_flows: Vec<u32> = Vec::new();
+        // Queue wait recorded by the last SliceStart per worker, attached
+        // to the matching SliceEnd's args.
+        let mut last_wait: Vec<(u32, u64)> = Vec::new();
+        for e in &self.events {
+            match e.kind {
+                TraceKind::SliceStart => {
+                    if let Some(pos) = open_flows.iter().position(|&s| s == e.session) {
+                        open_flows.swap_remove(pos);
+                        out.push(Json::obj([
+                            ("name", Json::from("dispatch")),
+                            ("cat", Json::from("flow")),
+                            ("ph", Json::from("f")),
+                            ("bp", Json::from("e")),
+                            ("id", Json::from(e.session)),
+                            ("ts", us(e.t_ns)),
+                            ("pid", Json::from(1u32)),
+                            ("tid", Json::from(e.worker)),
+                        ]));
+                    }
+                    match last_wait.iter_mut().find(|(w, _)| *w == e.worker) {
+                        Some(slot) => slot.1 = e.arg_ns,
+                        None => last_wait.push((e.worker, e.arg_ns)),
+                    }
+                }
+                TraceKind::SliceEnd => {
+                    let wait_ns = last_wait
+                        .iter()
+                        .find(|(w, _)| *w == e.worker)
+                        .map(|(_, ns)| *ns)
+                        .unwrap_or(0);
+                    let start = e.t_ns.saturating_sub(e.arg_ns);
+                    out.push(Json::obj([
+                        ("name", Json::from(format!("s{} slice", e.session))),
+                        ("cat", Json::from("slice")),
+                        ("ph", Json::from("X")),
+                        ("ts", us(start)),
+                        ("dur", us(e.arg_ns)),
+                        ("pid", Json::from(1u32)),
+                        ("tid", Json::from(e.worker)),
+                        (
+                            "args",
+                            Json::obj([
+                                ("session", Json::from(e.session)),
+                                ("cycle_lo", Json::from(e.cycle_lo)),
+                                ("cycle_hi", Json::from(e.cycle_hi)),
+                                ("queue_wait_us", Json::float(wait_ns as f64 / 1e3)),
+                            ]),
+                        ),
+                    ]));
+                }
+                TraceKind::Enqueued | TraceKind::Reenqueued => {
+                    out.push(instant(e, us(e.t_ns)));
+                    if !open_flows.contains(&e.session) {
+                        open_flows.push(e.session);
+                        out.push(Json::obj([
+                            ("name", Json::from("dispatch")),
+                            ("cat", Json::from("flow")),
+                            ("ph", Json::from("s")),
+                            ("id", Json::from(e.session)),
+                            ("ts", us(e.t_ns)),
+                            ("pid", Json::from(1u32)),
+                            ("tid", Json::from(e.worker)),
+                        ]));
+                    }
+                }
+                TraceKind::Admitted | TraceKind::Retired | TraceKind::Shed | TraceKind::Halted => {
+                    out.push(instant(e, us(e.t_ns)));
+                }
+                TraceKind::PhaseBegin(p) => {
+                    let (pid, tid) = phase_track(e);
+                    out.push(Json::obj([
+                        ("name", Json::from(p.name())),
+                        ("cat", Json::from("phase")),
+                        ("ph", Json::from("B")),
+                        ("ts", us(e.t_ns)),
+                        ("pid", Json::from(pid)),
+                        ("tid", Json::from(tid)),
+                    ]));
+                }
+                TraceKind::PhaseEnd(p) => {
+                    let (pid, tid) = phase_track(e);
+                    out.push(Json::obj([
+                        ("name", Json::from(p.name())),
+                        ("cat", Json::from("phase")),
+                        ("ph", Json::from("E")),
+                        ("ts", us(e.t_ns)),
+                        ("pid", Json::from(pid)),
+                        ("tid", Json::from(tid)),
+                    ]));
+                }
+            }
+        }
+        Json::obj([
+            ("traceEvents", Json::Arr(out)),
+            ("displayTimeUnit", Json::from("ms")),
+        ])
+    }
+}
+
+/// Track for a phase event: control-thread phases live on the emitting
+/// worker's track; session-attributed phases get a session track in pid 2.
+fn phase_track(e: &TraceEvent) -> (u32, u32) {
+    if e.session == SESSION_NONE {
+        (1, e.worker)
+    } else {
+        (2, e.session)
+    }
+}
+
+fn instant(e: &TraceEvent, ts: Json) -> Json {
+    let name = if e.session == SESSION_NONE {
+        e.kind.name().to_string()
+    } else {
+        format!("{} s{}", e.kind.name(), e.session)
+    };
+    Json::obj([
+        ("name", Json::from(name)),
+        ("cat", Json::from("serve")),
+        ("ph", Json::from("i")),
+        ("s", Json::from("t")),
+        ("ts", ts),
+        ("pid", Json::from(1u32)),
+        ("tid", Json::from(e.worker)),
+    ])
+}
+
+/// Flight-recorder triggering knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightConfig {
+    /// Events per dump (the "last N" window).
+    pub window: usize,
+    /// Trigger when a slice's execution time exceeds this multiple of the
+    /// running p99.
+    pub latency_multiple: f64,
+    /// Slice samples required before latency triggering arms (a cold p99
+    /// is noise).
+    pub min_samples: u64,
+    /// Dumps retained per run; further triggers only count.
+    pub max_dumps: usize,
+}
+
+impl Default for FlightConfig {
+    fn default() -> FlightConfig {
+        FlightConfig { window: 256, latency_multiple: 8.0, min_samples: 64, max_dumps: 8 }
+    }
+}
+
+/// Why a dump fired.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DumpTrigger {
+    /// A slice ran past `latency_multiple × running p99`.
+    SliceLatency {
+        /// The offending slice's execution time.
+        exec_ns: u64,
+        /// The running p99 it was compared against.
+        p99_ns: f64,
+    },
+    /// Admission backpressure shed this session.
+    Shed {
+        /// The shed session.
+        session: u32,
+    },
+    /// A session executed `(halt)`.
+    Halt {
+        /// The halted session.
+        session: u32,
+    },
+}
+
+impl DumpTrigger {
+    fn to_json(self) -> Json {
+        match self {
+            DumpTrigger::SliceLatency { exec_ns, p99_ns } => Json::obj([
+                ("kind", Json::from("slice_latency")),
+                ("exec_ns", Json::from(exec_ns)),
+                ("p99_ns", Json::float(p99_ns)),
+            ]),
+            DumpTrigger::Shed { session } => {
+                Json::obj([("kind", Json::from("shed")), ("session", Json::from(session))])
+            }
+            DumpTrigger::Halt { session } => {
+                Json::obj([("kind", Json::from("halt")), ("session", Json::from(session))])
+            }
+        }
+    }
+}
+
+/// One flight-recorder dump: the trigger plus the last N merged events up
+/// to and including the triggering one.
+#[derive(Clone, Debug)]
+pub struct FlightDump {
+    /// What fired.
+    pub trigger: DumpTrigger,
+    /// Timestamp of the triggering event.
+    pub t_ns: u64,
+    /// Worker that emitted the triggering event.
+    pub worker: u32,
+    /// Its per-worker sequence number.
+    pub seq: u64,
+    /// The recorded window, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+impl FlightDump {
+    /// Serialize the dump (full window included — this is the black box).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("trigger", self.trigger.to_json()),
+            ("t_ns", Json::from(self.t_ns)),
+            ("worker", Json::from(self.worker)),
+            ("seq", Json::from(self.seq)),
+            ("events", Json::arr(self.events.iter().map(|e| e.to_json()))),
+        ])
+    }
+}
+
+/// The anomaly detector. Feed it the merged, sealed event stream (or live
+/// events in merge order); it keeps a sliding window of the last
+/// `cfg.window` events and dumps it on each trigger.
+///
+/// Everything is a pure function of the event sequence: the same sealed
+/// log always produces the same triggers and the same dumps.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    /// Triggering configuration.
+    pub cfg: FlightConfig,
+    window: VecDeque<TraceEvent>,
+    lat: Reservoir,
+    cached_p99: f64,
+    since_refresh: u32,
+    /// Dumps captured (bounded by `cfg.max_dumps`).
+    pub dumps: Vec<FlightDump>,
+    /// Total triggers, including those past the dump cap.
+    pub triggers: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(FlightConfig::default())
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with the given triggering config.
+    pub fn new(cfg: FlightConfig) -> FlightRecorder {
+        FlightRecorder {
+            cfg,
+            window: VecDeque::with_capacity(cfg.window.max(1)),
+            lat: Reservoir::default(),
+            cached_p99: 0.0,
+            since_refresh: 0,
+            dumps: Vec::new(),
+            triggers: 0,
+        }
+    }
+
+    /// Observe one event (in merge order).
+    pub fn observe(&mut self, ev: TraceEvent) {
+        if self.window.len() >= self.cfg.window.max(1) {
+            self.window.pop_front();
+        }
+        self.window.push_back(ev);
+        match ev.kind {
+            TraceKind::Shed => self.trigger(DumpTrigger::Shed { session: ev.session }, &ev),
+            TraceKind::Halted => self.trigger(DumpTrigger::Halt { session: ev.session }, &ev),
+            TraceKind::SliceEnd => {
+                let exec = ev.arg_ns as f64;
+                if self.lat.seen() >= self.cfg.min_samples
+                    && self.cached_p99 > 0.0
+                    && exec > self.cfg.latency_multiple * self.cached_p99
+                {
+                    self.trigger(
+                        DumpTrigger::SliceLatency { exec_ns: ev.arg_ns, p99_ns: self.cached_p99 },
+                        &ev,
+                    );
+                }
+                self.lat.push(exec);
+                self.since_refresh += 1;
+                // Refresh the running p99 periodically — recomputing exact
+                // quantiles per event would make the detector O(n²).
+                if self.since_refresh >= 32 || self.lat.seen() == self.cfg.min_samples {
+                    self.cached_p99 = self.lat.quantiles().p99;
+                    self.since_refresh = 0;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Observe a whole sealed log.
+    pub fn scan(&mut self, events: &[TraceEvent]) {
+        for &e in events {
+            self.observe(e);
+        }
+    }
+
+    /// The running-p99 latency reservoir (merged slice execution times).
+    pub fn latency(&self) -> &Reservoir {
+        &self.lat
+    }
+
+    fn trigger(&mut self, trigger: DumpTrigger, ev: &TraceEvent) {
+        self.triggers += 1;
+        if self.dumps.len() < self.cfg.max_dumps {
+            self.dumps.push(FlightDump {
+                trigger,
+                t_ns: ev.t_ns,
+                worker: ev.worker,
+                seq: ev.seq,
+                events: self.window.iter().copied().collect(),
+            });
+        }
+    }
+
+    /// Summary + full dumps.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("triggers", Json::from(self.triggers)),
+            ("dumps", Json::arr(self.dumps.iter().map(|d| d.to_json()))),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ring: &mut TraceRing, t: u64, kind: TraceKind, session: u32) {
+        ring.emit_at(t, kind, session, 0, 0, 0);
+    }
+
+    #[test]
+    fn ring_wraps_dropping_oldest() {
+        let mut r = TraceRing::new(0, 3, Instant::now());
+        for i in 0..5u64 {
+            ev(&mut r, i, TraceKind::Enqueued, i as u32);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let (evs, dropped) = r.drain();
+        assert_eq!(dropped, 2);
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest dropped, order preserved");
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.dropped(), 0);
+        // Sequence numbering continues across drains.
+        ev(&mut r, 9, TraceKind::Retired, 0);
+        assert_eq!(r.drain().0[0].seq, 5);
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut r = TraceRing::disabled(0);
+        r.emit(TraceKind::Shed, 1, 0, 0, 0);
+        ev(&mut r, 5, TraceKind::Shed, 1);
+        assert!(r.is_empty());
+        assert_eq!(r.drain(), (Vec::new(), 0));
+    }
+
+    #[test]
+    fn seal_orders_and_caps() {
+        let origin = Instant::now();
+        let mut log = TraceLog::with_cap(4);
+        let mut a = TraceRing::new(0, 16, origin);
+        let mut b = TraceRing::new(1, 16, origin);
+        ev(&mut a, 30, TraceKind::SliceStart, 0);
+        ev(&mut a, 10, TraceKind::Enqueued, 0);
+        ev(&mut b, 20, TraceKind::Enqueued, 1);
+        ev(&mut b, 20, TraceKind::Reenqueued, 1);
+        ev(&mut b, 40, TraceKind::Retired, 1);
+        log.absorb(&mut a);
+        log.absorb(&mut b);
+        log.seal();
+        assert!(log.is_sorted());
+        assert_eq!(log.events.len(), 4, "merged cap enforced");
+        assert_eq!(log.dropped, 1, "eviction counted");
+        assert_eq!(log.events[0].t_ns, 20, "oldest (t=10) evicted first");
+    }
+
+    #[test]
+    fn chrome_export_parses_and_has_tracks() {
+        let origin = Instant::now();
+        let mut log = TraceLog::default();
+        let mut r = TraceRing::new(0, 64, origin);
+        ev(&mut r, 5, TraceKind::Admitted, 3);
+        ev(&mut r, 6, TraceKind::Enqueued, 3);
+        r.emit_at(10, TraceKind::SliceStart, 3, 0, 0, 4);
+        r.emit_at(30, TraceKind::SliceEnd, 3, 0, 8, 20);
+        ev(&mut r, 31, TraceKind::Reenqueued, 3);
+        r.emit_at(40, TraceKind::PhaseBegin(ControlPhase::Match), SESSION_NONE, 0, 0, 0);
+        r.emit_at(45, TraceKind::PhaseEnd(ControlPhase::Match), SESSION_NONE, 0, 0, 5);
+        ev(&mut r, 50, TraceKind::Halted, 3);
+        log.absorb(&mut r);
+        log.seal();
+        let chrome = log.chrome_json();
+        let parsed = Json::parse(&chrome.to_string()).expect("chrome JSON parses");
+        let evs = parsed.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+        let phs: Vec<&str> =
+            evs.iter().filter_map(|e| e.get("ph").and_then(Json::as_str)).collect();
+        for needed in ["M", "X", "i", "s", "f", "B", "E"] {
+            assert!(phs.contains(&needed), "missing ph {needed:?} in {phs:?}");
+        }
+        // The X slice reconstructs its start from end - exec.
+        let x = evs.iter().find(|e| e.get("ph").and_then(Json::as_str) == Some("X")).unwrap();
+        assert_eq!(x.get("ts").and_then(Json::as_f64), Some(0.01));
+        assert_eq!(x.get("dur").and_then(Json::as_f64), Some(0.02));
+    }
+
+    #[test]
+    fn flight_recorder_triggers_on_shed_and_tail_latency() {
+        let cfg = FlightConfig { window: 4, latency_multiple: 4.0, min_samples: 8, max_dumps: 8 };
+        let mut fr = FlightRecorder::new(cfg);
+        let mk = |t: u64, kind: TraceKind, arg: u64| TraceEvent {
+            t_ns: t,
+            worker: 0,
+            seq: t,
+            session: 1,
+            kind,
+            cycle_lo: 0,
+            cycle_hi: 0,
+            arg_ns: arg,
+        };
+        // Warm up the running p99 with uniform 100ns slices.
+        for t in 0..40 {
+            fr.observe(mk(t, TraceKind::SliceEnd, 100));
+        }
+        assert_eq!(fr.triggers, 0);
+        fr.observe(mk(100, TraceKind::SliceEnd, 10_000));
+        assert_eq!(fr.triggers, 1, "40× p99 slice must trigger");
+        assert!(matches!(fr.dumps[0].trigger, DumpTrigger::SliceLatency { .. }));
+        assert_eq!(fr.dumps[0].events.len(), 4, "window of last N events");
+        fr.observe(mk(101, TraceKind::Shed, 0));
+        assert_eq!(fr.triggers, 2, "any shed triggers");
+        assert!(matches!(fr.dumps[1].trigger, DumpTrigger::Shed { session: 1 }));
+        assert!(
+            fr.dumps[1].events.iter().any(|e| e.kind == TraceKind::Shed),
+            "dump contains the shed event"
+        );
+        // Determinism: replaying the same stream reproduces the dumps.
+        let mut fr2 = FlightRecorder::new(cfg);
+        for t in 0..40 {
+            fr2.observe(mk(t, TraceKind::SliceEnd, 100));
+        }
+        fr2.observe(mk(100, TraceKind::SliceEnd, 10_000));
+        fr2.observe(mk(101, TraceKind::Shed, 0));
+        assert_eq!(fr2.triggers, fr.triggers);
+        assert_eq!(fr2.dumps.len(), fr.dumps.len());
+        for (a, b) in fr.dumps.iter().zip(&fr2.dumps) {
+            assert_eq!(a.trigger, b.trigger);
+            assert_eq!(a.events, b.events);
+        }
+        // to_json parses.
+        assert!(Json::parse(&fr.to_json().to_string()).is_ok());
+    }
+}

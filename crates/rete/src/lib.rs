@@ -83,8 +83,8 @@ pub use process::{
     BetaScratch, CsChange,
 };
 pub use serial::{
-    fold_cs, instantiation_of, instantiations_from_memories, AddOutcome, CsDelta, CycleOutcome,
-    SerialEngine,
+    fold_cs, instantiation_of, instantiations_from_memories, AddOutcome, CsDelta, CsFold,
+    CycleOutcome, SerialEngine,
 };
 pub use session::{SessionNet, Topology};
 pub use state::MatchState;

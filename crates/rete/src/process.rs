@@ -406,7 +406,10 @@ pub fn process_wme_change<N: ReteView + ?Sized>(
     min_node: NodeId,
     emit: &mut dyn FnMut(Activation),
 ) -> (crate::alpha::AlphaStats, u32) {
-    let token = Token::unit(wme);
+    // One unit token shared across the whole fan-out: the store caches it
+    // per wme, so every successor (and every later alpha task for this
+    // wme) takes a refcount bump instead of a fresh allocation.
+    let token = store.unit_token(wme).clone();
     let w = store.get(wme).clone();
     let mut emitted = 0u32;
     let stats = net.classify_wme(&w, &mut |child, side| {

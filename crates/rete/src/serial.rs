@@ -56,28 +56,84 @@ pub struct AddOutcome {
     pub cs: CsDelta,
 }
 
-/// Fold raw P-node emissions into net instantiation adds/removes.
+/// Incrementally folded conflict-set delta: a keyed map updated per
+/// P-node emission.
 ///
-/// Shared by the serial and parallel engines: weights may flicker during a
-/// cycle, so the conflict set is updated from the *net* per-token delta at
-/// quiescence, which must be −1, 0 or +1.
-pub fn fold_cs<N: ReteView + ?Sized>(net: &N, store: &WmeStore, raw: Vec<CsChange>) -> CsDelta {
-    let mut net_delta: FxHashMap<(u32, Token), i32> = FxHashMap::default();
-    for c in raw {
-        *net_delta.entry((c.prod, c.token)).or_insert(0) += c.delta;
-    }
-    let mut delta = CsDelta::default();
-    let mut items: Vec<((u32, Token), i32)> = net_delta.into_iter().collect();
-    items.sort_by(|a, b| (a.0 .0, a.0 .1.wmes()).cmp(&(b.0 .0, b.0 .1.wmes())));
-    for ((prod, token), d) in items {
-        match d {
-            0 => {}
-            1 => delta.added.push(instantiation_of(net, store, prod, &token)),
-            -1 => delta.removed.push(instantiation_of(net, store, prod, &token)),
-            other => panic!("conflict-set weight {other} for production {prod} — engine bug"),
+/// Weights may flicker during a cycle, so the conflict set is updated from
+/// the *net* per-token delta at quiescence, which must be −1, 0 or +1.
+/// Folding as emissions arrive (instead of buffering a raw change vector
+/// and re-keying the whole thing at the barrier) means entries that cancel
+/// within a cycle vanish immediately, the barrier sorts only the net
+/// nonzero entries, and the raw vector's token clones are never stored.
+#[derive(Clone, Debug, Default)]
+pub struct CsFold {
+    net: FxHashMap<(u32, Token), i32>,
+}
+
+impl CsFold {
+    /// Fold one P-node emission in. Entries reaching net zero are removed
+    /// on the spot.
+    #[inline]
+    pub fn add(&mut self, c: CsChange) {
+        use std::collections::hash_map::Entry;
+        match self.net.entry((c.prod, c.token)) {
+            Entry::Occupied(mut e) => {
+                *e.get_mut() += c.delta;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+            Entry::Vacant(e) => {
+                if c.delta != 0 {
+                    e.insert(c.delta);
+                }
+            }
         }
     }
-    delta
+
+    /// Fold a worker's local map in at the cycle barrier.
+    pub fn merge(&mut self, other: CsFold) {
+        for ((prod, token), delta) in other.net {
+            self.add(CsChange { prod, token, delta });
+        }
+    }
+
+    /// Net nonzero entries currently held.
+    pub fn len(&self) -> usize {
+        self.net.len()
+    }
+
+    /// `true` when every emission cancelled out (or none arrived).
+    pub fn is_empty(&self) -> bool {
+        self.net.is_empty()
+    }
+
+    /// Resolve into a sorted [`CsDelta`] at quiescence.
+    pub fn into_delta<N: ReteView + ?Sized>(self, net: &N, store: &WmeStore) -> CsDelta {
+        let mut delta = CsDelta::default();
+        let mut items: Vec<((u32, Token), i32)> = self.net.into_iter().collect();
+        items.sort_by(|a, b| (a.0 .0, a.0 .1.wmes()).cmp(&(b.0 .0, b.0 .1.wmes())));
+        for ((prod, token), d) in items {
+            match d {
+                1 => delta.added.push(instantiation_of(net, store, prod, &token)),
+                -1 => delta.removed.push(instantiation_of(net, store, prod, &token)),
+                other => {
+                    panic!("conflict-set weight {other} for production {prod} — engine bug")
+                }
+            }
+        }
+        delta
+    }
+}
+
+/// Fold raw P-node emissions into net instantiation adds/removes
+/// (buffered-vector compatibility wrapper over [`CsFold`]).
+pub fn fold_cs<N: ReteView + ?Sized>(net: &N, store: &WmeStore, raw: Vec<CsChange>) -> CsDelta {
+    let mut fold = CsFold::default();
+    for c in raw {
+        fold.add(c);
+    }
+    fold.into_delta(net, store)
 }
 
 /// Build the [`Instantiation`] for a P-node token.
@@ -203,7 +259,7 @@ impl<N: ReteView> SerialEngine<N> {
     pub fn run_cycle(&mut self, changes: Vec<(WmeId, i32)>, phase: Phase) -> CycleOutcome {
         let mut queue: VecDeque<(Activation, Option<u32>)> = VecDeque::new();
         let mut tasks: Vec<TaskRecord> = Vec::new();
-        let mut cs_raw: Vec<CsChange> = Vec::new();
+        let mut cs_fold = CsFold::default();
         let mut next_task: u32 = 0;
 
         for (id, delta) in changes {
@@ -234,9 +290,9 @@ impl<N: ReteView> SerialEngine<N> {
                 });
             }
         }
-        let executed = self.drain(queue, 0, &mut tasks, &mut cs_raw, &mut next_task);
+        let executed = self.drain(queue, 0, &mut tasks, &mut cs_fold, &mut next_task);
         let outcome = CycleOutcome {
-            cs: self.fold_cs(cs_raw),
+            cs: cs_fold.into_delta(&self.net, &self.state.store),
             tasks: next_task as u64,
         };
         let _ = executed;
@@ -258,7 +314,7 @@ impl<N: ReteView> SerialEngine<N> {
         mut queue: VecDeque<(Activation, Option<u32>)>,
         min_node: NodeId,
         tasks: &mut Vec<TaskRecord>,
-        cs_raw: &mut Vec<CsChange>,
+        cs_fold: &mut CsFold,
         next_task: &mut u32,
     ) -> u64 {
         let mut executed = 0u64;
@@ -276,7 +332,7 @@ impl<N: ReteView> SerialEngine<N> {
                 min_node,
                 &mut self.scratch,
                 &mut |a| pending.push(a),
-                &mut |c| cs_raw.push(c),
+                &mut |c| cs_fold.add(c),
             );
             for a in pending {
                 queue.push_back((a, Some(tid)));
@@ -308,11 +364,6 @@ impl<N: ReteView> SerialEngine<N> {
         executed
     }
 
-    /// Fold raw P-node emissions into net instantiation add/removes.
-    fn fold_cs(&self, raw: Vec<CsChange>) -> CsDelta {
-        fold_cs(&self.net, &self.state.store, raw)
-    }
-
     /// Build the [`Instantiation`] for a P-node token.
     pub fn instantiation_of(&self, prod: u32, token: &Token) -> Instantiation {
         instantiation_of(&self.net, &self.state.store, prod, token)
@@ -339,7 +390,7 @@ impl<N: ReteBuild> SerialEngine<N> {
         let first_new = add.first_new;
         let mut queue: VecDeque<(Activation, Option<u32>)> = VecDeque::new();
         let mut tasks: Vec<TaskRecord> = Vec::new();
-        let mut cs_raw: Vec<CsChange> = Vec::new();
+        let mut cs_fold = CsFold::default();
         let mut next_task: u32 = 0;
 
         // Boundary seeds (the specially-executed last shared nodes).
@@ -376,7 +427,7 @@ impl<N: ReteBuild> SerialEngine<N> {
                 });
             }
         }
-        self.drain(queue, first_new, &mut tasks, &mut cs_raw, &mut next_task);
+        self.drain(queue, first_new, &mut tasks, &mut cs_fold, &mut next_task);
         let update_tasks = next_task as u64;
         self.total_tasks += update_tasks;
         if self.capture {
@@ -385,7 +436,7 @@ impl<N: ReteBuild> SerialEngine<N> {
         #[cfg(debug_assertions)]
         self.state.mem.assert_quiescent();
         self.state.mem.end_cycle();
-        Ok(AddOutcome { add, update_tasks, cs: self.fold_cs(cs_raw) })
+        Ok(AddOutcome { add, update_tasks, cs: cs_fold.into_delta(&self.net, &self.state.store) })
     }
 }
 

@@ -81,6 +81,10 @@ struct StoredWme {
     wme: Arc<Wme>,
     tag: TimeTag,
     alive: bool,
+    /// The wme's one-slot token, built once at add time. Tokens are
+    /// immutable, so the alpha fan-out and every subsequent alpha task for
+    /// this wme share it by refcount instead of allocating fresh `Arc`s.
+    unit: Token,
 }
 
 /// The working-memory store: assigns [`WmeId`]s and [`TimeTag`]s, keeps the
@@ -110,7 +114,7 @@ impl WmeStore {
         let id = WmeId(self.wmes.len() as u32);
         let tag = TimeTag(self.next_tag);
         self.alive_idx.entry(fxhash(&wme)).or_default().push(id);
-        self.wmes.push(StoredWme { wme: Arc::new(wme), tag, alive: true });
+        self.wmes.push(StoredWme { wme: Arc::new(wme), tag, alive: true, unit: Token::unit(id) });
         self.live += 1;
         (id, tag)
     }
@@ -150,6 +154,12 @@ impl WmeStore {
     /// Time tag of a wme.
     pub fn tag(&self, id: WmeId) -> TimeTag {
         self.wmes[id.0 as usize].tag
+    }
+
+    /// The wme's shared one-slot token (cloning is a refcount bump).
+    #[inline]
+    pub fn unit_token(&self, id: WmeId) -> &Token {
+        &self.wmes[id.0 as usize].unit
     }
 
     /// Is the wme currently in working memory?

@@ -15,6 +15,9 @@
 //! queue traffic. Relative throughput across worker counts — the quantity
 //! the `serve_throughput` figures report — is insensitive to both.
 
+use psme_obs::{TraceKind, TraceLog, TraceRing};
+use std::time::Instant;
+
 /// Model configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct DesConfig {
@@ -38,6 +41,11 @@ pub struct DesResult {
     /// Per-cycle latency samples (slice queue wait + own service time),
     /// seconds; quantile them with `psme_obs::Quantiles`.
     pub cycle_latency: Vec<f64>,
+    /// The same typed event stream the real serve loop emits
+    /// ([`psme_obs::TraceKind`]), stamped with *virtual* nanoseconds, so
+    /// model runs export through the identical Chrome-trace path as
+    /// captured runs. Deterministic: a pure function of the inputs.
+    pub trace: TraceLog,
 }
 
 /// Simulate serving `sessions` (one inner `Vec<f64>` of per-cycle service
@@ -48,13 +56,27 @@ pub fn simulate_serve(sessions: &[Vec<f64>], cfg: &DesConfig) -> DesResult {
     let slice = cfg.slice.max(1);
     let mut completions = vec![0.0f64; n];
     let mut cycle_latency: Vec<f64> = Vec::new();
+    // Ring capacity that can never drop: at most 3 events per dispatch,
+    // worst case all on one worker, plus the control ring's 2 per session.
+    let dispatches: usize = sessions.iter().map(|c| c.len().div_ceil(slice).max(1)).sum();
+    let ring_cap = 3 * dispatches + 2 * n + 1;
+    let origin = Instant::now();
+    let mut rings: Vec<TraceRing> =
+        (0..workers).map(|w| TraceRing::new(w as u32, ring_cap, origin)).collect();
+    let mut ctl = TraceRing::new(workers as u32, ring_cap, origin);
+    let ns = |t: f64| (t * 1e9).round() as u64;
     if n == 0 {
         return DesResult {
             makespan: 0.0,
             sessions_per_sec: 0.0,
             completions,
             cycle_latency,
+            trace: TraceLog::default(),
         };
+    }
+    for s in 0..n {
+        ctl.emit_at(0, TraceKind::Admitted, s as u32, 0, 0, 0);
+        ctl.emit_at(0, TraceKind::Enqueued, s as u32, 0, 0, 0);
     }
     // Ready list: (ready_time, session, next_cycle), kept sorted by
     // (ready_time, session) — a priority queue small enough for Vec ops.
@@ -88,18 +110,43 @@ pub fn simulate_serve(sessions: &[Vec<f64>], cfg: &DesConfig) -> DesResult {
             cycle_latency.push(wait + c);
         }
         worker_free[wi] = t;
+        rings[wi].emit_at(
+            ns(start),
+            TraceKind::SliceStart,
+            s as u32,
+            first_cycle as u64,
+            first_cycle as u64,
+            ns(wait),
+        );
+        rings[wi].emit_at(
+            ns(t),
+            TraceKind::SliceEnd,
+            s as u32,
+            first_cycle as u64,
+            last as u64,
+            ns(t - start),
+        );
         if last < cycles.len() {
             ready.push((t, s, last));
+            rings[wi].emit_at(ns(t), TraceKind::Reenqueued, s as u32, 0, 0, 0);
         } else {
             completions[s] = t;
+            rings[wi].emit_at(ns(t), TraceKind::Retired, s as u32, 0, last as u64, 0);
         }
     }
+    let mut trace = TraceLog::default();
+    trace.absorb(&mut ctl);
+    for ring in &mut rings {
+        trace.absorb(ring);
+    }
+    trace.seal();
     let makespan = completions.iter().cloned().fold(0.0, f64::max);
     DesResult {
         makespan,
         sessions_per_sec: if makespan > 0.0 { n as f64 / makespan } else { 0.0 },
         completions,
         cycle_latency,
+        trace,
     }
 }
 
@@ -158,6 +205,36 @@ mod tests {
         let b = simulate_serve(&sessions, &cfg);
         assert_eq!(a.completions, b.completions);
         assert_eq!(a.cycle_latency, b.cycle_latency);
+    }
+
+    #[test]
+    fn trace_mirrors_the_schedule_deterministically() {
+        let sessions = uniform(3, 5, 0.25);
+        let cfg = DesConfig { workers: 2, slice: 2, dispatch_overhead: 0.01 };
+        let r = simulate_serve(&sessions, &cfg);
+        assert!(r.trace.is_sorted());
+        assert_eq!(r.trace.dropped, 0, "DES rings are sized to never drop");
+        let count = |k: TraceKind| r.trace.events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(TraceKind::Admitted), 3);
+        assert_eq!(count(TraceKind::Enqueued), 3);
+        assert_eq!(count(TraceKind::Retired), 3);
+        // 5 cycles at slice 2 → 3 dispatches per session.
+        assert_eq!(count(TraceKind::SliceStart), 9);
+        assert_eq!(count(TraceKind::SliceEnd), 9);
+        assert_eq!(count(TraceKind::Reenqueued), 6);
+        // Virtual time: a retire event lands exactly at the completion time.
+        for (s, &done) in r.completions.iter().enumerate() {
+            let ev = r
+                .trace
+                .events
+                .iter()
+                .find(|e| e.kind == TraceKind::Retired && e.session == s as u32)
+                .expect("every session retires");
+            assert_eq!(ev.t_ns, (done * 1e9).round() as u64);
+        }
+        // Same inputs, same events.
+        let r2 = simulate_serve(&sessions, &cfg);
+        assert_eq!(r.trace.events, r2.trace.events);
     }
 
     #[test]

@@ -21,8 +21,11 @@
 
 use crate::session::{Session, SessionReport, SessionSpec};
 use psme_core::{QueueStats, Scheduler, TaskQueues};
-use psme_obs::{Json, Quantiles};
+use psme_obs::{
+    FlightRecorder, Json, Quantiles, Reservoir, TraceConfig, TraceKind, TraceLog, TraceRing,
+};
 use psme_rete::Topology;
+use psme_soar::StopReason;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -43,6 +46,9 @@ pub struct ServeConfig {
     pub max_decisions: u64,
     /// Decision cycles per dispatch slice.
     pub slice_decisions: u64,
+    /// Event tracing / flight recorder (always-on by default; the
+    /// `trace_overhead` bench gates the cost).
+    pub trace: TraceConfig,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +60,7 @@ impl Default for ServeConfig {
             admission_depth: 256,
             max_decisions: 400,
             slice_decisions: 8,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -77,6 +84,13 @@ pub struct ServeReport {
     pub workers: usize,
     /// Echo of the config used.
     pub scheduler: Scheduler,
+    /// The merged, sealed event trace (empty when tracing is disabled).
+    /// `trace.to_json()` is the compact artifact, `trace.chrome_json()`
+    /// the Perfetto-loadable export.
+    pub trace: TraceLog,
+    /// Anomaly detector state after scanning the sealed trace: dumps for
+    /// every shed/halt/tail-latency trigger.
+    pub flight: FlightRecorder,
 }
 
 impl ServeReport {
@@ -89,6 +103,15 @@ impl ServeReport {
             ("wall_seconds", Json::float(self.wall_seconds)),
             ("sessions_per_sec", Json::float(self.sessions_per_sec)),
             ("cycle_latency_ns", self.aggregate_cycle_latency.to_json()),
+            (
+                "trace",
+                Json::obj([
+                    ("events", Json::from(self.trace.events.len() as u64)),
+                    ("dropped", Json::from(self.trace.dropped)),
+                    ("flight_triggers", Json::from(self.flight.triggers)),
+                    ("flight_dumps", Json::from(self.flight.dumps.len() as u64)),
+                ]),
+            ),
             ("sessions", Json::arr(self.sessions.iter().map(|s| s.to_json()))),
         ])
     }
@@ -110,13 +133,21 @@ struct Inner {
     /// reaches zero.
     remaining: AtomicI64,
     stats: Mutex<QueueStats>,
-    /// Raw cycle-latency samples pooled across sessions (ns), for the
-    /// aggregate quantiles (per-session reports keep only summaries).
-    cycle_pool: Mutex<Vec<f64>>,
+    /// Cycle-latency samples pooled across sessions (ns) in a bounded
+    /// deterministic reservoir, for the aggregate quantiles (per-session
+    /// reports keep only summaries).
+    cycle_pool: Mutex<Reservoir>,
+    /// Shared origin every trace ring stamps against.
+    origin: Instant,
+    /// Workers drain their rings here at loop exit (the join barrier).
+    trace_sink: Mutex<TraceLog>,
 }
 
 fn worker_loop(inner: &Inner, wid: usize) {
     let mut qs = QueueStats::default();
+    // Thread-local event ring: emitting is a branch + array write, merged
+    // into the run log only once, when this worker exits.
+    let mut ring = TraceRing::from_config(wid as u32, &inner.cfg.trace, inner.origin);
     loop {
         match inner.queues.pop(wid, &mut qs) {
             Some((idx, enqueued)) => {
@@ -129,6 +160,9 @@ fn worker_loop(inner: &Inner, wid: usize) {
                     .expect("queued session is in its slot");
                 sess.wait_ns.push(wait_ns);
                 sess.slices += 1;
+                let cyc0 = sess.agent.stats.decisions;
+                ring.emit(TraceKind::SliceStart, idx as u32, cyc0, cyc0, wait_ns as u64);
+                let slice_start = Instant::now();
                 let mut stop = None;
                 for _ in 0..inner.cfg.slice_decisions.max(1) {
                     let t0 = Instant::now();
@@ -139,17 +173,43 @@ fn worker_loop(inner: &Inner, wid: usize) {
                         break;
                     }
                 }
+                let cyc1 = sess.agent.stats.decisions;
+                let exec_ns = slice_start.elapsed().as_nanos() as u64;
+                ring.emit(TraceKind::SliceEnd, idx as u32, cyc0, cyc1, exec_ns);
                 match stop {
                     None => {
                         *inner.slots[idx].lock().expect("slot lock") = Some(sess);
                         inner.queues.push(wid, (idx as u32, Instant::now()), &mut qs);
+                        ring.emit(TraceKind::Reenqueued, idx as u32, cyc1, cyc1, 0);
                     }
                     Some(reason) => {
-                        inner
-                            .cycle_pool
-                            .lock()
-                            .expect("pool lock")
-                            .extend_from_slice(&sess.cycle_ns);
+                        if reason == StopReason::Halted {
+                            ring.emit(TraceKind::Halted, idx as u32, cyc1, cyc1, 0);
+                        }
+                        ring.emit(TraceKind::Retired, idx as u32, cyc1, cyc1, 0);
+                        if inner.cfg.trace.session_phases && ring.enabled() {
+                            // Fold the session's control-phase spans into the
+                            // trace, rebased onto the run origin.
+                            for s in sess.agent.recorder.rebased_spans(inner.origin) {
+                                ring.emit_at(
+                                    s.start_ns,
+                                    TraceKind::PhaseBegin(s.phase),
+                                    idx as u32,
+                                    s.seq,
+                                    s.seq,
+                                    0,
+                                );
+                                ring.emit_at(
+                                    s.start_ns.saturating_add(s.dur_ns),
+                                    TraceKind::PhaseEnd(s.phase),
+                                    idx as u32,
+                                    s.seq,
+                                    s.seq,
+                                    s.dur_ns,
+                                );
+                            }
+                        }
+                        inner.cycle_pool.lock().expect("pool lock").extend(&sess.cycle_ns);
                         inner.reports.lock().expect("reports lock")[idx] =
                             Some(sess.into_report(reason));
                         // A table slot freed: admit the next waiting session.
@@ -157,7 +217,9 @@ fn worker_loop(inner: &Inner, wid: usize) {
                         if let Some(n) = next {
                             let s = Session::build(&inner.specs[n], &inner.topo);
                             *inner.slots[n].lock().expect("slot lock") = Some(s);
+                            ring.emit(TraceKind::Admitted, n as u32, 0, 0, 0);
                             inner.queues.push(wid, (n as u32, Instant::now()), &mut qs);
+                            ring.emit(TraceKind::Enqueued, n as u32, 0, 0, 0);
                         }
                         inner.remaining.fetch_sub(1, Ordering::AcqRel);
                     }
@@ -172,6 +234,7 @@ fn worker_loop(inner: &Inner, wid: usize) {
         }
     }
     inner.stats.lock().expect("stats lock").merge(&qs);
+    inner.trace_sink.lock().expect("trace lock").absorb(&mut ring);
 }
 
 /// Serve a batch of sessions over a shared topology.
@@ -205,18 +268,29 @@ pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, cfg: ServeConfig) -> 
         reports: Mutex::new(reports),
         remaining: AtomicI64::new((cap.min(n) + waiting.len()) as i64),
         stats: Mutex::new(QueueStats::default()),
-        cycle_pool: Mutex::new(Vec::new()),
+        cycle_pool: Mutex::new(Reservoir::default()),
+        origin: Instant::now(),
+        trace_sink: Mutex::new(TraceLog::with_cap(cfg.trace.merged_cap)),
         topo,
         specs,
         cfg,
     };
+
+    // The control thread's own ring (admission staging); its worker id is
+    // one past the last worker's.
+    let mut ctl_ring = TraceRing::from_config(workers as u32, &inner.cfg.trace, inner.origin);
+    for &i in shed {
+        ctl_ring.emit(TraceKind::Shed, i as u32, 0, 0, 0);
+    }
 
     let t0 = Instant::now();
     let mut seed_stats = QueueStats::default();
     for i in 0..cap.min(n) {
         let s = Session::build(&inner.specs[i], &inner.topo);
         *inner.slots[i].lock().expect("slot lock") = Some(s);
+        ctl_ring.emit(TraceKind::Admitted, i as u32, 0, 0, 0);
         inner.queues.push_seed(i % workers, (i as u32, Instant::now()), &mut seed_stats);
+        ctl_ring.emit(TraceKind::Enqueued, i as u32, 0, 0, 0);
     }
     std::thread::scope(|scope| {
         for wid in 0..workers {
@@ -229,9 +303,16 @@ pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, cfg: ServeConfig) -> 
     });
     let wall_seconds = t0.elapsed().as_secs_f64();
 
-    let Inner { reports, stats, cfg, cycle_pool, .. } = inner;
+    let Inner { reports, stats, cfg, cycle_pool, trace_sink, .. } = inner;
     let mut stats = stats.into_inner().expect("stats lock");
     stats.merge(&seed_stats);
+    // Merge the control ring behind the join barrier, seal into one
+    // causal timeline, and run the anomaly detector over it.
+    let mut trace = trace_sink.into_inner().expect("trace lock");
+    trace.absorb(&mut ctl_ring);
+    trace.seal();
+    let mut flight = FlightRecorder::new(cfg.trace.flight);
+    flight.scan(&trace.events);
     let sessions: Vec<SessionReport> = reports
         .into_inner()
         .expect("reports lock")
@@ -239,15 +320,17 @@ pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, cfg: ServeConfig) -> 
         .map(|r| r.expect("every session retired or shed"))
         .collect();
     let completed = sessions.iter().filter(|s| !s.was_shed()).count();
-    let all_cycles = cycle_pool.into_inner().expect("pool lock");
+    let pool = cycle_pool.into_inner().expect("pool lock");
     ServeReport {
         shed: sessions.iter().filter(|s| s.was_shed()).count(),
         sessions,
         wall_seconds,
         sessions_per_sec: if wall_seconds > 0.0 { completed as f64 / wall_seconds } else { 0.0 },
-        aggregate_cycle_latency: Quantiles::from_samples(&all_cycles),
+        aggregate_cycle_latency: pool.quantiles(),
         queue_stats: stats,
         workers,
         scheduler: cfg.scheduler,
+        trace,
+        flight,
     }
 }

@@ -22,7 +22,10 @@ pub mod diagnose;
 
 pub use cost::CostModel;
 pub use diagnose::{diagnose_cycle, diagnose_run, Bottleneck, CycleDiagnosis, RunDiagnosis};
-pub use des::{simulate_cycle, simulate_run, speedup, total_seconds, SimConfig, SimResult, SimScheduler};
+pub use des::{
+    simulate_cycle, simulate_cycle_traced, simulate_run, simulate_run_traced, speedup,
+    total_seconds, SimConfig, SimResult, SimScheduler,
+};
 
 use psme_obs::NodeProfiler;
 use psme_rete::CycleTrace;

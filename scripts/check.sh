@@ -45,6 +45,12 @@ run_step "memory differential" \
 # learning); run it by name so a filtered invocation can't skip it.
 run_step "serve isolation" \
     cargo test -q -p psme-serve --test serve_isolation || fail=1
+# The trace layer's gates: ring/merge/export invariants, and the serving
+# loop's flight-recorder behaviour (seeded overload must dump its sheds).
+run_step "trace properties" \
+    cargo test -q -p psme-obs --test proptest_trace || fail=1
+run_step "trace flight" \
+    cargo test -q -p psme-serve --test trace_flight || fail=1
 
 # The committed alpha-discrimination artifact must exist and parse: it is
 # the evidence for the jump-table index's tests-per-wme reduction.
@@ -80,6 +86,28 @@ if [ ! -f "$memory_artifact" ]; then
 elif command -v python3 >/dev/null 2>&1; then
     if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$memory_artifact"; then
         echo "!! ${memory_artifact} is not valid JSON" >&2
+        fail=1
+    fi
+fi
+# The trace-overhead artifact must exist, parse, and show always-on tracing
+# within its bound — the committed evidence that the flight recorder is
+# cheap enough to leave on.
+trace_artifact="crates/bench/BENCH_trace_overhead.json"
+if [ ! -f "$trace_artifact" ]; then
+    echo "!! missing ${trace_artifact} (regenerate: PSME_BENCH_DIR=\$PWD/crates/bench cargo bench -p psme-bench --bench trace_overhead)" >&2
+    fail=1
+elif command -v python3 >/dev/null 2>&1; then
+    if ! python3 - "$trace_artifact" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+overhead = doc["overhead_pct"]
+bound = doc["bound_pct"]
+if overhead > bound:
+    sys.exit(f"tracing overhead {overhead:.2f}% exceeds the committed bound {bound}%")
+print(f"==> trace overhead: {overhead:.2f}% <= {bound}% — ok")
+PY
+    then
+        echo "!! ${trace_artifact} invalid or over its overhead bound" >&2
         fail=1
     fi
 fi
