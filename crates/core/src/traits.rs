@@ -4,8 +4,8 @@
 use crate::engine::ParallelEngine;
 use psme_ops::{Instantiation, Production, TimeTag, Wme, WmeId};
 use psme_rete::{
-    AddOutcome, BuildError, CycleOutcome, NetworkOrg, Phase, ReteBuild, SerialEngine,
-    WmeStore,
+    AddOutcome, BuildError, CycleOutcome, JournaledSession, NetworkOrg, Phase, ReteBuild,
+    SerialEngine, WmeStore,
 };
 use std::sync::Arc;
 
@@ -89,6 +89,45 @@ impl<N: ReteBuild> MatchEngine for SerialEngine<N> {
 
     fn current_instantiations(&self) -> Vec<Instantiation> {
         SerialEngine::current_instantiations(self)
+    }
+}
+
+impl MatchEngine for JournaledSession {
+    fn apply_changes(&mut self, adds: Vec<Wme>, removes: Vec<WmeId>) -> CycleOutcome {
+        JournaledSession::apply_changes(self, adds, removes)
+    }
+
+    fn add_wme(&mut self, w: Wme) -> (WmeId, TimeTag) {
+        JournaledSession::add_wme(self, w)
+    }
+
+    fn remove_wme(&mut self, id: WmeId) -> bool {
+        JournaledSession::remove_wme(self, id)
+    }
+
+    fn run_changes(&mut self, changes: Vec<(WmeId, i32)>) -> CycleOutcome {
+        JournaledSession::run_changes(self, changes)
+    }
+
+    fn add_production(
+        &mut self,
+        prod: Arc<Production>,
+        org: NetworkOrg,
+    ) -> Result<AddOutcome, BuildError> {
+        JournaledSession::add_production(self, prod, org)
+    }
+
+    fn with_store<R>(&self, f: impl FnOnce(&WmeStore) -> R) -> R {
+        f(&self.eng.state.store)
+    }
+
+    fn num_net_nodes(&self) -> usize {
+        use psme_rete::ReteView;
+        self.eng.net.num_nodes()
+    }
+
+    fn current_instantiations(&self) -> Vec<Instantiation> {
+        self.eng.current_instantiations()
     }
 }
 

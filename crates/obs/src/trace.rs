@@ -63,6 +63,12 @@ pub enum TraceKind {
     Shed,
     /// Session executed `(halt)`.
     Halted,
+    /// Session hibernated out of the table under memory pressure;
+    /// `arg_ns` = snapshot size in bytes.
+    Hibernated,
+    /// Session resumed from a snapshot on its next dispatch; `arg_ns` =
+    /// resume latency (decode + journal replay), nanoseconds.
+    Resumed,
     /// A control phase opened (`arg_ns` unused).
     PhaseBegin(ControlPhase),
     /// A control phase closed (`arg_ns` = phase duration).
@@ -81,6 +87,8 @@ impl TraceKind {
             TraceKind::Retired => "retired",
             TraceKind::Shed => "shed",
             TraceKind::Halted => "halted",
+            TraceKind::Hibernated => "hibernated",
+            TraceKind::Resumed => "resumed",
             TraceKind::PhaseBegin(_) => "phase_begin",
             TraceKind::PhaseEnd(_) => "phase_end",
         }
@@ -520,7 +528,12 @@ impl TraceLog {
                         ]));
                     }
                 }
-                TraceKind::Admitted | TraceKind::Retired | TraceKind::Shed | TraceKind::Halted => {
+                TraceKind::Admitted
+                | TraceKind::Retired
+                | TraceKind::Shed
+                | TraceKind::Halted
+                | TraceKind::Hibernated
+                | TraceKind::Resumed => {
                     out.push(instant(e, us(e.t_ns)));
                 }
                 TraceKind::PhaseBegin(p) => {

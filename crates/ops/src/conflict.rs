@@ -84,6 +84,23 @@ impl ConflictSet {
         out
     }
 
+    /// Present entries in insertion order, each with its specificity and
+    /// whether it has already fired. Insertion order matters: it is the
+    /// order [`Self::take_unfired`] fires in, so a snapshot must preserve
+    /// it to keep a restored agent's firing (and gensym) order identical.
+    pub fn entries(&self) -> impl Iterator<Item = (&Instantiation, usize, bool)> {
+        self.present.iter().map(|(i, s)| (i, *s, self.fired.contains(i)))
+    }
+
+    /// Re-append one entry recorded by [`Self::entries`] (snapshot restore).
+    /// Call in recorded order.
+    pub fn restore_entry(&mut self, inst: Instantiation, specificity: usize, fired: bool) {
+        if fired {
+            self.fired.insert(inst.clone());
+        }
+        self.present.push((inst, specificity));
+    }
+
     /// OPS5 LEX selection: choose the dominant unfired instantiation, mark
     /// it fired, and return it. `None` when every instantiation has fired.
     pub fn select_lex(&mut self) -> Option<Instantiation> {

@@ -61,6 +61,7 @@ pub mod ops5;
 pub mod process;
 pub mod serial;
 pub mod session;
+pub mod snapshot;
 pub mod state;
 pub mod sync;
 pub mod testgen;
@@ -87,6 +88,10 @@ pub use serial::{
     CycleOutcome, SerialEngine,
 };
 pub use session::{SessionNet, Topology};
+pub use snapshot::{
+    fnv1a64, open_frame, seal_frame, session_digest, ByteReader, ByteWriter, Journal,
+    JournaledSession, SnapOp, SnapshotError, JOURNAL_MAGIC, JOURNAL_VERSION,
+};
 pub use state::MatchState;
 pub use sync::{SpinGuard, SpinLock};
 pub use token::{Token, WmeStore};

@@ -75,6 +75,26 @@ impl std::fmt::Debug for Topology {
     }
 }
 
+/// `true` when bit `i` is set. An empty bitmap (no splice ever recorded —
+/// the base-only common case) answers in one bounds check.
+#[inline]
+fn bit_set(bits: &[u64], i: u32) -> bool {
+    match bits.get((i >> 6) as usize) {
+        Some(w) => w & (1u64 << (i & 63)) != 0,
+        None => false,
+    }
+}
+
+/// Set bit `i`, lazily allocating the bitmap to cover `cap` ids on first
+/// use (sessions that never splice never pay for the words).
+#[inline]
+fn set_bit(bits: &mut Vec<u64>, cap: u32, i: u32) {
+    if bits.is_empty() {
+        bits.resize((cap as usize).div_ceil(64).max(1), 0);
+    }
+    bits[(i >> 6) as usize] |= 1u64 << (i & 63);
+}
+
 /// A session's view of the network: shared frozen base + private overlay.
 pub struct SessionNet {
     topo: Arc<Topology>,
@@ -94,6 +114,14 @@ pub struct SessionNet {
     beta_splices: FxHashMap<NodeId, Vec<(NodeId, Side)>>,
     /// Successor edges a chunk spliced onto *base* alpha memories.
     alpha_splices: FxHashMap<u32, Vec<(NodeId, Side)>>,
+    /// Presence bitmap over base beta nodes: bit set ⇔ `beta_splices` has
+    /// an entry. Empty until the first splice, so the overwhelmingly common
+    /// "no delta" case — every successor walk of a base-only session, and
+    /// the resume path replaying a journal — is one branch on an empty Vec
+    /// instead of an `FxHashMap` probe per node.
+    beta_splice_bits: Vec<u64>,
+    /// Same, over base alpha-memory ids for `alpha_splices`.
+    alpha_splice_bits: Vec<u64>,
     /// Signature index over overlay nodes (chunk-to-chunk sharing).
     over_sigs: FxHashMap<NodeSignature, NodeId>,
     /// Production names recorded against shared *base* nodes (the
@@ -121,6 +149,8 @@ impl SessionNet {
             over_alpha,
             beta_splices: FxHashMap::default(),
             alpha_splices: FxHashMap::default(),
+            beta_splice_bits: Vec::new(),
+            alpha_splice_bits: Vec::new(),
             over_sigs: FxHashMap::default(),
             extra_prod_names: FxHashMap::default(),
         }
@@ -158,11 +188,26 @@ impl SessionNet {
         self.extra_prod_names.get(&id).map(|v| &v[..]).unwrap_or(&[])
     }
 
+    /// Invariant check (tests): each presence bit is set iff its splice map
+    /// has a (non-empty) entry.
+    #[doc(hidden)]
+    pub fn splice_bits_consistent(&self) -> bool {
+        // A set bit with no map entry would only cost a wasted probe, but
+        // the maintenance paths never leave one (rollback recomputes
+        // exactly) — so demand exact agreement in both directions.
+        (0..self.base_nodes)
+            .all(|id| bit_set(&self.beta_splice_bits, id) == self.beta_splices.contains_key(&id))
+            && (0..self.base_alpha).all(|id| {
+                bit_set(&self.alpha_splice_bits, id) == self.alpha_splices.contains_key(&id)
+            })
+    }
+
     /// Wire `child` as a successor of `src`, splicing when `src` is a base
     /// node (the base is immutable) and appending in place when it is an
     /// overlay node.
     fn wire_edge(&mut self, src: NodeId, child: NodeId, side: Side) {
         if src < self.base_nodes {
+            set_bit(&mut self.beta_splice_bits, self.base_nodes, src);
             self.beta_splices.entry(src).or_default().push((child, side));
         } else {
             self.over_betas[(src - self.base_nodes) as usize].out_edges.push((child, side));
@@ -186,6 +231,16 @@ impl SessionNet {
             v.retain(|&(c, _)| c < first_new);
         }
         self.alpha_splices.retain(|_, v| !v.is_empty());
+        // Recompute the presence bitmaps from the surviving splice maps
+        // (rollback is rare; exactness beats cleverness here).
+        self.beta_splice_bits.iter_mut().for_each(|w| *w = 0);
+        for &id in self.beta_splices.keys() {
+            set_bit(&mut self.beta_splice_bits, self.base_nodes, id);
+        }
+        self.alpha_splice_bits.iter_mut().for_each(|w| *w = 0);
+        for &id in self.alpha_splices.keys() {
+            set_bit(&mut self.alpha_splice_bits, self.base_alpha, id);
+        }
         self.over_sigs.retain(|_, &mut id| id < first_new);
         for i in 0..self.over_alpha.len() {
             let keep: Vec<_> = self
@@ -223,6 +278,9 @@ impl ReteView for SessionNet {
 
     #[inline]
     fn extra_out_edges(&self, id: NodeId) -> &[(NodeId, Side)] {
+        if !bit_set(&self.beta_splice_bits, id) {
+            return &[];
+        }
         self.beta_splices.get(&id).map(|v| &v[..]).unwrap_or(&[])
     }
 
@@ -251,9 +309,11 @@ impl ReteView for SessionNet {
             for &(child, side) in &m.successors {
                 hit(child, side);
             }
-            if let Some(extra) = self.alpha_splices.get(&m.id.0) {
-                for &(child, side) in extra {
-                    hit(child, side);
+            if bit_set(&self.alpha_splice_bits, m.id.0) {
+                if let Some(extra) = self.alpha_splices.get(&m.id.0) {
+                    for &(child, side) in extra {
+                        hit(child, side);
+                    }
                 }
             }
         });
@@ -338,6 +398,7 @@ impl BuildTarget for SessionNet {
         match right {
             Some(RightSrc::Alpha(a)) => {
                 if a.0 < self.base_alpha {
+                    set_bit(&mut self.alpha_splice_bits, self.base_alpha, a.0);
                     self.alpha_splices.entry(a.0).or_default().push((id, Side::Right));
                 } else {
                     self.over_alpha.add_successor(AlphaMemId(a.0 - self.base_alpha), id);
@@ -464,6 +525,7 @@ mod tests {
         // The chunk shares the base (a⋈b) prefix: its new nodes hang off a
         // base boundary node, visible as splices.
         assert!(sess.splice_edges() > 0);
+        assert!(sess.splice_bits_consistent());
         // Edge chains equal the monolithic successor lists on every node.
         for id in 0..mono.num_nodes() as NodeId {
             let mono_edges = &ReteView::node(&mono, id).out_edges;
@@ -496,5 +558,17 @@ mod tests {
         assert_eq!(sess.num_nodes(), nodes, "overlay rollback removed new nodes");
         assert_eq!(sess.splice_edges(), splices);
         assert_eq!(sess.overlay_prods(), 1);
+        assert!(sess.splice_bits_consistent(), "rollback recomputes presence bitmaps");
+    }
+
+    #[test]
+    fn fresh_session_skips_splice_probes_without_allocating() {
+        let mut r = reg();
+        let topo = base(&mut r);
+        let s = SessionNet::new(topo);
+        assert!(s.splice_bits_consistent());
+        for id in 0..s.num_nodes() as NodeId {
+            assert!(s.extra_out_edges(id).is_empty());
+        }
     }
 }

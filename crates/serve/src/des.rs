@@ -150,6 +150,190 @@ pub fn simulate_serve(sessions: &[Vec<f64>], cfg: &DesConfig) -> DesResult {
     }
 }
 
+/// Tiering parameters for the model ([`simulate_serve_tiered`]).
+///
+/// Resume cost models the real store: a snapshot replays its whole op
+/// journal, so the cost grows with the cycles the session has already
+/// executed — `resume_base + resume_per_cycle × cycles_done`.
+#[derive(Clone, Copy, Debug)]
+pub struct DesTierConfig {
+    /// Max sessions resident at once (the hot table bound).
+    pub hot_capacity: usize,
+    /// Fixed resume cost (frame verify, shell decode), seconds.
+    pub resume_base: f64,
+    /// Journal-replay cost per already-executed cycle, seconds.
+    pub resume_per_cycle: f64,
+}
+
+/// Model outputs for a tiered run.
+#[derive(Clone, Debug)]
+pub struct DesTieredResult {
+    /// Time the last session completed (seconds).
+    pub makespan: f64,
+    /// Completed sessions per second.
+    pub sessions_per_sec: f64,
+    /// Per-session completion times, in input order (seconds).
+    pub completions: Vec<f64>,
+    /// One sample per resume: the modeled resume latency, seconds.
+    pub resume_latency: Vec<f64>,
+    /// Hibernations forced by the hot bound.
+    pub hibernations: u64,
+    /// Dispatches that paid a resume (= hibernations of sessions later
+    /// dispatched again).
+    pub resumes: u64,
+    /// Typed event stream with `Hibernated`/`Resumed` markers, virtual ns.
+    pub trace: TraceLog,
+}
+
+/// Simulate tiered serving: same dispatch model as [`simulate_serve`], but
+/// at most `tier.hot_capacity` sessions are resident; dispatching a
+/// non-resident session evicts the least-recently-dispatched resident one
+/// (virtual-time LRU, index tie-break) and pays the modeled resume cost on
+/// the worker's timeline. Deterministic: a pure function of the inputs.
+pub fn simulate_serve_tiered(
+    sessions: &[Vec<f64>],
+    cfg: &DesConfig,
+    tier: &DesTierConfig,
+) -> DesTieredResult {
+    let n = sessions.len();
+    let workers = cfg.workers.max(1);
+    let slice = cfg.slice.max(1);
+    let hot_cap = tier.hot_capacity.max(1);
+    let mut completions = vec![0.0f64; n];
+    let mut resume_latency: Vec<f64> = Vec::new();
+    let mut hibernations = 0u64;
+    let mut resumes = 0u64;
+    let dispatches: usize = sessions.iter().map(|c| c.len().div_ceil(slice).max(1)).sum();
+    // Up to 3 slice events + 1 resume + 1 eviction per dispatch.
+    let ring_cap = 5 * dispatches + 2 * n + 1;
+    let origin = Instant::now();
+    let mut rings: Vec<TraceRing> =
+        (0..workers).map(|w| TraceRing::new(w as u32, ring_cap, origin)).collect();
+    let mut ctl = TraceRing::new(workers as u32, ring_cap, origin);
+    let ns = |t: f64| (t * 1e9).round() as u64;
+    if n == 0 {
+        return DesTieredResult {
+            makespan: 0.0,
+            sessions_per_sec: 0.0,
+            completions,
+            resume_latency,
+            hibernations,
+            resumes,
+            trace: TraceLog::default(),
+        };
+    }
+    for s in 0..n {
+        ctl.emit_at(0, TraceKind::Enqueued, s as u32, 0, 0, 0);
+    }
+    // Residency: (session, last-dispatch virtual time). `started[s]` tells
+    // admission (free) apart from resume (replay cost).
+    let mut hot: Vec<(usize, f64)> = Vec::new();
+    let mut started = vec![false; n];
+    let mut ready: Vec<(f64, usize, usize)> = (0..n).map(|s| (0.0, s, 0)).collect();
+    let mut worker_free = vec![0.0f64; workers];
+    while !ready.is_empty() {
+        let ri = ready
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 .0, a.1 .1).partial_cmp(&(b.1 .0, b.1 .1)).expect("finite times")
+            })
+            .map(|(i, _)| i)
+            .expect("nonempty");
+        let (ready_t, s, first_cycle) = ready.swap_remove(ri);
+        let wi = worker_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+            .map(|(i, _)| i)
+            .expect("workers >= 1");
+        let mut start = worker_free[wi].max(ready_t) + cfg.dispatch_overhead;
+        if let Some(entry) = hot.iter_mut().find(|(h, _)| *h == s) {
+            entry.1 = start;
+        } else {
+            // Take a seat, evicting the LRU resident session if full.
+            if hot.len() >= hot_cap {
+                let vi = hot
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        (a.1 .1, a.1 .0).partial_cmp(&(b.1 .1, b.1 .0)).expect("finite")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("hot nonempty");
+                let (victim, _) = hot.swap_remove(vi);
+                hibernations += 1;
+                rings[wi].emit_at(ns(start), TraceKind::Hibernated, victim as u32, 0, 0, 0);
+            }
+            hot.push((s, start));
+            if started[s] {
+                let cost = tier.resume_base + tier.resume_per_cycle * first_cycle as f64;
+                resumes += 1;
+                resume_latency.push(cost);
+                rings[wi].emit_at(
+                    ns(start),
+                    TraceKind::Resumed,
+                    s as u32,
+                    first_cycle as u64,
+                    first_cycle as u64,
+                    ns(cost),
+                );
+                start += cost;
+            } else {
+                started[s] = true;
+                rings[wi].emit_at(ns(start), TraceKind::Admitted, s as u32, 0, 0, 0);
+            }
+        }
+        let cycles = &sessions[s];
+        let last = (first_cycle + slice).min(cycles.len());
+        let mut t = start;
+        for &c in &cycles[first_cycle..last] {
+            t += c;
+        }
+        worker_free[wi] = t;
+        rings[wi].emit_at(
+            ns(start),
+            TraceKind::SliceStart,
+            s as u32,
+            first_cycle as u64,
+            first_cycle as u64,
+            ns(start - ready_t),
+        );
+        rings[wi].emit_at(
+            ns(t),
+            TraceKind::SliceEnd,
+            s as u32,
+            first_cycle as u64,
+            last as u64,
+            ns(t - start),
+        );
+        if last < cycles.len() {
+            ready.push((t, s, last));
+            rings[wi].emit_at(ns(t), TraceKind::Reenqueued, s as u32, 0, 0, 0);
+        } else {
+            completions[s] = t;
+            hot.retain(|(h, _)| *h != s);
+            rings[wi].emit_at(ns(t), TraceKind::Retired, s as u32, 0, last as u64, 0);
+        }
+    }
+    let mut trace = TraceLog::default();
+    trace.absorb(&mut ctl);
+    for ring in &mut rings {
+        trace.absorb(ring);
+    }
+    trace.seal();
+    let makespan = completions.iter().cloned().fold(0.0, f64::max);
+    DesTieredResult {
+        makespan,
+        sessions_per_sec: if makespan > 0.0 { n as f64 / makespan } else { 0.0 },
+        completions,
+        resume_latency,
+        hibernations,
+        resumes,
+        trace,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +419,64 @@ mod tests {
         // Same inputs, same events.
         let r2 = simulate_serve(&sessions, &cfg);
         assert_eq!(r.trace.events, r2.trace.events);
+    }
+
+    #[test]
+    fn tiered_with_ample_capacity_matches_untiered() {
+        // Hot capacity covering the population ⇒ no evictions, no resume
+        // cost: identical completion times.
+        let sessions = uniform(4, 10, 0.2);
+        let cfg = DesConfig { workers: 2, slice: 3, dispatch_overhead: 0.01 };
+        let base = simulate_serve(&sessions, &cfg);
+        let tier = DesTierConfig { hot_capacity: 4, resume_base: 1.0, resume_per_cycle: 1.0 };
+        let t = simulate_serve_tiered(&sessions, &cfg, &tier);
+        assert_eq!(t.hibernations, 0);
+        assert_eq!(t.resumes, 0);
+        assert_eq!(t.completions, base.completions);
+    }
+
+    #[test]
+    fn pressure_forces_hibernation_and_resume_cost_shows_in_makespan() {
+        let sessions = uniform(6, 8, 0.1);
+        let cfg = DesConfig { workers: 1, slice: 2, dispatch_overhead: 0.0 };
+        let tier_free =
+            DesTierConfig { hot_capacity: 2, resume_base: 0.0, resume_per_cycle: 0.0 };
+        let tier_costly =
+            DesTierConfig { hot_capacity: 2, resume_base: 0.5, resume_per_cycle: 0.05 };
+        let free = simulate_serve_tiered(&sessions, &cfg, &tier_free);
+        let costly = simulate_serve_tiered(&sessions, &cfg, &tier_costly);
+        assert!(free.hibernations > 0, "6 sessions through 2 seats must evict");
+        assert!(free.resumes > 0);
+        assert_eq!(free.hibernations, costly.hibernations, "cost does not change LRU order");
+        // Zero-cost resumes reduce to the untiered schedule.
+        let base = simulate_serve(&sessions, &cfg);
+        assert!((free.makespan - base.makespan).abs() < 1e-9);
+        // Costly resumes are exactly the per-resume penalties on one worker.
+        let paid: f64 = costly.resume_latency.iter().sum();
+        assert!((costly.makespan - (base.makespan + paid)).abs() < 1e-9);
+        // Resume cost grows with executed cycles (journal replay).
+        let first = costly.resume_latency.first().copied().unwrap();
+        let last = costly.resume_latency.last().copied().unwrap();
+        assert!(last > first, "later resumes replay longer journals");
+    }
+
+    #[test]
+    fn tiered_trace_is_deterministic_and_carries_tier_events() {
+        let sessions = uniform(5, 6, 0.2);
+        let cfg = DesConfig { workers: 2, slice: 2, dispatch_overhead: 0.01 };
+        let tier = DesTierConfig { hot_capacity: 2, resume_base: 0.1, resume_per_cycle: 0.01 };
+        let a = simulate_serve_tiered(&sessions, &cfg, &tier);
+        let b = simulate_serve_tiered(&sessions, &cfg, &tier);
+        assert_eq!(a.trace.events, b.trace.events);
+        assert_eq!(a.trace.dropped, 0, "tiered DES rings are sized to never drop");
+        let count = |k: TraceKind| a.trace.events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(TraceKind::Hibernated) as u64, a.hibernations);
+        assert_eq!(count(TraceKind::Resumed) as u64, a.resumes);
+        assert!(a.hibernations > 0);
+        // The tier events ride the same Chrome-trace path.
+        let chrome = a.trace.chrome_json().to_string();
+        assert!(chrome.contains("hibernated s"));
+        assert!(chrome.contains("resumed s"));
     }
 
     #[test]

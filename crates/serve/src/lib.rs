@@ -33,7 +33,13 @@
 pub mod des;
 pub mod serve;
 pub mod session;
+pub mod store;
 
-pub use des::{simulate_serve, DesConfig, DesResult};
+pub use des::{
+    simulate_serve, simulate_serve_tiered, DesConfig, DesResult, DesTierConfig, DesTieredResult,
+};
 pub use serve::{serve, ServeConfig, ServeReport};
-pub use session::{build_topology, SessionReport, SessionSpec, SessionTelemetry};
+pub use session::{
+    build_topology, SessionReport, SessionSpec, SessionTelemetry, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+pub use store::{TierConfig, TierReport};

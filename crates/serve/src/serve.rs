@@ -20,6 +20,7 @@
 //! session**; the loop drains the rest.
 
 use crate::session::{Session, SessionReport, SessionSpec};
+use crate::store::{Checkout, SessionStore, TierConfig, TierReport};
 use psme_core::{QueueStats, Scheduler, TaskQueues};
 use psme_obs::{
     FlightRecorder, Json, Quantiles, Reservoir, TraceConfig, TraceKind, TraceLog, TraceRing,
@@ -49,6 +50,13 @@ pub struct ServeConfig {
     /// Event tracing / flight recorder (always-on by default; the
     /// `trace_overhead` bench gates the cost).
     pub trace: TraceConfig,
+    /// Tiered session persistence. `None` (the default) serves exactly as
+    /// before: sessions live in the table for their whole run. `Some`
+    /// journals every session and lets the store hibernate the LRU session
+    /// out of the table under memory pressure (`table_capacity` becomes
+    /// the hot bound); hibernated sessions resume transparently on their
+    /// next dispatch.
+    pub tier: Option<TierConfig>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +69,7 @@ impl Default for ServeConfig {
             max_decisions: 400,
             slice_decisions: 8,
             trace: TraceConfig::default(),
+            tier: None,
         }
     }
 }
@@ -91,6 +100,9 @@ pub struct ServeReport {
     /// Anomaly detector state after scanning the sealed trace: dumps for
     /// every shed/halt/tail-latency trigger.
     pub flight: FlightRecorder,
+    /// Tier-store counters and resume-latency quantiles (`None` when
+    /// serving ran without tiering).
+    pub tier: Option<TierReport>,
 }
 
 impl ServeReport {
@@ -111,6 +123,13 @@ impl ServeReport {
                     ("flight_triggers", Json::from(self.flight.triggers)),
                     ("flight_dumps", Json::from(self.flight.dumps.len() as u64)),
                 ]),
+            ),
+            (
+                "tier",
+                match &self.tier {
+                    Some(t) => t.to_json(),
+                    None => Json::Null,
+                },
             ),
             ("sessions", Json::arr(self.sessions.iter().map(|s| s.to_json()))),
         ])
@@ -143,6 +162,65 @@ struct Inner {
     trace_sink: Mutex<TraceLog>,
 }
 
+/// Run one dispatch slice on a checked-out session. Emits the
+/// `SliceStart`/`SliceEnd` pair and returns the stop reason if the session
+/// finished inside this slice.
+fn run_slice(
+    inner: &Inner,
+    ring: &mut TraceRing,
+    sess: &mut Session,
+    idx: usize,
+    wait_ns: f64,
+) -> Option<StopReason> {
+    sess.wait_ns.push(wait_ns);
+    sess.slices += 1;
+    let cyc0 = sess.agent.stats.decisions;
+    ring.emit(TraceKind::SliceStart, idx as u32, cyc0, cyc0, wait_ns as u64);
+    let slice_start = Instant::now();
+    let mut stop = None;
+    for _ in 0..inner.cfg.slice_decisions.max(1) {
+        let t0 = Instant::now();
+        let r = sess.agent.step(inner.cfg.max_decisions);
+        sess.cycle_ns.push(t0.elapsed().as_nanos() as f64);
+        if let Some(r) = r {
+            stop = Some(r);
+            break;
+        }
+    }
+    let cyc1 = sess.agent.stats.decisions;
+    let exec_ns = slice_start.elapsed().as_nanos() as u64;
+    ring.emit(TraceKind::SliceEnd, idx as u32, cyc0, cyc1, exec_ns);
+    stop
+}
+
+/// Retire a finished session: emit lifecycle events, fold telemetry into
+/// the run pools, and file its report.
+fn finish_session(inner: &Inner, ring: &mut TraceRing, sess: Session, idx: usize, reason: StopReason) {
+    let cyc = sess.agent.stats.decisions;
+    if reason == StopReason::Halted {
+        ring.emit(TraceKind::Halted, idx as u32, cyc, cyc, 0);
+    }
+    ring.emit(TraceKind::Retired, idx as u32, cyc, cyc, 0);
+    if inner.cfg.trace.session_phases && ring.enabled() {
+        // Fold the session's control-phase spans into the trace, rebased
+        // onto the run origin.
+        for s in sess.agent.recorder.rebased_spans(inner.origin) {
+            ring.emit_at(s.start_ns, TraceKind::PhaseBegin(s.phase), idx as u32, s.seq, s.seq, 0);
+            ring.emit_at(
+                s.start_ns.saturating_add(s.dur_ns),
+                TraceKind::PhaseEnd(s.phase),
+                idx as u32,
+                s.seq,
+                s.seq,
+                s.dur_ns,
+            );
+        }
+    }
+    inner.cycle_pool.lock().expect("pool lock").extend(&sess.cycle_ns);
+    inner.reports.lock().expect("reports lock")[idx] = Some(sess.into_report(reason));
+    inner.remaining.fetch_sub(1, Ordering::AcqRel);
+}
+
 fn worker_loop(inner: &Inner, wid: usize) {
     let mut qs = QueueStats::default();
     // Thread-local event ring: emitting is a branch + array write, merged
@@ -158,70 +236,89 @@ fn worker_loop(inner: &Inner, wid: usize) {
                     .expect("slot lock")
                     .take()
                     .expect("queued session is in its slot");
-                sess.wait_ns.push(wait_ns);
-                sess.slices += 1;
-                let cyc0 = sess.agent.stats.decisions;
-                ring.emit(TraceKind::SliceStart, idx as u32, cyc0, cyc0, wait_ns as u64);
-                let slice_start = Instant::now();
-                let mut stop = None;
-                for _ in 0..inner.cfg.slice_decisions.max(1) {
-                    let t0 = Instant::now();
-                    let r = sess.agent.step(inner.cfg.max_decisions);
-                    sess.cycle_ns.push(t0.elapsed().as_nanos() as f64);
-                    if let Some(r) = r {
-                        stop = Some(r);
-                        break;
-                    }
-                }
-                let cyc1 = sess.agent.stats.decisions;
-                let exec_ns = slice_start.elapsed().as_nanos() as u64;
-                ring.emit(TraceKind::SliceEnd, idx as u32, cyc0, cyc1, exec_ns);
-                match stop {
+                match run_slice(inner, &mut ring, &mut sess, idx, wait_ns) {
                     None => {
+                        let cyc = sess.agent.stats.decisions;
                         *inner.slots[idx].lock().expect("slot lock") = Some(sess);
                         inner.queues.push(wid, (idx as u32, Instant::now()), &mut qs);
-                        ring.emit(TraceKind::Reenqueued, idx as u32, cyc1, cyc1, 0);
+                        ring.emit(TraceKind::Reenqueued, idx as u32, cyc, cyc, 0);
                     }
                     Some(reason) => {
-                        if reason == StopReason::Halted {
-                            ring.emit(TraceKind::Halted, idx as u32, cyc1, cyc1, 0);
-                        }
-                        ring.emit(TraceKind::Retired, idx as u32, cyc1, cyc1, 0);
-                        if inner.cfg.trace.session_phases && ring.enabled() {
-                            // Fold the session's control-phase spans into the
-                            // trace, rebased onto the run origin.
-                            for s in sess.agent.recorder.rebased_spans(inner.origin) {
-                                ring.emit_at(
-                                    s.start_ns,
-                                    TraceKind::PhaseBegin(s.phase),
-                                    idx as u32,
-                                    s.seq,
-                                    s.seq,
-                                    0,
-                                );
-                                ring.emit_at(
-                                    s.start_ns.saturating_add(s.dur_ns),
-                                    TraceKind::PhaseEnd(s.phase),
-                                    idx as u32,
-                                    s.seq,
-                                    s.seq,
-                                    s.dur_ns,
-                                );
-                            }
-                        }
-                        inner.cycle_pool.lock().expect("pool lock").extend(&sess.cycle_ns);
-                        inner.reports.lock().expect("reports lock")[idx] =
-                            Some(sess.into_report(reason));
+                        finish_session(inner, &mut ring, sess, idx, reason);
                         // A table slot freed: admit the next waiting session.
                         let next = inner.pending.lock().expect("pending lock").pop_front();
                         if let Some(n) = next {
-                            let s = Session::build(&inner.specs[n], &inner.topo);
+                            let s = Session::build(&inner.specs[n], &inner.topo, false);
                             *inner.slots[n].lock().expect("slot lock") = Some(s);
                             ring.emit(TraceKind::Admitted, n as u32, 0, 0, 0);
                             inner.queues.push(wid, (n as u32, Instant::now()), &mut qs);
                             ring.emit(TraceKind::Enqueued, n as u32, 0, 0, 0);
                         }
-                        inner.remaining.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+            }
+            None => {
+                if inner.remaining.load(Ordering::Acquire) <= 0 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+    inner.stats.lock().expect("stats lock").merge(&qs);
+    inner.trace_sink.lock().expect("trace lock").absorb(&mut ring);
+}
+
+/// The tiered variant: session ids all circulate through the dispatch
+/// queues from the start; the store materializes them lazily (`Start`),
+/// hands back live ones (`Live`), or returns snapshot bytes to verify and
+/// replay (`Resume`) — hibernating the LRU resident session whenever the
+/// table is over capacity.
+fn worker_loop_tiered(inner: &Inner, store: &SessionStore, wid: usize) {
+    let mut qs = QueueStats::default();
+    let mut ring = TraceRing::from_config(wid as u32, &inner.cfg.trace, inner.origin);
+    loop {
+        match inner.queues.pop(wid, &mut qs) {
+            Some((idx, enqueued)) => {
+                let idx = idx as usize;
+                let wait_ns = enqueued.elapsed().as_nanos() as f64;
+                let (checkout, evicted) = store.checkout(idx);
+                for &(victim, bytes) in &evicted.hibernated {
+                    ring.emit(TraceKind::Hibernated, victim, 0, 0, bytes as u64);
+                }
+                let mut sess = match checkout {
+                    Checkout::Live(s) => *s,
+                    Checkout::Start => {
+                        let s = Session::build(&inner.specs[idx], &inner.topo, true);
+                        ring.emit(TraceKind::Admitted, idx as u32, 0, 0, 0);
+                        s
+                    }
+                    Checkout::Resume(bytes, _tier) => {
+                        // Verify + replay outside the store lock; the slot
+                        // is marked Running, so the id is exclusively ours.
+                        let t0 = Instant::now();
+                        let s = Session::resume(&inner.specs[idx], &inner.topo, &bytes)
+                            .expect("snapshot encoded by this run must resume");
+                        let ns = t0.elapsed().as_nanos() as f64;
+                        store.note_resume_ns(ns);
+                        let cyc = s.agent.stats.decisions;
+                        ring.emit(TraceKind::Resumed, idx as u32, cyc, cyc, ns as u64);
+                        s
+                    }
+                };
+                match run_slice(inner, &mut ring, &mut sess, idx, wait_ns) {
+                    None => {
+                        let cyc = sess.agent.stats.decisions;
+                        let evicted = store.checkin(idx, sess);
+                        for &(victim, bytes) in &evicted.hibernated {
+                            ring.emit(TraceKind::Hibernated, victim, 0, 0, bytes as u64);
+                        }
+                        inner.queues.push(wid, (idx as u32, Instant::now()), &mut qs);
+                        ring.emit(TraceKind::Reenqueued, idx as u32, cyc, cyc, 0);
+                    }
+                    Some(reason) => {
+                        store.retire(idx);
+                        finish_session(inner, &mut ring, sess, idx, reason);
                     }
                 }
             }
@@ -261,10 +358,17 @@ pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, cfg: ServeConfig) -> 
         reports[i] = Some(SessionReport::shed(specs[i].name.clone()));
     }
 
+    let tiered = cfg.tier.is_some();
     let inner = Inner {
         queues: TaskQueues::new(cfg.scheduler, workers),
         slots: (0..n).map(|_| Mutex::new(None)).collect(),
-        pending: Mutex::new(waiting.iter().copied().collect()),
+        // Tiered serving enqueues every accepted id up front instead of
+        // staging admissions through the pending queue.
+        pending: Mutex::new(if tiered {
+            VecDeque::new()
+        } else {
+            waiting.iter().copied().collect()
+        }),
         reports: Mutex::new(reports),
         remaining: AtomicI64::new((cap.min(n) + waiting.len()) as i64),
         stats: Mutex::new(QueueStats::default()),
@@ -283,21 +387,36 @@ pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, cfg: ServeConfig) -> 
         ctl_ring.emit(TraceKind::Shed, i as u32, 0, 0, 0);
     }
 
+    let store = inner.cfg.tier.as_ref().map(|t| SessionStore::new(n, cap, t));
+
     let t0 = Instant::now();
     let mut seed_stats = QueueStats::default();
-    for i in 0..cap.min(n) {
-        let s = Session::build(&inner.specs[i], &inner.topo);
-        *inner.slots[i].lock().expect("slot lock") = Some(s);
-        ctl_ring.emit(TraceKind::Admitted, i as u32, 0, 0, 0);
-        inner.queues.push_seed(i % workers, (i as u32, Instant::now()), &mut seed_stats);
-        ctl_ring.emit(TraceKind::Enqueued, i as u32, 0, 0, 0);
+    if tiered {
+        // Every accepted session circulates as an id from the start; the
+        // store materializes at most `table_capacity` of them at a time.
+        for (k, i) in (0..cap.min(n)).chain(waiting.iter().copied()).enumerate() {
+            inner.queues.push_seed(k % workers, (i as u32, Instant::now()), &mut seed_stats);
+            ctl_ring.emit(TraceKind::Enqueued, i as u32, 0, 0, 0);
+        }
+    } else {
+        for i in 0..cap.min(n) {
+            let s = Session::build(&inner.specs[i], &inner.topo, false);
+            *inner.slots[i].lock().expect("slot lock") = Some(s);
+            ctl_ring.emit(TraceKind::Admitted, i as u32, 0, 0, 0);
+            inner.queues.push_seed(i % workers, (i as u32, Instant::now()), &mut seed_stats);
+            ctl_ring.emit(TraceKind::Enqueued, i as u32, 0, 0, 0);
+        }
     }
     std::thread::scope(|scope| {
         for wid in 0..workers {
             let inner = &inner;
+            let store = &store;
             std::thread::Builder::new()
                 .name(format!("psm-serve-{wid}"))
-                .spawn_scoped(scope, move || worker_loop(inner, wid))
+                .spawn_scoped(scope, move || match store {
+                    Some(st) => worker_loop_tiered(inner, st, wid),
+                    None => worker_loop(inner, wid),
+                })
                 .expect("spawn serve worker");
         }
     });
@@ -321,6 +440,7 @@ pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, cfg: ServeConfig) -> 
         .collect();
     let completed = sessions.iter().filter(|s| !s.was_shed()).count();
     let pool = cycle_pool.into_inner().expect("pool lock");
+    let tier = store.map(|s| s.report());
     ServeReport {
         shed: sessions.iter().filter(|s| s.was_shed()).count(),
         sessions,
@@ -332,5 +452,6 @@ pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, cfg: ServeConfig) -> 
         scheduler: cfg.scheduler,
         trace,
         flight,
+        tier,
     }
 }

@@ -1,9 +1,19 @@
 //! Session construction over a shared topology, and per-session reports.
 
 use psme_obs::{Json, Quantiles};
-use psme_rete::{MatchState, ReteNetwork, SerialEngine, SessionNet, Topology};
+use psme_rete::snapshot::{ByteReader, ByteWriter, Journal};
+use psme_rete::{
+    open_frame, seal_frame, JournaledSession, ReteNetwork, SerialEngine, SnapshotError, Topology,
+};
 use psme_soar::{Agent, AgentStats, SoarTask, StopReason};
 use std::sync::Arc;
+
+/// Magic of a full session snapshot: the engine's op journal followed by
+/// the agent's architecture shell and serving telemetry, one frame, one
+/// checksum ([`psme_rete::seal_frame`] layout).
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PSNS";
+/// Session-snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
 
 /// One session to admit: a task instance (same production set as the shared
 /// topology, its own initial working memory) plus a learning flag.
@@ -113,9 +123,14 @@ impl SessionReport {
 
 /// A live session in the table: an agent over its private overlay network
 /// and match state, plus raw telemetry samples.
+///
+/// The engine is a [`JournaledSession`]; in a tiered store the journal
+/// records every engine mutation so the session can hibernate to bytes and
+/// resume by replay. Non-tiered serving builds with the journal disabled —
+/// recording off is a branch per mutation, nothing is stored.
 pub(crate) struct Session {
     pub(crate) name: String,
-    pub(crate) agent: Agent<SerialEngine<SessionNet>>,
+    pub(crate) agent: Agent<JournaledSession>,
     pub(crate) cycle_ns: Vec<f64>,
     pub(crate) wait_ns: Vec<f64>,
     pub(crate) slices: u64,
@@ -124,10 +139,10 @@ pub(crate) struct Session {
 impl Session {
     /// Build and install a session over the shared topology. Productions
     /// are adopted (already compiled into the base), initial wmes and the
-    /// top goal materialize in this session's own [`MatchState`].
-    pub(crate) fn build(spec: &SessionSpec, topo: &Arc<Topology>) -> Session {
-        let net = SessionNet::new(topo.clone());
-        let engine = SerialEngine::with_state(net, MatchState::new());
+    /// top goal materialize in this session's own [`psme_rete::MatchState`].
+    /// `journaled` enables the op journal (required to hibernate later).
+    pub(crate) fn build(spec: &SessionSpec, topo: &Arc<Topology>, journaled: bool) -> Session {
+        let engine = JournaledSession::fresh(topo.clone(), journaled);
         let mut agent = Agent::new(engine, spec.task.classes.clone());
         spec.task.install_adopted(&mut agent);
         agent.learning = spec.learning;
@@ -140,9 +155,65 @@ impl Session {
         }
     }
 
+    /// Hibernate to a versioned, checksummed snapshot: the engine's op
+    /// journal, the agent's architecture shell, and the serving telemetry
+    /// accumulated so far, sealed into one frame.
+    pub(crate) fn hibernate(self) -> Vec<u8> {
+        let journal = self
+            .agent
+            .engine
+            .journal()
+            .expect("only journaled sessions hibernate");
+        let mut w = ByteWriter::new();
+        journal.encode_payload(&self.agent.classes, &mut w);
+        psme_soar::encode_shell(&self.agent, &mut w);
+        w.u64(self.cycle_ns.len() as u64);
+        for &v in &self.cycle_ns {
+            w.f64(v);
+        }
+        w.u64(self.wait_ns.len() as u64);
+        for &v in &self.wait_ns {
+            w.f64(v);
+        }
+        w.u64(self.slices);
+        seal_frame(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, w.into_inner())
+    }
+
+    /// Resume a hibernated session: open and verify the frame, replay the
+    /// op journal against the frozen topology, re-adopt the spec's
+    /// productions (canonical order, bookkeeping only), then restore the
+    /// architecture shell over the replayed engine. Every failure is a
+    /// typed [`SnapshotError`] — a corrupted snapshot never panics and
+    /// never yields a silently wrong session.
+    pub(crate) fn resume(
+        spec: &SessionSpec,
+        topo: &Arc<Topology>,
+        bytes: &[u8],
+    ) -> Result<Session, SnapshotError> {
+        let payload = open_frame(bytes, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
+        let mut r = ByteReader::new(payload);
+        let mut reg = spec.task.classes.clone();
+        let journal = Journal::decode_payload(&mut r, &mut reg)?;
+        let engine = JournaledSession::resume(topo.clone(), journal)?;
+        let mut agent = Agent::new(engine, spec.task.classes.clone());
+        spec.task.adopt_productions(&mut agent);
+        psme_soar::decode_shell(&mut agent, &mut r)?;
+        let mut cycle_ns = Vec::new();
+        for _ in 0..r.count()? {
+            cycle_ns.push(r.f64()?);
+        }
+        let mut wait_ns = Vec::new();
+        for _ in 0..r.count()? {
+            wait_ns.push(r.f64()?);
+        }
+        let slices = r.u64()?;
+        r.expect_done()?;
+        Ok(Session { name: spec.name.clone(), agent, cycle_ns, wait_ns, slices })
+    }
+
     /// Finish: fold samples into a report.
     pub(crate) fn into_report(self, stop: StopReason) -> SessionReport {
-        let net = &self.agent.engine.net;
+        let net = &self.agent.engine.eng.net;
         let telemetry = SessionTelemetry {
             cycle_latency: Quantiles::from_samples(&self.cycle_ns),
             queue_wait: Quantiles::from_samples(&self.wait_ns),

@@ -17,7 +17,7 @@ use psme_rete::{CsDelta, NetworkOrg};
 use std::sync::Arc;
 
 /// Run counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct AgentStats {
     /// Decision cycles executed.
     pub decisions: u64,
@@ -72,9 +72,9 @@ pub struct Agent<E: MatchEngine> {
     pub stats: AgentStats,
     /// `(write …)` output lines.
     pub output: Vec<String>,
-    prods: FxHashMap<Symbol, Arc<Production>>,
-    gensym_counter: u64,
-    halt_requested: bool,
+    pub(crate) prods: FxHashMap<Symbol, Arc<Production>>,
+    pub(crate) gensym_counter: u64,
+    pub(crate) halt_requested: bool,
     /// Network organization used for newly added productions.
     pub org: NetworkOrg,
     /// Per-production organization overrides (the §7 adaptive-bilinear

@@ -19,8 +19,8 @@ use std::collections::HashSet;
 /// Builds chunks and deduplicates structurally identical ones.
 #[derive(Debug, Default)]
 pub struct Chunker {
-    counter: u32,
-    seen: HashSet<String>,
+    pub(crate) counter: u32,
+    pub(crate) seen: HashSet<String>,
     /// Chunks built so far (in creation order).
     pub chunks: Vec<std::sync::Arc<Production>>,
 }

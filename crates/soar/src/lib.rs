@@ -28,6 +28,7 @@ pub mod arch;
 pub mod chunk;
 pub mod decide;
 pub mod defaults;
+pub mod hibernate;
 pub mod task;
 pub mod wm;
 
@@ -36,5 +37,6 @@ pub use arch::{declare_arch_classes, ArchFields, PrefValue, Preference, Role};
 pub use chunk::{ChunkRequest, Chunker};
 pub use decide::{decide, Decision, GoalCtx, ImpasseKey, ImpasseKind};
 pub use defaults::{default_productions, DEFAULT_PRODUCTIONS};
+pub use hibernate::{decode_shell, encode_shell, shell_digest};
 pub use task::SoarTask;
 pub use wm::{Provenance, WmBook};

@@ -56,6 +56,16 @@ impl SoarTask {
     /// and the top goal are created in this session's own match state.
     /// Returns the top goal id.
     pub fn install_adopted<E: MatchEngine>(&self, agent: &mut Agent<E>) -> Symbol {
+        self.adopt_productions(agent);
+        agent.add_init_wmes(self.init_wmes.clone());
+        agent.push_top_goal()
+    }
+
+    /// The adopt half of [`Self::install_adopted`] alone: identifiers and
+    /// default + task productions (canonical order), with no working-memory
+    /// changes. Used when resuming a hibernated session, whose working
+    /// memory is reconstructed by journal replay instead of recreated.
+    pub fn adopt_productions<E: MatchEngine>(&self, agent: &mut Agent<E>) {
         for &id in &self.identifiers {
             agent.register_identifier(id);
         }
@@ -66,8 +76,6 @@ impl SoarTask {
         for p in &self.productions {
             agent.adopt_production(p.clone());
         }
-        agent.add_init_wmes(self.init_wmes.clone());
-        agent.push_top_goal()
     }
 
     /// Build a fresh agent over the given engine and install the task.

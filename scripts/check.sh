@@ -51,6 +51,13 @@ run_step "trace properties" \
     cargo test -q -p psme-obs --test proptest_trace || fail=1
 run_step "trace flight" \
     cargo test -q -p psme-serve --test trace_flight || fail=1
+# The persistence layer's gates: snapshot->restore must be bit-for-bit
+# (and corrupt bytes typed errors, never panics), and hibernated/resumed
+# sessions must finish identical to continuously-live and solo runs.
+run_step "snapshot round-trip" \
+    cargo test -q -p psme-rete --test proptest_snapshot || fail=1
+run_step "serve hibernate" \
+    cargo test -q -p psme-serve --test serve_hibernate || fail=1
 
 # The committed alpha-discrimination artifact must exist and parse: it is
 # the evidence for the jump-table index's tests-per-wme reduction.
@@ -108,6 +115,34 @@ print(f"==> trace overhead: {overhead:.2f}% <= {bound}% — ok")
 PY
     then
         echo "!! ${trace_artifact} invalid or over its overhead bound" >&2
+        fail=1
+    fi
+fi
+# The session-resume artifact must exist, parse, show a population at
+# least 100x the live table, a passing tiered-vs-solo differential, and a
+# resume p99 within its committed bound.
+resume_artifact="crates/bench/BENCH_session_resume.json"
+if [ ! -f "$resume_artifact" ]; then
+    echo "!! missing ${resume_artifact} (regenerate: PSME_BENCH_DIR=\$PWD/crates/bench cargo bench -p psme-bench --bench session_resume)" >&2
+    fail=1
+elif command -v python3 >/dev/null 2>&1; then
+    if ! python3 - "$resume_artifact" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+ratio = doc["population"] / doc["table_capacity"]
+if ratio < 100:
+    sys.exit(f"population {doc['population']} is only {ratio:.0f}x the "
+             f"{doc['table_capacity']}-seat table (need >= 100x)")
+if not doc["differential_ok"]:
+    sys.exit("tiered-vs-solo differential failed in the committed artifact")
+p99, bound = doc["resume_p99_ns"], doc["bound_p99_ns"]
+if p99 > bound:
+    sys.exit(f"resume p99 {p99:.0f}ns exceeds the committed bound {bound:.0f}ns")
+print(f"==> session resume: {ratio:.0f}x population, differential ok, "
+      f"p99 {p99/1e6:.1f}ms <= {bound/1e6:.1f}ms — ok")
+PY
+    then
+        echo "!! ${resume_artifact} invalid or over its bounds" >&2
         fail=1
     fi
 fi
