@@ -21,9 +21,9 @@ use parking_lot::{Condvar, Mutex, RwLock};
 use psme_obs::{ControlPhase, Counter, Recorder, TraceKind, TraceRing, SESSION_NONE};
 use psme_ops::{Instantiation, Production, Wme, WmeId};
 use psme_rete::{
-    instantiations_from_memories, process_beta_scratch, process_wme_change, seed_update,
+    instantiations_from_memories, plan_beta, process_beta_batch, process_wme_change, seed_update,
     AddOutcome, BetaScratch, BuildError, CsFold, CycleOutcome, MemoryTable, NetworkOrg, NodeId,
-    NodeKind, Phase, ReteNetwork, WmeStore,
+    NodeKind, Phase, PlannedBeta, ReteNetwork, WmeStore,
 };
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -41,6 +41,13 @@ pub struct EngineConfig {
     pub memory_lines: usize,
     /// Collect per-line bucket access histograms each cycle (Figure 6-2).
     pub bucket_histograms: bool,
+    /// Line-lock batching: a worker drains up to this many tasks from its
+    /// queue per round, groups the beta activations by destination memory
+    /// line, and processes each group under a single lock acquisition
+    /// (`Counter::LineLockAcquisitions` records the paid acquisitions).
+    /// 1 disables batching — one acquisition per activation, the paper's
+    /// discipline.
+    pub line_batch: usize,
 }
 
 impl Default for EngineConfig {
@@ -50,6 +57,7 @@ impl Default for EngineConfig {
             scheduler: Scheduler::MultiQueue,
             memory_lines: 4096,
             bucket_histograms: false,
+            line_batch: 8,
         }
     }
 }
@@ -73,6 +81,7 @@ struct Shared {
     /// change vector every cycle.
     cs_fold: Mutex<CsFold>,
     worker_stats: Vec<Mutex<WorkerStats>>,
+    line_batch: usize,
 }
 
 fn worker_loop(shared: Arc<Shared>, wid: usize) {
@@ -98,74 +107,117 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
         let mut local_cs = CsFold::default();
         let mut cs_emitted = 0u64;
         let mut pending: Vec<Task> = Vec::new();
+        let mut local: Vec<Task> = Vec::new();
+        let mut planned: Vec<PlannedBeta> = Vec::new();
         loop {
             match shared.queues.pop(wid, &mut ws.queue) {
                 Some(task) => {
-                    ws.tasks += 1;
                     pending.clear();
-                    // Loaded per task, *after* the pop: the queue lock's
+                    // Loaded per round, *after* the pop: the queue lock's
                     // release/acquire pairing guarantees a popped task sees
                     // the `min_node` the control thread stored before
                     // pushing it, even for a worker that woke late and is
                     // still in the previous cycle's work loop.
                     let min_node: NodeId = shared.min_node.load(Ordering::Relaxed);
-                    ws.counters.add(Counter::Tasks, 1);
-                    match task {
-                        Task::Alpha(w, d) => {
-                            let (alpha, _) =
-                                process_wme_change(&*net, &store, w, d, min_node, &mut |a| {
-                                    pending.push(Task::Beta(a))
-                                });
-                            ws.counters.add(Counter::AlphaTasks, 1);
-                            ws.counters.add(Counter::Scanned, alpha.tests_run as u64);
-                            ws.counters.add(Counter::Emitted, pending.len() as u64);
-                            ws.counters.add(Counter::AlphaProbes, alpha.probes as u64);
-                            ws.counters.add(Counter::AlphaCandidates, alpha.candidates as u64);
-                            ws.counters.add(Counter::AlphaTestsSaved, alpha.tests_saved as u64);
+                    // Drain up to `line_batch` tasks; the popped-but-not-yet
+                    // retired tasks keep `outstanding` positive, so no other
+                    // worker can observe premature quiescence.
+                    local.clear();
+                    local.push(task);
+                    while local.len() < shared.line_batch {
+                        match shared.queues.pop(wid, &mut ws.queue) {
+                            Some(t) => local.push(t),
+                            None => break,
                         }
-                        Task::Beta(a) => {
-                            let cs_before = cs_emitted;
-                            let stats = process_beta_scratch(
-                                &*net,
-                                &shared.mem,
-                                &store,
-                                &a,
-                                min_node,
-                                &mut scratch,
-                                &mut |child| pending.push(Task::Beta(child)),
-                                &mut |c| {
-                                    cs_emitted += 1;
-                                    local_cs.add(c);
-                                },
-                            );
-                            ws.mem_spins += stats.spins;
-                            ws.scanned += stats.scanned as u64;
-                            ws.counters.add(Counter::BetaTasks, 1);
-                            ws.counters.add(Counter::Scanned, stats.scanned as u64);
-                            ws.counters.add(Counter::HashRejects, stats.hash_rejects as u64);
-                            ws.counters.add(Counter::EntriesSkipped, stats.skipped as u64);
-                            ws.counters.add(Counter::Emitted, stats.emitted as u64);
-                            ws.counters.add(Counter::MemSpins, stats.spins);
-                            ws.counters.add(Counter::CsChanges, cs_emitted - cs_before);
-                            // A childless two-input activation is a null
-                            // activation in the paper's accounting.
-                            if stats.emitted == 0
-                                && matches!(net.node(a.node).kind, NodeKind::Join | NodeKind::Neg)
-                            {
-                                ws.counters.add(Counter::NullActivations, 1);
+                    }
+                    let popped = local.len() as i64;
+                    ws.tasks += popped as u64;
+                    ws.counters.add(Counter::Tasks, popped as u64);
+                    let cs_round = cs_emitted;
+                    planned.clear();
+                    for task in local.drain(..) {
+                        match task {
+                            Task::Alpha(w, d) => {
+                                let before = pending.len();
+                                let (alpha, _) =
+                                    process_wme_change(&*net, &store, w, d, min_node, &mut |a| {
+                                        pending.push(Task::Beta(a))
+                                    });
+                                ws.counters.add(Counter::AlphaTasks, 1);
+                                ws.counters.add(Counter::Scanned, alpha.tests_run as u64);
+                                ws.counters
+                                    .add(Counter::Emitted, (pending.len() - before) as u64);
+                                ws.counters.add(Counter::AlphaProbes, alpha.probes as u64);
+                                ws.counters.add(Counter::AlphaCandidates, alpha.candidates as u64);
+                                ws.counters
+                                    .add(Counter::AlphaTestsSaved, alpha.tests_saved as u64);
+                            }
+                            Task::Beta(a) => {
+                                planned.push(plan_beta(&*net, &shared.mem, &store, a));
                             }
                         }
                     }
-                    // Children first, then retire self: the counter can only
-                    // reach zero at true quiescence. Under `WorkStealing`
-                    // the whole brood is published with one release store;
-                    // the locked schedulers push one-at-a-time, exactly as
-                    // the paper's configurations do.
+                    // Group the betas by destination line (stable sort keeps
+                    // pop order within a group) and drain each group under a
+                    // single acquisition. Signed counting memories make the
+                    // within-round reordering commutative, so the quiescent
+                    // state is unchanged.
+                    planned.sort_by_key(|p| p.line);
+                    let mut i = 0;
+                    while i < planned.len() {
+                        let mut j = i + 1;
+                        while j < planned.len() && planned[j].line == planned[i].line {
+                            j += 1;
+                        }
+                        process_beta_batch(
+                            &*net,
+                            &shared.mem,
+                            &store,
+                            &planned[i..j],
+                            min_node,
+                            &mut scratch,
+                            &mut |child| pending.push(Task::Beta(child)),
+                            &mut |c| {
+                                cs_emitted += 1;
+                                local_cs.add(c);
+                            },
+                            &mut |a, stats| {
+                                ws.mem_spins += stats.spins;
+                                ws.scanned += stats.scanned as u64;
+                                ws.counters.add(Counter::BetaTasks, 1);
+                                ws.counters.add(Counter::Scanned, stats.scanned as u64);
+                                ws.counters.add(Counter::HashRejects, stats.hash_rejects as u64);
+                                ws.counters.add(Counter::EntriesSkipped, stats.skipped as u64);
+                                ws.counters.add(Counter::Emitted, stats.emitted as u64);
+                                ws.counters.add(Counter::MemSpins, stats.spins);
+                                ws.counters
+                                    .add(Counter::LineLockAcquisitions, stats.acquires as u64);
+                                // A childless two-input activation is a null
+                                // activation in the paper's accounting.
+                                if stats.emitted == 0
+                                    && matches!(
+                                        net.node(a.node).kind,
+                                        NodeKind::Join | NodeKind::Neg
+                                    )
+                                {
+                                    ws.counters.add(Counter::NullActivations, 1);
+                                }
+                            },
+                        );
+                        i = j;
+                    }
+                    ws.counters.add(Counter::CsChanges, cs_emitted - cs_round);
+                    // Children first, then retire the round: the counter can
+                    // only reach zero at true quiescence. Under
+                    // `WorkStealing` the whole brood is published with one
+                    // release store; the locked schedulers push
+                    // one-at-a-time, exactly as the paper's configurations
+                    // do.
                     if !pending.is_empty() {
                         shared.outstanding.fetch_add(pending.len() as i64, Ordering::AcqRel);
                         shared.queues.push_batch(wid, &mut pending, &mut ws.queue);
                     }
-                    if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    if shared.outstanding.fetch_sub(popped, Ordering::AcqRel) == popped {
                         let _g = shared.done.lock();
                         shared.done_cv.notify_all();
                     }
@@ -246,6 +298,7 @@ impl ParallelEngine {
             shutdown: AtomicBool::new(false),
             cs_fold: Mutex::new(CsFold::default()),
             worker_stats: (0..workers).map(|_| Mutex::new(WorkerStats::default())).collect(),
+            line_batch: config.line_batch.max(1),
         });
         let handles = (0..workers)
             .map(|wid| {

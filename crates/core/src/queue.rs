@@ -340,6 +340,55 @@ impl<T> TaskQueues<T> {
         }
     }
 
+    /// Steal one task from this queue set on behalf of a *foreign* worker —
+    /// one that owns no queue here (a worker from another shard's pool).
+    ///
+    /// Safe from any thread: the locked schedulers pop under their spin
+    /// locks, and `WorkStealing` uses only the injector lock and the
+    /// thief side of the Chase–Lev deques (never an owner end), so the
+    /// module-level thread discipline is untouched. Counted as a steal in
+    /// `stats` on success, a steal failure per empty source otherwise.
+    pub fn steal_foreign(&self, stats: &mut QueueStats) -> Option<T> {
+        match &self.q {
+            Queues::Locked(queues) => {
+                for q in queues {
+                    let (mut g, spins) = q.lock();
+                    stats.pop_spins += spins;
+                    if let Some(t) = g.pop_front() {
+                        stats.pops += 1;
+                        stats.steals += 1;
+                        return Some(t);
+                    }
+                    stats.steal_fails += 1;
+                }
+                None
+            }
+            Queues::Stealing { injector, deques } => {
+                {
+                    let (mut g, spins) = injector.lock();
+                    stats.pop_spins += spins;
+                    if let Some(t) = g.pop_front() {
+                        stats.pops += 1;
+                        stats.steals += 1;
+                        return Some(t);
+                    }
+                }
+                stats.steal_fails += 1;
+                for d in deques {
+                    match d.steal() {
+                        Steal::Success(t) => {
+                            stats.pops += 1;
+                            stats.steals += 1;
+                            return Some(t);
+                        }
+                        Steal::Retry | Steal::Empty => stats.steal_fails += 1,
+                    }
+                }
+                None
+            }
+        }
+    }
+
     /// Are all queues empty? (Control-side check; racy by nature, callers
     /// rely on the outstanding-task counter for the real barrier.)
     pub fn all_empty(&self) -> bool {
@@ -503,6 +552,33 @@ mod tests {
             } else {
                 assert_eq!(s.batches, 0, "paper schedulers unchanged");
             }
+        }
+    }
+
+    #[test]
+    fn foreign_steals_drain_every_scheduler_exactly_once() {
+        for sched in [Scheduler::SingleQueue, Scheduler::MultiQueue, Scheduler::WorkStealing] {
+            let q = TaskQueues::new(sched, 3);
+            let mut s = QueueStats::default();
+            for i in 0..12 {
+                // Mix owner pushes and control-side seeds so both the
+                // deques and the injector hold work under `WorkStealing`.
+                if i % 2 == 0 {
+                    q.push(i as usize % 3, beta(i), &mut s);
+                } else {
+                    q.push_seed(i as usize, beta(i), &mut s);
+                }
+            }
+            let mut thief = QueueStats::default();
+            let mut seen = vec![0u32; 12];
+            while let Some(t) = q.steal_foreign(&mut thief) {
+                seen[node_of(Some(t)) as usize] += 1;
+            }
+            assert!(seen.iter().all(|&c| c == 1), "{sched:?}: {seen:?}");
+            assert_eq!(thief.steals, 12, "{sched:?}");
+            assert_eq!(thief.pops, 12, "{sched:?}");
+            assert!(q.all_empty(), "{sched:?}");
+            assert!(q.pop(0, &mut s).is_none(), "{sched:?}");
         }
     }
 

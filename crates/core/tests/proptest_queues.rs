@@ -54,6 +54,7 @@ proptest! {
         workers in 1usize..6,
         single in prop::bool::ANY,
         tiny_memory in prop::bool::ANY,
+        line_batch in 1usize..32,
     ) {
         let sys = random_system(seed, GenConfig { productions: 4, ..GenConfig::default() });
         let mut net = ReteNetwork::new();
@@ -65,6 +66,7 @@ proptest! {
             scheduler: if single { Scheduler::SingleQueue } else { Scheduler::MultiQueue },
             memory_lines: if tiny_memory { 1 } else { 1024 },
             bucket_histograms: false,
+            line_batch,
         });
         let mut rng = XorShift::new(seed ^ 0xBEEF);
         let adds: Vec<_> = (0..6).map(|_| sys.random_wme(&mut rng)).collect();

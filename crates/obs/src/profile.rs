@@ -289,6 +289,7 @@ mod tests {
             probes: 0,
             emitted,
             line: Some(0),
+            acquires: 1,
             wall_ns: 100,
         }
     }

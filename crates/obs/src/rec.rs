@@ -311,6 +311,11 @@ pub enum Counter {
     Emitted,
     /// Memory-line lock spins.
     MemSpins,
+    /// Memory-line lock acquisitions. One per line-touching activation
+    /// unbatched; line-lock batching drains a group of same-line
+    /// activations under a single acquisition, so this counter is the
+    /// direct evidence of the reduction.
+    LineLockAcquisitions,
     /// Conflict-set changes produced.
     CsChanges,
     /// Tasks taken from another worker's deque (work-stealing scheduler).
@@ -331,7 +336,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 18] = [
         Counter::Tasks,
         Counter::AlphaTasks,
         Counter::BetaTasks,
@@ -342,6 +347,7 @@ impl Counter {
         Counter::LinesCompacted,
         Counter::Emitted,
         Counter::MemSpins,
+        Counter::LineLockAcquisitions,
         Counter::CsChanges,
         Counter::Steals,
         Counter::StealFails,
@@ -364,6 +370,7 @@ impl Counter {
             Counter::LinesCompacted => "lines_compacted",
             Counter::Emitted => "emitted",
             Counter::MemSpins => "mem_spins",
+            Counter::LineLockAcquisitions => "line_lock_acquisitions",
             Counter::CsChanges => "cs_changes",
             Counter::Steals => "steals",
             Counter::StealFails => "steal_fails",

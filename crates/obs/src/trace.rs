@@ -69,6 +69,10 @@ pub enum TraceKind {
     /// Session resumed from a snapshot on its next dispatch; `arg_ns` =
     /// resume latency (decode + journal replay), nanoseconds.
     Resumed,
+    /// A worker ran a session stolen from another shard's queues —
+    /// cross-shard work-stealing fired because the thief's own pool was
+    /// empty; `arg_ns` = the session's home shard id.
+    CrossShardSteal,
     /// A control phase opened (`arg_ns` unused).
     PhaseBegin(ControlPhase),
     /// A control phase closed (`arg_ns` = phase duration).
@@ -89,6 +93,7 @@ impl TraceKind {
             TraceKind::Halted => "halted",
             TraceKind::Hibernated => "hibernated",
             TraceKind::Resumed => "resumed",
+            TraceKind::CrossShardSteal => "cross_shard_steal",
             TraceKind::PhaseBegin(_) => "phase_begin",
             TraceKind::PhaseEnd(_) => "phase_end",
         }
@@ -352,6 +357,11 @@ impl TraceRing {
     }
 }
 
+/// Chrome-export process ids: shard `s` renders as process
+/// `SHARD_PID_BASE + s`, clear of the default pool (pid 1) and the
+/// session-phase tracks (pid 2).
+const SHARD_PID_BASE: u32 = 10;
+
 /// The merged run-level trace.
 #[derive(Clone, Debug, Default)]
 pub struct TraceLog {
@@ -361,12 +371,36 @@ pub struct TraceLog {
     pub dropped: u64,
     /// Bound applied at seal time (0 = unbounded).
     pub merged_cap: usize,
+    /// Worker → shard assignment for sharded serving runs (empty =
+    /// unsharded). Mapped workers render as one Chrome track group
+    /// (process) per shard; unmapped workers — the control thread — stay
+    /// in the default pool process.
+    pub shard_of: Vec<(u32, u32)>,
 }
 
 impl TraceLog {
     /// An empty log bounded to `merged_cap` events at seal (0 = unbounded).
     pub fn with_cap(merged_cap: usize) -> TraceLog {
         TraceLog { merged_cap, ..TraceLog::default() }
+    }
+
+    /// Record that `worker`'s events belong to `shard`: the Chrome export
+    /// groups its track under the shard's process.
+    pub fn set_shard(&mut self, worker: u32, shard: u32) {
+        match self.shard_of.iter_mut().find(|(w, _)| *w == worker) {
+            Some(slot) => slot.1 = shard,
+            None => self.shard_of.push((worker, shard)),
+        }
+    }
+
+    /// Chrome process id for `worker`: its shard's track group when
+    /// mapped, the default pool otherwise.
+    fn pid_of(&self, worker: u32) -> u32 {
+        self.shard_of
+            .iter()
+            .find(|(w, _)| *w == worker)
+            .map(|&(_, shard)| SHARD_PID_BASE + shard)
+            .unwrap_or(1)
     }
 
     /// Drain one worker ring into the log (call at a barrier, from the
@@ -408,11 +442,13 @@ impl TraceLog {
     ///
     /// Layout: process 1 is the serve worker pool (one thread track per
     /// worker; the control thread's track is the id past the last worker).
-    /// Slices appear as complete (`X`) events spanning their execution
-    /// time; admission-control events are instants; a session's hops
-    /// between workers are flow arrows keyed by session id. Session-level
-    /// control-phase spans (when captured) land in process 2, one thread
-    /// track per session.
+    /// In sharded runs ([`TraceLog::set_shard`]) each shard's workers move
+    /// to their own process (`shard-N` track group) so Perfetto shows one
+    /// group per shard. Slices appear as complete (`X`) events spanning
+    /// their execution time; admission-control events are instants; a
+    /// session's hops between workers are flow arrows keyed by session id.
+    /// Session-level control-phase spans (when captured) land in process 2,
+    /// one thread track per session.
     pub fn chrome_json(&self) -> Json {
         let us = |t_ns: u64| Json::float(t_ns as f64 / 1e3);
         let mut out: Vec<Json> = Vec::new();
@@ -426,11 +462,22 @@ impl TraceLog {
             ("pid", Json::from(1u32)),
             ("args", Json::obj([("name", Json::from("psme-serve"))])),
         ]));
+        let mut shards: Vec<u32> = self.shard_of.iter().map(|&(_, s)| s).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        for &s in &shards {
+            out.push(Json::obj([
+                ("name", Json::from("process_name")),
+                ("ph", Json::from("M")),
+                ("pid", Json::from(SHARD_PID_BASE + s)),
+                ("args", Json::obj([("name", Json::from(format!("shard-{s}")))])),
+            ]));
+        }
         for &w in &workers {
             out.push(Json::obj([
                 ("name", Json::from("thread_name")),
                 ("ph", Json::from("M")),
-                ("pid", Json::from(1u32)),
+                ("pid", Json::from(self.pid_of(w))),
                 ("tid", Json::from(w)),
                 ("args", Json::obj([("name", Json::from(format!("worker-{w}")))])),
             ]));
@@ -478,7 +525,7 @@ impl TraceLog {
                             ("bp", Json::from("e")),
                             ("id", Json::from(e.session)),
                             ("ts", us(e.t_ns)),
-                            ("pid", Json::from(1u32)),
+                            ("pid", Json::from(self.pid_of(e.worker))),
                             ("tid", Json::from(e.worker)),
                         ]));
                     }
@@ -500,7 +547,7 @@ impl TraceLog {
                         ("ph", Json::from("X")),
                         ("ts", us(start)),
                         ("dur", us(e.arg_ns)),
-                        ("pid", Json::from(1u32)),
+                        ("pid", Json::from(self.pid_of(e.worker))),
                         ("tid", Json::from(e.worker)),
                         (
                             "args",
@@ -514,7 +561,7 @@ impl TraceLog {
                     ]));
                 }
                 TraceKind::Enqueued | TraceKind::Reenqueued => {
-                    out.push(instant(e, us(e.t_ns)));
+                    out.push(instant(e, us(e.t_ns), self.pid_of(e.worker)));
                     if !open_flows.contains(&e.session) {
                         open_flows.push(e.session);
                         out.push(Json::obj([
@@ -523,7 +570,7 @@ impl TraceLog {
                             ("ph", Json::from("s")),
                             ("id", Json::from(e.session)),
                             ("ts", us(e.t_ns)),
-                            ("pid", Json::from(1u32)),
+                            ("pid", Json::from(self.pid_of(e.worker))),
                             ("tid", Json::from(e.worker)),
                         ]));
                     }
@@ -533,11 +580,12 @@ impl TraceLog {
                 | TraceKind::Shed
                 | TraceKind::Halted
                 | TraceKind::Hibernated
-                | TraceKind::Resumed => {
-                    out.push(instant(e, us(e.t_ns)));
+                | TraceKind::Resumed
+                | TraceKind::CrossShardSteal => {
+                    out.push(instant(e, us(e.t_ns), self.pid_of(e.worker)));
                 }
                 TraceKind::PhaseBegin(p) => {
-                    let (pid, tid) = phase_track(e);
+                    let (pid, tid) = self.phase_track(e);
                     out.push(Json::obj([
                         ("name", Json::from(p.name())),
                         ("cat", Json::from("phase")),
@@ -548,7 +596,7 @@ impl TraceLog {
                     ]));
                 }
                 TraceKind::PhaseEnd(p) => {
-                    let (pid, tid) = phase_track(e);
+                    let (pid, tid) = self.phase_track(e);
                     out.push(Json::obj([
                         ("name", Json::from(p.name())),
                         ("cat", Json::from("phase")),
@@ -565,19 +613,20 @@ impl TraceLog {
             ("displayTimeUnit", Json::from("ms")),
         ])
     }
-}
 
-/// Track for a phase event: control-thread phases live on the emitting
-/// worker's track; session-attributed phases get a session track in pid 2.
-fn phase_track(e: &TraceEvent) -> (u32, u32) {
-    if e.session == SESSION_NONE {
-        (1, e.worker)
-    } else {
-        (2, e.session)
+    /// Track for a phase event: control-thread phases live on the emitting
+    /// worker's track (in its shard's process, if mapped); session-
+    /// attributed phases get a session track in pid 2.
+    fn phase_track(&self, e: &TraceEvent) -> (u32, u32) {
+        if e.session == SESSION_NONE {
+            (self.pid_of(e.worker), e.worker)
+        } else {
+            (2, e.session)
+        }
     }
 }
 
-fn instant(e: &TraceEvent, ts: Json) -> Json {
+fn instant(e: &TraceEvent, ts: Json, pid: u32) -> Json {
     let name = if e.session == SESSION_NONE {
         e.kind.name().to_string()
     } else {
@@ -589,7 +638,7 @@ fn instant(e: &TraceEvent, ts: Json) -> Json {
         ("ph", Json::from("i")),
         ("s", Json::from("t")),
         ("ts", ts),
-        ("pid", Json::from(1u32)),
+        ("pid", Json::from(pid)),
         ("tid", Json::from(e.worker)),
     ])
 }
@@ -874,6 +923,65 @@ mod tests {
         let x = evs.iter().find(|e| e.get("ph").and_then(Json::as_str) == Some("X")).unwrap();
         assert_eq!(x.get("ts").and_then(Json::as_f64), Some(0.01));
         assert_eq!(x.get("dur").and_then(Json::as_f64), Some(0.02));
+    }
+
+    #[test]
+    fn shard_map_groups_tracks_and_exports_cross_shard_steals() {
+        let origin = Instant::now();
+        let mut log = TraceLog::default();
+        // Workers 0 and 1 on shard 0, worker 2 on shard 1; worker 9 (the
+        // control thread) unmapped.
+        log.set_shard(0, 0);
+        log.set_shard(1, 0);
+        log.set_shard(2, 1);
+        for w in [0u32, 1, 2, 9] {
+            let mut r = TraceRing::new(w, 16, origin);
+            r.emit_at(10 + u64::from(w), TraceKind::Enqueued, 3, 0, 0, 0);
+            log.absorb(&mut r);
+        }
+        let mut thief = TraceRing::new(2, 16, origin);
+        // Worker 2 (shard 1) stole session 7 from home shard 0.
+        thief.emit_at(50, TraceKind::CrossShardSteal, 7, 0, 0, 0);
+        log.absorb(&mut thief);
+        log.seal();
+        let chrome = log.chrome_json();
+        let parsed = Json::parse(&chrome.to_string()).expect("chrome JSON parses");
+        let evs = parsed.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+        let pname = |pid: f64| {
+            evs.iter()
+                .find(|e| {
+                    e.get("name").and_then(Json::as_str) == Some("process_name")
+                        && e.get("pid").and_then(Json::as_f64) == Some(pid)
+                })
+                .and_then(|e| e.get("args").and_then(|a| a.get("name")).and_then(Json::as_str))
+                .map(str::to_owned)
+        };
+        assert_eq!(pname(10.0).as_deref(), Some("shard-0"));
+        assert_eq!(pname(11.0).as_deref(), Some("shard-1"));
+        assert_eq!(pname(1.0).as_deref(), Some("psme-serve"));
+        // Worker tracks land in their shard's process; the unmapped control
+        // worker stays in the pool process.
+        let tid_pid = |tid: f64| {
+            evs.iter()
+                .find(|e| {
+                    e.get("name").and_then(Json::as_str).is_some_and(|n| n.starts_with("enqueued"))
+                        && e.get("tid").and_then(Json::as_f64) == Some(tid)
+                })
+                .and_then(|e| e.get("pid").and_then(Json::as_f64))
+        };
+        assert_eq!(tid_pid(0.0), Some(10.0));
+        assert_eq!(tid_pid(2.0), Some(11.0));
+        assert_eq!(tid_pid(9.0), Some(1.0));
+        // The steal exports as an instant on the thief's shard track.
+        let steal = evs
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Json::as_str).is_some_and(|n| n.starts_with("cross_shard"))
+            })
+            .expect("steal instant present");
+        assert_eq!(steal.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(steal.get("pid").and_then(Json::as_f64), Some(11.0));
+        assert_eq!(steal.get("name").and_then(Json::as_str), Some("cross_shard_steal s7"));
     }
 
     #[test]

@@ -80,8 +80,8 @@ pub use network::{NetStats, NetworkOrg, ProdInfo, ReteNetwork};
 pub use node::{BetaNode, JoinTest, KeyPart, NodeId, NodeKind, RightSrc, Side, ROOT};
 pub use ops5::{Ops5Runtime, Ops5Stop};
 pub use process::{
-    make_key, process_beta, process_beta_scratch, process_wme_change, ActStats, Activation,
-    BetaScratch, CsChange,
+    make_key, plan_beta, process_beta, process_beta_batch, process_beta_scratch,
+    process_wme_change, ActStats, Activation, BetaScratch, CsChange, PlannedBeta,
 };
 pub use serial::{
     fold_cs, instantiation_of, instantiations_from_memories, AddOutcome, CsDelta, CsFold,

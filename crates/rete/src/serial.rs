@@ -286,6 +286,7 @@ impl<N: ReteView> SerialEngine<N> {
                     probes: alpha.probes,
                     emitted,
                     line: None,
+                    acquires: 0,
                     wall_ns: wall_ns_since(t0),
                 });
             }
@@ -357,6 +358,7 @@ impl<N: ReteView> SerialEngine<N> {
                     probes: 0,
                     emitted: stats.emitted,
                     line: stats.line,
+                    acquires: stats.acquires,
                     wall_ns: wall_ns_since(t0),
                 });
             }
@@ -423,6 +425,7 @@ impl<N: ReteBuild> SerialEngine<N> {
                     probes: alpha.probes,
                     emitted,
                     line: None,
+                    acquires: 0,
                     wall_ns: wall_ns_since(t0),
                 });
             }

@@ -150,6 +150,190 @@ pub fn simulate_serve(sessions: &[Vec<f64>], cfg: &DesConfig) -> DesResult {
     }
 }
 
+/// Sharding parameters for the model ([`simulate_serve_sharded`]).
+#[derive(Clone, Copy, Debug)]
+pub struct DesShardConfig {
+    /// Worker pools ([`DesConfig::workers`] is **per shard**, so the sweep
+    /// reaches `shards x workers` logical workers). Sessions route home by
+    /// index mod `shards` (the model's sessions are anonymous; the real
+    /// loop hashes names).
+    pub shards: usize,
+    /// Let a shard whose ready list is empty steal a queued slice from
+    /// another shard — through the *victim's* dispatch bus, like the real
+    /// `steal_foreign` path takes the victim's queue locks.
+    pub steal: bool,
+}
+
+/// Model outputs for a sharded run.
+#[derive(Clone, Debug)]
+pub struct DesShardedResult {
+    /// Time the last session completed (seconds).
+    pub makespan: f64,
+    /// Completed sessions per second.
+    pub sessions_per_sec: f64,
+    /// Per-session completion times, in input order (seconds).
+    pub completions: Vec<f64>,
+    /// Per-cycle latency samples, seconds.
+    pub cycle_latency: Vec<f64>,
+    /// Dispatches served by a worker outside the session's home shard.
+    pub cross_shard_steals: u64,
+    /// Typed event stream (virtual ns) with `CrossShardSteal` markers and
+    /// the worker → shard map set, so the Chrome export groups one track
+    /// group per shard.
+    pub trace: TraceLog,
+}
+
+/// Simulate sharded serving: `shards` pools of `cfg.workers` workers, each
+/// pool owning the sessions `s` with `s % shards == pool`, each with its
+/// own **serialized dispatch bus** — every dispatch (pop + handoff) holds
+/// the home shard's bus for `dispatch_overhead` seconds, so one shard's
+/// dispatch rate saturates at `1 / dispatch_overhead` no matter how many
+/// workers it has. That is the single-bus contention knee; sharding
+/// multiplies the aggregate bus bandwidth. Deterministic: a pure function
+/// of the inputs.
+pub fn simulate_serve_sharded(
+    sessions: &[Vec<f64>],
+    cfg: &DesConfig,
+    shard: &DesShardConfig,
+) -> DesShardedResult {
+    let n = sessions.len();
+    let wps = cfg.workers.max(1);
+    let nshards = shard.shards.max(1);
+    let workers = nshards * wps;
+    let slice = cfg.slice.max(1);
+    let mut completions = vec![0.0f64; n];
+    let mut cycle_latency: Vec<f64> = Vec::new();
+    let mut cross_shard_steals = 0u64;
+    let dispatches: usize = sessions.iter().map(|c| c.len().div_ceil(slice).max(1)).sum();
+    // Up to 3 slice events + 1 steal marker per dispatch.
+    let ring_cap = 4 * dispatches + 2 * n + 1;
+    let origin = Instant::now();
+    let mut rings: Vec<TraceRing> =
+        (0..workers).map(|w| TraceRing::new(w as u32, ring_cap, origin)).collect();
+    let mut ctl = TraceRing::new(workers as u32, ring_cap, origin);
+    let ns = |t: f64| (t * 1e9).round() as u64;
+    if n == 0 {
+        return DesShardedResult {
+            makespan: 0.0,
+            sessions_per_sec: 0.0,
+            completions,
+            cycle_latency,
+            cross_shard_steals,
+            trace: TraceLog::default(),
+        };
+    }
+    for s in 0..n {
+        ctl.emit_at(0, TraceKind::Admitted, s as u32, 0, 0, 0);
+        ctl.emit_at(0, TraceKind::Enqueued, s as u32, 0, 0, 0);
+    }
+    // Per-shard ready lists: (ready_time, session, next_cycle).
+    let mut ready: Vec<Vec<(f64, usize, usize)>> = vec![Vec::new(); nshards];
+    for s in 0..n {
+        ready[s % nshards].push((0.0, s, 0));
+    }
+    let mut worker_free = vec![0.0f64; workers];
+    // When each shard's dispatch bus frees up.
+    let mut bus_free = vec![0.0f64; nshards];
+    let mut left: usize = n;
+    while left > 0 {
+        // Globally earliest dispatch: for each home shard's earliest-ready
+        // session, consider its own pool and — when stealing is on — pools
+        // whose own ready list is empty. Tie-break prefers the home pool,
+        // then (home, thief) order, so the schedule is deterministic.
+        let mut best: Option<(f64, usize, usize, usize, usize)> = None;
+        for h in 0..nshards {
+            let Some((ci, &(ready_t, ..))) = ready[h].iter().enumerate().min_by(|a, b| {
+                (a.1 .0, a.1 .1).partial_cmp(&(b.1 .0, b.1 .1)).expect("finite times")
+            }) else {
+                continue;
+            };
+            for (t, ready_t_pool) in ready.iter().enumerate().take(nshards) {
+                if t != h && !(shard.steal && ready_t_pool.is_empty()) {
+                    continue;
+                }
+                let wi = (t * wps..(t + 1) * wps)
+                    .min_by(|a, b| {
+                        worker_free[*a].partial_cmp(&worker_free[*b]).expect("finite times")
+                    })
+                    .expect("wps >= 1");
+                let bus_start = worker_free[wi].max(ready_t).max(bus_free[h]);
+                let key = (bus_start, usize::from(t != h), h, t);
+                if best.is_none_or(|(bs, steal_flag, bh, bt, _)| {
+                    key < (bs, steal_flag, bh, bt)
+                }) {
+                    best = Some((bus_start, usize::from(t != h), h, t, ci));
+                }
+            }
+        }
+        let (bus_start, stolen, h, t, ci) = best.expect("left > 0 implies ready work");
+        let (ready_t, s, first_cycle) = ready[h].swap_remove(ci);
+        let wi = (t * wps..(t + 1) * wps)
+            .min_by(|a, b| worker_free[*a].partial_cmp(&worker_free[*b]).expect("finite times"))
+            .expect("wps >= 1");
+        // The dispatch holds the home bus for the overhead window.
+        bus_free[h] = bus_start + cfg.dispatch_overhead;
+        let start = bus_start + cfg.dispatch_overhead;
+        let wait = start - ready_t;
+        if stolen == 1 {
+            cross_shard_steals += 1;
+            rings[wi].emit_at(ns(start), TraceKind::CrossShardSteal, s as u32, 0, 0, h as u64);
+        }
+        let cycles = &sessions[s];
+        let last = (first_cycle + slice).min(cycles.len());
+        let mut time = start;
+        for &c in &cycles[first_cycle..last] {
+            time += c;
+            cycle_latency.push(wait + c);
+        }
+        worker_free[wi] = time;
+        rings[wi].emit_at(
+            ns(start),
+            TraceKind::SliceStart,
+            s as u32,
+            first_cycle as u64,
+            first_cycle as u64,
+            ns(wait),
+        );
+        rings[wi].emit_at(
+            ns(time),
+            TraceKind::SliceEnd,
+            s as u32,
+            first_cycle as u64,
+            last as u64,
+            ns(time - start),
+        );
+        if last < cycles.len() {
+            // Affinity: re-enqueue on the home shard even after a steal.
+            ready[h].push((time, s, last));
+            rings[wi].emit_at(ns(time), TraceKind::Reenqueued, s as u32, 0, 0, 0);
+        } else {
+            completions[s] = time;
+            left -= 1;
+            rings[wi].emit_at(ns(time), TraceKind::Retired, s as u32, 0, last as u64, 0);
+        }
+    }
+    let mut trace = TraceLog::default();
+    trace.absorb(&mut ctl);
+    for ring in &mut rings {
+        trace.absorb(ring);
+    }
+    if nshards > 1 {
+        for w in 0..workers {
+            trace.set_shard(w as u32, (w / wps) as u32);
+        }
+    }
+    trace.seal();
+    let makespan = completions.iter().cloned().fold(0.0, f64::max);
+    DesShardedResult {
+        makespan,
+        sessions_per_sec: if makespan > 0.0 { n as f64 / makespan } else { 0.0 },
+        completions,
+        cycle_latency,
+        cross_shard_steals,
+        trace,
+    }
+}
+
 /// Tiering parameters for the model ([`simulate_serve_tiered`]).
 ///
 /// Resume cost models the real store: a snapshot replays its whole op
@@ -419,6 +603,92 @@ mod tests {
         // Same inputs, same events.
         let r2 = simulate_serve(&sessions, &cfg);
         assert_eq!(r.trace.events, r2.trace.events);
+    }
+
+    #[test]
+    fn sharded_is_deterministic_and_scales_linearly_without_contention() {
+        let sessions = uniform(8, 20, 0.1);
+        let cfg = DesConfig { workers: 1, slice: 20, dispatch_overhead: 0.0 };
+        let sh4 = DesShardConfig { shards: 4, steal: false };
+        let a = simulate_serve_sharded(&sessions, &cfg, &sh4);
+        let b = simulate_serve_sharded(&sessions, &cfg, &sh4);
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.trace.events, b.trace.events);
+        assert_eq!(a.trace.dropped, 0);
+        // 8 sessions over 4 one-worker pools, 2 each, no overhead: 4x one
+        // pool's throughput.
+        let sh1 = DesShardConfig { shards: 1, steal: false };
+        let one = simulate_serve_sharded(&sessions, &cfg, &sh1);
+        assert!((one.makespan / a.makespan - 4.0).abs() < 1e-9, "{}", a.makespan);
+    }
+
+    #[test]
+    fn dispatch_bus_is_the_knee_and_sharding_moves_it() {
+        // Service so short the bus dominates: each dispatch costs 0.05 s of
+        // bus time for 0.1 s of work, so one bus feeds at most 2 workers.
+        let mk = |n: usize| uniform(n, 16, 0.1);
+        let run = |shards: usize, wps: usize| {
+            let cfg = DesConfig { workers: wps, slice: 1, dispatch_overhead: 0.05 };
+            simulate_serve_sharded(&mk(64), &cfg, &DesShardConfig { shards, steal: false })
+        };
+        // The bus feeds one 0.1 s cycle per 0.05 s hold, and a worker is
+        // occupied 0.15 s per cycle (its own dispatch + service), so the
+        // knee sits at 0.15/0.05 = 3 workers. Below it, workers scale;
+        // past it, they buy nothing.
+        let w2 = run(1, 2);
+        let w4 = run(1, 4);
+        let w16 = run(1, 16);
+        assert!(
+            w16.sessions_per_sec < w4.sessions_per_sec * 1.1,
+            "single bus saturated past the knee: {} vs {}",
+            w16.sessions_per_sec,
+            w4.sessions_per_sec
+        );
+        assert!(
+            w16.sessions_per_sec < w2.sessions_per_sec * 2.0,
+            "8x the workers, < 2x the throughput: {} vs {}",
+            w16.sessions_per_sec,
+            w2.sessions_per_sec
+        );
+        // Four buses lift the ceiling ~4x at the same logical worker count.
+        let s4 = run(4, 4);
+        assert!(
+            s4.sessions_per_sec >= w16.sessions_per_sec * 3.0,
+            "4 shards past the knee: {} vs {}",
+            s4.sessions_per_sec,
+            w16.sessions_per_sec
+        );
+    }
+
+    #[test]
+    fn cross_shard_stealing_fills_idle_pools_and_is_traced() {
+        // Shard 0 homes two long sessions on one worker, shard 1 a short
+        // one; after shard 1 drains, shard 0 always has a queued slice its
+        // busy worker can't take, so shard 1's idle worker steals it.
+        let sessions = vec![vec![0.1; 40], vec![0.1; 2], vec![0.1; 40]];
+        let cfg = DesConfig { workers: 1, slice: 2, dispatch_overhead: 0.001 };
+        let idle = simulate_serve_sharded(
+            &sessions,
+            &cfg,
+            &DesShardConfig { shards: 2, steal: false },
+        );
+        let steal =
+            simulate_serve_sharded(&sessions, &cfg, &DesShardConfig { shards: 2, steal: true });
+        assert_eq!(idle.cross_shard_steals, 0);
+        assert!(steal.cross_shard_steals > 0, "idle pool must steal");
+        assert!(steal.makespan < idle.makespan, "stealing shortens the tail");
+        let marks = steal
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceKind::CrossShardSteal)
+            .count() as u64;
+        assert_eq!(marks, steal.cross_shard_steals);
+        // Shard map groups the export one process per shard.
+        let chrome = steal.trace.chrome_json().to_string();
+        assert!(chrome.contains("shard-0"));
+        assert!(chrome.contains("shard-1"));
+        assert!(chrome.contains("cross_shard_steal s0"));
     }
 
     #[test]

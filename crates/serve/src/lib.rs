@@ -26,6 +26,12 @@
 //! A session executing `(halt)` terminates **that session only** — the
 //! loop keeps serving the rest (see `serve_isolation` tests).
 //!
+//! Serving can be **sharded** ([`ShardConfig`]): N worker pools, each
+//! owning a routed partition of the sessions, its own dispatch queues and
+//! store tier (session affinity), with cross-shard work-stealing only when
+//! a pool runs dry — scaling past the single dispatch bus's contention
+//! knee (the `shard_scaling` bench).
+//!
 //! [`des`] contains a deterministic discrete-event model of the same loop
 //! for scheduler sweeps beyond the host's core count (the
 //! `serve_throughput` bench).
@@ -36,9 +42,10 @@ pub mod session;
 pub mod store;
 
 pub use des::{
-    simulate_serve, simulate_serve_tiered, DesConfig, DesResult, DesTierConfig, DesTieredResult,
+    simulate_serve, simulate_serve_sharded, simulate_serve_tiered, DesConfig, DesResult,
+    DesShardConfig, DesShardedResult, DesTierConfig, DesTieredResult,
 };
-pub use serve::{serve, ServeConfig, ServeReport};
+pub use serve::{serve, ServeConfig, ServeReport, ShardConfig, ShardReport, ShardRouter};
 pub use session::{
     build_topology, SessionReport, SessionSpec, SessionTelemetry, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };

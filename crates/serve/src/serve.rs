@@ -1,4 +1,4 @@
-//! The serving loop: admission, session table, worker pool, dispatch.
+//! The serving loop: admission, session table, worker pools, dispatch.
 //!
 //! All sessions arrive up front (a batch-arrival open system degenerates to
 //! this on a closed benchmark). Admission is two-stage:
@@ -17,7 +17,24 @@
 //! session, runs up to `slice_decisions` decision cycles, and either
 //! re-enqueues it (round-robin) or retires it and admits the next waiting
 //! session. A session halting (`(halt)` on the RHS) retires **only that
-//! session**; the loop drains the rest.
+//! session**— the loop drains the rest.
+//!
+//! ## Sharding
+//!
+//! One `TaskQueues` instance is a single dispatch bus: every push and pop
+//! crosses the same injector/spin locks, and past a knee (measured in the
+//! serving DES) adding workers just adds contention. [`ShardConfig`]
+//! splits serving into `shards` worker pools. Each shard owns a partition
+//! of the sessions (routed by a [`ShardRouter`] — a stable hash of the
+//! session name by default), its own `TaskQueues`, its own slice of the
+//! admission/table budget, and — when tiering is on — its own
+//! [`SessionStore`]. A session's match state therefore stays **affine** to
+//! one pool's workers for its whole run. When a pool's queues run dry its
+//! workers may steal a slice from another shard's queues (cross-shard
+//! work-stealing, counted separately as `cross_shard_steals`); the stolen
+//! session is checked out of and re-enqueued to its *home* shard, so
+//! affinity is restored the moment the home pool catches up. `shards: 1`
+//! (the default) is exactly the old single-bus loop.
 
 use crate::session::{Session, SessionReport, SessionSpec};
 use crate::store::{Checkout, SessionStore, TierConfig, TierReport};
@@ -28,20 +45,72 @@ use psme_obs::{
 use psme_rete::Topology;
 use psme_soar::StopReason;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// How sessions map to shards.
+#[derive(Clone, Debug)]
+pub enum ShardRouter {
+    /// FNV-1a hash of the session *name*, mod the shard count — stable
+    /// across runs, platforms, and spec order, so a session's home shard
+    /// is reproducible (the cross-shard differential tests rely on it).
+    Hash,
+    /// `map[i]` is spec `i`'s shard (taken mod the shard count); must
+    /// cover every spec. For tests that need a crafted partition.
+    Explicit(Vec<u32>),
+}
+
+impl ShardRouter {
+    /// Home shard for spec `idx` named `name` among `shards` pools.
+    pub fn route(&self, idx: usize, name: &str, shards: usize) -> u32 {
+        let shards = shards.max(1) as u64;
+        match self {
+            ShardRouter::Hash => {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for &b in name.as_bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                (h % shards) as u32
+            }
+            ShardRouter::Explicit(map) => (u64::from(map[idx]) % shards) as u32,
+        }
+    }
+}
+
+/// Sharded-serving knobs (defaults reproduce the unsharded loop).
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Worker pools. Total worker threads = `shards × workers`; the
+    /// table/admission budgets split ceil-wise across pools. 1 = the
+    /// single-bus loop, bit-for-bit.
+    pub shards: usize,
+    /// Session → shard routing.
+    pub router: ShardRouter,
+    /// Let a worker whose own pool ran dry steal a slice from another
+    /// shard's queues (the slice still checks out of and re-enqueues to
+    /// its home shard, so affinity is preserved).
+    pub steal: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig { shards: 1, router: ShardRouter::Hash, steal: true }
+    }
+}
 
 /// Serving-loop configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Worker threads.
+    /// Worker threads **per shard**.
     pub workers: usize,
-    /// Dispatch policy for the session queue.
+    /// Dispatch policy for each shard's session queue.
     pub scheduler: Scheduler,
-    /// Max live sessions in the table.
+    /// Max live sessions in the table (split ceil-wise across shards).
     pub table_capacity: usize,
-    /// Max sessions waiting for a table slot; overflow sheds the oldest.
+    /// Max sessions waiting for a table slot (split ceil-wise across
+    /// shards); overflow sheds the oldest.
     pub admission_depth: usize,
     /// Per-session decision budget (the harness's budget by default).
     pub max_decisions: u64,
@@ -52,11 +121,13 @@ pub struct ServeConfig {
     pub trace: TraceConfig,
     /// Tiered session persistence. `None` (the default) serves exactly as
     /// before: sessions live in the table for their whole run. `Some`
-    /// journals every session and lets the store hibernate the LRU session
-    /// out of the table under memory pressure (`table_capacity` becomes
-    /// the hot bound); hibernated sessions resume transparently on their
-    /// next dispatch.
+    /// journals every session and lets each shard's store hibernate the
+    /// LRU session out of the table under memory pressure (the shard's
+    /// slice of `table_capacity` becomes the hot bound); hibernated
+    /// sessions resume transparently on their next dispatch.
     pub tier: Option<TierConfig>,
+    /// Worker-pool sharding (default: one shard = the classic loop).
+    pub shard: ShardConfig,
 }
 
 impl Default for ServeConfig {
@@ -70,7 +141,61 @@ impl Default for ServeConfig {
             slice_decisions: 8,
             trace: TraceConfig::default(),
             tier: None,
+            shard: ShardConfig::default(),
         }
+    }
+}
+
+/// Per-shard slice of a [`ServeReport`].
+#[derive(Debug)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: u32,
+    /// Specs routed to this shard.
+    pub sessions: usize,
+    /// Of those, completed (not shed).
+    pub completed: usize,
+    /// Shed by this shard's admission queue.
+    pub shed: usize,
+    /// Queue stats merged over this shard's workers (their steal counters
+    /// include cross-shard steals they performed).
+    pub queue_stats: QueueStats,
+    /// Decision-cycle latency over sessions homed on this shard (ns).
+    pub cycle_latency: Quantiles,
+    /// Slices this shard's workers stole from *other* shards' queues.
+    pub cross_shard_steals: u64,
+    /// This shard's tier-store report (tiered runs only).
+    pub tier: Option<TierReport>,
+}
+
+impl ShardReport {
+    /// Serialize for artifacts.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("shard", Json::from(u64::from(self.shard))),
+            ("sessions", Json::from(self.sessions as u64)),
+            ("completed", Json::from(self.completed as u64)),
+            ("shed", Json::from(self.shed as u64)),
+            ("cross_shard_steals", Json::from(self.cross_shard_steals)),
+            ("cycle_latency_ns", self.cycle_latency.to_json()),
+            (
+                "queues",
+                Json::obj([
+                    ("pops", Json::from(self.queue_stats.pops)),
+                    ("pushes", Json::from(self.queue_stats.pushes)),
+                    ("failed_pops", Json::from(self.queue_stats.failed_pops)),
+                    ("steals", Json::from(self.queue_stats.steals)),
+                    ("steal_fails", Json::from(self.queue_stats.steal_fails)),
+                ]),
+            ),
+            (
+                "tier",
+                match &self.tier {
+                    Some(t) => t.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
     }
 }
 
@@ -86,22 +211,31 @@ pub struct ServeReport {
     /// Completed sessions per second.
     pub sessions_per_sec: f64,
     /// Decision-cycle latency pooled over all completed sessions (ns).
+    /// Aggregated by *merging* the per-shard reservoirs at a common
+    /// stride, so no shard's samples are over-weighted.
     pub aggregate_cycle_latency: Quantiles,
-    /// Queue stats merged over all workers.
+    /// Queue stats merged over all workers of all shards.
     pub queue_stats: QueueStats,
-    /// Echo of the config used.
+    /// Per-shard breakdown (one entry even when unsharded).
+    pub shards: Vec<ShardReport>,
+    /// Total cross-shard steals (0 when unsharded or stealing is off).
+    pub cross_shard_steals: u64,
+    /// Echo of the config used (workers **per shard**).
     pub workers: usize,
     /// Echo of the config used.
     pub scheduler: Scheduler,
     /// The merged, sealed event trace (empty when tracing is disabled).
     /// `trace.to_json()` is the compact artifact, `trace.chrome_json()`
-    /// the Perfetto-loadable export.
+    /// the Perfetto-loadable export; sharded runs group worker tracks one
+    /// process per shard.
     pub trace: TraceLog,
     /// Anomaly detector state after scanning the sealed trace: dumps for
     /// every shed/halt/tail-latency trigger.
     pub flight: FlightRecorder,
-    /// Tier-store counters and resume-latency quantiles (`None` when
-    /// serving ran without tiering).
+    /// Tier-store counters summed across shards, resume-latency quantiles
+    /// pooled (`None` when serving ran without tiering). `peak_hot` is the
+    /// sum of per-shard peaks — each shard enforces its own slice of the
+    /// table bound independently.
     pub tier: Option<TierReport>,
 }
 
@@ -115,6 +249,8 @@ impl ServeReport {
             ("wall_seconds", Json::float(self.wall_seconds)),
             ("sessions_per_sec", Json::float(self.sessions_per_sec)),
             ("cycle_latency_ns", self.aggregate_cycle_latency.to_json()),
+            ("cross_shard_steals", Json::from(self.cross_shard_steals)),
+            ("shards", Json::arr(self.shards.iter().map(|s| s.to_json()))),
             (
                 "trace",
                 Json::obj([
@@ -136,26 +272,38 @@ impl ServeReport {
     }
 }
 
+/// One worker pool: the queues, admission backlog, store tier, and
+/// telemetry pools for its partition of the sessions.
+struct ShardState {
+    /// Session ids in flight on this shard, tagged with enqueue instants.
+    queues: TaskQueues<(u32, Instant)>,
+    /// This shard's admission backlog (untiered runs only).
+    pending: Mutex<VecDeque<usize>>,
+    /// Queue stats merged from this shard's workers at exit.
+    stats: Mutex<QueueStats>,
+    /// Cycle-latency reservoir for sessions homed here.
+    cycle_pool: Mutex<Reservoir>,
+    /// This shard's slice of the tier store (tiered runs only).
+    store: Option<SessionStore>,
+    /// Slices this shard's workers stole from other shards.
+    cross_steals: AtomicU64,
+}
+
 struct Inner {
     topo: Arc<Topology>,
     specs: Vec<SessionSpec>,
     cfg: ServeConfig,
-    /// Session ids in flight, tagged with their enqueue instant.
-    queues: TaskQueues<(u32, Instant)>,
+    /// Spec index → home shard (fixed at admission by the router).
+    home: Vec<u32>,
+    shards: Vec<ShardState>,
     /// One slot per spec; `Some` while the session is live but not being
     /// stepped. The queue hands out exclusive ownership of an id, so a slot
     /// is never contended — the mutex only makes the handoff `Sync`.
     slots: Vec<Mutex<Option<Session>>>,
-    pending: Mutex<VecDeque<usize>>,
     reports: Mutex<Vec<Option<SessionReport>>>,
-    /// Sessions admitted or waiting, not yet retired. Workers exit when it
-    /// reaches zero.
+    /// Sessions admitted or waiting, not yet retired (all shards). Workers
+    /// exit when it reaches zero.
     remaining: AtomicI64,
-    stats: Mutex<QueueStats>,
-    /// Cycle-latency samples pooled across sessions (ns) in a bounded
-    /// deterministic reservoir, for the aggregate quantiles (per-session
-    /// reports keep only summaries).
-    cycle_pool: Mutex<Reservoir>,
     /// Shared origin every trace ring stamps against.
     origin: Instant,
     /// Workers drain their rings here at loop exit (the join barrier).
@@ -194,8 +342,15 @@ fn run_slice(
 }
 
 /// Retire a finished session: emit lifecycle events, fold telemetry into
-/// the run pools, and file its report.
-fn finish_session(inner: &Inner, ring: &mut TraceRing, sess: Session, idx: usize, reason: StopReason) {
+/// its home shard's pools, and file its report.
+fn finish_session(
+    inner: &Inner,
+    ring: &mut TraceRing,
+    sess: Session,
+    idx: usize,
+    home: usize,
+    reason: StopReason,
+) {
     let cyc = sess.agent.stats.decisions;
     if reason == StopReason::Halted {
         ring.emit(TraceKind::Halted, idx as u32, cyc, cyc, 0);
@@ -216,163 +371,245 @@ fn finish_session(inner: &Inner, ring: &mut TraceRing, sess: Session, idx: usize
             );
         }
     }
-    inner.cycle_pool.lock().expect("pool lock").extend(&sess.cycle_ns);
+    inner.shards[home].cycle_pool.lock().expect("pool lock").extend(&sess.cycle_ns);
     inner.reports.lock().expect("reports lock")[idx] = Some(sess.into_report(reason));
     inner.remaining.fetch_sub(1, Ordering::AcqRel);
 }
 
-fn worker_loop(inner: &Inner, wid: usize) {
+/// Put a session id back in circulation on its home shard. A worker in the
+/// home pool pushes to its own queue end; a cross-shard thief must use the
+/// any-thread seed entry point (the owner ends of a foreign pool's queues
+/// belong to that pool's threads).
+fn enqueue(inner: &Inner, qs: &mut QueueStats, home: usize, local: Option<usize>, idx: usize) {
+    let item = (idx as u32, Instant::now());
+    match local {
+        Some(w) => inner.shards[home].queues.push(w, item, qs),
+        None => inner.shards[home].queues.push_seed(idx % inner.cfg.workers, item, qs),
+    }
+}
+
+/// Execute one dispatch on session `idx`, whose home shard is `home`.
+/// `local` is `Some(wid)` when the executing worker belongs to the home
+/// pool (the affine fast path), `None` when it is a cross-shard thief.
+fn step_session(
+    inner: &Inner,
+    ring: &mut TraceRing,
+    qs: &mut QueueStats,
+    home: usize,
+    local: Option<usize>,
+    idx: usize,
+    enqueued: Instant,
+) {
+    let wait_ns = enqueued.elapsed().as_nanos() as f64;
+    match &inner.shards[home].store {
+        None => {
+            let mut sess = inner.slots[idx]
+                .lock()
+                .expect("slot lock")
+                .take()
+                .expect("queued session is in its slot");
+            match run_slice(inner, ring, &mut sess, idx, wait_ns) {
+                None => {
+                    let cyc = sess.agent.stats.decisions;
+                    *inner.slots[idx].lock().expect("slot lock") = Some(sess);
+                    enqueue(inner, qs, home, local, idx);
+                    ring.emit(TraceKind::Reenqueued, idx as u32, cyc, cyc, 0);
+                }
+                Some(reason) => {
+                    finish_session(inner, ring, sess, idx, home, reason);
+                    // A table slot freed on the home shard: admit its next
+                    // waiting session.
+                    let next = inner.shards[home].pending.lock().expect("pending lock").pop_front();
+                    if let Some(n) = next {
+                        let s = Session::build(&inner.specs[n], &inner.topo, false);
+                        *inner.slots[n].lock().expect("slot lock") = Some(s);
+                        ring.emit(TraceKind::Admitted, n as u32, 0, 0, 0);
+                        enqueue(inner, qs, home, local, n);
+                        ring.emit(TraceKind::Enqueued, n as u32, 0, 0, 0);
+                    }
+                }
+            }
+        }
+        // Tiered: the home shard's store materializes the session lazily
+        // (`Start`), hands back a live one (`Live`), or returns snapshot
+        // bytes to verify and replay (`Resume`) — hibernating its LRU
+        // resident whenever the shard's table slice is over capacity.
+        Some(store) => {
+            let (checkout, evicted) = store.checkout(idx);
+            for &(victim, bytes) in &evicted.hibernated {
+                ring.emit(TraceKind::Hibernated, victim, 0, 0, bytes as u64);
+            }
+            let mut sess = match checkout {
+                Checkout::Live(s) => *s,
+                Checkout::Start => {
+                    let s = Session::build(&inner.specs[idx], &inner.topo, true);
+                    ring.emit(TraceKind::Admitted, idx as u32, 0, 0, 0);
+                    s
+                }
+                Checkout::Resume(bytes, _tier) => {
+                    // Verify + replay outside the store lock; the slot is
+                    // marked Running, so the id is exclusively ours.
+                    let t0 = Instant::now();
+                    let s = Session::resume(&inner.specs[idx], &inner.topo, &bytes)
+                        .expect("snapshot encoded by this run must resume");
+                    let ns = t0.elapsed().as_nanos() as f64;
+                    store.note_resume_ns(ns);
+                    let cyc = s.agent.stats.decisions;
+                    ring.emit(TraceKind::Resumed, idx as u32, cyc, cyc, ns as u64);
+                    s
+                }
+            };
+            match run_slice(inner, ring, &mut sess, idx, wait_ns) {
+                None => {
+                    let cyc = sess.agent.stats.decisions;
+                    let evicted = store.checkin(idx, sess);
+                    for &(victim, bytes) in &evicted.hibernated {
+                        ring.emit(TraceKind::Hibernated, victim, 0, 0, bytes as u64);
+                    }
+                    enqueue(inner, qs, home, local, idx);
+                    ring.emit(TraceKind::Reenqueued, idx as u32, cyc, cyc, 0);
+                }
+                Some(reason) => {
+                    store.retire(idx);
+                    finish_session(inner, ring, sess, idx, home, reason);
+                }
+            }
+        }
+    }
+}
+
+/// Try to steal one queued slice from any other shard, round-robin from
+/// this shard's right neighbor. Uses only the thief-safe queue entry
+/// points, so it is sound from any thread.
+fn steal_from_others(
+    inner: &Inner,
+    shard: usize,
+    qs: &mut QueueStats,
+) -> Option<(u32, Instant)> {
+    let n = inner.shards.len();
+    for k in 1..n {
+        let victim = (shard + k) % n;
+        if let Some(item) = inner.shards[victim].queues.steal_foreign(qs) {
+            return Some(item);
+        }
+    }
+    None
+}
+
+fn worker_loop(inner: &Inner, shard: usize, wid: usize) {
+    let gwid = (shard * inner.cfg.workers + wid) as u32;
     let mut qs = QueueStats::default();
     // Thread-local event ring: emitting is a branch + array write, merged
     // into the run log only once, when this worker exits.
-    let mut ring = TraceRing::from_config(wid as u32, &inner.cfg.trace, inner.origin);
+    let mut ring = TraceRing::from_config(gwid, &inner.cfg.trace, inner.origin);
+    let nshards = inner.shards.len();
     loop {
-        match inner.queues.pop(wid, &mut qs) {
-            Some((idx, enqueued)) => {
-                let idx = idx as usize;
-                let wait_ns = enqueued.elapsed().as_nanos() as f64;
-                let mut sess = inner.slots[idx]
-                    .lock()
-                    .expect("slot lock")
-                    .take()
-                    .expect("queued session is in its slot");
-                match run_slice(inner, &mut ring, &mut sess, idx, wait_ns) {
-                    None => {
-                        let cyc = sess.agent.stats.decisions;
-                        *inner.slots[idx].lock().expect("slot lock") = Some(sess);
-                        inner.queues.push(wid, (idx as u32, Instant::now()), &mut qs);
-                        ring.emit(TraceKind::Reenqueued, idx as u32, cyc, cyc, 0);
-                    }
-                    Some(reason) => {
-                        finish_session(inner, &mut ring, sess, idx, reason);
-                        // A table slot freed: admit the next waiting session.
-                        let next = inner.pending.lock().expect("pending lock").pop_front();
-                        if let Some(n) = next {
-                            let s = Session::build(&inner.specs[n], &inner.topo, false);
-                            *inner.slots[n].lock().expect("slot lock") = Some(s);
-                            ring.emit(TraceKind::Admitted, n as u32, 0, 0, 0);
-                            inner.queues.push(wid, (n as u32, Instant::now()), &mut qs);
-                            ring.emit(TraceKind::Enqueued, n as u32, 0, 0, 0);
-                        }
-                    }
-                }
-            }
-            None => {
-                if inner.remaining.load(Ordering::Acquire) <= 0 {
-                    break;
-                }
-                std::thread::yield_now();
+        // Own pool first — session affinity keeps state hot here.
+        if let Some((idx, enq)) = inner.shards[shard].queues.pop(wid, &mut qs) {
+            debug_assert_eq!(
+                inner.home[idx as usize] as usize, shard,
+                "a shard's queues only circulate its own sessions"
+            );
+            step_session(inner, &mut ring, &mut qs, shard, Some(wid), idx as usize, enq);
+            continue;
+        }
+        // Own pool dry: steal a slice from another shard (if enabled).
+        if inner.cfg.shard.steal && nshards > 1 {
+            if let Some((idx, enq)) = steal_from_others(inner, shard, &mut qs) {
+                let home = inner.home[idx as usize] as usize;
+                inner.shards[shard].cross_steals.fetch_add(1, Ordering::Relaxed);
+                ring.emit(TraceKind::CrossShardSteal, idx, 0, 0, home as u64);
+                step_session(inner, &mut ring, &mut qs, home, None, idx as usize, enq);
+                continue;
             }
         }
-    }
-    inner.stats.lock().expect("stats lock").merge(&qs);
-    inner.trace_sink.lock().expect("trace lock").absorb(&mut ring);
-}
-
-/// The tiered variant: session ids all circulate through the dispatch
-/// queues from the start; the store materializes them lazily (`Start`),
-/// hands back live ones (`Live`), or returns snapshot bytes to verify and
-/// replay (`Resume`) — hibernating the LRU resident session whenever the
-/// table is over capacity.
-fn worker_loop_tiered(inner: &Inner, store: &SessionStore, wid: usize) {
-    let mut qs = QueueStats::default();
-    let mut ring = TraceRing::from_config(wid as u32, &inner.cfg.trace, inner.origin);
-    loop {
-        match inner.queues.pop(wid, &mut qs) {
-            Some((idx, enqueued)) => {
-                let idx = idx as usize;
-                let wait_ns = enqueued.elapsed().as_nanos() as f64;
-                let (checkout, evicted) = store.checkout(idx);
-                for &(victim, bytes) in &evicted.hibernated {
-                    ring.emit(TraceKind::Hibernated, victim, 0, 0, bytes as u64);
-                }
-                let mut sess = match checkout {
-                    Checkout::Live(s) => *s,
-                    Checkout::Start => {
-                        let s = Session::build(&inner.specs[idx], &inner.topo, true);
-                        ring.emit(TraceKind::Admitted, idx as u32, 0, 0, 0);
-                        s
-                    }
-                    Checkout::Resume(bytes, _tier) => {
-                        // Verify + replay outside the store lock; the slot
-                        // is marked Running, so the id is exclusively ours.
-                        let t0 = Instant::now();
-                        let s = Session::resume(&inner.specs[idx], &inner.topo, &bytes)
-                            .expect("snapshot encoded by this run must resume");
-                        let ns = t0.elapsed().as_nanos() as f64;
-                        store.note_resume_ns(ns);
-                        let cyc = s.agent.stats.decisions;
-                        ring.emit(TraceKind::Resumed, idx as u32, cyc, cyc, ns as u64);
-                        s
-                    }
-                };
-                match run_slice(inner, &mut ring, &mut sess, idx, wait_ns) {
-                    None => {
-                        let cyc = sess.agent.stats.decisions;
-                        let evicted = store.checkin(idx, sess);
-                        for &(victim, bytes) in &evicted.hibernated {
-                            ring.emit(TraceKind::Hibernated, victim, 0, 0, bytes as u64);
-                        }
-                        inner.queues.push(wid, (idx as u32, Instant::now()), &mut qs);
-                        ring.emit(TraceKind::Reenqueued, idx as u32, cyc, cyc, 0);
-                    }
-                    Some(reason) => {
-                        store.retire(idx);
-                        finish_session(inner, &mut ring, sess, idx, reason);
-                    }
-                }
-            }
-            None => {
-                if inner.remaining.load(Ordering::Acquire) <= 0 {
-                    break;
-                }
-                std::thread::yield_now();
-            }
+        if inner.remaining.load(Ordering::Acquire) <= 0 {
+            break;
         }
+        std::thread::yield_now();
     }
-    inner.stats.lock().expect("stats lock").merge(&qs);
+    inner.shards[shard].stats.lock().expect("stats lock").merge(&qs);
     inner.trace_sink.lock().expect("trace lock").absorb(&mut ring);
 }
 
 /// Serve a batch of sessions over a shared topology.
 ///
-/// Panics if two specs share a name (reports would be ambiguous).
-pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, cfg: ServeConfig) -> ServeReport {
+/// Panics if two specs share a name (reports would be ambiguous), or if an
+/// explicit shard map doesn't cover every spec.
+pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, mut cfg: ServeConfig) -> ServeReport {
     {
         let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), specs.len(), "duplicate session names");
     }
-    let workers = cfg.workers.max(1);
+    cfg.workers = cfg.workers.max(1);
+    cfg.shard.shards = cfg.shard.shards.max(1);
+    let workers = cfg.workers;
+    let nshards = cfg.shard.shards;
     let n = specs.len();
     let cap = cfg.table_capacity.max(1);
-
-    // Stage the batch arrival: first `cap` go live, the rest queue for
-    // admission; queue overflow sheds the oldest waiting entries.
-    let overflow: Vec<usize> = (cap.min(n)..n).collect();
-    let shed_count = overflow.len().saturating_sub(cfg.admission_depth);
-    let (shed, waiting) = overflow.split_at(shed_count);
-    let mut reports: Vec<Option<SessionReport>> = (0..n).map(|_| None).collect();
-    for &i in shed {
-        reports[i] = Some(SessionReport::shed(specs[i].name.clone()));
+    if let ShardRouter::Explicit(map) = &cfg.shard.router {
+        assert_eq!(map.len(), n, "explicit shard map must cover every spec");
     }
 
+    // Route every spec to its home shard; the partition is fixed for the
+    // whole run (session affinity).
+    let home: Vec<u32> =
+        specs.iter().enumerate().map(|(i, s)| cfg.shard.router.route(i, &s.name, nshards)).collect();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); nshards];
+    for (i, &h) in home.iter().enumerate() {
+        members[h as usize].push(i);
+    }
+
+    // Stage each shard's batch arrival against its slice of the budgets:
+    // first `cap_s` members go live, the next `depth_s` queue for
+    // admission, and overflow sheds the oldest waiting entries.
+    let cap_s = cap.div_ceil(nshards);
+    let depth_s = cfg.admission_depth.div_ceil(nshards);
     let tiered = cfg.tier.is_some();
+    let mut reports: Vec<Option<SessionReport>> = (0..n).map(|_| None).collect();
+    let mut live: Vec<Vec<usize>> = Vec::with_capacity(nshards);
+    let mut waiting: Vec<Vec<usize>> = Vec::with_capacity(nshards);
+    let mut shed_ids: Vec<usize> = Vec::new();
+    let mut shard_shed: Vec<usize> = vec![0; nshards];
+    for (s, m) in members.iter().enumerate() {
+        let l = cap_s.min(m.len());
+        let overflow = &m[l..];
+        let shed_count = overflow.len().saturating_sub(depth_s);
+        for &i in &overflow[..shed_count] {
+            reports[i] = Some(SessionReport::shed(specs[i].name.clone()));
+        }
+        shard_shed[s] = shed_count;
+        shed_ids.extend_from_slice(&overflow[..shed_count]);
+        live.push(m[..l].to_vec());
+        waiting.push(overflow[shed_count..].to_vec());
+    }
+    let accepted: i64 = (0..nshards).map(|s| (live[s].len() + waiting[s].len()) as i64).sum();
+
+    let shards: Vec<ShardState> = (0..nshards)
+        .map(|s| ShardState {
+            queues: TaskQueues::new(cfg.scheduler, workers),
+            // Tiered serving enqueues every accepted id up front instead
+            // of staging admissions through the pending queue.
+            pending: Mutex::new(if tiered {
+                VecDeque::new()
+            } else {
+                waiting[s].iter().copied().collect()
+            }),
+            stats: Mutex::new(QueueStats::default()),
+            cycle_pool: Mutex::new(Reservoir::default()),
+            store: cfg.tier.as_ref().map(|t| SessionStore::new(n, cap_s, t)),
+            cross_steals: AtomicU64::new(0),
+        })
+        .collect();
+
     let inner = Inner {
-        queues: TaskQueues::new(cfg.scheduler, workers),
+        home,
+        shards,
         slots: (0..n).map(|_| Mutex::new(None)).collect(),
-        // Tiered serving enqueues every accepted id up front instead of
-        // staging admissions through the pending queue.
-        pending: Mutex::new(if tiered {
-            VecDeque::new()
-        } else {
-            waiting.iter().copied().collect()
-        }),
         reports: Mutex::new(reports),
-        remaining: AtomicI64::new((cap.min(n) + waiting.len()) as i64),
-        stats: Mutex::new(QueueStats::default()),
-        cycle_pool: Mutex::new(Reservoir::default()),
+        remaining: AtomicI64::new(accepted),
         origin: Instant::now(),
         trace_sink: Mutex::new(TraceLog::with_cap(cfg.trace.merged_cap)),
         topo,
@@ -382,76 +619,132 @@ pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, cfg: ServeConfig) -> 
 
     // The control thread's own ring (admission staging); its worker id is
     // one past the last worker's.
-    let mut ctl_ring = TraceRing::from_config(workers as u32, &inner.cfg.trace, inner.origin);
-    for &i in shed {
+    let mut ctl_ring =
+        TraceRing::from_config((nshards * workers) as u32, &inner.cfg.trace, inner.origin);
+    for &i in &shed_ids {
         ctl_ring.emit(TraceKind::Shed, i as u32, 0, 0, 0);
     }
 
-    let store = inner.cfg.tier.as_ref().map(|t| SessionStore::new(n, cap, t));
-
     let t0 = Instant::now();
     let mut seed_stats = QueueStats::default();
-    if tiered {
-        // Every accepted session circulates as an id from the start; the
-        // store materializes at most `table_capacity` of them at a time.
-        for (k, i) in (0..cap.min(n)).chain(waiting.iter().copied()).enumerate() {
-            inner.queues.push_seed(k % workers, (i as u32, Instant::now()), &mut seed_stats);
-            ctl_ring.emit(TraceKind::Enqueued, i as u32, 0, 0, 0);
-        }
-    } else {
-        for i in 0..cap.min(n) {
-            let s = Session::build(&inner.specs[i], &inner.topo, false);
-            *inner.slots[i].lock().expect("slot lock") = Some(s);
-            ctl_ring.emit(TraceKind::Admitted, i as u32, 0, 0, 0);
-            inner.queues.push_seed(i % workers, (i as u32, Instant::now()), &mut seed_stats);
-            ctl_ring.emit(TraceKind::Enqueued, i as u32, 0, 0, 0);
+    for s in 0..nshards {
+        if tiered {
+            // Every accepted session circulates as an id from the start;
+            // the shard's store materializes at most `cap_s` at a time.
+            for (k, i) in live[s].iter().chain(waiting[s].iter()).copied().enumerate() {
+                inner.shards[s].queues.push_seed(k % workers, (i as u32, Instant::now()), &mut seed_stats);
+                ctl_ring.emit(TraceKind::Enqueued, i as u32, 0, 0, 0);
+            }
+        } else {
+            for (k, i) in live[s].iter().copied().enumerate() {
+                let sess = Session::build(&inner.specs[i], &inner.topo, false);
+                *inner.slots[i].lock().expect("slot lock") = Some(sess);
+                ctl_ring.emit(TraceKind::Admitted, i as u32, 0, 0, 0);
+                inner.shards[s].queues.push_seed(k % workers, (i as u32, Instant::now()), &mut seed_stats);
+                ctl_ring.emit(TraceKind::Enqueued, i as u32, 0, 0, 0);
+            }
         }
     }
     std::thread::scope(|scope| {
-        for wid in 0..workers {
-            let inner = &inner;
-            let store = &store;
-            std::thread::Builder::new()
-                .name(format!("psm-serve-{wid}"))
-                .spawn_scoped(scope, move || match store {
-                    Some(st) => worker_loop_tiered(inner, st, wid),
-                    None => worker_loop(inner, wid),
-                })
-                .expect("spawn serve worker");
+        for s in 0..nshards {
+            for wid in 0..workers {
+                let inner = &inner;
+                std::thread::Builder::new()
+                    .name(format!("psm-serve-{s}-{wid}"))
+                    .spawn_scoped(scope, move || worker_loop(inner, s, wid))
+                    .expect("spawn serve worker");
+            }
         }
     });
     let wall_seconds = t0.elapsed().as_secs_f64();
 
-    let Inner { reports, stats, cfg, cycle_pool, trace_sink, .. } = inner;
-    let mut stats = stats.into_inner().expect("stats lock");
-    stats.merge(&seed_stats);
-    // Merge the control ring behind the join barrier, seal into one
-    // causal timeline, and run the anomaly detector over it.
+    let Inner { reports, shards, cfg, trace_sink, home, .. } = inner;
+    let mut agg_stats = QueueStats::default();
+    agg_stats.merge(&seed_stats);
+    // Merge the control ring behind the join barrier, seal into one causal
+    // timeline, tag worker → shard for the Perfetto export, and run the
+    // anomaly detector over it.
     let mut trace = trace_sink.into_inner().expect("trace lock");
     trace.absorb(&mut ctl_ring);
+    if nshards > 1 {
+        for s in 0..nshards {
+            for w in 0..workers {
+                trace.set_shard((s * workers + w) as u32, s as u32);
+            }
+        }
+    }
     trace.seal();
     let mut flight = FlightRecorder::new(cfg.trace.flight);
     flight.scan(&trace.events);
+
     let sessions: Vec<SessionReport> = reports
         .into_inner()
         .expect("reports lock")
         .into_iter()
         .map(|r| r.expect("every session retired or shed"))
         .collect();
-    let completed = sessions.iter().filter(|s| !s.was_shed()).count();
-    let pool = cycle_pool.into_inner().expect("pool lock");
-    let tier = store.map(|s| s.report());
+    let mut shard_completed: Vec<usize> = vec![0; nshards];
+    for (i, r) in sessions.iter().enumerate() {
+        if !r.was_shed() {
+            shard_completed[home[i] as usize] += 1;
+        }
+    }
+    let completed: usize = shard_completed.iter().sum();
+
+    // Fold the per-shard telemetry into the aggregate: queue stats sum,
+    // latency reservoirs *merge* at a common stride (no raw-sample
+    // concatenation), tier counters sum with resume samples pooled.
+    let mut agg_pool = Reservoir::default();
+    let mut shard_reports: Vec<ShardReport> = Vec::with_capacity(nshards);
+    let mut agg_tier: Option<TierReport> = None;
+    let mut resume_samples: Vec<f64> = Vec::new();
+    for (s, st) in shards.into_iter().enumerate() {
+        let qstats = st.stats.into_inner().expect("stats lock");
+        agg_stats.merge(&qstats);
+        let pool = st.cycle_pool.into_inner().expect("pool lock");
+        agg_pool.merge(&pool);
+        let tier = st.store.as_ref().map(|store| {
+            resume_samples.extend(store.resume_samples());
+            let r = store.report();
+            let a = agg_tier.get_or_insert_with(TierReport::default);
+            a.hibernated += r.hibernated;
+            a.resumed += r.resumed;
+            a.warm_resumes += r.warm_resumes;
+            a.durable_resumes += r.durable_resumes;
+            a.spilled += r.spilled;
+            a.peak_hot += r.peak_hot;
+            a.snapshot_bytes_total += r.snapshot_bytes_total;
+            r
+        });
+        shard_reports.push(ShardReport {
+            shard: s as u32,
+            sessions: members[s].len(),
+            completed: shard_completed[s],
+            shed: shard_shed[s],
+            queue_stats: qstats,
+            cycle_latency: pool.quantiles(),
+            cross_shard_steals: st.cross_steals.into_inner(),
+            tier,
+        });
+    }
+    if let Some(a) = agg_tier.as_mut() {
+        a.resume_latency = Quantiles::from_samples(&resume_samples);
+    }
+    let cross_shard_steals = shard_reports.iter().map(|s| s.cross_shard_steals).sum();
+
     ServeReport {
         shed: sessions.iter().filter(|s| s.was_shed()).count(),
         sessions,
         wall_seconds,
         sessions_per_sec: if wall_seconds > 0.0 { completed as f64 / wall_seconds } else { 0.0 },
-        aggregate_cycle_latency: pool.quantiles(),
-        queue_stats: stats,
+        aggregate_cycle_latency: agg_pool.quantiles(),
+        queue_stats: agg_stats,
+        shards: shard_reports,
+        cross_shard_steals,
         workers,
         scheduler: cfg.scheduler,
         trace,
         flight,
-        tier,
+        tier: agg_tier,
     }
 }

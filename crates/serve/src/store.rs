@@ -295,6 +295,12 @@ impl SessionStore {
         ev
     }
 
+    /// Raw resume-latency samples (ns) — pooled across shards for the
+    /// aggregate report.
+    pub(crate) fn resume_samples(&self) -> Vec<f64> {
+        self.state.lock().expect("tier store lock").resume_ns.clone()
+    }
+
     /// Fold the counters into the report (end of run).
     pub(crate) fn report(&self) -> TierReport {
         let st = self.state.lock().expect("tier store lock");

@@ -58,6 +58,12 @@ run_step "snapshot round-trip" \
     cargo test -q -p psme-rete --test proptest_snapshot || fail=1
 run_step "serve hibernate" \
     cargo test -q -p psme-serve --test serve_hibernate || fail=1
+# The sharded serving gate: a sharded run (including cross-shard stealing
+# and per-shard tier stores) must stay bit-for-bit identical to the
+# single-shard loop and to solo runs; run it by name so a filtered
+# invocation can't skip it.
+run_step "serve shard differential" \
+    cargo test -q -p psme-serve --test serve_shard || fail=1
 
 # The committed alpha-discrimination artifact must exist and parse: it is
 # the evidence for the jump-table index's tests-per-wme reduction.
@@ -143,6 +149,41 @@ print(f"==> session resume: {ratio:.0f}x population, differential ok, "
 PY
     then
         echo "!! ${resume_artifact} invalid or over its bounds" >&2
+        fail=1
+    fi
+fi
+# The shard-scaling artifact must exist, parse, and show (a) the modeled
+# 4-shard configuration at least doubling single-shard throughput at equal
+# workers per shard, and (b) line-lock batching at least halving the
+# acquire count on the memory-heavy config.
+shard_artifact="crates/bench/BENCH_shard_scaling.json"
+if [ ! -f "$shard_artifact" ]; then
+    echo "!! missing ${shard_artifact} (regenerate: PSME_BENCH_DIR=\$PWD/crates/bench cargo bench -p psme-bench --bench shard_scaling)" >&2
+    fail=1
+elif command -v python3 >/dev/null 2>&1; then
+    if ! python3 - "$shard_artifact" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+gate = doc["model"]["gate"]
+if gate["ratio"] < gate["required"]:
+    sys.exit(f"4-shard/1-shard throughput ratio {gate['ratio']:.2f}x is below "
+             f"the committed {gate['required']}x gate")
+wide = [p for p in doc["model"]["sweep"] if p["logical_workers"] >= 64]
+if not wide:
+    sys.exit("sweep never reaches 64 logical workers")
+one = gate["one_shard_8w_sessions_per_sec"]
+if not all(p["sessions_per_sec"] > 2 * one for p in wide):
+    sys.exit("64-logical-worker points do not scale past the single-bus knee")
+lock = doc["line_lock"]
+if lock["ratio"] < lock["required"]:
+    sys.exit(f"line-lock batching ratio {lock['ratio']:.2f}x is below the "
+             f"committed {lock['required']}x gate")
+print(f"==> shard scaling: {gate['ratio']:.2f}x at 4 shards, "
+      f"{wide[0]['sessions_per_sec']:.2f}/s at 64 logical workers, "
+      f"line-lock {lock['ratio']:.2f}x — ok")
+PY
+    then
+        echo "!! ${shard_artifact} invalid or under its scaling gates" >&2
         fail=1
     fi
 fi
