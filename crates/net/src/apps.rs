@@ -1,0 +1,63 @@
+//! The apps a server hosts: one frozen topology + one serving loop each.
+//!
+//! Every session multiplexed over a shared [`psme_rete::Topology`] must
+//! carry the production set that topology was compiled from, so a server
+//! cannot mix arbitrary tasks in one loop. Instead it hosts **apps**: each
+//! app freezes one task's production set and serves sessions whose
+//! instances differ only in ways the productions allow — the eight-puzzle
+//! app scrambles its board by the wire request's seed (the production set
+//! is scramble-invariant, proven by the `serve_isolation` gates), the
+//! STRIPS and Cypress apps serve their fixed paper instances.
+
+use psme_rete::Topology;
+use psme_serve::build_topology;
+use psme_soar::SoarTask;
+use psme_tasks::{cypress_sub, eight_puzzle, scrambled, strips, CypressConfig, StripsConfig};
+use std::sync::Arc;
+
+/// One hosted app: a name, a frozen topology, and the task-instance
+/// factory wire requests parameterize by seed.
+pub struct AppDef {
+    /// Name clients address in `OpenSession`.
+    pub name: String,
+    /// The shared match network every session of this app adopts.
+    pub topo: Arc<Topology>,
+    /// Build the task instance for a session (`seed` from the wire; apps
+    /// with a fixed instance ignore it). The returned task's production
+    /// set must equal the topology's.
+    pub instance: Box<dyn Fn(u64) -> SoarTask + Send + Sync>,
+}
+
+impl AppDef {
+    /// Define an app from an instance factory; the topology is compiled
+    /// from the seed-0 instance.
+    pub fn new(
+        name: &str,
+        instance: impl Fn(u64) -> SoarTask + Send + Sync + 'static,
+    ) -> AppDef {
+        let topo = build_topology(&instance(0));
+        AppDef { name: name.to_string(), topo, instance: Box::new(instance) }
+    }
+}
+
+/// Scramble depth for served eight-puzzle instances — shallow enough that
+/// a session is milliseconds, deep enough to impasse and learn chunks.
+pub const PUZZLE_MOVES: usize = 3;
+
+/// The three paper tasks as served apps (instances sized like the bench
+/// harness's, so serving benchmarks stay in seconds).
+pub fn paper_apps() -> Vec<AppDef> {
+    vec![
+        AppDef::new("eight-puzzle", |seed| eight_puzzle(&scrambled(PUZZLE_MOVES, seed))),
+        AppDef::new("strips", |_| {
+            strips(&StripsConfig {
+                rooms: 12,
+                closed_doors: vec![2, 5, 8],
+                start: 0,
+                target: 6,
+                chords: false,
+            })
+        }),
+        AppDef::new("cypress-sub", |_| cypress_sub(&CypressConfig { roots: 2 })),
+    ]
+}

@@ -1,0 +1,117 @@
+//! The client library: a framed connection with a background reader.
+//!
+//! Sends are synchronous writes through a shared handle (so a pacing
+//! thread and a response-handling thread can both talk); receives come
+//! off a channel fed by a reader thread, in server order. The protocol is
+//! asynchronous by design — `Opened` replies arrive in request order per
+//! connection, session notifications (`Stepped`/`Done`/`SessionShed`)
+//! whenever the serve loop produces them.
+
+use crate::wire::{read_frame, write_frame, Frame, WIRE_VERSION};
+use std::net::{Shutdown, TcpStream};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A cloneable sending half — hand one to each thread that needs to talk.
+#[derive(Clone)]
+pub struct ClientHandle {
+    tx: Arc<Mutex<TcpStream>>,
+}
+
+impl ClientHandle {
+    /// Send one frame.
+    pub fn send(&self, f: &Frame) -> std::io::Result<()> {
+        let mut w = self.tx.lock().expect("client writer lock");
+        write_frame(&mut *w, f)
+    }
+}
+
+/// A connected client. Dropping it closes the socket and joins the reader.
+pub struct Client {
+    handle: ClientHandle,
+    rx: Option<Receiver<Frame>>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl Client {
+    /// Connect and start the background reader. Does not send `Hello`;
+    /// call [`Client::hello`] to negotiate.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut read_half = stream.try_clone()?;
+        let (tx, rx): (Sender<Frame>, Receiver<Frame>) = channel();
+        let reader = std::thread::Builder::new()
+            .name("psm-net-client".into())
+            .spawn(move || {
+                while let Ok(Some(f)) = read_frame(&mut read_half) {
+                    if tx.send(f).is_err() {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn client reader");
+        Ok(Client {
+            handle: ClientHandle { tx: Arc::new(Mutex::new(stream)) },
+            rx: Some(rx),
+            reader: Some(reader),
+        })
+    }
+
+    /// A cloneable sending half.
+    pub fn handle(&self) -> ClientHandle {
+        self.handle.clone()
+    }
+
+    /// Send one frame.
+    pub fn send(&self, f: &Frame) -> std::io::Result<()> {
+        self.handle.send(f)
+    }
+
+    /// Negotiate: send `Hello`, wait for `HelloOk`, return the app list.
+    /// Any other first frame (e.g. a version refusal) is an error.
+    pub fn hello(&self, client_name: &str) -> std::io::Result<Vec<String>> {
+        self.send(&Frame::Hello { proto: WIRE_VERSION, client: client_name.to_string() })?;
+        match self.recv_timeout(Duration::from_secs(30)) {
+            Some(Frame::HelloOk { apps, .. }) => Ok(apps),
+            Some(Frame::Refused { reason, .. }) => Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                reason,
+            )),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected HelloOk, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Block for the next server frame; `None` when the connection closed.
+    pub fn recv(&self) -> Option<Frame> {
+        self.rx.as_ref().and_then(|rx| rx.recv().ok())
+    }
+
+    /// Like [`Client::recv`] with a deadline; `None` on timeout or close.
+    pub fn recv_timeout(&self, d: Duration) -> Option<Frame> {
+        self.rx.as_ref().and_then(|rx| rx.recv_timeout(d).ok())
+    }
+
+    /// Move the receiving half out (for a dedicated response thread). The
+    /// `Client` keeps sending; `recv` on it returns `None` afterwards.
+    pub fn take_events(&mut self) -> Option<Receiver<Frame>> {
+        self.rx.take()
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        let _ = self.send(&Frame::Bye);
+        if let Ok(s) = self.handle.tx.lock() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(r) = self.reader.take() {
+            let _ = r.join();
+        }
+    }
+}

@@ -73,6 +73,16 @@ pub enum TraceKind {
     /// cross-shard work-stealing fired because the thief's own pool was
     /// empty; `arg_ns` = the session's home shard id.
     CrossShardSteal,
+    /// The network front-end accepted a connection; `session` = the
+    /// connection id, `arg_ns` unused.
+    NetAccepted,
+    /// A decoded request frame entered the serving stack (wire arrival —
+    /// the open-loop injection point); `session` = the session the request
+    /// addresses, or [`SESSION_NONE`] for connection-level frames.
+    NetRequest,
+    /// A shed notification left for a client: admission backpressure
+    /// displaced this session after it was accepted over the wire.
+    NetShed,
     /// A control phase opened (`arg_ns` unused).
     PhaseBegin(ControlPhase),
     /// A control phase closed (`arg_ns` = phase duration).
@@ -94,6 +104,9 @@ impl TraceKind {
             TraceKind::Hibernated => "hibernated",
             TraceKind::Resumed => "resumed",
             TraceKind::CrossShardSteal => "cross_shard_steal",
+            TraceKind::NetAccepted => "net_accepted",
+            TraceKind::NetRequest => "net_request",
+            TraceKind::NetShed => "net_shed",
             TraceKind::PhaseBegin(_) => "phase_begin",
             TraceKind::PhaseEnd(_) => "phase_end",
         }
@@ -581,7 +594,10 @@ impl TraceLog {
                 | TraceKind::Halted
                 | TraceKind::Hibernated
                 | TraceKind::Resumed
-                | TraceKind::CrossShardSteal => {
+                | TraceKind::CrossShardSteal
+                | TraceKind::NetAccepted
+                | TraceKind::NetRequest
+                | TraceKind::NetShed => {
                     out.push(instant(e, us(e.t_ns), self.pid_of(e.worker)));
                 }
                 TraceKind::PhaseBegin(p) => {

@@ -518,6 +518,261 @@ pub fn simulate_serve_tiered(
     }
 }
 
+/// One step of the splitmix64 generator — the model's only randomness,
+/// fully determined by the seed (network jitter must not break replay).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from one splitmix64 draw (53 mantissa bits).
+fn u01(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Open-loop arrival parameters for the model ([`simulate_serve_open`]).
+#[derive(Clone, Copy, Debug)]
+pub struct DesOpenConfig {
+    /// Worker pools ([`DesConfig::workers`] is per shard); sessions route
+    /// home by index mod `shards`, each pool with its own serialized
+    /// dispatch bus, like [`simulate_serve_sharded`].
+    pub shards: usize,
+    /// Cross-shard stealing through the victim's bus.
+    pub steal: bool,
+    /// Global table bound, split ceil-wise across shards — arrivals past a
+    /// full shard slice wait.
+    pub table_capacity: usize,
+    /// Global admission-queue bound, split ceil-wise; overflow sheds the
+    /// *oldest* waiting arrival (the real loop's shed-oldest policy).
+    pub admission_depth: usize,
+    /// Max network jitter added to each arrival, seconds (uniform in
+    /// `[0, jitter)`, drawn deterministically from `seed`). Models the
+    /// wire between the load generator and the acceptor.
+    pub jitter: f64,
+    /// Seed for the jitter draws.
+    pub seed: u64,
+}
+
+/// Model outputs for an open-loop run.
+#[derive(Clone, Debug)]
+pub struct DesOpenResult {
+    /// Time the last session retired (seconds).
+    pub makespan: f64,
+    /// Completed sessions per second of makespan.
+    pub sessions_per_sec: f64,
+    /// Sessions that ran to completion.
+    pub completed: usize,
+    /// Sessions shed by admission backpressure.
+    pub shed: usize,
+    /// Per-completed-session sojourn (retire − arrival), seconds, in
+    /// arrival order — the open-loop latency curve's raw samples.
+    pub sojourn: Vec<f64>,
+    /// Per-cycle latency samples (slice queue wait + own service), seconds.
+    pub cycle_latency: Vec<f64>,
+    /// Dispatches served outside the session's home shard.
+    pub cross_shard_steals: u64,
+    /// Typed event stream, virtual ns: `NetRequest` at each (jittered)
+    /// arrival, `NetShed` beside every `Shed`, and the usual dispatch
+    /// lifecycle — exporting through the identical Chrome-trace path.
+    pub trace: TraceLog,
+}
+
+/// Simulate **open-loop** serving: session `i` (service cycles
+/// `sessions[i]`) arrives at `arrivals[i]` seconds plus deterministic
+/// jitter, and the arrival process never slows down for the server — the
+/// definition of offered load. Admission is the real loop's two-stage
+/// policy scaled per shard: a free table seat admits immediately, else the
+/// arrival waits, and a backlog past the depth slice sheds the oldest
+/// waiting session. Dispatch is [`simulate_serve_sharded`]'s model (per
+/// shard serialized bus, optional stealing). Deterministic: a pure
+/// function of the inputs.
+pub fn simulate_serve_open(
+    sessions: &[Vec<f64>],
+    arrivals: &[f64],
+    cfg: &DesConfig,
+    open: &DesOpenConfig,
+) -> DesOpenResult {
+    assert_eq!(sessions.len(), arrivals.len(), "one arrival time per session");
+    let n = sessions.len();
+    let wps = cfg.workers.max(1);
+    let nshards = open.shards.max(1);
+    let workers = nshards * wps;
+    let slice = cfg.slice.max(1);
+    let cap_s = open.table_capacity.max(1).div_ceil(nshards);
+    let depth_s = open.admission_depth.div_ceil(nshards);
+    let dispatches: usize = sessions.iter().map(|c| c.len().div_ceil(slice).max(1)).sum();
+    // Up to 4 events per dispatch plus 4 per arrival (request, admit/shed
+    // pair, enqueue).
+    let ring_cap = 4 * dispatches + 4 * n + 1;
+    let origin = Instant::now();
+    let mut rings: Vec<TraceRing> =
+        (0..workers).map(|w| TraceRing::new(w as u32, ring_cap, origin)).collect();
+    let mut ctl = TraceRing::new(workers as u32, ring_cap, origin);
+    let ns = |t: f64| (t * 1e9).round() as u64;
+    let mut completions: Vec<Option<f64>> = vec![None; n];
+    let mut cycle_latency: Vec<f64> = Vec::new();
+    let mut cross_shard_steals = 0u64;
+    let mut shed_count = 0usize;
+    if n == 0 {
+        return DesOpenResult {
+            makespan: 0.0,
+            sessions_per_sec: 0.0,
+            completed: 0,
+            shed: 0,
+            sojourn: Vec::new(),
+            cycle_latency,
+            cross_shard_steals,
+            trace: TraceLog::default(),
+        };
+    }
+    // Jittered arrival order: the wire reorders closely spaced arrivals.
+    let mut rng = open.seed;
+    let eff: Vec<f64> = arrivals.iter().map(|&a| a + open.jitter * u01(&mut rng)).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| (eff[a], a).partial_cmp(&(eff[b], b)).expect("finite times"));
+
+    let mut ready: Vec<Vec<(f64, usize, usize)>> = vec![Vec::new(); nshards];
+    let mut waiting: Vec<std::collections::VecDeque<usize>> =
+        vec![std::collections::VecDeque::new(); nshards];
+    let mut live = vec![0usize; nshards];
+    let mut worker_free = vec![0.0f64; workers];
+    let mut bus_free = vec![0.0f64; nshards];
+    let mut ai = 0usize;
+    let mut left = n;
+    while left > 0 {
+        // Next dispatch candidate, as in the sharded model.
+        let mut best: Option<(f64, usize, usize, usize, usize)> = None;
+        for h in 0..nshards {
+            let Some((ci, &(ready_t, ..))) = ready[h].iter().enumerate().min_by(|a, b| {
+                (a.1 .0, a.1 .1).partial_cmp(&(b.1 .0, b.1 .1)).expect("finite times")
+            }) else {
+                continue;
+            };
+            for (t, pool) in ready.iter().enumerate().take(nshards) {
+                if t != h && !(open.steal && pool.is_empty()) {
+                    continue;
+                }
+                let wi = (t * wps..(t + 1) * wps)
+                    .min_by(|a, b| {
+                        worker_free[*a].partial_cmp(&worker_free[*b]).expect("finite times")
+                    })
+                    .expect("wps >= 1");
+                let bus_start = worker_free[wi].max(ready_t).max(bus_free[h]);
+                let key = (bus_start, usize::from(t != h), h, t);
+                if best.is_none_or(|(bs, sf, bh, bt, _)| key < (bs, sf, bh, bt)) {
+                    best = Some((bus_start, usize::from(t != h), h, t, ci));
+                }
+            }
+        }
+        // Arrivals at or before the candidate dispatch go first: an
+        // arrival can only make an earlier dispatch possible.
+        if ai < n && best.is_none_or(|(bs, ..)| eff[order[ai]] <= bs) {
+            let s = order[ai];
+            ai += 1;
+            let t = eff[s];
+            let h = s % nshards;
+            ctl.emit_at(ns(t), TraceKind::NetRequest, s as u32, 0, 0, 0);
+            if live[h] < cap_s {
+                live[h] += 1;
+                ctl.emit_at(ns(t), TraceKind::Admitted, s as u32, 0, 0, 0);
+                ready[h].push((t, s, 0));
+                ctl.emit_at(ns(t), TraceKind::Enqueued, s as u32, 0, 0, 0);
+            } else {
+                waiting[h].push_back(s);
+                if waiting[h].len() > depth_s {
+                    let v = waiting[h].pop_front().expect("nonempty");
+                    shed_count += 1;
+                    left -= 1;
+                    ctl.emit_at(ns(t), TraceKind::Shed, v as u32, 0, 0, 0);
+                    ctl.emit_at(ns(t), TraceKind::NetShed, v as u32, 0, 0, 0);
+                }
+            }
+            continue;
+        }
+        let (bus_start, stolen, h, t, ci) = best.expect("left > 0 implies work or arrivals");
+        let (ready_t, s, first_cycle) = ready[h].swap_remove(ci);
+        let wi = (t * wps..(t + 1) * wps)
+            .min_by(|a, b| worker_free[*a].partial_cmp(&worker_free[*b]).expect("finite times"))
+            .expect("wps >= 1");
+        bus_free[h] = bus_start + cfg.dispatch_overhead;
+        let start = bus_start + cfg.dispatch_overhead;
+        let wait = start - ready_t;
+        if stolen == 1 {
+            cross_shard_steals += 1;
+            rings[wi].emit_at(ns(start), TraceKind::CrossShardSteal, s as u32, 0, 0, h as u64);
+        }
+        let cycles = &sessions[s];
+        let last = (first_cycle + slice).min(cycles.len());
+        let mut time = start;
+        for &c in &cycles[first_cycle..last] {
+            time += c;
+            cycle_latency.push(wait + c);
+        }
+        worker_free[wi] = time;
+        rings[wi].emit_at(
+            ns(start),
+            TraceKind::SliceStart,
+            s as u32,
+            first_cycle as u64,
+            first_cycle as u64,
+            ns(wait),
+        );
+        rings[wi].emit_at(
+            ns(time),
+            TraceKind::SliceEnd,
+            s as u32,
+            first_cycle as u64,
+            last as u64,
+            ns(time - start),
+        );
+        if last < cycles.len() {
+            ready[h].push((time, s, last));
+            rings[wi].emit_at(ns(time), TraceKind::Reenqueued, s as u32, 0, 0, 0);
+        } else {
+            completions[s] = Some(time);
+            left -= 1;
+            rings[wi].emit_at(ns(time), TraceKind::Retired, s as u32, 0, last as u64, 0);
+            // The retired session's seat goes to the oldest waiting one.
+            if let Some(v) = waiting[h].pop_front() {
+                ctl.emit_at(ns(time), TraceKind::Admitted, v as u32, 0, 0, 0);
+                ready[h].push((time, v, 0));
+                ctl.emit_at(ns(time), TraceKind::Enqueued, v as u32, 0, 0, 0);
+            } else {
+                live[h] -= 1;
+            }
+        }
+    }
+    let mut trace = TraceLog::default();
+    trace.absorb(&mut ctl);
+    for ring in &mut rings {
+        trace.absorb(ring);
+    }
+    if nshards > 1 {
+        for w in 0..workers {
+            trace.set_shard(w as u32, (w / wps) as u32);
+        }
+    }
+    trace.seal();
+    let sojourn: Vec<f64> = (0..n)
+        .filter_map(|s| completions[s].map(|t| t - eff[s]))
+        .collect();
+    let completed = n - shed_count;
+    let makespan = completions.iter().flatten().cloned().fold(0.0, f64::max);
+    DesOpenResult {
+        makespan,
+        sessions_per_sec: if makespan > 0.0 { completed as f64 / makespan } else { 0.0 },
+        completed,
+        shed: shed_count,
+        sojourn,
+        cycle_latency,
+        cross_shard_steals,
+        trace,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -747,6 +1002,110 @@ mod tests {
         let chrome = a.trace.chrome_json().to_string();
         assert!(chrome.contains("hibernated s"));
         assert!(chrome.contains("resumed s"));
+    }
+
+    fn open_cfg(shards: usize, cap: usize, depth: usize) -> DesOpenConfig {
+        DesOpenConfig {
+            shards,
+            steal: false,
+            table_capacity: cap,
+            admission_depth: depth,
+            jitter: 0.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn open_loop_under_light_load_completes_everything() {
+        // Arrivals far apart relative to service: every session finds an
+        // idle server, sojourn = own service (+ dispatch overhead).
+        let sessions = uniform(4, 4, 0.1);
+        let arrivals: Vec<f64> = (0..4).map(|i| i as f64 * 10.0).collect();
+        let cfg = DesConfig { workers: 1, slice: 4, dispatch_overhead: 0.0 };
+        let r = simulate_serve_open(&sessions, &arrivals, &cfg, &open_cfg(1, 2, 8));
+        assert_eq!(r.shed, 0);
+        assert_eq!(r.completed, 4);
+        for &s in &r.sojourn {
+            assert!((s - 0.4).abs() < 1e-9, "idle server: sojourn = service, got {s}");
+        }
+    }
+
+    #[test]
+    fn open_loop_is_deterministic_including_jitter() {
+        let sessions = uniform(12, 6, 0.2);
+        let arrivals: Vec<f64> = (0..12).map(|i| i as f64 * 0.1).collect();
+        let cfg = DesConfig { workers: 2, slice: 3, dispatch_overhead: 0.01 };
+        let mut open = open_cfg(2, 4, 2);
+        open.jitter = 0.05;
+        let a = simulate_serve_open(&sessions, &arrivals, &cfg, &open);
+        let b = simulate_serve_open(&sessions, &arrivals, &cfg, &open);
+        assert_eq!(a.trace.events, b.trace.events);
+        assert_eq!(a.sojourn, b.sojourn);
+        assert_eq!(a.shed, b.shed);
+        // A different seed draws different jitter, shifting arrival stamps.
+        let mut open2 = open;
+        open2.seed = 8;
+        let c = simulate_serve_open(&sessions, &arrivals, &cfg, &open2);
+        assert_ne!(a.trace.events, c.trace.events);
+    }
+
+    #[test]
+    fn open_loop_sheds_oldest_past_saturation_and_is_monotone_in_load() {
+        // One worker, 1 s of service per session: offered load beyond
+        // 1 session/s must shed, and more load sheds more.
+        let n = 24;
+        let sessions = uniform(n, 1, 1.0);
+        let cfg = DesConfig { workers: 1, slice: 1, dispatch_overhead: 0.0 };
+        let open = open_cfg(1, 1, 2);
+        let shed_at = |ia: f64| {
+            let arrivals: Vec<f64> = (0..n).map(|i| i as f64 * ia).collect();
+            simulate_serve_open(&sessions, &arrivals, &cfg, &open).shed
+        };
+        let light = shed_at(2.0);
+        let knee = shed_at(1.0);
+        let over = shed_at(0.5);
+        let crush = shed_at(0.25);
+        assert_eq!(light, 0, "half the capacity never sheds");
+        assert!(over > knee, "past saturation the backlog overflows: {over} vs {knee}");
+        assert!(crush >= over, "shed rate is monotone in offered load");
+        // Every shed is announced on the wire trace.
+        let arrivals: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+        let r = simulate_serve_open(&sessions, &arrivals, &cfg, &open);
+        let count = |k: TraceKind| r.trace.events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(TraceKind::NetRequest), n);
+        assert_eq!(count(TraceKind::NetShed), r.shed);
+        assert_eq!(count(TraceKind::Shed), r.shed);
+        assert_eq!(count(TraceKind::Retired), r.completed);
+        assert_eq!(r.completed + r.shed, n);
+    }
+
+    #[test]
+    fn open_loop_sojourn_tail_grows_with_offered_load() {
+        let n = 16;
+        let sessions = uniform(n, 2, 0.5);
+        let cfg = DesConfig { workers: 1, slice: 2, dispatch_overhead: 0.0 };
+        let open = open_cfg(1, 4, 16);
+        let p_max = |ia: f64| {
+            let arrivals: Vec<f64> = (0..n).map(|i| i as f64 * ia).collect();
+            let r = simulate_serve_open(&sessions, &arrivals, &cfg, &open);
+            assert_eq!(r.shed, 0, "depth 16 absorbs this backlog");
+            r.sojourn.iter().cloned().fold(0.0, f64::max)
+        };
+        assert!(p_max(0.5) > p_max(2.0), "queueing delay shows up in the sojourn tail");
+    }
+
+    #[test]
+    fn open_loop_sharding_lifts_the_saturation_knee() {
+        // Service 1 s, arrivals every 0.5 s: one pool saturates (sheds),
+        // two pools with the same per-shard worker count keep up.
+        let n = 20;
+        let sessions = uniform(n, 1, 1.0);
+        let cfg = DesConfig { workers: 1, slice: 1, dispatch_overhead: 0.0 };
+        let arrivals: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let one = simulate_serve_open(&sessions, &arrivals, &cfg, &open_cfg(1, 2, 1));
+        let two = simulate_serve_open(&sessions, &arrivals, &cfg, &open_cfg(2, 2, 2));
+        assert!(one.shed > 0, "one pool over capacity must shed");
+        assert_eq!(two.shed, 0, "two pools carry the same offered load");
     }
 
     #[test]

@@ -37,15 +37,21 @@
 //! `serve_throughput` bench).
 
 pub mod des;
+pub mod open;
 pub mod serve;
 pub mod session;
 pub mod store;
 
 pub use des::{
-    simulate_serve, simulate_serve_sharded, simulate_serve_tiered, DesConfig, DesResult,
-    DesShardConfig, DesShardedResult, DesTierConfig, DesTieredResult,
+    simulate_serve, simulate_serve_open, simulate_serve_sharded, simulate_serve_tiered, DesConfig,
+    DesOpenConfig, DesOpenResult, DesResult, DesShardConfig, DesShardedResult, DesTierConfig,
+    DesTieredResult,
 };
-pub use serve::{serve, ServeConfig, ServeReport, ShardConfig, ShardReport, ShardRouter};
+pub use open::{OpenServe, SubmitError};
+pub use serve::{
+    serve, ServeConfig, ServeConfigError, ServeEvent, ServeReport, ShardConfig, ShardReport,
+    ShardRouter,
+};
 pub use session::{
     build_topology, SessionReport, SessionSpec, SessionTelemetry, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };

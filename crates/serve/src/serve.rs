@@ -1,7 +1,8 @@
 //! The serving loop: admission, session table, worker pools, dispatch.
 //!
-//! All sessions arrive up front (a batch-arrival open system degenerates to
-//! this on a closed benchmark). Admission is two-stage:
+//! Batch serving ([`serve`]): all sessions arrive up front (a batch-arrival
+//! open system degenerates to this on a closed benchmark). Admission is
+//! two-stage:
 //!
 //! 1. the **session table** holds at most `table_capacity` live sessions
 //!    (each owns a `MatchState` and an overlay, so the table bounds memory);
@@ -18,6 +19,14 @@
 //! re-enqueues it (round-robin) or retires it and admits the next waiting
 //! session. A session halting (`(halt)` on the RHS) retires **only that
 //! session**— the loop drains the rest.
+//!
+//! The same worker pools also serve **open arrivals**
+//! ([`crate::OpenServe`]): sessions submitted while the loop runs, each
+//! optionally holding a client-granted *decision credit* — a session that
+//! exhausts its credit parks in its table slot until the client grants
+//! more (the wire protocol's `step` request). Batch serving is the
+//! degenerate case: every session auto-runs with unbounded credit and
+//! admissions close before the workers start.
 //!
 //! ## Sharding
 //!
@@ -45,8 +54,9 @@ use psme_obs::{
 use psme_rete::Topology;
 use psme_soar::StopReason;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// How sessions map to shards.
@@ -100,6 +110,45 @@ impl Default for ShardConfig {
     }
 }
 
+/// A structurally invalid [`ServeConfig`], rejected before any thread
+/// spawns or any seat count is derived.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// `shard.shards == 0`: there is no zero-pool serving loop.
+    ZeroShards,
+    /// `workers == 0`: a shard with no workers can never drain.
+    ZeroWorkers,
+    /// `table_capacity < shards`: the ceil-split would hand every shard a
+    /// seat the global budget doesn't have (`div_ceil` rounds *up*), so
+    /// the table bound would silently inflate to `shards` seats.
+    TableSmallerThanShards {
+        /// Configured global table capacity.
+        table_capacity: usize,
+        /// Configured shard count.
+        shards: usize,
+    },
+}
+
+impl std::fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeConfigError::ZeroShards => {
+                write!(f, "serve config: shard.shards must be >= 1 (got 0)")
+            }
+            ServeConfigError::ZeroWorkers => {
+                write!(f, "serve config: workers per shard must be >= 1 (got 0)")
+            }
+            ServeConfigError::TableSmallerThanShards { table_capacity, shards } => write!(
+                f,
+                "serve config: table_capacity ({table_capacity}) must be >= shards ({shards}); \
+                 the ceil-split would give each shard a whole seat and inflate the table bound"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
 /// Serving-loop configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -146,6 +195,29 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// Check the structural invariants every serving entry point relies
+    /// on. [`serve`] and [`crate::OpenServe::start`] call this and panic
+    /// with the error's message on violation — better a loud rejection at
+    /// construction than `div_ceil` quietly inflating per-shard seat
+    /// counts.
+    pub fn validate(&self) -> Result<(), ServeConfigError> {
+        if self.shard.shards == 0 {
+            return Err(ServeConfigError::ZeroShards);
+        }
+        if self.workers == 0 {
+            return Err(ServeConfigError::ZeroWorkers);
+        }
+        if self.table_capacity < self.shard.shards {
+            return Err(ServeConfigError::TableSmallerThanShards {
+                table_capacity: self.table_capacity,
+                shards: self.shard.shards,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Per-shard slice of a [`ServeReport`].
 #[derive(Debug)]
 pub struct ShardReport {
@@ -160,6 +232,12 @@ pub struct ShardReport {
     /// Queue stats merged over this shard's workers (their steal counters
     /// include cross-shard steals they performed).
     pub queue_stats: QueueStats,
+    /// Fraction of this shard's dispatch-bus traffic that moved a session
+    /// (`pops / (pops + failed_pops)`): 1.0 means every bus acquisition
+    /// dispatched work, values near 0 mean the pool mostly spun on an
+    /// empty bus. The shard-count autotuning hint
+    /// ([`ServeReport::recommended_shards`]) keys on this.
+    pub bus_occupancy: f64,
     /// Decision-cycle latency over sessions homed on this shard (ns).
     pub cycle_latency: Quantiles,
     /// Slices this shard's workers stole from *other* shards' queues.
@@ -177,6 +255,7 @@ impl ShardReport {
             ("completed", Json::from(self.completed as u64)),
             ("shed", Json::from(self.shed as u64)),
             ("cross_shard_steals", Json::from(self.cross_shard_steals)),
+            ("bus_occupancy", Json::float(self.bus_occupancy)),
             ("cycle_latency_ns", self.cycle_latency.to_json()),
             (
                 "queues",
@@ -198,6 +277,13 @@ impl ShardReport {
         ])
     }
 }
+
+/// Occupancy above which a pool's dispatch bus is considered saturated
+/// (every acquisition dispatched work — adding workers adds contention,
+/// adding shards adds bus bandwidth).
+const OCCUPANCY_SPLIT: f64 = 0.75;
+/// Occupancy below which pools are mostly idle and shards could merge.
+const OCCUPANCY_MERGE: f64 = 0.25;
 
 /// Outcome of one [`serve`] call.
 #[derive(Debug)]
@@ -240,6 +326,31 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
+    /// Mean dispatch-bus occupancy over the run's shards.
+    pub fn mean_bus_occupancy(&self) -> f64 {
+        if self.shards.is_empty() {
+            return 0.0;
+        }
+        self.shards.iter().map(|s| s.bus_occupancy).sum::<f64>() / self.shards.len() as f64
+    }
+
+    /// Shard-count hint from observed dispatch-bus occupancy — groundwork
+    /// for autotuning. Saturated buses (mean occupancy above 75%) suggest
+    /// doubling the pool count to add bus bandwidth; mostly-idle buses
+    /// (below 25%, more than one shard) suggest halving it to restore
+    /// locality. In between, the current count stands.
+    pub fn recommended_shards(&self) -> usize {
+        let shards = self.shards.len().max(1);
+        let occ = self.mean_bus_occupancy();
+        if occ > OCCUPANCY_SPLIT {
+            shards * 2
+        } else if occ < OCCUPANCY_MERGE && shards > 1 {
+            shards / 2
+        } else {
+            shards
+        }
+    }
+
     /// Serialize for artifacts.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -250,6 +361,8 @@ impl ServeReport {
             ("sessions_per_sec", Json::float(self.sessions_per_sec)),
             ("cycle_latency_ns", self.aggregate_cycle_latency.to_json()),
             ("cross_shard_steals", Json::from(self.cross_shard_steals)),
+            ("mean_bus_occupancy", Json::float(self.mean_bus_occupancy())),
+            ("recommended_shards", Json::from(self.recommended_shards() as u64)),
             ("shards", Json::arr(self.shards.iter().map(|s| s.to_json()))),
             (
                 "trace",
@@ -272,47 +385,146 @@ impl ServeReport {
     }
 }
 
-/// One worker pool: the queues, admission backlog, store tier, and
-/// telemetry pools for its partition of the sessions.
-struct ShardState {
-    /// Session ids in flight on this shard, tagged with enqueue instants.
-    queues: TaskQueues<(u32, Instant)>,
-    /// This shard's admission backlog (untiered runs only).
-    pending: Mutex<VecDeque<usize>>,
-    /// Queue stats merged from this shard's workers at exit.
-    stats: Mutex<QueueStats>,
-    /// Cycle-latency reservoir for sessions homed here.
-    cycle_pool: Mutex<Reservoir>,
-    /// This shard's slice of the tier store (tiered runs only).
-    store: Option<SessionStore>,
-    /// Slices this shard's workers stole from other shards.
-    cross_steals: AtomicU64,
+/// Streamed-serving notifications ([`crate::OpenServe`]): the network
+/// front-end routes these back to the owning client connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeEvent {
+    /// A credited session consumed its grant and parked in its table slot;
+    /// `decisions` is its total decision count so far (the wire `step`
+    /// acknowledgement carries it).
+    Parked {
+        /// Session id.
+        id: u32,
+        /// Decisions executed so far.
+        decisions: u64,
+    },
+    /// A session retired; its report can be fetched with
+    /// [`crate::OpenServe::report`].
+    Retired {
+        /// Session id.
+        id: u32,
+    },
+    /// Admission backpressure displaced this previously accepted session.
+    Shed {
+        /// Session id.
+        id: u32,
+    },
 }
 
-struct Inner {
-    topo: Arc<Topology>,
-    specs: Vec<SessionSpec>,
-    cfg: ServeConfig,
-    /// Spec index → home shard (fixed at admission by the router).
-    home: Vec<u32>,
-    shards: Vec<ShardState>,
-    /// One slot per spec; `Some` while the session is live but not being
-    /// stepped. The queue hands out exclusive ownership of an id, so a slot
-    /// is never contended — the mutex only makes the handoff `Sync`.
-    slots: Vec<Mutex<Option<Session>>>,
-    reports: Mutex<Vec<Option<SessionReport>>>,
-    /// Sessions admitted or waiting, not yet retired (all shards). Workers
-    /// exit when it reaches zero.
-    remaining: AtomicI64,
+/// One worker pool: the queues, admission backlog, store tier, and
+/// telemetry pools for its partition of the sessions.
+pub(crate) struct ShardState {
+    /// Session ids in flight on this shard, tagged with enqueue instants.
+    pub(crate) queues: TaskQueues<(u32, Instant)>,
+    /// This shard's admission backlog (untiered runs only).
+    pub(crate) pending: Mutex<VecDeque<usize>>,
+    /// Sessions currently holding one of this shard's table seats
+    /// (untiered runs; tiered runs bound residency in the store instead).
+    pub(crate) live: AtomicUsize,
+    /// Sessions shed by this shard's admission queue.
+    pub(crate) shed: AtomicUsize,
+    /// Queue stats merged from this shard's workers at exit.
+    pub(crate) stats: Mutex<QueueStats>,
+    /// Cycle-latency reservoir for sessions homed here.
+    pub(crate) cycle_pool: Mutex<Reservoir>,
+    /// This shard's slice of the tier store (tiered runs only).
+    pub(crate) store: Option<SessionStore>,
+    /// Slices this shard's workers stole from other shards.
+    pub(crate) cross_steals: AtomicU64,
+}
+
+/// Per-session table slot. The queue hands out exclusive ownership of an
+/// id, so the *session* is never contended; the mutex makes the handoff
+/// `Sync` and serializes the streamed-serving control fields (step
+/// credit, learning toggles, close requests) against the worker touching
+/// the same session.
+#[derive(Default)]
+pub(crate) struct Slot {
+    /// The session, while live but not being stepped.
+    pub(crate) sess: Option<Session>,
+    /// Streamed sessions only: out of credit, waiting for the client's
+    /// next `step` grant (not in any queue).
+    pub(crate) parked: bool,
+    /// Step credit granted while the session was in flight or pending;
+    /// drained into the session at its next dispatch or park attempt.
+    pub(crate) credit_due: u64,
+    /// Learning toggle requested over the wire; applied at next dispatch.
+    pub(crate) learn_due: Option<bool>,
+    /// Client asked to close; the next dispatch (or park attempt) retires
+    /// the session with [`StopReason::Closed`].
+    pub(crate) closing: bool,
+    /// Initial credit for sessions admitted later from the pending queue
+    /// (`None` = auto-run, the batch default).
+    pub(crate) grant: Option<u64>,
+}
+
+pub(crate) struct Inner {
+    pub(crate) topo: Arc<Topology>,
+    /// Spec `i`, set before id `i` ever circulates (all up front in batch
+    /// serving, at submit time in open serving).
+    pub(crate) specs: Vec<OnceLock<SessionSpec>>,
+    pub(crate) cfg: ServeConfig,
+    /// Spec index → home shard (fixed at admission by the router;
+    /// `u32::MAX` until the id is submitted).
+    pub(crate) home: Vec<AtomicU32>,
+    pub(crate) shards: Vec<ShardState>,
+    /// One slot per spec; see [`Slot`].
+    pub(crate) slots: Vec<Mutex<Slot>>,
+    pub(crate) reports: Mutex<Vec<Option<SessionReport>>>,
+    /// Sessions admitted or waiting, not yet retired (all shards).
+    pub(crate) remaining: AtomicI64,
+    /// No further submissions will arrive; workers exit once `remaining`
+    /// hits zero. Batch serving closes before the workers start.
+    pub(crate) closed: AtomicBool,
+    /// Ids handed out so far (== spec count in batch serving).
+    pub(crate) submitted: AtomicUsize,
     /// Shared origin every trace ring stamps against.
-    origin: Instant,
+    pub(crate) origin: Instant,
     /// Workers drain their rings here at loop exit (the join barrier).
-    trace_sink: Mutex<TraceLog>,
+    pub(crate) trace_sink: Mutex<TraceLog>,
+    /// Control-side ring: batch staging, open-serving admission, and
+    /// forced closes emit through this.
+    pub(crate) ctl_ring: Mutex<TraceRing>,
+    /// Queue stats for control-side seeds/pushes.
+    pub(crate) seed_stats: Mutex<QueueStats>,
+    /// Streamed-serving notifications (open serving only).
+    pub(crate) events: Option<Sender<ServeEvent>>,
+}
+
+impl Inner {
+    pub(crate) fn spec(&self, idx: usize) -> &SessionSpec {
+        self.specs[idx].get().expect("spec set before its id circulates")
+    }
+
+    pub(crate) fn home_of(&self, idx: usize) -> usize {
+        let h = self.home[idx].load(Ordering::Relaxed);
+        debug_assert_ne!(h, u32::MAX, "home routed before the id circulates");
+        h as usize
+    }
+
+    /// Per-shard slice of the table budget.
+    pub(crate) fn cap_s(&self) -> usize {
+        self.cfg.table_capacity.div_ceil(self.shards.len())
+    }
+
+    /// Per-shard slice of the admission-queue budget.
+    pub(crate) fn depth_s(&self) -> usize {
+        self.cfg.admission_depth.div_ceil(self.shards.len())
+    }
+
+    pub(crate) fn event(&self, ev: ServeEvent) {
+        if let Some(tx) = &self.events {
+            // A dropped receiver means the front-end stopped listening;
+            // serving itself never depends on delivery.
+            let _ = tx.send(ev);
+        }
+    }
 }
 
 /// Run one dispatch slice on a checked-out session. Emits the
 /// `SliceStart`/`SliceEnd` pair and returns the stop reason if the session
-/// finished inside this slice.
+/// finished inside this slice. Credited sessions run at most their
+/// remaining credit.
 fn run_slice(
     inner: &Inner,
     ring: &mut TraceRing,
@@ -322,14 +534,21 @@ fn run_slice(
 ) -> Option<StopReason> {
     sess.wait_ns.push(wait_ns);
     sess.slices += 1;
+    let budget = match sess.credit {
+        Some(c) => c.min(inner.cfg.slice_decisions.max(1)),
+        None => inner.cfg.slice_decisions.max(1),
+    };
     let cyc0 = sess.agent.stats.decisions;
     ring.emit(TraceKind::SliceStart, idx as u32, cyc0, cyc0, wait_ns as u64);
     let slice_start = Instant::now();
     let mut stop = None;
-    for _ in 0..inner.cfg.slice_decisions.max(1) {
+    for _ in 0..budget {
         let t0 = Instant::now();
         let r = sess.agent.step(inner.cfg.max_decisions);
         sess.cycle_ns.push(t0.elapsed().as_nanos() as f64);
+        if let Some(c) = sess.credit.as_mut() {
+            *c -= 1;
+        }
         if let Some(r) = r {
             stop = Some(r);
             break;
@@ -343,7 +562,7 @@ fn run_slice(
 
 /// Retire a finished session: emit lifecycle events, fold telemetry into
 /// its home shard's pools, and file its report.
-fn finish_session(
+pub(crate) fn finish_session(
     inner: &Inner,
     ring: &mut TraceRing,
     sess: Session,
@@ -374,6 +593,7 @@ fn finish_session(
     inner.shards[home].cycle_pool.lock().expect("pool lock").extend(&sess.cycle_ns);
     inner.reports.lock().expect("reports lock")[idx] = Some(sess.into_report(reason));
     inner.remaining.fetch_sub(1, Ordering::AcqRel);
+    inner.event(ServeEvent::Retired { id: idx as u32 });
 }
 
 /// Put a session id back in circulation on its home shard. A worker in the
@@ -386,6 +606,64 @@ fn enqueue(inner: &Inner, qs: &mut QueueStats, home: usize, local: Option<usize>
         Some(w) => inner.shards[home].queues.push(w, item, qs),
         None => inner.shards[home].queues.push_seed(idx % inner.cfg.workers, item, qs),
     }
+}
+
+/// Admit waiting sessions while `home` has free table seats (untiered
+/// runs). Seats are reserved with a CAS so concurrent retire paths and
+/// open-serving submissions never over-admit; a reserved seat with an
+/// empty backlog is released again.
+pub(crate) fn admit_pending(
+    inner: &Inner,
+    ring: &mut TraceRing,
+    qs: &mut QueueStats,
+    home: usize,
+    local: Option<usize>,
+) {
+    let st = &inner.shards[home];
+    let cap_s = inner.cap_s();
+    loop {
+        let cur = st.live.load(Ordering::Acquire);
+        if cur >= cap_s {
+            return;
+        }
+        if st
+            .live
+            .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            continue;
+        }
+        let next = st.pending.lock().expect("pending lock").pop_front();
+        let Some(n) = next else {
+            st.live.fetch_sub(1, Ordering::AcqRel);
+            return;
+        };
+        let mut s = Session::build(inner.spec(n), &inner.topo, false);
+        {
+            let slot = inner.slots[n].lock().expect("slot lock");
+            s.credit = slot.grant.map(|g| g.saturating_add(slot.credit_due));
+        }
+        let mut slot = inner.slots[n].lock().expect("slot lock");
+        slot.credit_due = 0;
+        slot.sess = Some(s);
+        drop(slot);
+        ring.emit(TraceKind::Admitted, n as u32, 0, 0, 0);
+        enqueue(inner, qs, home, local, n);
+        ring.emit(TraceKind::Enqueued, n as u32, 0, 0, 0);
+    }
+}
+
+/// A retired/closed session released a table seat on `home`: give it to
+/// the oldest waiting session, if any.
+pub(crate) fn release_seat(
+    inner: &Inner,
+    ring: &mut TraceRing,
+    qs: &mut QueueStats,
+    home: usize,
+    local: Option<usize>,
+) {
+    inner.shards[home].live.fetch_sub(1, Ordering::AcqRel);
+    admit_pending(inner, ring, qs, home, local);
 }
 
 /// Execute one dispatch on session `idx`, whose home shard is `home`.
@@ -403,30 +681,61 @@ fn step_session(
     let wait_ns = enqueued.elapsed().as_nanos() as f64;
     match &inner.shards[home].store {
         None => {
-            let mut sess = inner.slots[idx]
-                .lock()
-                .expect("slot lock")
-                .take()
-                .expect("queued session is in its slot");
+            let (mut sess, closing) = {
+                let mut slot = inner.slots[idx].lock().expect("slot lock");
+                let mut sess = slot.sess.take().expect("queued session is in its slot");
+                if slot.credit_due > 0 {
+                    let due = std::mem::take(&mut slot.credit_due);
+                    *sess.credit.get_or_insert(0) += due;
+                }
+                if let Some(enable) = slot.learn_due.take() {
+                    sess.agent.learning = enable;
+                }
+                (sess, std::mem::take(&mut slot.closing))
+            };
+            if closing {
+                finish_session(inner, ring, sess, idx, home, StopReason::Closed);
+                release_seat(inner, ring, qs, home, local);
+                return;
+            }
             match run_slice(inner, ring, &mut sess, idx, wait_ns) {
                 None => {
                     let cyc = sess.agent.stats.decisions;
-                    *inner.slots[idx].lock().expect("slot lock") = Some(sess);
-                    enqueue(inner, qs, home, local, idx);
-                    ring.emit(TraceKind::Reenqueued, idx as u32, cyc, cyc, 0);
+                    if sess.credit == Some(0) {
+                        // Out of client credit: park in the slot (not in
+                        // any queue) unless a grant or close raced in. A
+                        // shut-down loop (`closed`) will never grant more
+                        // credit, so parking would stall forever — close.
+                        let mut slot = inner.slots[idx].lock().expect("slot lock");
+                        if slot.closing || inner.closed.load(Ordering::Acquire) {
+                            slot.closing = false;
+                            drop(slot);
+                            finish_session(inner, ring, sess, idx, home, StopReason::Closed);
+                            release_seat(inner, ring, qs, home, local);
+                        } else if slot.credit_due > 0 {
+                            let due = std::mem::take(&mut slot.credit_due);
+                            *sess.credit.get_or_insert(0) += due;
+                            slot.sess = Some(sess);
+                            drop(slot);
+                            enqueue(inner, qs, home, local, idx);
+                            ring.emit(TraceKind::Reenqueued, idx as u32, cyc, cyc, 0);
+                        } else {
+                            slot.parked = true;
+                            slot.sess = Some(sess);
+                            drop(slot);
+                            inner.event(ServeEvent::Parked { id: idx as u32, decisions: cyc });
+                        }
+                    } else {
+                        inner.slots[idx].lock().expect("slot lock").sess = Some(sess);
+                        enqueue(inner, qs, home, local, idx);
+                        ring.emit(TraceKind::Reenqueued, idx as u32, cyc, cyc, 0);
+                    }
                 }
                 Some(reason) => {
                     finish_session(inner, ring, sess, idx, home, reason);
                     // A table slot freed on the home shard: admit its next
                     // waiting session.
-                    let next = inner.shards[home].pending.lock().expect("pending lock").pop_front();
-                    if let Some(n) = next {
-                        let s = Session::build(&inner.specs[n], &inner.topo, false);
-                        *inner.slots[n].lock().expect("slot lock") = Some(s);
-                        ring.emit(TraceKind::Admitted, n as u32, 0, 0, 0);
-                        enqueue(inner, qs, home, local, n);
-                        ring.emit(TraceKind::Enqueued, n as u32, 0, 0, 0);
-                    }
+                    release_seat(inner, ring, qs, home, local);
                 }
             }
         }
@@ -442,7 +751,7 @@ fn step_session(
             let mut sess = match checkout {
                 Checkout::Live(s) => *s,
                 Checkout::Start => {
-                    let s = Session::build(&inner.specs[idx], &inner.topo, true);
+                    let s = Session::build(inner.spec(idx), &inner.topo, true);
                     ring.emit(TraceKind::Admitted, idx as u32, 0, 0, 0);
                     s
                 }
@@ -450,7 +759,7 @@ fn step_session(
                     // Verify + replay outside the store lock; the slot is
                     // marked Running, so the id is exclusively ours.
                     let t0 = Instant::now();
-                    let s = Session::resume(&inner.specs[idx], &inner.topo, &bytes)
+                    let s = Session::resume(inner.spec(idx), &inner.topo, &bytes)
                         .expect("snapshot encoded by this run must resume");
                     let ns = t0.elapsed().as_nanos() as f64;
                     store.note_resume_ns(ns);
@@ -496,18 +805,25 @@ fn steal_from_others(
     None
 }
 
-fn worker_loop(inner: &Inner, shard: usize, wid: usize) {
+/// Consecutive empty dispatch attempts before an idle worker starts
+/// sleeping instead of spinning — keeps open-serving pools from burning a
+/// core while the wire is quiet, without adding latency under load.
+const IDLE_SPINS: u32 = 64;
+
+pub(crate) fn worker_loop(inner: &Inner, shard: usize, wid: usize) {
     let gwid = (shard * inner.cfg.workers + wid) as u32;
     let mut qs = QueueStats::default();
     // Thread-local event ring: emitting is a branch + array write, merged
     // into the run log only once, when this worker exits.
     let mut ring = TraceRing::from_config(gwid, &inner.cfg.trace, inner.origin);
     let nshards = inner.shards.len();
+    let mut idle: u32 = 0;
     loop {
         // Own pool first — session affinity keeps state hot here.
         if let Some((idx, enq)) = inner.shards[shard].queues.pop(wid, &mut qs) {
+            idle = 0;
             debug_assert_eq!(
-                inner.home[idx as usize] as usize, shard,
+                inner.home_of(idx as usize), shard,
                 "a shard's queues only circulate its own sessions"
             );
             step_session(inner, &mut ring, &mut qs, shard, Some(wid), idx as usize, enq);
@@ -516,156 +832,73 @@ fn worker_loop(inner: &Inner, shard: usize, wid: usize) {
         // Own pool dry: steal a slice from another shard (if enabled).
         if inner.cfg.shard.steal && nshards > 1 {
             if let Some((idx, enq)) = steal_from_others(inner, shard, &mut qs) {
-                let home = inner.home[idx as usize] as usize;
+                idle = 0;
+                let home = inner.home_of(idx as usize);
                 inner.shards[shard].cross_steals.fetch_add(1, Ordering::Relaxed);
                 ring.emit(TraceKind::CrossShardSteal, idx, 0, 0, home as u64);
                 step_session(inner, &mut ring, &mut qs, home, None, idx as usize, enq);
                 continue;
             }
         }
-        if inner.remaining.load(Ordering::Acquire) <= 0 {
+        if inner.remaining.load(Ordering::Acquire) <= 0 && inner.closed.load(Ordering::Acquire) {
             break;
         }
-        std::thread::yield_now();
+        idle = idle.saturating_add(1);
+        if idle > IDLE_SPINS {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        } else {
+            std::thread::yield_now();
+        }
     }
     inner.shards[shard].stats.lock().expect("stats lock").merge(&qs);
     inner.trace_sink.lock().expect("trace lock").absorb(&mut ring);
 }
 
-/// Serve a batch of sessions over a shared topology.
-///
-/// Panics if two specs share a name (reports would be ambiguous), or if an
-/// explicit shard map doesn't cover every spec.
-pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, mut cfg: ServeConfig) -> ServeReport {
-    {
-        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
-        names.sort_unstable();
-        names.dedup();
-        assert_eq!(names.len(), specs.len(), "duplicate session names");
-    }
-    cfg.workers = cfg.workers.max(1);
-    cfg.shard.shards = cfg.shard.shards.max(1);
-    let workers = cfg.workers;
+/// Build the shard states for a run.
+pub(crate) fn build_shards(cfg: &ServeConfig, n_specs: usize) -> Vec<ShardState> {
     let nshards = cfg.shard.shards;
-    let n = specs.len();
-    let cap = cfg.table_capacity.max(1);
-    if let ShardRouter::Explicit(map) = &cfg.shard.router {
-        assert_eq!(map.len(), n, "explicit shard map must cover every spec");
-    }
-
-    // Route every spec to its home shard; the partition is fixed for the
-    // whole run (session affinity).
-    let home: Vec<u32> =
-        specs.iter().enumerate().map(|(i, s)| cfg.shard.router.route(i, &s.name, nshards)).collect();
-    let mut members: Vec<Vec<usize>> = vec![Vec::new(); nshards];
-    for (i, &h) in home.iter().enumerate() {
-        members[h as usize].push(i);
-    }
-
-    // Stage each shard's batch arrival against its slice of the budgets:
-    // first `cap_s` members go live, the next `depth_s` queue for
-    // admission, and overflow sheds the oldest waiting entries.
-    let cap_s = cap.div_ceil(nshards);
-    let depth_s = cfg.admission_depth.div_ceil(nshards);
-    let tiered = cfg.tier.is_some();
-    let mut reports: Vec<Option<SessionReport>> = (0..n).map(|_| None).collect();
-    let mut live: Vec<Vec<usize>> = Vec::with_capacity(nshards);
-    let mut waiting: Vec<Vec<usize>> = Vec::with_capacity(nshards);
-    let mut shed_ids: Vec<usize> = Vec::new();
-    let mut shard_shed: Vec<usize> = vec![0; nshards];
-    for (s, m) in members.iter().enumerate() {
-        let l = cap_s.min(m.len());
-        let overflow = &m[l..];
-        let shed_count = overflow.len().saturating_sub(depth_s);
-        for &i in &overflow[..shed_count] {
-            reports[i] = Some(SessionReport::shed(specs[i].name.clone()));
-        }
-        shard_shed[s] = shed_count;
-        shed_ids.extend_from_slice(&overflow[..shed_count]);
-        live.push(m[..l].to_vec());
-        waiting.push(overflow[shed_count..].to_vec());
-    }
-    let accepted: i64 = (0..nshards).map(|s| (live[s].len() + waiting[s].len()) as i64).sum();
-
-    let shards: Vec<ShardState> = (0..nshards)
-        .map(|s| ShardState {
-            queues: TaskQueues::new(cfg.scheduler, workers),
-            // Tiered serving enqueues every accepted id up front instead
-            // of staging admissions through the pending queue.
-            pending: Mutex::new(if tiered {
-                VecDeque::new()
-            } else {
-                waiting[s].iter().copied().collect()
-            }),
+    let cap_s = cfg.table_capacity.div_ceil(nshards);
+    (0..nshards)
+        .map(|_| ShardState {
+            queues: TaskQueues::new(cfg.scheduler, cfg.workers),
+            pending: Mutex::new(VecDeque::new()),
+            live: AtomicUsize::new(0),
+            shed: AtomicUsize::new(0),
             stats: Mutex::new(QueueStats::default()),
             cycle_pool: Mutex::new(Reservoir::default()),
-            store: cfg.tier.as_ref().map(|t| SessionStore::new(n, cap_s, t)),
+            store: cfg.tier.as_ref().map(|t| SessionStore::new(n_specs, cap_s, t)),
             cross_steals: AtomicU64::new(0),
         })
-        .collect();
+        .collect()
+}
 
-    let inner = Inner {
-        home,
+/// Fold the run's state into a [`ServeReport`]: merge the control ring,
+/// seal the trace, scan the flight recorder, and aggregate the per-shard
+/// telemetry (queue stats sum, latency reservoirs *merge* at a common
+/// stride, tier counters sum with resume samples pooled).
+pub(crate) fn finalize(inner: Inner, wall_seconds: f64) -> ServeReport {
+    let Inner {
+        reports,
         shards,
-        slots: (0..n).map(|_| Mutex::new(None)).collect(),
-        reports: Mutex::new(reports),
-        remaining: AtomicI64::new(accepted),
-        origin: Instant::now(),
-        trace_sink: Mutex::new(TraceLog::with_cap(cfg.trace.merged_cap)),
-        topo,
-        specs,
         cfg,
-    };
-
-    // The control thread's own ring (admission staging); its worker id is
-    // one past the last worker's.
-    let mut ctl_ring =
-        TraceRing::from_config((nshards * workers) as u32, &inner.cfg.trace, inner.origin);
-    for &i in &shed_ids {
-        ctl_ring.emit(TraceKind::Shed, i as u32, 0, 0, 0);
-    }
-
-    let t0 = Instant::now();
-    let mut seed_stats = QueueStats::default();
-    for s in 0..nshards {
-        if tiered {
-            // Every accepted session circulates as an id from the start;
-            // the shard's store materializes at most `cap_s` at a time.
-            for (k, i) in live[s].iter().chain(waiting[s].iter()).copied().enumerate() {
-                inner.shards[s].queues.push_seed(k % workers, (i as u32, Instant::now()), &mut seed_stats);
-                ctl_ring.emit(TraceKind::Enqueued, i as u32, 0, 0, 0);
-            }
-        } else {
-            for (k, i) in live[s].iter().copied().enumerate() {
-                let sess = Session::build(&inner.specs[i], &inner.topo, false);
-                *inner.slots[i].lock().expect("slot lock") = Some(sess);
-                ctl_ring.emit(TraceKind::Admitted, i as u32, 0, 0, 0);
-                inner.shards[s].queues.push_seed(k % workers, (i as u32, Instant::now()), &mut seed_stats);
-                ctl_ring.emit(TraceKind::Enqueued, i as u32, 0, 0, 0);
-            }
-        }
-    }
-    std::thread::scope(|scope| {
-        for s in 0..nshards {
-            for wid in 0..workers {
-                let inner = &inner;
-                std::thread::Builder::new()
-                    .name(format!("psm-serve-{s}-{wid}"))
-                    .spawn_scoped(scope, move || worker_loop(inner, s, wid))
-                    .expect("spawn serve worker");
-            }
-        }
-    });
-    let wall_seconds = t0.elapsed().as_secs_f64();
-
-    let Inner { reports, shards, cfg, trace_sink, home, .. } = inner;
+        trace_sink,
+        home,
+        submitted,
+        ctl_ring,
+        seed_stats,
+        ..
+    } = inner;
+    let n = submitted.into_inner();
+    let nshards = shards.len();
+    let workers = cfg.workers;
     let mut agg_stats = QueueStats::default();
-    agg_stats.merge(&seed_stats);
+    agg_stats.merge(&seed_stats.into_inner().expect("seed stats lock"));
     // Merge the control ring behind the join barrier, seal into one causal
     // timeline, tag worker → shard for the Perfetto export, and run the
     // anomaly detector over it.
     let mut trace = trace_sink.into_inner().expect("trace lock");
-    trace.absorb(&mut ctl_ring);
+    let mut ctl = ctl_ring.into_inner().expect("ctl ring lock");
+    trace.absorb(&mut ctl);
     if nshards > 1 {
         for s in 0..nshards {
             for w in 0..workers {
@@ -681,19 +914,24 @@ pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, mut cfg: ServeConfig)
         .into_inner()
         .expect("reports lock")
         .into_iter()
-        .map(|r| r.expect("every session retired or shed"))
+        .take(n)
+        .map(|r| r.expect("every submitted session retired or shed"))
         .collect();
+    let members: Vec<Vec<usize>> = {
+        let mut m: Vec<Vec<usize>> = vec![Vec::new(); nshards];
+        for (i, h) in home.iter().take(n).enumerate() {
+            m[h.load(Ordering::Relaxed) as usize].push(i);
+        }
+        m
+    };
     let mut shard_completed: Vec<usize> = vec![0; nshards];
     for (i, r) in sessions.iter().enumerate() {
         if !r.was_shed() {
-            shard_completed[home[i] as usize] += 1;
+            shard_completed[home[i].load(Ordering::Relaxed) as usize] += 1;
         }
     }
     let completed: usize = shard_completed.iter().sum();
 
-    // Fold the per-shard telemetry into the aggregate: queue stats sum,
-    // latency reservoirs *merge* at a common stride (no raw-sample
-    // concatenation), tier counters sum with resume samples pooled.
     let mut agg_pool = Reservoir::default();
     let mut shard_reports: Vec<ShardReport> = Vec::with_capacity(nshards);
     let mut agg_tier: Option<TierReport> = None;
@@ -716,11 +954,17 @@ pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, mut cfg: ServeConfig)
             a.snapshot_bytes_total += r.snapshot_bytes_total;
             r
         });
+        let bus_traffic = qstats.pops + qstats.failed_pops;
         shard_reports.push(ShardReport {
             shard: s as u32,
             sessions: members[s].len(),
             completed: shard_completed[s],
-            shed: shard_shed[s],
+            shed: st.shed.into_inner(),
+            bus_occupancy: if bus_traffic > 0 {
+                qstats.pops as f64 / bus_traffic as f64
+            } else {
+                0.0
+            },
             queue_stats: qstats,
             cycle_latency: pool.quantiles(),
             cross_shard_steals: st.cross_steals.into_inner(),
@@ -747,4 +991,150 @@ pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, mut cfg: ServeConfig)
         flight,
         tier: agg_tier,
     }
+}
+
+/// Serve a batch of sessions over a shared topology.
+///
+/// Panics if the config fails [`ServeConfig::validate`], if two specs
+/// share a name (reports would be ambiguous), or if an explicit shard map
+/// doesn't cover every spec.
+pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, cfg: ServeConfig) -> ServeReport {
+    if let Err(e) = cfg.validate() {
+        panic!("{e}");
+    }
+    {
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "duplicate session names");
+    }
+    let workers = cfg.workers;
+    let nshards = cfg.shard.shards;
+    let n = specs.len();
+    if let ShardRouter::Explicit(map) = &cfg.shard.router {
+        assert_eq!(map.len(), n, "explicit shard map must cover every spec");
+    }
+
+    // Route every spec to its home shard; the partition is fixed for the
+    // whole run (session affinity).
+    let home: Vec<u32> =
+        specs.iter().enumerate().map(|(i, s)| cfg.shard.router.route(i, &s.name, nshards)).collect();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); nshards];
+    for (i, &h) in home.iter().enumerate() {
+        members[h as usize].push(i);
+    }
+
+    // Stage each shard's batch arrival against its slice of the budgets:
+    // first `cap_s` members go live, the next `depth_s` queue for
+    // admission, and overflow sheds the oldest waiting entries.
+    let cap_s = cfg.table_capacity.div_ceil(nshards);
+    let depth_s = cfg.admission_depth.div_ceil(nshards);
+    let tiered = cfg.tier.is_some();
+    let mut reports: Vec<Option<SessionReport>> = (0..n).map(|_| None).collect();
+    let mut live: Vec<Vec<usize>> = Vec::with_capacity(nshards);
+    let mut waiting: Vec<Vec<usize>> = Vec::with_capacity(nshards);
+    let mut shed_ids: Vec<usize> = Vec::new();
+    let mut shard_shed: Vec<usize> = vec![0; nshards];
+    for (s, m) in members.iter().enumerate() {
+        let l = cap_s.min(m.len());
+        let overflow = &m[l..];
+        let shed_count = overflow.len().saturating_sub(depth_s);
+        for &i in &overflow[..shed_count] {
+            reports[i] = Some(SessionReport::shed(specs[i].name.clone()));
+        }
+        shard_shed[s] = shed_count;
+        shed_ids.extend_from_slice(&overflow[..shed_count]);
+        live.push(m[..l].to_vec());
+        waiting.push(overflow[shed_count..].to_vec());
+    }
+    let accepted: i64 = (0..nshards).map(|s| (live[s].len() + waiting[s].len()) as i64).sum();
+
+    let shards = build_shards(&cfg, n);
+    for (s, st) in shards.iter().enumerate() {
+        st.shed.store(shard_shed[s], Ordering::Relaxed);
+        st.live.store(live[s].len(), Ordering::Relaxed);
+        if !tiered {
+            // Tiered serving enqueues every accepted id up front instead
+            // of staging admissions through the pending queue.
+            *st.pending.lock().expect("pending lock") = waiting[s].iter().copied().collect();
+        }
+    }
+
+    let origin = Instant::now();
+    let inner = Inner {
+        home: home.into_iter().map(AtomicU32::new).collect(),
+        shards,
+        slots: (0..n).map(|_| Mutex::new(Slot::default())).collect(),
+        reports: Mutex::new(reports),
+        remaining: AtomicI64::new(accepted),
+        closed: AtomicBool::new(true),
+        submitted: AtomicUsize::new(n),
+        origin,
+        trace_sink: Mutex::new(TraceLog::with_cap(cfg.trace.merged_cap)),
+        // The control thread's ring (admission staging); its worker id is
+        // one past the last worker's.
+        ctl_ring: Mutex::new(TraceRing::from_config(
+            (nshards * workers) as u32,
+            &cfg.trace,
+            origin,
+        )),
+        seed_stats: Mutex::new(QueueStats::default()),
+        events: None,
+        topo,
+        specs: specs.into_iter().map(OnceLock::from).collect(),
+        cfg,
+    };
+
+    {
+        let mut ctl_ring = inner.ctl_ring.lock().expect("ctl ring lock");
+        for &i in &shed_ids {
+            ctl_ring.emit(TraceKind::Shed, i as u32, 0, 0, 0);
+        }
+    }
+
+    let t0 = Instant::now();
+    {
+        let mut ctl_ring = inner.ctl_ring.lock().expect("ctl ring lock");
+        let mut seed_stats = inner.seed_stats.lock().expect("seed stats lock");
+        for s in 0..nshards {
+            if tiered {
+                // Every accepted session circulates as an id from the
+                // start; the shard's store materializes at most `cap_s` at
+                // a time.
+                for (k, i) in live[s].iter().chain(waiting[s].iter()).copied().enumerate() {
+                    inner.shards[s].queues.push_seed(
+                        k % workers,
+                        (i as u32, Instant::now()),
+                        &mut seed_stats,
+                    );
+                    ctl_ring.emit(TraceKind::Enqueued, i as u32, 0, 0, 0);
+                }
+            } else {
+                for (k, i) in live[s].iter().copied().enumerate() {
+                    let sess = Session::build(inner.spec(i), &inner.topo, false);
+                    inner.slots[i].lock().expect("slot lock").sess = Some(sess);
+                    ctl_ring.emit(TraceKind::Admitted, i as u32, 0, 0, 0);
+                    inner.shards[s].queues.push_seed(
+                        k % workers,
+                        (i as u32, Instant::now()),
+                        &mut seed_stats,
+                    );
+                    ctl_ring.emit(TraceKind::Enqueued, i as u32, 0, 0, 0);
+                }
+            }
+        }
+    }
+    std::thread::scope(|scope| {
+        for s in 0..nshards {
+            for wid in 0..workers {
+                let inner = &inner;
+                std::thread::Builder::new()
+                    .name(format!("psm-serve-{s}-{wid}"))
+                    .spawn_scoped(scope, move || worker_loop(inner, s, wid))
+                    .expect("spawn serve worker");
+            }
+        }
+    });
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    finalize(inner, wall_seconds)
 }

@@ -134,6 +134,11 @@ pub(crate) struct Session {
     pub(crate) cycle_ns: Vec<f64>,
     pub(crate) wait_ns: Vec<f64>,
     pub(crate) slices: u64,
+    /// Remaining client-granted decision credit (open serving). `None`
+    /// (batch serving) runs unbounded; `Some(0)` parks the session until
+    /// the client's next `step` grant. Not persisted: streamed sessions
+    /// are untiered, so credit never reaches a snapshot.
+    pub(crate) credit: Option<u64>,
 }
 
 impl Session {
@@ -152,6 +157,7 @@ impl Session {
             cycle_ns: Vec::new(),
             wait_ns: Vec::new(),
             slices: 0,
+            credit: None,
         }
     }
 
@@ -208,7 +214,7 @@ impl Session {
         }
         let slices = r.u64()?;
         r.expect_done()?;
-        Ok(Session { name: spec.name.clone(), agent, cycle_ns, wait_ns, slices })
+        Ok(Session { name: spec.name.clone(), agent, cycle_ns, wait_ns, slices, credit: None })
     }
 
     /// Finish: fold samples into a report.

@@ -1,0 +1,167 @@
+//! Config validation, dispatch-bus occupancy reporting, and the
+//! streaming (`OpenServe`) vs batch (`serve`) differential.
+
+use psme_core::Scheduler;
+use psme_serve::{
+    build_topology, serve, OpenServe, ServeConfig, ServeConfigError, ServeEvent, SessionSpec,
+    ShardConfig, SubmitError,
+};
+use psme_tasks::{eight_puzzle, scrambled};
+
+fn specs(n: usize) -> Vec<SessionSpec> {
+    (0..n)
+        .map(|i| SessionSpec {
+            name: format!("s-{i}"),
+            task: eight_puzzle(&scrambled(3, i as u64 * 31 + 1)),
+            learning: i.is_multiple_of(3),
+        })
+        .collect()
+}
+
+#[test]
+fn config_validation_rejects_degenerate_geometry() {
+    let ok = ServeConfig::default();
+    assert!(ok.validate().is_ok());
+
+    let zero_shards =
+        ServeConfig { shard: ShardConfig { shards: 0, ..Default::default() }, ..Default::default() };
+    assert!(matches!(zero_shards.validate(), Err(ServeConfigError::ZeroShards)));
+
+    let zero_workers = ServeConfig { workers: 0, ..Default::default() };
+    assert!(matches!(zero_workers.validate(), Err(ServeConfigError::ZeroWorkers)));
+
+    let thin_table = ServeConfig {
+        table_capacity: 2,
+        shard: ShardConfig { shards: 4, ..Default::default() },
+        ..Default::default()
+    };
+    match thin_table.validate() {
+        Err(ServeConfigError::TableSmallerThanShards { table_capacity, shards }) => {
+            assert_eq!((table_capacity, shards), (2, 4));
+        }
+        other => panic!("expected TableSmallerThanShards, got {other:?}"),
+    }
+    // The error message is user-facing configuration feedback.
+    let msg = thin_table.validate().unwrap_err().to_string();
+    assert!(msg.contains('2') && msg.contains('4'), "message names both numbers: {msg}");
+}
+
+#[test]
+#[should_panic(expected = "shard")]
+fn serve_panics_on_invalid_config() {
+    let s = specs(1);
+    let topo = build_topology(&s[0].task);
+    serve(
+        topo,
+        s,
+        ServeConfig { shard: ShardConfig { shards: 0, ..Default::default() }, ..Default::default() },
+    );
+}
+
+#[test]
+fn bus_occupancy_is_reported_and_bounded() {
+    let s = specs(8);
+    let topo = build_topology(&s[0].task);
+    let report = serve(
+        topo,
+        s,
+        ServeConfig {
+            workers: 2,
+            table_capacity: 8,
+            shard: ShardConfig { shards: 2, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    assert_eq!(report.shards.len(), 2);
+    for sh in &report.shards {
+        assert!(
+            (0.0..=1.0).contains(&sh.bus_occupancy),
+            "occupancy {} out of range",
+            sh.bus_occupancy
+        );
+    }
+    let mean = report.mean_bus_occupancy();
+    assert!((0.0..=1.0).contains(&mean));
+    // The recommendation follows the hysteresis thresholds exactly.
+    let expected = if mean > 0.75 {
+        4
+    } else if mean < 0.25 {
+        1
+    } else {
+        2
+    };
+    assert_eq!(report.recommended_shards(), expected, "mean occupancy {mean}");
+    let json = report.to_json();
+    assert!(json.get("mean_bus_occupancy").is_some() && json.get("recommended_shards").is_some());
+    assert!(json
+        .get("shards")
+        .and_then(|s| s.at(0))
+        .and_then(|s| s.get("bus_occupancy"))
+        .is_some());
+}
+
+/// Streaming admission is the batch loop behind a dynamic front door:
+/// the same specs submitted through `OpenServe` must retire with results
+/// bit-for-bit equal to batch `serve` (which in turn equals solo runs).
+#[test]
+fn open_serve_matches_batch_serve() {
+    let n = 8;
+    let cfg = ServeConfig {
+        workers: 2,
+        scheduler: Scheduler::WorkStealing,
+        table_capacity: 4,
+        admission_depth: 8,
+        ..Default::default()
+    };
+    let topo = build_topology(&specs(1)[0].task);
+    let batch = serve(topo.clone(), specs(n), cfg.clone());
+    assert_eq!(batch.shed, 0);
+
+    let (open, events) = OpenServe::start(topo, cfg, 64);
+    for spec in specs(n) {
+        open.submit(spec, None).expect("capacity for every submit");
+    }
+    assert_eq!(open.submitted(), n);
+    let report = open.finish();
+    assert_eq!(report.sessions.len(), n);
+    assert_eq!(report.shed, 0);
+    for (i, (a, b)) in batch.sessions.iter().zip(&report.sessions).enumerate() {
+        assert_eq!(a.name, b.name, "session {i}");
+        assert_eq!(a.stop, b.stop, "session {i}");
+        assert_eq!(a.stats, b.stats, "session {i}");
+        assert_eq!(a.chunk_names, b.chunk_names, "session {i}");
+        assert_eq!(a.output, b.output, "session {i}");
+    }
+    // Every session produced exactly one Retired event.
+    let mut retired = 0;
+    while let Ok(ev) = events.try_recv() {
+        if matches!(ev, ServeEvent::Retired { .. }) {
+            retired += 1;
+        }
+    }
+    assert_eq!(retired, n);
+}
+
+#[test]
+fn open_serve_refuses_duplicates_and_submits_after_finish() {
+    let cfg = ServeConfig { workers: 1, table_capacity: 4, ..Default::default() };
+    let topo = build_topology(&specs(1)[0].task);
+    let (open, _events) = OpenServe::start(topo.clone(), cfg.clone(), 4);
+    open.submit(specs(1).remove(0), None).expect("first submit");
+    match open.submit(specs(1).remove(0), None) {
+        Err(SubmitError::DuplicateName(name)) => assert_eq!(name, "s-0"),
+        other => panic!("expected DuplicateName, got {other:?}"),
+    }
+    let report = open.finish();
+    assert_eq!(report.sessions.len(), 1);
+
+    // Exhaustion: the id space is `max_sessions`.
+    let (open, _events) = OpenServe::start(topo, cfg, 1);
+    open.submit(specs(1).remove(0), None).expect("fits");
+    let mut extra = specs(2);
+    match open.submit(extra.remove(1), None) {
+        Err(SubmitError::Exhausted) => {}
+        other => panic!("expected Exhausted, got {other:?}"),
+    }
+    open.finish();
+}

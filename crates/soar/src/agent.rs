@@ -48,6 +48,9 @@ pub enum StopReason {
     DecisionLimit,
     /// An elaboration phase failed to quiesce within the cycle budget.
     ElaborationRunaway,
+    /// The run was ended from outside the agent — a serving client closed
+    /// the session, or the server shut down with the session still open.
+    Closed,
 }
 
 /// A Soar agent over any match engine.

@@ -64,6 +64,15 @@ run_step "serve hibernate" \
 # invocation can't skip it.
 run_step "serve shard differential" \
     cargo test -q -p psme-serve --test serve_shard || fail=1
+# The network front-end's gates: every wire frame round-trips (and every
+# truncation/corruption is a typed error, never a panic), and loopback TCP
+# responses stay bit-for-bit identical to in-process serve() under all
+# three schedulers; run both by name so a filtered invocation can't skip
+# them.
+run_step "wire proptests" \
+    cargo test -q -p psme-net --test proptest_wire || fail=1
+run_step "net loopback differential" \
+    cargo test -q -p psme-net --test net_loopback || fail=1
 
 # The committed alpha-discrimination artifact must exist and parse: it is
 # the evidence for the jump-table index's tests-per-wme reduction.
@@ -184,6 +193,48 @@ print(f"==> shard scaling: {gate['ratio']:.2f}x at 4 shards, "
 PY
     then
         echo "!! ${shard_artifact} invalid or under its scaling gates" >&2
+        fail=1
+    fi
+fi
+# The open-loop artifact must exist, parse, and show the open-loop shape
+# on its deterministic DES sweep: no shedding well below the calibrated
+# knee, a shed-rate curve monotone non-decreasing past it (and strictly
+# positive at the top of the sweep), and a knee p99 sojourn within the
+# calibrated bound.
+open_artifact="crates/bench/BENCH_open_loop.json"
+if [ ! -f "$open_artifact" ]; then
+    echo "!! missing ${open_artifact} (regenerate: PSME_BENCH_DIR=\$PWD/crates/bench cargo bench -p psme-bench --bench open_loop)" >&2
+    fail=1
+elif command -v python3 >/dev/null 2>&1; then
+    if ! python3 - "$open_artifact" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+des = doc["des"]
+sweep = sorted(des["sweep"], key=lambda p: p["offered_multiple"])
+if len(sweep) < 5:
+    sys.exit(f"sweep has only {len(sweep)} points")
+if sweep[0]["shed_rate"] != 0.0:
+    sys.exit(f"shedding at {sweep[0]['offered_multiple']}x capacity "
+             f"({sweep[0]['shed_rate']:.3f}) — below-knee load must all be served")
+knee = des["gate"]["monotone_from_multiple"]
+past = [p for p in sweep if p["offered_multiple"] >= knee]
+rates = [p["shed_rate"] for p in past]
+if rates != sorted(rates):
+    sys.exit(f"shed rate is not monotone past the {knee}x knee: {rates}")
+if rates[-1] <= 0.0:
+    sys.exit("no shedding at the top of the sweep — the open loop never saturated")
+p99, bound = des["gate"]["knee_p99_s"], des["gate"]["knee_p99_bound_s"]
+if p99 > bound:
+    sys.exit(f"knee p99 sojourn {p99:.3f}s exceeds the committed bound {bound:.3f}s")
+for run in doc["host"]["runs"]:
+    if run["completed"] + run["shed"] + run["refused"] != run["offered"]:
+        sys.exit(f"host run at {run['offered_rate']}/s does not account for "
+                 f"every offered session")
+print(f"==> open loop: shed {rates[0]*100:.0f}%->{rates[-1]*100:.0f}% past the knee, "
+      f"knee p99 {p99:.2f}s <= {bound:.2f}s, host runs balanced — ok")
+PY
+    then
+        echo "!! ${open_artifact} invalid or off the open-loop shape" >&2
         fail=1
     fi
 fi
