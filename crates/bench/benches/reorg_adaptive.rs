@@ -1,0 +1,355 @@
+//! Online adaptive reorganization: bounded worst-case match.
+//!
+//! Two experiments, one artifact (`BENCH_reorg_adaptive.json`):
+//!
+//! 1. **Adversarial sweep** — the §7 worst-case cross-product chain
+//!    (`testgen::adversarial_chain`) at increasing load sizes, three arms:
+//!    *static linear* (the paper's default organization, Θ(n^(G+1)) total
+//!    work), *static bilinear* (the oracle that knew the right grouping up
+//!    front, Θ(n)), and *adaptive* (starts linear, the online
+//!    [`ChainDetector`] flags the chain mid-run and the engine rebuilds it
+//!    bilinearly at a quiescent boundary). Work is total beta tasks — the
+//!    adaptive arm's count *includes* the rebuild's §5.2 update tasks, so
+//!    the surgery pays for itself inside the measurement.
+//! 2. **Armed-but-idle overhead** — the paper tasks with the detector armed
+//!    but never recommending (dominance pinned above 1.0) versus off.
+//!    Arming costs one per-task cost-vector add in the hot loop plus one
+//!    window fold per decision; the gate is ≤ 3% wall overhead. A third
+//!    column runs the *default* thresholds, where strips — the task whose
+//!    long chain the offline `adaptive_bilinear` bench diagnoses — really
+//!    does fire mid-run; its reorg count is recorded alongside.
+//!
+//! Gates (enforced by `scripts/check.sh` on the committed artifact):
+//! adaptive log-log growth exponent ≤ 2.3, linear/adaptive work ratio at
+//! the largest size ≥ 5×, armed-idle overhead ≤ 3% (mean over the paper
+//! tasks — single-task estimates carry ±2–3% of heap-layout and host
+//! noise that largely averages out across the three workloads).
+
+use psme_bench::*;
+use psme_obs::Json;
+use psme_rete::testgen::{adversarial_chain, AdversarialConfig};
+use psme_rete::{plan_bilinear, ChainDetector, NetworkOrg, ReorgConfig, ReteNetwork, SerialEngine};
+use psme_soar::SoarTask;
+use psme_tasks::DECISION_BUDGET;
+use std::sync::Arc;
+use std::time::Instant;
+
+const GROUPS: usize = 3;
+const ROUNDS: &[usize] = &[8, 12, 16, 24, 32];
+
+/// Detector tuning for the sweep: default dominance/EWMA/cooldown, but the
+/// window floor scaled to the instance — the 2 000-cost default is sized
+/// for full agent decision cycles, while here one engine cycle *is* the
+/// window and the smallest sweep point must still trip detection before
+/// the cross-product dominates.
+fn sweep_cfg() -> ReorgConfig {
+    ReorgConfig { min_window_cost: 200, ..ReorgConfig::default() }
+}
+
+fn static_run(rounds: usize, org: NetworkOrg) -> u64 {
+    let inst = adversarial_chain(AdversarialConfig { groups: GROUPS, rounds });
+    let mut e = SerialEngine::new(ReteNetwork::new());
+    e.add_production(Arc::new(inst.production), org).unwrap();
+    for batch in inst.rounds {
+        e.apply_changes(batch, vec![]);
+    }
+    e.total_tasks()
+}
+
+struct AdaptiveRun {
+    tasks: u64,
+    reorg_round: Option<usize>,
+    retired: usize,
+    chain_before: usize,
+    chain_after: usize,
+}
+
+/// Linear start; one detector poll per cycle (the quiescent boundary of
+/// this single-production workload); act on the first decision.
+fn adaptive_run(rounds: usize) -> AdaptiveRun {
+    let inst = adversarial_chain(AdversarialConfig { groups: GROUPS, rounds });
+    let mut e = SerialEngine::new(ReteNetwork::new());
+    e.add_production(Arc::new(inst.production), NetworkOrg::Linear).unwrap();
+    e.set_cost_profiling(true);
+    let mut det = ChainDetector::new(sweep_cfg());
+    let mut run = AdaptiveRun {
+        tasks: 0,
+        reorg_round: None,
+        retired: 0,
+        chain_before: 0,
+        chain_after: 0,
+    };
+    for (r, batch) in inst.rounds.into_iter().enumerate() {
+        e.apply_changes(batch, vec![]);
+        if let Some(d) = e.poll_reorg(&mut det) {
+            let out = e.reorganize_production(d.prod_idx, d.org).expect("detector plan builds");
+            run.reorg_round = Some(r);
+            run.retired = out.retired;
+            run.chain_before = d.chain_before;
+            run.chain_after = d.chain_after;
+        }
+    }
+    run.tasks = e.total_tasks();
+    run
+}
+
+/// Least-squares slope of ln(work) against ln(rounds) — the growth
+/// exponent of the arm's total-work curve.
+fn fit_exponent(points: &[(usize, u64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(r, w) in points {
+        let x = (r as f64).ln();
+        let y = (w.max(1) as f64).ln();
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Armed-but-idle configuration: the detector does all its observation
+/// work — per-task cost accumulation in the hot loop, a window fold at
+/// every decision — but the dominance threshold sits above 1.0, so it can
+/// never recommend. Isolates the pure cost of *arming* from the
+/// task-dependent effect of acting (which the default-threshold column
+/// reports separately: strips genuinely fires).
+fn idle_cfg() -> ReorgConfig {
+    ReorgConfig { dominance: 1.01, ..ReorgConfig::default() }
+}
+
+/// One learning run of a paper task on the serial engine. Returns
+/// committed reorganizations.
+fn paper_run(task: &SoarTask, reorg: Option<&ReorgConfig>) -> u64 {
+    let engine = SerialEngine::new(ReteNetwork::new());
+    let mut agent = task.agent(engine);
+    if let Some(cfg) = reorg {
+        agent.enable_adaptive_reorg(cfg.clone());
+    }
+    agent.learning = true;
+    agent.run(DECISION_BUDGET);
+    agent.stats.reorganizations
+}
+
+/// Cumulative on-CPU nanoseconds of this process (Linux scheduler
+/// accounting). Unlike wall clock it excludes run-queue wait, which on a
+/// shared host dwarfs a 3% effect; the bench is single-threaded, so the
+/// process total is the thread total.
+fn cpu_ns() -> Option<u64> {
+    std::fs::read_to_string("/proc/self/schedstat")
+        .ok()?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// Seconds for `BATCH` back-to-back runs — on-CPU time when the host
+/// exposes it, wall otherwise — plus total reorganizations across the
+/// batch. Batched so a single run's sub-10ms cost doesn't drown a 3% gate
+/// in timer granularity.
+const BATCH: usize = 10;
+fn sample(task: &SoarTask, reorg: Option<&ReorgConfig>) -> (f64, u64) {
+    let c0 = cpu_ns();
+    let t0 = Instant::now();
+    let mut reorgs = 0;
+    for _ in 0..BATCH {
+        reorgs += paper_run(task, reorg);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let secs = match (c0, cpu_ns()) {
+        (Some(a), Some(b)) => (b - a) as f64 * 1e-9,
+        _ => wall,
+    };
+    (secs, reorgs)
+}
+
+/// Best-of-samples time: arming adds strictly positive work, so the
+/// minimum over interleaved samples is the noise-robust level estimator.
+fn best(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+/// Overhead ratio from interleaved samples: total armed CPU over total
+/// off CPU. The arms run back-to-back inside each iteration with the
+/// order alternating, so the systematic order effect (whichever arm runs
+/// second inherits a warm cache) cancels across iteration pairs, and
+/// summing all samples averages host-speed drift over the whole run
+/// instead of letting one quantile pick a mode.
+fn ratio_of_sums(num: &[f64], den: &[f64]) -> f64 {
+    num.iter().sum::<f64>() / den.iter().sum::<f64>()
+}
+
+fn main() {
+    println!("Adaptive join reorganization: worst-case growth + armed-idle overhead");
+
+    // ---- Experiment 1: adversarial sweep. ----
+    let oracle_plan = {
+        let inst = adversarial_chain(AdversarialConfig { groups: GROUPS, rounds: 2 });
+        plan_bilinear(&inst.production, 1).expect("adversarial chain has a bilinear plan")
+    };
+    println!("\nadversarial cross-product, {GROUPS} groups (total beta tasks):");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>7} {:>8}",
+        "rounds", "linear", "bilinear", "adaptive", "reorg@", "retired"
+    );
+    let mut lin = Vec::new();
+    let mut bil = Vec::new();
+    let mut ada = Vec::new();
+    let mut sweep_rows = Vec::new();
+    for &rounds in ROUNDS {
+        let l = static_run(rounds, NetworkOrg::Linear);
+        let b = static_run(rounds, NetworkOrg::Bilinear(oracle_plan.clone()));
+        let a = adaptive_run(rounds);
+        println!(
+            "{rounds:>7} {l:>12} {b:>12} {:>12} {:>7} {:>8}",
+            a.tasks,
+            a.reorg_round.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            a.retired
+        );
+        lin.push((rounds, l));
+        bil.push((rounds, b));
+        sweep_rows.push(Json::obj([
+            ("rounds", Json::from(rounds as u64)),
+            ("linear_tasks", Json::from(l)),
+            ("bilinear_tasks", Json::from(b)),
+            ("adaptive_tasks", Json::from(a.tasks)),
+            (
+                "reorg_round",
+                a.reorg_round.map(|r| Json::from(r as u64)).unwrap_or(Json::Null),
+            ),
+            ("retired_nodes", Json::from(a.retired as u64)),
+            ("chain_before", Json::from(a.chain_before as u64)),
+            ("chain_after", Json::from(a.chain_after as u64)),
+        ]));
+        ada.push((rounds, a.tasks));
+    }
+    let exp_lin = fit_exponent(&lin);
+    let exp_bil = fit_exponent(&bil);
+    let exp_ada = fit_exponent(&ada);
+    let ratio = lin.last().unwrap().1 as f64 / ada.last().unwrap().1 as f64;
+    println!("\ngrowth exponents (log-log fit over the sweep):");
+    println!("  linear   {}  (paper: Θ(n^{}) for {GROUPS} groups)", f2(exp_lin), GROUPS + 1);
+    println!("  bilinear {}  (oracle grouping, Θ(n))", f2(exp_bil));
+    println!("  adaptive {}  (gate: ≤ 2.3)", f2(exp_ada));
+    println!("  linear/adaptive work at {} rounds: {}× (gate: ≥ 5×)", ROUNDS.last().unwrap(), f2(ratio));
+
+    // ---- Experiment 2: armed-but-idle overhead on the paper tasks. ----
+    const SAMPLES: usize = 30;
+    let idle = idle_cfg();
+    let default = ReorgConfig::default();
+    println!("\narmed-but-idle ({SAMPLES}×{BATCH}-run samples: columns best-of, overhead Σ-ratio):");
+    println!(
+        "{:>14} {:>10} {:>10} {:>9} {:>12} {:>7}",
+        "task", "off (s)", "idle (s)", "overhead", "default (s)", "reorgs"
+    );
+    let mut idle_rows = Vec::new();
+    let mut max_overhead = f64::MIN;
+    let mut sum_overhead = 0.0;
+    let mut n_tasks = 0usize;
+    for (name, task) in paper_tasks() {
+        // One discarded warmup batch per arm, then interleave the arms so
+        // drift hits all of them equally.
+        let _ = (sample(&task, None), sample(&task, Some(&idle)), sample(&task, Some(&default)));
+        let mut off = Vec::new();
+        let mut armed_idle = Vec::new();
+        let mut armed_def = Vec::new();
+        let mut idle_reorgs = 0;
+        let mut def_reorgs = 0;
+        for i in 0..SAMPLES {
+            // Alternate the off/idle order so neither arm systematically
+            // sits in the warmer slot of the pair.
+            if i % 2 == 0 {
+                off.push(sample(&task, None).0);
+                let (w, r) = sample(&task, Some(&idle));
+                armed_idle.push(w);
+                idle_reorgs += r;
+            } else {
+                let (w, r) = sample(&task, Some(&idle));
+                armed_idle.push(w);
+                idle_reorgs += r;
+                off.push(sample(&task, None).0);
+            }
+            let (w, r) = sample(&task, Some(&default));
+            armed_def.push(w);
+            def_reorgs += r;
+        }
+        assert_eq!(idle_reorgs, 0, "{name}: the idle configuration must never fire");
+        let (o, a, d) = (best(&off), best(&armed_idle), best(&armed_def));
+        let pct = 100.0 * (ratio_of_sums(&armed_idle, &off) - 1.0);
+        max_overhead = max_overhead.max(pct);
+        sum_overhead += pct;
+        n_tasks += 1;
+        println!(
+            "{name:>14} {:>10} {:>10} {:>8}% {:>12} {:>7}",
+            f2(o),
+            f2(a),
+            f2(pct),
+            f2(d),
+            def_reorgs
+        );
+        idle_rows.push(Json::obj([
+            ("task", Json::from(name)),
+            ("off_wall_s", Json::float(o)),
+            ("armed_idle_wall_s", Json::float(a)),
+            ("overhead_pct", Json::float(pct)),
+            ("armed_default_wall_s", Json::float(d)),
+            ("default_reorganizations", Json::from(def_reorgs)),
+        ]));
+    }
+    let mean_overhead = sum_overhead / n_tasks as f64;
+    println!(
+        "  armed-idle overhead: mean {}% (gate: ≤ 3%), max {}%",
+        f2(mean_overhead),
+        f2(max_overhead)
+    );
+
+    let cfg = sweep_cfg();
+    let doc = Json::obj([
+        ("figure", Json::from("reorg-adaptive")),
+        (
+            "title",
+            Json::from(
+                "Online adaptive join reorganization: bounded worst-case match via mid-run bilinear rebuilds",
+            ),
+        ),
+        (
+            "config",
+            Json::obj([
+                ("groups", Json::from(GROUPS as u64)),
+                ("rounds", Json::arr(ROUNDS.iter().map(|&r| Json::from(r as u64)))),
+                ("detector_min_window_cost", Json::from(cfg.min_window_cost)),
+                ("detector_dominance", Json::float(cfg.dominance)),
+                ("detector_cooldown", Json::from(cfg.cooldown)),
+                ("idle_dominance", Json::float(idle.dominance)),
+                ("idle_batch", Json::from(BATCH as u64)),
+                ("idle_samples", Json::from(SAMPLES as u64)),
+            ]),
+        ),
+        (
+            "adversarial",
+            Json::obj([
+                ("sweep", Json::arr(sweep_rows)),
+                (
+                    "growth_exponent",
+                    Json::obj([
+                        ("linear", Json::float(exp_lin)),
+                        ("bilinear", Json::float(exp_bil)),
+                        ("adaptive", Json::float(exp_ada)),
+                    ]),
+                ),
+                ("linear_over_adaptive_at_largest", Json::float(ratio)),
+            ]),
+        ),
+        (
+            "armed_idle",
+            Json::obj([
+                ("tasks", Json::arr(idle_rows)),
+                ("mean_overhead_pct", Json::float(mean_overhead)),
+                ("max_overhead_pct", Json::float(max_overhead)),
+            ]),
+        ),
+    ]);
+    emit_artifact("reorg_adaptive", &doc);
+}

@@ -82,6 +82,12 @@ struct Shared {
     cs_fold: Mutex<CsFold>,
     worker_stats: Vec<Mutex<WorkerStats>>,
     line_batch: usize,
+    /// Adaptive-reorg cost profiling: when armed, workers accumulate
+    /// per-node activation costs locally and merge them here at the cycle
+    /// barrier (one lock acquisition per worker per cycle, zero hot-loop
+    /// sharing).
+    profile_costs: AtomicBool,
+    node_costs: Mutex<Vec<u64>>,
 }
 
 fn worker_loop(shared: Arc<Shared>, wid: usize) {
@@ -89,6 +95,9 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
     // Per-worker reusable beta-scan scratch: survives across tasks and
     // cycles, so the steady state allocates nothing per activation.
     let mut scratch = BetaScratch::default();
+    // Per-worker cost vector for the adaptive-reorg detector; merged at the
+    // cycle barrier when profiling is armed.
+    let mut costs: Vec<u64> = Vec::new();
     loop {
         {
             let mut e = shared.epoch.lock();
@@ -101,6 +110,7 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
             seen_epoch = *e;
         }
         shared.workers_active.fetch_add(1, Ordering::AcqRel);
+        let profiling = shared.profile_costs.load(Ordering::Relaxed);
         let net = shared.net.read();
         let store = shared.store.read();
         let mut ws = WorkerStats::default();
@@ -182,6 +192,13 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
                                 local_cs.add(c);
                             },
                             &mut |a, stats| {
+                                if profiling {
+                                    let node = a.node as usize;
+                                    if costs.len() <= node {
+                                        costs.resize(node + 1, 0);
+                                    }
+                                    costs[node] += 1 + stats.scanned as u64 + stats.emitted as u64;
+                                }
                                 ws.mem_spins += stats.spins;
                                 ws.scanned += stats.scanned as u64;
                                 ws.counters.add(Counter::BetaTasks, 1);
@@ -234,6 +251,16 @@ fn worker_loop(shared: Arc<Shared>, wid: usize) {
         drop(net);
         if !local_cs.is_empty() {
             shared.cs_fold.lock().merge(local_cs);
+        }
+        if profiling && !costs.is_empty() {
+            let mut merged = shared.node_costs.lock();
+            if merged.len() < costs.len() {
+                merged.resize(costs.len(), 0);
+            }
+            for (m, c) in merged.iter_mut().zip(&costs) {
+                *m += c;
+            }
+            costs.clear();
         }
         // Mirror the scheduler counters into the observability set so the
         // psme-obs JSON export carries them (zero under the paper
@@ -299,6 +326,8 @@ impl ParallelEngine {
             cs_fold: Mutex::new(CsFold::default()),
             worker_stats: (0..workers).map(|_| Mutex::new(WorkerStats::default())).collect(),
             line_batch: config.line_batch.max(1),
+            profile_costs: AtomicBool::new(false),
+            node_costs: Mutex::new(Vec::new()),
         });
         let handles = (0..workers)
             .map(|wid| {
@@ -491,6 +520,130 @@ impl ParallelEngine {
         }
         let out = self.run_tasks(seeds, add.first_new, Phase::Update);
         Ok(AddOutcome { add, update_tasks: out.tasks, cs: out.cs })
+    }
+
+    /// Arm or disarm per-node cost profiling for the adaptive-reorg
+    /// detector. Disarming clears the accumulated window.
+    pub fn set_cost_profiling(&mut self, on: bool) {
+        self.shared.profile_costs.store(on, Ordering::Relaxed);
+        if !on {
+            self.shared.node_costs.lock().clear();
+        }
+    }
+
+    /// Feed the merged per-node cost window to the chain detector and reset
+    /// it. Call between cycles (the merge happens at cycle barriers, so the
+    /// window is complete and stable here).
+    pub fn poll_reorg(
+        &mut self,
+        det: &mut psme_rete::ChainDetector,
+    ) -> Option<psme_rete::ReorgDecision> {
+        let mut costs = self.shared.node_costs.lock();
+        let net = self.shared.net.read();
+        let d = det.observe(&costs, &*net);
+        costs.iter_mut().for_each(|c| *c = 0);
+        d
+    }
+
+    /// Rebuild an existing production under a new organization: §5.1
+    /// surgery beside the live chain, a parallel §5.2 state update of the
+    /// new subnetwork (same machinery Figure 6-9 measures), then an atomic
+    /// swap that retires the old chain. The update's conflict-set delta is
+    /// discarded — a reorganization is observationally invisible.
+    pub fn reorganize_production(
+        &mut self,
+        prod_idx: u32,
+        org: NetworkOrg,
+    ) -> Result<psme_rete::ReorgOutcome, BuildError> {
+        let surgery = self.recorder.start(ControlPhase::NetworkSurgery);
+        self.trace.emit(
+            TraceKind::PhaseBegin(ControlPhase::NetworkSurgery),
+            SESSION_NONE,
+            self.cycle_count,
+            self.cycle_count,
+            0,
+        );
+        self.trace.emit(
+            TraceKind::ReorgPlanned,
+            SESSION_NONE,
+            self.cycle_count,
+            self.cycle_count,
+            u64::from(prod_idx),
+        );
+        let built = {
+            let mut net = self.shared.net.write();
+            match net.reorg_build(prod_idx, org) {
+                Ok(rb) => {
+                    let seeds: Vec<Task> = seed_update(&*net, &self.shared.mem, rb.first_new)
+                        .into_iter()
+                        .map(Task::Beta)
+                        .collect();
+                    Ok((rb, seeds))
+                }
+                Err(e) => Err(e),
+            }
+        };
+        let (rb, mut seeds) = match built {
+            Ok(v) => v,
+            Err(e) => {
+                // Rolled back inside reorg_build: the live chain is intact.
+                let ns = self.recorder.finish_seq(surgery, self.cycle_count);
+                self.trace.emit(
+                    TraceKind::ReorgRolledBack,
+                    SESSION_NONE,
+                    self.cycle_count,
+                    self.cycle_count,
+                    u64::from(prod_idx),
+                );
+                self.trace.emit(
+                    TraceKind::PhaseEnd(ControlPhase::NetworkSurgery),
+                    SESSION_NONE,
+                    self.cycle_count,
+                    self.cycle_count,
+                    ns,
+                );
+                return Err(e);
+            }
+        };
+        let surgery_ns = self.recorder.finish_seq(surgery, self.cycle_count);
+        self.trace.emit(
+            TraceKind::PhaseEnd(ControlPhase::NetworkSurgery),
+            SESSION_NONE,
+            self.cycle_count,
+            self.cycle_count,
+            surgery_ns,
+        );
+        {
+            let store = self.shared.store.read();
+            for (id, _) in store.iter_alive() {
+                seeds.push(Task::Alpha(id, 1));
+            }
+        }
+        let first_new = rb.first_new;
+        let p_node = rb.p_node;
+        let out = self.run_tasks(seeds, first_new, Phase::Update);
+        let retired = {
+            let mut net = self.shared.net.write();
+            net.reorg_commit(rb)
+        };
+        self.shared.mem.purge_nodes(&retired);
+        self.trace.emit(
+            TraceKind::ReorgCommitted,
+            SESSION_NONE,
+            self.cycle_count,
+            self.cycle_count,
+            u64::from(prod_idx),
+        );
+        if let Some(cm) = self.metrics.cycles.last_mut() {
+            cm.counters.add(Counter::Reorganizations, 1);
+        }
+        Ok(psme_rete::ReorgOutcome {
+            prod_idx,
+            first_new,
+            p_node,
+            update_tasks: out.tasks,
+            retired: retired.len(),
+        })
     }
 
     /// Run a closure against the working-memory store.

@@ -4,8 +4,8 @@
 use crate::engine::ParallelEngine;
 use psme_ops::{Instantiation, Production, TimeTag, Wme, WmeId};
 use psme_rete::{
-    AddOutcome, BuildError, CycleOutcome, JournaledSession, NetworkOrg, Phase, ReteBuild,
-    SerialEngine, WmeStore,
+    AddOutcome, BuildError, ChainDetector, CycleOutcome, JournaledSession, NetworkOrg, Phase,
+    ReorgDecision, ReorgOutcome, ReteBuild, SerialEngine, WmeStore,
 };
 use std::sync::Arc;
 
@@ -52,6 +52,26 @@ pub trait MatchEngine {
     fn metrics(&self) -> Option<&crate::metrics::MetricsLog> {
         None
     }
+
+    /// Arm or disarm per-node cost profiling for the adaptive-reorg
+    /// detector. Default: unsupported, silently off.
+    fn set_cost_profiling(&mut self, _on: bool) {}
+
+    /// Feed the accumulated cost window to the chain detector at a
+    /// quiescent boundary. Default: no window kept, never a decision.
+    fn poll_reorg(&mut self, _det: &mut ChainDetector) -> Option<ReorgDecision> {
+        None
+    }
+
+    /// Rebuild an existing production under a new organization mid-run
+    /// (§5.1 surgery + §5.2 update + atomic swap). Default: unsupported.
+    fn reorganize_production(
+        &mut self,
+        _prod_idx: u32,
+        _org: NetworkOrg,
+    ) -> Result<ReorgOutcome, BuildError> {
+        Err(BuildError("this engine does not support reorganization".into()))
+    }
 }
 
 impl<N: ReteBuild> MatchEngine for SerialEngine<N> {
@@ -89,6 +109,22 @@ impl<N: ReteBuild> MatchEngine for SerialEngine<N> {
 
     fn current_instantiations(&self) -> Vec<Instantiation> {
         SerialEngine::current_instantiations(self)
+    }
+
+    fn set_cost_profiling(&mut self, on: bool) {
+        SerialEngine::set_cost_profiling(self, on)
+    }
+
+    fn poll_reorg(&mut self, det: &mut ChainDetector) -> Option<ReorgDecision> {
+        SerialEngine::poll_reorg(self, det)
+    }
+
+    fn reorganize_production(
+        &mut self,
+        prod_idx: u32,
+        org: NetworkOrg,
+    ) -> Result<ReorgOutcome, BuildError> {
+        SerialEngine::reorganize_production(self, prod_idx, org)
     }
 }
 
@@ -128,6 +164,22 @@ impl MatchEngine for JournaledSession {
 
     fn current_instantiations(&self) -> Vec<Instantiation> {
         self.eng.current_instantiations()
+    }
+
+    fn set_cost_profiling(&mut self, on: bool) {
+        self.eng.set_cost_profiling(on)
+    }
+
+    fn poll_reorg(&mut self, det: &mut ChainDetector) -> Option<ReorgDecision> {
+        self.eng.poll_reorg(det)
+    }
+
+    fn reorganize_production(
+        &mut self,
+        prod_idx: u32,
+        org: NetworkOrg,
+    ) -> Result<ReorgOutcome, BuildError> {
+        JournaledSession::reorganize_production(self, prod_idx, org)
     }
 }
 
@@ -174,5 +226,21 @@ impl MatchEngine for ParallelEngine {
 
     fn metrics(&self) -> Option<&crate::metrics::MetricsLog> {
         Some(&self.metrics)
+    }
+
+    fn set_cost_profiling(&mut self, on: bool) {
+        ParallelEngine::set_cost_profiling(self, on)
+    }
+
+    fn poll_reorg(&mut self, det: &mut ChainDetector) -> Option<ReorgDecision> {
+        ParallelEngine::poll_reorg(self, det)
+    }
+
+    fn reorganize_production(
+        &mut self,
+        prod_idx: u32,
+        org: NetworkOrg,
+    ) -> Result<ReorgOutcome, BuildError> {
+        ParallelEngine::reorganize_production(self, prod_idx, org)
     }
 }

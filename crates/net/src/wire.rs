@@ -35,7 +35,7 @@ use psme_soar::{AgentStats, StopReason};
 pub const WIRE_MAGIC: [u8; 4] = *b"PSMN";
 /// Wire-format version; `Hello`/`HelloOk` carry it so both ends can
 /// refuse a mismatch before any session state exists.
-pub const WIRE_VERSION: u32 = 1;
+pub const WIRE_VERSION: u32 = 2;
 /// Upper bound on a frame's sealed payload — a length prefix past this is
 /// a protocol violation (or garbage), not a buffer to allocate.
 pub const MAX_FRAME: usize = 1 << 20;
@@ -95,6 +95,7 @@ impl SessionSummary {
         w.u64(self.stats.wme_adds);
         w.u64(self.stats.wme_removes);
         w.u64(self.stats.update_tasks);
+        w.u64(self.stats.reorganizations);
         w.u64(self.chunk_names.len() as u64);
         for c in &self.chunk_names {
             w.str(c);
@@ -117,6 +118,7 @@ impl SessionSummary {
             wme_adds: r.u64()?,
             wme_removes: r.u64()?,
             update_tasks: r.u64()?,
+            reorganizations: r.u64()?,
         };
         let mut chunk_names = Vec::new();
         for _ in 0..r.count()? {

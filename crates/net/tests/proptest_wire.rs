@@ -19,7 +19,7 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
         any::<u32>(),
         any::<bool>(),
         prop::collection::vec("[a-z0-9*=-]{0,16}", 0..4),
-        prop::collection::vec(any::<u64>(), 8..9),
+        prop::collection::vec(any::<u64>(), 9..10),
     )
         .prop_map(|(tag, name, text, n, id, flag, strs, nums)| match tag {
             0 => Frame::Hello { proto: n as u32, client: text },
@@ -53,6 +53,7 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
                         wme_adds: nums[5],
                         wme_removes: nums[6],
                         update_tasks: nums[7],
+                        reorganizations: nums[8],
                     },
                     chunk_names: strs,
                     output: vec![text],

@@ -332,11 +332,13 @@ pub enum Counter {
     /// Constant/intra tests the linear alpha scan would have evaluated but
     /// the discrimination index skipped.
     AlphaTestsSaved,
+    /// Adaptive mid-run join reorganizations committed.
+    Reorganizations,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 19] = [
         Counter::Tasks,
         Counter::AlphaTasks,
         Counter::BetaTasks,
@@ -355,6 +357,7 @@ impl Counter {
         Counter::AlphaProbes,
         Counter::AlphaCandidates,
         Counter::AlphaTestsSaved,
+        Counter::Reorganizations,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -378,6 +381,7 @@ impl Counter {
             Counter::AlphaProbes => "alpha_probes",
             Counter::AlphaCandidates => "alpha_candidates",
             Counter::AlphaTestsSaved => "alpha_tests_saved",
+            Counter::Reorganizations => "reorganizations",
         }
     }
 }

@@ -87,6 +87,14 @@ pub enum TraceKind {
     PhaseBegin(ControlPhase),
     /// A control phase closed (`arg_ns` = phase duration).
     PhaseEnd(ControlPhase),
+    /// The adaptive detector flagged a chain-dominant production;
+    /// `arg_ns` = the production index.
+    ReorgPlanned,
+    /// A mid-run reorganization committed; `arg_ns` = the production index.
+    ReorgCommitted,
+    /// A mid-run rebuild failed and rolled back (the old chain kept
+    /// matching); `arg_ns` = the production index.
+    ReorgRolledBack,
 }
 
 impl TraceKind {
@@ -109,6 +117,9 @@ impl TraceKind {
             TraceKind::NetShed => "net_shed",
             TraceKind::PhaseBegin(_) => "phase_begin",
             TraceKind::PhaseEnd(_) => "phase_end",
+            TraceKind::ReorgPlanned => "reorg_planned",
+            TraceKind::ReorgCommitted => "reorg_committed",
+            TraceKind::ReorgRolledBack => "reorg_rolled_back",
         }
     }
 
@@ -597,7 +608,10 @@ impl TraceLog {
                 | TraceKind::CrossShardSteal
                 | TraceKind::NetAccepted
                 | TraceKind::NetRequest
-                | TraceKind::NetShed => {
+                | TraceKind::NetShed
+                | TraceKind::ReorgPlanned
+                | TraceKind::ReorgCommitted
+                | TraceKind::ReorgRolledBack => {
                     out.push(instant(e, us(e.t_ns), self.pid_of(e.worker)));
                 }
                 TraceKind::PhaseBegin(p) => {

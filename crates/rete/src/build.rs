@@ -403,10 +403,15 @@ impl<'a, T: BuildTarget> Builder<'a, T> {
 /// overlay), appending nodes and returning
 /// `(p_node, pos_slots, new_two_input, shared_two_input)`. On error the
 /// target is left with partially appended nodes — the caller rolls back.
+///
+/// `reuse_idx` lets a reorganization recompile an existing production
+/// under its current index (the new P node fires into the same conflict-set
+/// slot); `None` allocates the next free index as usual.
 pub(crate) fn build_production<T: BuildTarget>(
     net: &mut T,
     prod: &Arc<Production>,
     org: &NetworkOrg,
+    reuse_idx: Option<u32>,
 ) -> Result<(NodeId, Vec<u16>, u32, u32), BuildError> {
     // Flat condition indexing.
     let mut flat_base = Vec::with_capacity(prod.ces.len());
@@ -419,7 +424,7 @@ pub(crate) fn build_production<T: BuildTarget>(
         }
         f += ce.conds().len() as u16;
     }
-    let prod_idx = net.next_prod_index();
+    let prod_idx = reuse_idx.unwrap_or_else(|| net.next_prod_index());
     let mut b = Builder {
         prod_name: prod.name,
         prod: prod.as_ref(),
@@ -537,7 +542,7 @@ impl ReteNetwork {
         org: NetworkOrg,
     ) -> Result<AddResult, BuildError> {
         let first_new = self.betas.len() as NodeId;
-        match build_production(self, &prod, &org) {
+        match build_production(self, &prod, &org, None) {
             Ok((p_node, pos_slots, new_two, shared_two)) => {
                 let prod_idx = self.prods.len() as u32;
                 self.prods.push(ProdInfo {
@@ -562,6 +567,112 @@ impl ReteNetwork {
                 Err(e)
             }
         }
+    }
+
+    /// Recompile production `prod_idx` with a new organization, reusing its
+    /// production index. The old chain is untouched (the §5.2 state update
+    /// reads its boundary memories); commit with
+    /// [`ReteNetwork::reorg_commit`] once the update has run. On error the
+    /// network is rolled back unchanged.
+    pub fn reorg_build(
+        &mut self,
+        prod_idx: u32,
+        org: NetworkOrg,
+    ) -> Result<crate::view::ReorgBuild, BuildError> {
+        let Some(info) = self.prods.get(prod_idx as usize) else {
+            return Err(BuildError(format!("no production {prod_idx} to reorganize")));
+        };
+        let prod = info.production.clone();
+        let first_new = self.betas.len() as NodeId;
+        match build_production(self, &prod, &org, Some(prod_idx)) {
+            Ok((p_node, pos_slots, new_two, shared_two)) => Ok(crate::view::ReorgBuild {
+                prod_idx,
+                org,
+                first_new,
+                p_node,
+                pos_slots,
+                new_two_input: new_two,
+                shared_two_input: shared_two,
+            }),
+            Err(e) => {
+                self.rollback(first_new);
+                Err(e)
+            }
+        }
+    }
+
+    /// Commit a reorganization: swap the production's bookkeeping to the
+    /// replacement subnetwork, strip its name from the old chain, and
+    /// physically unplug every old-chain node no production references
+    /// anymore (retired to the inert pool; ids stay allocated so the
+    /// monotone-id invariant of §5.2 holds). Returns the retired ids,
+    /// sorted — the caller purges their token memories.
+    pub fn reorg_commit(&mut self, rb: crate::view::ReorgBuild) -> Vec<NodeId> {
+        use crate::view::chain_ancestors;
+        let name = self.prods[rb.prod_idx as usize].production.name;
+        let old_p = self.prods[rb.prod_idx as usize].p_node;
+        let old_chain = chain_ancestors(self, old_p);
+        let new_chain = chain_ancestors(self, rb.p_node);
+        let info = &mut self.prods[rb.prod_idx as usize];
+        info.p_node = rb.p_node;
+        info.pos_slots = rb.pos_slots;
+        info.first_new = rb.first_new;
+        info.new_two_input = rb.new_two_input;
+        info.shared_two_input = rb.shared_two_input;
+        info.org = rb.org;
+        // Old-chain nodes also on the new chain (the shared prefix) keep the
+        // name; elsewhere the name comes off, and a node nobody references
+        // anymore retires. `old_chain` is sorted, so `retired` is too.
+        let mut retired: Vec<NodeId> = Vec::new();
+        for &id in &old_chain {
+            if new_chain.binary_search(&id).is_ok() {
+                continue;
+            }
+            let n = &mut self.betas[id as usize];
+            n.prod_names.retain(|&s| s != name);
+            if n.prod_names.is_empty() {
+                retired.push(id);
+            }
+        }
+        if retired.is_empty() {
+            return retired;
+        }
+        // Physically unplug the pool: no surviving successor list, alpha
+        // successor, or sharing signature points at a retired node. (A
+        // retired node's own children are always retired too — a live child
+        // would put the node on a live production's chain — so their edge
+        // lists empty out here as well.)
+        for n in &mut self.betas {
+            if !n.out_edges.is_empty() {
+                n.out_edges.retain(|&(c, _)| retired.binary_search(&c).is_err());
+            }
+        }
+        for m in 0..self.alpha.len() {
+            let mem = crate::alpha::AlphaMemId(m as u32);
+            if self
+                .alpha
+                .get(mem)
+                .successors
+                .iter()
+                .any(|&(c, _)| retired.binary_search(&c).is_ok())
+            {
+                let keep: Vec<_> = self
+                    .alpha
+                    .get(mem)
+                    .successors
+                    .iter()
+                    .copied()
+                    .filter(|&(c, _)| retired.binary_search(&c).is_err())
+                    .collect();
+                self.alpha_set_successors(mem, keep);
+            }
+        }
+        self.sig_index.retain(|_, &mut id| retired.binary_search(&id).is_err());
+        self.retired_pool.extend_from_slice(&retired);
+        self.retired_pool.sort_unstable();
+        #[cfg(debug_assertions)]
+        self.alpha.validate_index().expect("alpha index consistent after reorg commit");
+        retired
     }
 
     /// Undo a failed addition: drop nodes `>= first_new` and all edges,

@@ -59,6 +59,7 @@ pub mod network;
 pub mod node;
 pub mod ops5;
 pub mod process;
+pub mod reorg;
 pub mod serial;
 pub mod session;
 pub mod snapshot;
@@ -83,9 +84,10 @@ pub use process::{
     make_key, plan_beta, process_beta, process_beta_batch, process_beta_scratch,
     process_wme_change, ActStats, Activation, BetaScratch, CsChange, PlannedBeta,
 };
+pub use reorg::{ChainDetector, ReorgConfig, ReorgDecision};
 pub use serial::{
     fold_cs, instantiation_of, instantiations_from_memories, AddOutcome, CsDelta, CsFold,
-    CycleOutcome, SerialEngine,
+    CycleOutcome, ReorgOutcome, SerialEngine,
 };
 pub use session::{SessionNet, Topology};
 pub use snapshot::{
@@ -97,4 +99,4 @@ pub use sync::{SpinGuard, SpinLock};
 pub use token::{Token, WmeStore};
 pub use trace::{CycleTrace, Phase, RunTrace, TaskKind, TaskRecord};
 pub use update::{seed_update, update_seeds};
-pub use view::{ReteBuild, ReteView};
+pub use view::{ReorgBuild, ReteBuild, ReteView};

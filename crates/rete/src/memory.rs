@@ -495,6 +495,22 @@ impl MemoryTable {
         }
     }
 
+    /// Drop every entry destined for one of `nodes` (**sorted** node ids) —
+    /// the memory half of retiring a reorganized production's old chain.
+    /// Order-preserving removal keeps the grouping invariant; callers run at
+    /// a quiescent point, so no activation can race the purge.
+    pub fn purge_nodes(&self, nodes: &[NodeId]) {
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "purge list must be sorted");
+        if nodes.is_empty() {
+            return;
+        }
+        for l in self.lines.iter() {
+            let (mut g, _) = l.lock.lock();
+            g.left.retain(|e| nodes.binary_search(&e.node).is_err());
+            g.right.retain(|e| nodes.binary_search(&e.node).is_err());
+        }
+    }
+
     /// Drop zero-weight entries on every line (full-sweep housekeeping;
     /// tests use it, engines use the incremental [`Self::end_cycle`]).
     pub fn compact(&self) {

@@ -54,6 +54,12 @@ pub struct ReteNetwork {
     /// shared and unshared compile paths).
     pub sharing: bool,
     pub(crate) sig_index: FxHashMap<NodeSignature, NodeId>,
+    /// Inert pool: node ids retired by adaptive reorganizations, sorted.
+    /// Retired nodes stay allocated (ids are stable, §5.2 depends on the
+    /// monotone-id invariant) but are physically unplugged — no surviving
+    /// node or alpha memory points at them, their signatures are out of the
+    /// sharing index, and their token memories are purged.
+    pub(crate) retired_pool: Vec<NodeId>,
 }
 
 impl ReteNetwork {
@@ -84,7 +90,19 @@ impl ReteNetwork {
             prods: Vec::new(),
             sharing,
             sig_index: FxHashMap::default(),
+            retired_pool: Vec::new(),
         }
+    }
+
+    /// Was `id` retired to the inert pool by a reorganization?
+    #[inline]
+    pub fn is_retired(&self, id: NodeId) -> bool {
+        self.retired_pool.binary_search(&id).is_ok()
+    }
+
+    /// Nodes currently in the inert retired pool.
+    pub fn retired_nodes(&self) -> usize {
+        self.retired_pool.len()
     }
 
     /// Borrow a node.
@@ -120,10 +138,12 @@ impl ReteNetwork {
         id
     }
 
-    /// Look up a shareable node with this signature.
+    /// Look up a shareable node with this signature. Retired nodes are
+    /// removed from the index at reorg commit; the filter here is
+    /// belt-and-braces against ever sharing into the inert pool.
     pub(crate) fn find_shared(&self, sig: &NodeSignature) -> Option<NodeId> {
         if self.sharing {
-            self.sig_index.get(sig).copied()
+            self.sig_index.get(sig).copied().filter(|&id| !self.is_retired(id))
         } else {
             None
         }
@@ -150,6 +170,9 @@ impl ReteNetwork {
         // Nodes are topologically ordered by construction (parents and right
         // sources precede children).
         for i in 1..self.betas.len() {
+            if self.is_retired(i as NodeId) {
+                continue;
+            }
             let n = &self.betas[i];
             let mut d = depth[n.parent as usize];
             if let Some(RightSrc::Beta(b)) = n.right {
@@ -172,6 +195,9 @@ impl ReteNetwork {
             ..NetStats::default()
         };
         for n in &self.betas {
+            if self.is_retired(n.id) {
+                continue;
+            }
             match n.kind {
                 NodeKind::Root => {}
                 NodeKind::Join => {

@@ -549,8 +549,10 @@ fn emit_children<N: ReteView + ?Sized>(
     let mut n = 0;
     // A node's own edges first, then any overlay splices: together these
     // reproduce the monolithic successor append order (see `session.rs`).
+    // `edge_live` masks edges into a session's retired pool (constant true
+    // on a monolithic network, which unplugs retired nodes physically).
     for &(child, side) in node.out_edges.iter().chain(net.extra_out_edges(node.id)) {
-        if child >= min_node {
+        if child >= min_node && net.edge_live(child) {
             emit(Activation { node: child, side, token: token.clone(), delta });
             n += 1;
         }
@@ -578,7 +580,7 @@ pub fn process_wme_change<N: ReteView + ?Sized>(
     let w = store.get(wme).clone();
     let mut emitted = 0u32;
     let stats = net.classify_wme(&w, &mut |child, side| {
-        if child >= min_node {
+        if child >= min_node && net.edge_live(child) {
             emit(Activation { node: child, side, token: token.clone(), delta });
             emitted += 1;
         }

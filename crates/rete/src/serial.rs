@@ -16,6 +16,7 @@ use crate::build::{AddResult, BuildError};
 use crate::memory::MemoryTable;
 use crate::network::{NetworkOrg, ReteNetwork};
 use crate::node::{NodeId, NodeKind};
+use crate::reorg::{ChainDetector, ReorgDecision};
 use crate::process::{process_beta_scratch, process_wme_change, Activation, BetaScratch, CsChange};
 use crate::state::MatchState;
 use crate::token::{Token, WmeStore};
@@ -54,6 +55,25 @@ pub struct AddOutcome {
     pub update_tasks: u64,
     /// Instantiations of the new production found in current WM.
     pub cs: CsDelta,
+}
+
+/// Outcome of a mid-run reorganization (rebuild + state update + commit).
+///
+/// No conflict-set delta: the update run re-derives exactly the
+/// production's existing instantiations at the replacement P node, so the
+/// conflict set is unchanged by construction (debug builds assert it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReorgOutcome {
+    /// The reorganized production.
+    pub prod_idx: u32,
+    /// First node of the replacement subnetwork.
+    pub first_new: NodeId,
+    /// Replacement terminal node.
+    pub p_node: NodeId,
+    /// Tasks executed during the state-update phase.
+    pub update_tasks: u64,
+    /// Old-chain nodes retired to the inert pool.
+    pub retired: usize,
 }
 
 /// Incrementally folded conflict-set delta: a keyed map updated per
@@ -109,14 +129,26 @@ impl CsFold {
     }
 
     /// Resolve into a sorted [`CsDelta`] at quiescence.
+    ///
+    /// Ordering is by `(prod, instantiation wme list)` — i.e. wmes in CE
+    /// order via `pos_slots`, not in token slot order. A token's slot
+    /// layout is an artifact of the production's network organization
+    /// (bilinear chains permute CE coverage), so sorting on the
+    /// instantiation keeps the delta identical across organizations — the
+    /// invariant mid-run reorganization depends on. For linear chains the
+    /// two orders coincide.
     pub fn into_delta<N: ReteView + ?Sized>(self, net: &N, store: &WmeStore) -> CsDelta {
         let mut delta = CsDelta::default();
-        let mut items: Vec<((u32, Token), i32)> = self.net.into_iter().collect();
-        items.sort_by(|a, b| (a.0 .0, a.0 .1.wmes()).cmp(&(b.0 .0, b.0 .1.wmes())));
-        for ((prod, token), d) in items {
+        let mut items: Vec<(u32, Instantiation, i32)> = self
+            .net
+            .into_iter()
+            .map(|((prod, token), d)| (prod, instantiation_of(net, store, prod, &token), d))
+            .collect();
+        items.sort_by(|a, b| (a.0, &a.1.wmes).cmp(&(b.0, &b.1.wmes)));
+        for (prod, inst, d) in items {
             match d {
-                1 => delta.added.push(instantiation_of(net, store, prod, &token)),
-                -1 => delta.removed.push(instantiation_of(net, store, prod, &token)),
+                1 => delta.added.push(inst),
+                -1 => delta.removed.push(inst),
                 other => {
                     panic!("conflict-set weight {other} for production {prod} — engine bug")
                 }
@@ -189,6 +221,16 @@ pub struct SerialEngine<N = ReteNetwork> {
     total_tasks: u64,
     /// Reusable beta-scan scratch (the serial engine is its own "worker").
     scratch: BetaScratch,
+    /// When `true`, [`Self::drain`] accumulates per-node activation costs
+    /// into `node_costs` (one add per beta task) for the online chain
+    /// detector. Off by default — armed sessions pay one branch per task.
+    profile_costs: bool,
+    /// Accumulated per-node costs since the last [`Self::poll_reorg`].
+    node_costs: Vec<u64>,
+    /// Nodes with a nonzero cost in the current window (pushed on the
+    /// 0 → nonzero transition), so a poll touches only the active nodes
+    /// instead of walking the whole network's cost vector.
+    touched_nodes: Vec<u32>,
 }
 
 impl<N> SerialEngine<N> {
@@ -214,7 +256,29 @@ impl<N> SerialEngine<N> {
             cycle_count: 0,
             total_tasks: 0,
             scratch: BetaScratch::default(),
+            profile_costs: false,
+            node_costs: Vec::new(),
+            touched_nodes: Vec::new(),
         }
+    }
+
+    /// Arm or disarm per-node cost accumulation for the chain detector.
+    pub fn set_cost_profiling(&mut self, on: bool) {
+        self.profile_costs = on;
+        if !on {
+            self.node_costs.clear();
+            self.touched_nodes.clear();
+        }
+    }
+
+    /// Is cost profiling armed?
+    pub fn cost_profiling(&self) -> bool {
+        self.profile_costs
+    }
+
+    /// The per-node costs accumulated since the last reset (detector food).
+    pub fn node_costs(&self) -> &[u64] {
+        &self.node_costs
     }
 
     /// Decompose into network + state (e.g. to freeze the network into a
@@ -338,6 +402,16 @@ impl<N: ReteView> SerialEngine<N> {
             for a in pending {
                 queue.push_back((a, Some(tid)));
             }
+            if self.profile_costs {
+                let node = act.node as usize;
+                if self.node_costs.len() <= node {
+                    self.node_costs.resize(node + 1, 0);
+                }
+                if self.node_costs[node] == 0 {
+                    self.touched_nodes.push(act.node);
+                }
+                self.node_costs[node] += 1 + stats.scanned as u64 + stats.emitted as u64;
+            }
             if self.capture {
                 let kind = match self.net.node(act.node).kind {
                     NodeKind::Join => TaskKind::Join,
@@ -376,6 +450,22 @@ impl<N: ReteView> SerialEngine<N> {
     /// incrementally by callers from cycle deltas).
     pub fn current_instantiations(&self) -> Vec<Instantiation> {
         instantiations_from_memories(&self.net, &self.state.store, &self.state.mem)
+    }
+
+    /// Feed the accumulated per-node costs to the chain detector and reset
+    /// the window. Call at a quiescent boundary.
+    pub fn poll_reorg(&mut self, det: &mut ChainDetector) -> Option<ReorgDecision> {
+        let window: Vec<(u32, u64)> = self
+            .touched_nodes
+            .iter()
+            .map(|&n| (n, self.node_costs[n as usize]))
+            .collect();
+        let d = det.observe_sparse(&window, &self.net);
+        for &n in &self.touched_nodes {
+            self.node_costs[n as usize] = 0;
+        }
+        self.touched_nodes.clear();
+        d
     }
 }
 
@@ -440,6 +530,112 @@ impl<N: ReteBuild> SerialEngine<N> {
         self.state.mem.assert_quiescent();
         self.state.mem.end_cycle();
         Ok(AddOutcome { add, update_tasks, cs: cs_fold.into_delta(&self.net, &self.state.store) })
+    }
+
+    /// Rebuild an existing production under a new organization at a
+    /// quiescent boundary, §5.1-style: compile the new subnetwork beside the
+    /// old chain, §5.2-update its memories exactly like a chunk add, then
+    /// atomically swap the production over and retire the old chain's
+    /// now-unreferenced nodes. On build failure the partial subnetwork is
+    /// rolled back and the old chain keeps matching — the error is safe to
+    /// ignore.
+    ///
+    /// Observationally invisible: the new P node ends up storing the same
+    /// instantiations the old one did (asserted in debug builds), and no
+    /// conflict-set delta is emitted.
+    pub fn reorganize_production(
+        &mut self,
+        prod_idx: u32,
+        org: NetworkOrg,
+    ) -> Result<ReorgOutcome, BuildError> {
+        // Snapshot the old P node's instantiations (old pos_slots are still
+        // installed) to pin observational invisibility after the swap.
+        #[cfg(debug_assertions)]
+        let old_insts: Vec<Instantiation> = {
+            let old_p = self.net.prod_info(prod_idx).p_node;
+            let mut v: Vec<Instantiation> = self
+                .state
+                .mem
+                .left_tokens_of(old_p)
+                .iter()
+                .map(|(t, _)| instantiation_of(&self.net, &self.state.store, prod_idx, t))
+                .collect();
+            v.sort_by(|a, b| a.wmes.cmp(&b.wmes));
+            v
+        };
+        let rb = self.net.reorg_build(prod_idx, org)?;
+        let first_new = rb.first_new;
+        let p_node = rb.p_node;
+        let mut queue: VecDeque<(Activation, Option<u32>)> = VecDeque::new();
+        let mut tasks: Vec<TaskRecord> = Vec::new();
+        let mut cs_fold = CsFold::default();
+        let mut next_task: u32 = 0;
+
+        for a in seed_update(&self.net, &self.state.mem, first_new) {
+            queue.push_back((a, None));
+        }
+        let live: Vec<WmeId> = self.state.store.iter_alive().map(|(id, _)| id).collect();
+        for id in live {
+            let tid = next_task;
+            next_task += 1;
+            let mut emitted = 0u32;
+            let t0 = self.capture.then(std::time::Instant::now);
+            let (alpha, _) =
+                process_wme_change(&self.net, &self.state.store, id, 1, first_new, &mut |a| {
+                    queue.push_back((a, Some(tid)));
+                    emitted += 1;
+                });
+            if self.capture {
+                tasks.push(TaskRecord {
+                    id: tid,
+                    parent: None,
+                    node: 0,
+                    kind: TaskKind::Alpha,
+                    side: None,
+                    delta: 1,
+                    scanned: alpha.tests_run,
+                    hash_rejects: 0,
+                    skipped: 0,
+                    probes: alpha.probes,
+                    emitted,
+                    line: None,
+                    acquires: 0,
+                    wall_ns: wall_ns_since(t0),
+                });
+            }
+        }
+        self.drain(queue, first_new, &mut tasks, &mut cs_fold, &mut next_task);
+        let update_tasks = next_task as u64;
+        self.total_tasks += update_tasks;
+        if self.capture {
+            self.trace.cycles.push(CycleTrace { cycle: self.cycle_count, phase: Phase::Update, tasks });
+        }
+        // Swap the production over to the new chain, then drop the retired
+        // nodes' stored tokens. Order matters: the commit unplugs (or masks)
+        // the old chain, so state reads above must already be done.
+        let retired = self.net.reorg_commit(rb);
+        self.state.mem.purge_nodes(&retired);
+        // The update "conflict set" must be exactly the old instantiations,
+        // re-derived: nothing appears, nothing vanishes. (into_delta maps
+        // tokens through the *new* pos_slots, hence only valid post-commit.)
+        #[cfg(debug_assertions)]
+        {
+            let delta = cs_fold.into_delta(&self.net, &self.state.store);
+            assert!(delta.removed.is_empty(), "reorg update removed {:?}", delta.removed);
+            let mut added = delta.added;
+            added.sort_by(|a, b| a.wmes.cmp(&b.wmes));
+            assert_eq!(added, old_insts, "reorg changed production {prod_idx}'s matches");
+        }
+        #[cfg(debug_assertions)]
+        self.state.mem.assert_quiescent();
+        self.state.mem.end_cycle();
+        Ok(ReorgOutcome {
+            prod_idx,
+            first_new,
+            p_node,
+            update_tasks,
+            retired: retired.len(),
+        })
     }
 }
 

@@ -95,6 +95,17 @@ fn set_bit(bits: &mut Vec<u64>, cap: u32, i: u32) {
     bits[(i >> 6) as usize] |= 1u64 << (i & 63);
 }
 
+/// Set bit `i`, growing the bitmap as needed (the retired-node mask spans
+/// base *and* overlay ids, and the overlay keeps growing after a reorg).
+#[inline]
+fn set_bit_grow(bits: &mut Vec<u64>, i: u32) {
+    let word = (i >> 6) as usize;
+    if bits.len() <= word {
+        bits.resize(word + 1, 0);
+    }
+    bits[word] |= 1u64 << (i & 63);
+}
+
 /// A session's view of the network: shared frozen base + private overlay.
 pub struct SessionNet {
     topo: Arc<Topology>,
@@ -127,6 +138,17 @@ pub struct SessionNet {
     /// Production names recorded against shared *base* nodes (the
     /// monolithic build would have pushed onto the node's `prod_names`).
     extra_prod_names: FxHashMap<NodeId, Vec<Symbol>>,
+    /// Retired-node mask over **global** ids (base and overlay): a
+    /// reorganization cannot unplug the frozen base's successor lists, so
+    /// retired targets are masked out of propagation via
+    /// [`ReteView::edge_live`] instead. Empty until the first reorg.
+    retired_bits: Vec<u64>,
+    /// Number of bits set in `retired_bits`.
+    retired_count: usize,
+    /// Replacement [`ProdInfo`] for *base* productions this session has
+    /// reorganized (overlay productions are swapped in place). Empty in the
+    /// common un-reorganized session.
+    prod_overrides: FxHashMap<u32, ProdInfo>,
 }
 
 impl SessionNet {
@@ -153,7 +175,26 @@ impl SessionNet {
             alpha_splice_bits: Vec::new(),
             over_sigs: FxHashMap::default(),
             extra_prod_names: FxHashMap::default(),
+            retired_bits: Vec::new(),
+            retired_count: 0,
+            prod_overrides: FxHashMap::default(),
         }
+    }
+
+    /// Was `id` masked out by a reorganization in this session?
+    #[inline]
+    pub fn is_retired(&self, id: NodeId) -> bool {
+        bit_set(&self.retired_bits, id)
+    }
+
+    /// Nodes this session has retired (masked) via reorganization.
+    pub fn retired_nodes(&self) -> usize {
+        self.retired_count
+    }
+
+    /// Base productions this session has reorganized.
+    pub fn reorganized_prods(&self) -> usize {
+        self.prod_overrides.len()
     }
 
     /// The shared base topology.
@@ -287,6 +328,11 @@ impl ReteView for SessionNet {
     #[inline]
     fn prod_info(&self, prod: u32) -> &ProdInfo {
         if prod < self.base_prods {
+            if !self.prod_overrides.is_empty() {
+                if let Some(info) = self.prod_overrides.get(&prod) {
+                    return info;
+                }
+            }
             &self.topo.net().prods[prod as usize]
         } else {
             &self.over_prods[(prod - self.base_prods) as usize]
@@ -331,6 +377,11 @@ impl ReteView for SessionNet {
         }
         stats
     }
+
+    #[inline]
+    fn edge_live(&self, id: NodeId) -> bool {
+        !bit_set(&self.retired_bits, id)
+    }
 }
 
 impl BuildTarget for SessionNet {
@@ -350,13 +401,21 @@ impl BuildTarget for SessionNet {
     }
 
     fn find_shared_sig(&self, sig: &NodeSignature) -> Option<NodeId> {
-        self.topo.net().find_shared(sig).or_else(|| {
-            if self.sharing {
-                self.over_sigs.get(sig).copied()
-            } else {
-                None
-            }
-        })
+        // The frozen base's sharing index cannot drop entries this session
+        // retired, so both lookups filter through the session's mask —
+        // sharing into a masked-dead node would build a chain whose
+        // activations `edge_live` silently drops.
+        self.topo
+            .net()
+            .find_shared(sig)
+            .filter(|&id| !self.is_retired(id))
+            .or_else(|| {
+                if self.sharing {
+                    self.over_sigs.get(sig).copied().filter(|&id| !self.is_retired(id))
+                } else {
+                    None
+                }
+            })
     }
 
     fn note_shared(&mut self, id: NodeId, prod_name: Symbol) -> (bool, usize, usize) {
@@ -425,7 +484,7 @@ impl ReteBuild for SessionNet {
         org: NetworkOrg,
     ) -> Result<AddResult, BuildError> {
         let first_new = self.num_nodes() as NodeId;
-        match build_production(self, &prod, &org) {
+        match build_production(self, &prod, &org, None) {
             Ok((p_node, pos_slots, new_two, shared_two)) => {
                 let prod_idx = self.base_prods + self.over_prods.len() as u32;
                 self.over_prods.push(ProdInfo {
@@ -450,6 +509,88 @@ impl ReteBuild for SessionNet {
                 Err(e)
             }
         }
+    }
+
+    fn reorg_build(
+        &mut self,
+        prod_idx: u32,
+        org: NetworkOrg,
+    ) -> Result<crate::view::ReorgBuild, BuildError> {
+        if prod_idx as usize >= self.num_prods() {
+            return Err(BuildError(format!("no production {prod_idx} to reorganize")));
+        }
+        let prod = self.prod_info(prod_idx).production.clone();
+        let first_new = self.num_nodes() as NodeId;
+        match build_production(self, &prod, &org, Some(prod_idx)) {
+            Ok((p_node, pos_slots, new_two, shared_two)) => Ok(crate::view::ReorgBuild {
+                prod_idx,
+                org,
+                first_new,
+                p_node,
+                pos_slots,
+                new_two_input: new_two,
+                shared_two_input: shared_two,
+            }),
+            Err(e) => {
+                self.rollback_overlay(first_new);
+                Err(e)
+            }
+        }
+    }
+
+    fn reorg_commit(&mut self, rb: crate::view::ReorgBuild) -> Vec<NodeId> {
+        let name = self.prod_info(rb.prod_idx).production.name;
+        let old_p = self.prod_info(rb.prod_idx).p_node;
+        let old_chain = crate::view::chain_ancestors(self, old_p);
+        let new_chain = crate::view::chain_ancestors(self, rb.p_node);
+        let info = ProdInfo {
+            production: self.prod_info(rb.prod_idx).production.clone(),
+            p_node: rb.p_node,
+            pos_slots: rb.pos_slots,
+            first_new: rb.first_new,
+            new_two_input: rb.new_two_input,
+            shared_two_input: rb.shared_two_input,
+            org: rb.org,
+        };
+        if rb.prod_idx < self.base_prods {
+            self.prod_overrides.insert(rb.prod_idx, info);
+        } else {
+            self.over_prods[(rb.prod_idx - self.base_prods) as usize] = info;
+        }
+        let mut retired: Vec<NodeId> = Vec::new();
+        for &id in &old_chain {
+            if new_chain.binary_search(&id).is_ok() {
+                continue;
+            }
+            if id < self.base_nodes {
+                // The frozen base list cannot lose the name; retire only
+                // nodes this production owns outright, with no session
+                // chunk recorded on them either. A base node shared with
+                // another production simply stays live.
+                let n = self.topo.net().node(id);
+                if n.prod_names.len() == 1
+                    && n.prod_names[0] == name
+                    && self.extra_prod_names_of(id).is_empty()
+                {
+                    retired.push(id);
+                }
+            } else {
+                let n = &mut self.over_betas[(id - self.base_nodes) as usize];
+                n.prod_names.retain(|&s| s != name);
+                if n.prod_names.is_empty() {
+                    retired.push(id);
+                }
+            }
+        }
+        // Masking, not unplugging: frozen base successor lists keep their
+        // edges, `edge_live` filters them out of every propagation path.
+        for &id in &retired {
+            set_bit_grow(&mut self.retired_bits, id);
+        }
+        self.retired_count += retired.len();
+        // Keep chunk-to-chunk sharing away from masked nodes.
+        self.over_sigs.retain(|_, id| retired.binary_search(id).is_err());
+        retired
     }
 }
 

@@ -414,6 +414,16 @@ pub enum SnapOp {
         /// The network organization it was compiled under.
         org: NetworkOrg,
     },
+    /// `reorganize_production(prod_idx, org)` — an adaptive mid-run rebuild.
+    /// Deterministic given the ops before it, so replaying the op (rather
+    /// than the detector state that triggered it) reconstructs the same
+    /// rebuilt overlay.
+    Reorg {
+        /// Index of the production rebuilt.
+        prod_idx: u32,
+        /// The organization it was rebuilt under.
+        org: NetworkOrg,
+    },
 }
 
 /// The replayable delta log of one session's engine mutations.
@@ -457,6 +467,11 @@ impl Journal {
                 SnapOp::AddProd { prod, org } => {
                     w.u8(3);
                     w.str(&production_text(prod, reg));
+                    w.org(org);
+                }
+                SnapOp::Reorg { prod_idx, org } => {
+                    w.u8(4);
+                    w.u32(*prod_idx);
                     w.org(org);
                 }
             }
@@ -508,6 +523,11 @@ impl Journal {
                     let org = r.org()?;
                     SnapOp::AddProd { prod: Arc::new(prod), org }
                 }
+                4 => {
+                    let prod_idx = r.u32()?;
+                    let org = r.org()?;
+                    SnapOp::Reorg { prod_idx, org }
+                }
                 t => return Err(SnapshotError::Corrupt(format!("op tag {t}"))),
             };
             ops.push(op);
@@ -543,6 +563,11 @@ impl Journal {
                 SnapOp::AddProd { prod, org } => {
                     eng.add_production(prod.clone(), org.clone()).map_err(|e| {
                         SnapshotError::Replay(format!("op {i}: chunk rebuild failed: {e}"))
+                    })?;
+                }
+                SnapOp::Reorg { prod_idx, org } => {
+                    eng.reorganize_production(*prod_idx, org.clone()).map_err(|e| {
+                        SnapshotError::Replay(format!("op {i}: reorganization failed: {e}"))
                     })?;
                 }
             }
@@ -652,6 +677,18 @@ impl JournaledSession {
     ) -> Result<crate::serial::AddOutcome, crate::build::BuildError> {
         let out = self.eng.add_production(prod.clone(), org.clone())?;
         self.record(|| SnapOp::AddProd { prod, org });
+        Ok(out)
+    }
+
+    /// Journaled `reorganize_production`. Like failed chunk builds, failed
+    /// rebuilds roll back and are not recorded.
+    pub fn reorganize_production(
+        &mut self,
+        prod_idx: u32,
+        org: NetworkOrg,
+    ) -> Result<crate::serial::ReorgOutcome, crate::build::BuildError> {
+        let out = self.eng.reorganize_production(prod_idx, org.clone())?;
+        self.record(|| SnapOp::Reorg { prod_idx, org });
         Ok(out)
     }
 }
@@ -827,6 +864,49 @@ mod tests {
         let resumed = JournaledSession::resume(topo, decoded).unwrap();
         assert_eq!(session_digest(&live.eng), session_digest(&resumed.eng));
         // And the resumed session re-encodes to the identical bytes.
+        assert_eq!(resumed.journal().unwrap().encode(&reg), bytes);
+    }
+
+    #[test]
+    fn journaled_reorg_round_trips_and_replays() {
+        let mut reg = ClassRegistry::new();
+        reg.declare_str("anchor", &["id"]);
+        reg.declare_str("item", &["grp", "anchor", "val"]);
+        let mut net = ReteNetwork::new();
+        let p = parse_production(
+            "(p cross (anchor ^id <a>)
+                      (item ^grp 1 ^anchor <a> ^val <v1>)
+                      (item ^grp 2 ^anchor <a> ^val <v2>)
+                      (item ^grp 3 ^anchor <a> ^val <v3>)
+               --> (halt))",
+            &mut reg,
+        )
+        .unwrap();
+        let groups = crate::bilinear::plan_bilinear(&p, 1);
+        net.add_production(Arc::new(p), NetworkOrg::Linear).unwrap();
+        let topo = Topology::freeze(net);
+        let mut live = JournaledSession::fresh(topo.clone(), true);
+        let mut changes = Vec::new();
+        for g in 1..=3 {
+            for v in 0..4 {
+                let (id, _) =
+                    live.add_wme(parse_wme(&format!("(item ^grp {g} ^anchor a ^val {v})"), &reg).unwrap());
+                changes.push((id, 1));
+            }
+        }
+        let (id, _) = live.add_wme(parse_wme("(anchor ^id a)", &reg).unwrap());
+        changes.push((id, 1));
+        live.run_changes(changes);
+        let groups = groups.expect("cross production splits");
+        live.reorganize_production(0, NetworkOrg::Bilinear(groups)).unwrap();
+        // Keep matching after the rebuild so replay exercises the rebuilt net.
+        let (id, _) = live.add_wme(parse_wme("(item ^grp 1 ^anchor a ^val 9)", &reg).unwrap());
+        live.run_changes(vec![(id, 1)]);
+
+        let bytes = live.journal().unwrap().encode(&reg);
+        let decoded = Journal::decode(&bytes, &mut reg).unwrap();
+        let resumed = JournaledSession::resume(topo, decoded).unwrap();
+        assert_eq!(session_digest(&live.eng), session_digest(&resumed.eng));
         assert_eq!(resumed.journal().unwrap().encode(&reg), bytes);
     }
 

@@ -363,6 +363,133 @@ pub fn chain_wmes(classes: &ClassRegistry, n: usize) -> Vec<Wme> {
     out
 }
 
+/// Shape parameters for [`adversarial_chain`] — the worst-case
+/// cross-product workload for *linear* network organization.
+#[derive(Clone, Copy, Debug)]
+pub struct AdversarialConfig {
+    /// Independent variable groups (item/partner pairs). Must be ≥ 2; the
+    /// linear cross-product grows as `rounds^groups`, so 3 is already
+    /// super-quadratic.
+    pub groups: usize,
+    /// Working-memory rounds; each adds one item and one partner per group.
+    pub rounds: usize,
+}
+
+impl Default for AdversarialConfig {
+    fn default() -> AdversarialConfig {
+        AdversarialConfig { groups: 3, rounds: 16 }
+    }
+}
+
+/// An [`adversarial_chain`] instance: one production plus its incremental
+/// wme load, in rounds (one engine cycle each).
+#[derive(Debug)]
+pub struct AdversarialInstance {
+    /// Class declarations (`anchor`, `item`, `partner`).
+    pub classes: ClassRegistry,
+    /// The chain-dominant production.
+    pub production: Production,
+    /// Wme batches, one per cycle. Batch 0 carries the anchor and the
+    /// selected partners; every batch adds one item + one partner per group.
+    pub rounds: Vec<Vec<Wme>>,
+}
+
+/// Build the adversarial cross-product chain of §7: a production whose CE
+/// order under linear organization is
+///
+/// ```text
+/// (anchor ^id <a>) (item g1) … (item gG) (partner g1) … (partner gG)
+/// ```
+///
+/// where the item CEs join *only* on the anchor — every item join is a pure
+/// cross-product over all groups added so far — and each partner CE then
+/// collapses its group to the single `^sel yes` value. Intermediate token
+/// counts under linear organization grow as `rounds^groups` while the final
+/// conflict set stays at one instantiation, so total linear match work is
+/// Θ(rounds^(groups+1)) summed over the incremental load. The bilinear
+/// grouping `{item g, partner g}` (found by [`crate::bilinear::plan_bilinear`]
+/// with `k0 = 1`) filters each group before the spine cross-product ever
+/// forms, collapsing total work to Θ(rounds).
+///
+/// Deterministic: the same config always yields the same instance, and the
+/// final conflict set is naive-oracle-checkable at any prefix of rounds.
+pub fn adversarial_chain(cfg: AdversarialConfig) -> AdversarialInstance {
+    assert!(cfg.groups >= 2, "need at least two independent groups");
+    let mut classes = ClassRegistry::new();
+    classes.declare_str("anchor", &["id"]);
+    classes.declare_str("item", &["grp", "anchor", "val"]);
+    classes.declare_str("partner", &["grp", "anchor", "val", "sel"]);
+    let mut vars = VarTable::new();
+    let a = vars.var(intern("a"));
+    let mut ces = Vec::new();
+    ces.push(CondElem::Pos(Cond {
+        class: intern("anchor"),
+        tests: vec![FieldTest::Var { field: 0, pred: Pred::Eq, var: a }],
+    }));
+    let vals: Vec<psme_ops::VarId> =
+        (0..cfg.groups).map(|g| vars.var(intern(&format!("v{g}")))).collect();
+    for (g, &v) in vals.iter().enumerate() {
+        ces.push(CondElem::Pos(Cond {
+            class: intern("item"),
+            tests: vec![
+                FieldTest::Const { field: 0, pred: Pred::Eq, value: Value::Int(g as i64) },
+                FieldTest::Var { field: 1, pred: Pred::Eq, var: a },
+                FieldTest::Var { field: 2, pred: Pred::Eq, var: v },
+            ],
+        }));
+    }
+    for (g, &v) in vals.iter().enumerate() {
+        ces.push(CondElem::Pos(Cond {
+            class: intern("partner"),
+            tests: vec![
+                FieldTest::Const { field: 0, pred: Pred::Eq, value: Value::Int(g as i64) },
+                FieldTest::Var { field: 1, pred: Pred::Eq, var: a },
+                FieldTest::Var { field: 2, pred: Pred::Eq, var: v },
+                FieldTest::Const { field: 3, pred: Pred::Eq, value: Value::sym("yes") },
+            ],
+        }));
+    }
+    let production = Production::new(
+        intern(&format!("adv-cross-{}g", cfg.groups)),
+        ces,
+        vars.into_names(),
+        vec![],
+        vec![Action::Make { class: intern("anchor"), fields: vec![] }],
+    )
+    .expect("adversarial chain is structurally valid");
+
+    let item_decl = classes.get(intern("item")).unwrap().clone();
+    let partner_decl = classes.get(intern("partner")).unwrap().clone();
+    let anchor_decl = classes.get(intern("anchor")).unwrap().clone();
+    let mut rounds = Vec::with_capacity(cfg.rounds);
+    for r in 0..cfg.rounds {
+        let mut batch = Vec::new();
+        if r == 0 {
+            let mut w = Wme::empty(&anchor_decl);
+            w.fields[0] = Value::sym("a0");
+            batch.push(w);
+        }
+        for g in 0..cfg.groups {
+            let mut item = Wme::empty(&item_decl);
+            item.fields[0] = Value::Int(g as i64);
+            item.fields[1] = Value::sym("a0");
+            item.fields[2] = Value::Int(r as i64);
+            batch.push(item);
+            let mut partner = Wme::empty(&partner_decl);
+            partner.fields[0] = Value::Int(g as i64);
+            partner.fields[1] = Value::sym("a0");
+            partner.fields[2] = Value::Int(r as i64);
+            // Only round 0's partners are selected: every other partner is
+            // alpha-rejected, so the final conflict set stays at one
+            // instantiation no matter how many rounds run.
+            partner.fields[3] = Value::sym(if r == 0 { "yes" } else { "no" });
+            batch.push(partner);
+        }
+        rounds.push(batch);
+    }
+    AdversarialInstance { classes, production, rounds }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +530,64 @@ mod tests {
         }
         let insts = crate::naive::match_production(&p, &store);
         assert_eq!(insts.len(), 1);
+    }
+
+    #[test]
+    fn adversarial_chain_is_deterministic_and_oracle_small() {
+        let cfg = AdversarialConfig { groups: 3, rounds: 8 };
+        let a = adversarial_chain(cfg);
+        let b = adversarial_chain(cfg);
+        assert_eq!(format!("{}", a.production), format!("{}", b.production));
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.production.ces.len(), 7, "anchor + 3 items + 3 partners");
+        // Bilinear planning splits it at k0 = 1 into prefix + one group per
+        // item/partner pair.
+        let groups = crate::bilinear::plan_bilinear(&a.production, 1).unwrap();
+        assert_eq!(groups.len(), 4);
+        // The full load matches exactly once (the all-selected combination).
+        let mut store = crate::token::WmeStore::new();
+        for batch in &a.rounds {
+            for w in batch {
+                store.add(w.clone());
+            }
+        }
+        let insts = crate::naive::match_production(&a.production, &store);
+        assert_eq!(insts.len(), 1);
+    }
+
+    #[test]
+    fn adversarial_chain_blows_up_linear_but_not_bilinear() {
+        use crate::network::{NetworkOrg, ReteNetwork};
+        use crate::serial::SerialEngine;
+        use std::sync::Arc;
+        let run = |org: NetworkOrg, rounds: usize| -> u64 {
+            let inst = adversarial_chain(AdversarialConfig { groups: 3, rounds });
+            let mut e = SerialEngine::new(ReteNetwork::new());
+            e.add_production(Arc::new(inst.production), org).unwrap();
+            for batch in inst.rounds {
+                e.apply_changes(batch, vec![]);
+            }
+            e.total_tasks()
+        };
+        let groups = {
+            let inst = adversarial_chain(AdversarialConfig { groups: 3, rounds: 2 });
+            crate::bilinear::plan_bilinear(&inst.production, 1).unwrap()
+        };
+        // Doubling the load must grow linear work ≈8× (cubic) but bilinear
+        // work only ≈2× (linear); leave slack for constant terms.
+        let lin_s = run(NetworkOrg::Linear, 12);
+        let lin_d = run(NetworkOrg::Linear, 24);
+        let bil_s = run(NetworkOrg::Bilinear(groups.clone()), 12);
+        let bil_d = run(NetworkOrg::Bilinear(groups), 24);
+        assert!(
+            lin_d as f64 / (lin_s as f64) > 4.0,
+            "linear must grow super-quadratically: {lin_s} → {lin_d}"
+        );
+        assert!(
+            bil_d as f64 / (bil_s as f64) < 3.0,
+            "bilinear must stay near-linear: {bil_s} → {bil_d}"
+        );
+        assert!(lin_d / bil_d >= 5, "worst case must dominate: {lin_d} vs {bil_d}");
     }
 
     #[test]

@@ -40,7 +40,9 @@ fn outputs_of_old_node<N: ReteView + ?Sized>(
     }
     let n = net.node(node);
     for &(child, side) in n.out_edges.iter().chain(net.extra_out_edges(node)) {
-        if child < first_new {
+        // A consumer masked into a session's retired pool has a purged
+        // memory — reading it would seed nothing. Skip to a live one.
+        if child < first_new && net.edge_live(child) {
             return match side {
                 Side::Left => mem.left_tokens_of(child),
                 Side::Right => mem.right_tokens_of(child),

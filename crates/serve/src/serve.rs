@@ -51,7 +51,7 @@ use psme_core::{QueueStats, Scheduler, TaskQueues};
 use psme_obs::{
     FlightRecorder, Json, Quantiles, Reservoir, TraceConfig, TraceKind, TraceLog, TraceRing,
 };
-use psme_rete::Topology;
+use psme_rete::{ReorgConfig, Topology};
 use psme_soar::StopReason;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -177,6 +177,14 @@ pub struct ServeConfig {
     pub tier: Option<TierConfig>,
     /// Worker-pool sharding (default: one shard = the classic loop).
     pub shard: ShardConfig,
+    /// Adaptive join reorganization. `None` (the default) serves exactly
+    /// as before. `Some` arms every session's chain detector with this
+    /// config: chain-dominant productions are rebuilt bilinearly mid-run,
+    /// into the session's private overlay — the shared base topology is
+    /// never mutated. Committed reorganizations surface as
+    /// `TraceKind::ReorgCommitted` events and in each session's
+    /// `stats.reorganizations`.
+    pub reorg: Option<ReorgConfig>,
 }
 
 impl Default for ServeConfig {
@@ -191,6 +199,7 @@ impl Default for ServeConfig {
             trace: TraceConfig::default(),
             tier: None,
             shard: ShardConfig::default(),
+            reorg: None,
         }
     }
 }
@@ -285,6 +294,29 @@ const OCCUPANCY_SPLIT: f64 = 0.75;
 /// Occupancy below which pools are mostly idle and shards could merge.
 const OCCUPANCY_MERGE: f64 = 0.25;
 
+/// Shard-count hint from observed per-shard dispatch-bus occupancies.
+///
+/// Split (double) when the *mean* occupancy saturates — the buses
+/// collectively have no headroom, so more buses help even if one shard is
+/// lighter. Merge (halve) only when **every** shard is mostly idle: halving
+/// doubles each surviving bus's load, so a single busy shard vetoes the
+/// merge — a mean-based merge would fold a hot shard onto a cold one and
+/// saturate it.
+pub fn recommend_shards_from_occupancy(current: usize, occupancies: &[f64]) -> usize {
+    let current = current.max(1);
+    if occupancies.is_empty() {
+        return current;
+    }
+    let mean = occupancies.iter().sum::<f64>() / occupancies.len() as f64;
+    if mean > OCCUPANCY_SPLIT {
+        current * 2
+    } else if current > 1 && occupancies.iter().all(|&o| o < OCCUPANCY_MERGE) {
+        current / 2
+    } else {
+        current
+    }
+}
+
 /// Outcome of one [`serve`] call.
 #[derive(Debug)]
 pub struct ServeReport {
@@ -334,21 +366,16 @@ impl ServeReport {
         self.shards.iter().map(|s| s.bus_occupancy).sum::<f64>() / self.shards.len() as f64
     }
 
-    /// Shard-count hint from observed dispatch-bus occupancy — groundwork
-    /// for autotuning. Saturated buses (mean occupancy above 75%) suggest
-    /// doubling the pool count to add bus bandwidth; mostly-idle buses
-    /// (below 25%, more than one shard) suggest halving it to restore
-    /// locality. In between, the current count stands.
+    /// Shard-count hint from the observed per-shard dispatch-bus
+    /// occupancies — groundwork for autotuning. Saturated buses (mean
+    /// occupancy above 75%) suggest doubling the pool count to add bus
+    /// bandwidth; halving needs *every* shard mostly idle (below 25%), so
+    /// one hot shard vetoes a merge that would saturate its new pool. In
+    /// between, the current count stands. See
+    /// [`recommend_shards_from_occupancy`].
     pub fn recommended_shards(&self) -> usize {
-        let shards = self.shards.len().max(1);
-        let occ = self.mean_bus_occupancy();
-        if occ > OCCUPANCY_SPLIT {
-            shards * 2
-        } else if occ < OCCUPANCY_MERGE && shards > 1 {
-            shards / 2
-        } else {
-            shards
-        }
+        let occ: Vec<f64> = self.shards.iter().map(|s| s.bus_occupancy).collect();
+        recommend_shards_from_occupancy(self.shards.len().max(1), &occ)
     }
 
     /// Serialize for artifacts.
@@ -539,6 +566,7 @@ fn run_slice(
         None => inner.cfg.slice_decisions.max(1),
     };
     let cyc0 = sess.agent.stats.decisions;
+    let reorg0 = sess.agent.stats.reorganizations;
     ring.emit(TraceKind::SliceStart, idx as u32, cyc0, cyc0, wait_ns as u64);
     let slice_start = Instant::now();
     let mut stop = None;
@@ -556,6 +584,13 @@ fn run_slice(
     }
     let cyc1 = sess.agent.stats.decisions;
     let exec_ns = slice_start.elapsed().as_nanos() as u64;
+    // Reorganizations committed inside this slice (arg = count, not ns:
+    // the per-reorg production index lives in the agent's own trace; here
+    // the session id is the useful coordinate).
+    let reorgs = sess.agent.stats.reorganizations - reorg0;
+    if reorgs > 0 {
+        ring.emit(TraceKind::ReorgCommitted, idx as u32, cyc0, cyc1, reorgs);
+    }
     ring.emit(TraceKind::SliceEnd, idx as u32, cyc0, cyc1, exec_ns);
     stop
 }
@@ -638,7 +673,7 @@ pub(crate) fn admit_pending(
             st.live.fetch_sub(1, Ordering::AcqRel);
             return;
         };
-        let mut s = Session::build(inner.spec(n), &inner.topo, false);
+        let mut s = Session::build(inner.spec(n), &inner.topo, false, inner.cfg.reorg.as_ref());
         {
             let slot = inner.slots[n].lock().expect("slot lock");
             s.credit = slot.grant.map(|g| g.saturating_add(slot.credit_due));
@@ -751,7 +786,8 @@ fn step_session(
             let mut sess = match checkout {
                 Checkout::Live(s) => *s,
                 Checkout::Start => {
-                    let s = Session::build(inner.spec(idx), &inner.topo, true);
+                    let s =
+                        Session::build(inner.spec(idx), &inner.topo, true, inner.cfg.reorg.as_ref());
                     ring.emit(TraceKind::Admitted, idx as u32, 0, 0, 0);
                     s
                 }
@@ -759,8 +795,13 @@ fn step_session(
                     // Verify + replay outside the store lock; the slot is
                     // marked Running, so the id is exclusively ours.
                     let t0 = Instant::now();
-                    let s = Session::resume(inner.spec(idx), &inner.topo, &bytes)
-                        .expect("snapshot encoded by this run must resume");
+                    let s = Session::resume(
+                        inner.spec(idx),
+                        &inner.topo,
+                        &bytes,
+                        inner.cfg.reorg.as_ref(),
+                    )
+                    .expect("snapshot encoded by this run must resume");
                     let ns = t0.elapsed().as_nanos() as f64;
                     store.note_resume_ns(ns);
                     let cyc = s.agent.stats.decisions;
@@ -1111,7 +1152,8 @@ pub fn serve(topo: Arc<Topology>, specs: Vec<SessionSpec>, cfg: ServeConfig) -> 
                 }
             } else {
                 for (k, i) in live[s].iter().copied().enumerate() {
-                    let sess = Session::build(inner.spec(i), &inner.topo, false);
+                    let sess =
+                        Session::build(inner.spec(i), &inner.topo, false, inner.cfg.reorg.as_ref());
                     inner.slots[i].lock().expect("slot lock").sess = Some(sess);
                     ctl_ring.emit(TraceKind::Admitted, i as u32, 0, 0, 0);
                     inner.shards[s].queues.push_seed(

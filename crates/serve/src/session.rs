@@ -3,7 +3,8 @@
 use psme_obs::{Json, Quantiles};
 use psme_rete::snapshot::{ByteReader, ByteWriter, Journal};
 use psme_rete::{
-    open_frame, seal_frame, JournaledSession, ReteNetwork, SerialEngine, SnapshotError, Topology,
+    open_frame, seal_frame, JournaledSession, ReorgConfig, ReteNetwork, SerialEngine,
+    SnapshotError, Topology,
 };
 use psme_soar::{Agent, AgentStats, SoarTask, StopReason};
 use std::sync::Arc;
@@ -146,11 +147,21 @@ impl Session {
     /// are adopted (already compiled into the base), initial wmes and the
     /// top goal materialize in this session's own [`psme_rete::MatchState`].
     /// `journaled` enables the op journal (required to hibernate later).
-    pub(crate) fn build(spec: &SessionSpec, topo: &Arc<Topology>, journaled: bool) -> Session {
+    /// `reorg` arms the adaptive chain detector over this session's private
+    /// overlay — reorganizations land in the overlay, never the shared base.
+    pub(crate) fn build(
+        spec: &SessionSpec,
+        topo: &Arc<Topology>,
+        journaled: bool,
+        reorg: Option<&ReorgConfig>,
+    ) -> Session {
         let engine = JournaledSession::fresh(topo.clone(), journaled);
         let mut agent = Agent::new(engine, spec.task.classes.clone());
         spec.task.install_adopted(&mut agent);
         agent.learning = spec.learning;
+        if let Some(cfg) = reorg {
+            agent.enable_adaptive_reorg(cfg.clone());
+        }
         Session {
             name: spec.name.clone(),
             agent,
@@ -191,10 +202,15 @@ impl Session {
     /// architecture shell over the replayed engine. Every failure is a
     /// typed [`SnapshotError`] — a corrupted snapshot never panics and
     /// never yields a silently wrong session.
+    /// `reorg` re-arms the chain detector with a fresh cost window — the
+    /// detector's EWMA state is deliberately not persisted (it is a
+    /// heuristic over recent load, stale after hibernation), but committed
+    /// reorganizations themselves replay from the op journal.
     pub(crate) fn resume(
         spec: &SessionSpec,
         topo: &Arc<Topology>,
         bytes: &[u8],
+        reorg: Option<&ReorgConfig>,
     ) -> Result<Session, SnapshotError> {
         let payload = open_frame(bytes, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
         let mut r = ByteReader::new(payload);
@@ -214,6 +230,9 @@ impl Session {
         }
         let slices = r.u64()?;
         r.expect_done()?;
+        if let Some(cfg) = reorg {
+            agent.enable_adaptive_reorg(cfg.clone());
+        }
         Ok(Session { name: spec.name.clone(), agent, cycle_ns, wait_ns, slices, credit: None })
     }
 

@@ -13,7 +13,7 @@ use psme_ops::{
     Wme, WmeId,
 };
 use psme_rete::util::{FxHashMap, FxHashSet};
-use psme_rete::{CsDelta, NetworkOrg};
+use psme_rete::{ChainDetector, CsDelta, NetworkOrg, ReorgConfig};
 use std::sync::Arc;
 
 /// Run counters.
@@ -35,6 +35,8 @@ pub struct AgentStats {
     pub wme_removes: u64,
     /// Match tasks spent in chunk state updates (Figure 6-9's phase).
     pub update_tasks: u64,
+    /// Adaptive mid-run join reorganizations committed.
+    pub reorganizations: u64,
 }
 
 /// Why a run ended.
@@ -83,6 +85,9 @@ pub struct Agent<E: MatchEngine> {
     /// Per-production organization overrides (the §7 adaptive-bilinear
     /// loop sets these from trace diagnosis).
     pub org_overrides: FxHashMap<Symbol, NetworkOrg>,
+    /// Online chain-dominance detector; `Some` arms adaptive mid-run
+    /// reorganization (see [`Agent::enable_adaptive_reorg`]).
+    pub reorg_detector: Option<ChainDetector>,
     /// Elaboration-cycle budget per phase (runaway guard).
     pub max_elab_cycles: u64,
     /// Control-thread span recorder: match, conflict resolution, decide and
@@ -113,9 +118,49 @@ impl<E: MatchEngine> Agent<E> {
             halt_requested: false,
             org: NetworkOrg::Linear,
             org_overrides: FxHashMap::default(),
+            reorg_detector: None,
             max_elab_cycles: 400,
             recorder: Recorder::new(),
         }
+    }
+
+    /// Arm adaptive mid-run reorganization: the engine starts accumulating
+    /// per-node match costs, and [`Agent::step`] polls the detector at each
+    /// quiescent decision boundary, rebuilding flagged linear chains
+    /// bilinearly in place.
+    pub fn enable_adaptive_reorg(&mut self, cfg: ReorgConfig) {
+        self.engine.set_cost_profiling(true);
+        self.reorg_detector = Some(ChainDetector::new(cfg));
+    }
+
+    /// Poll the chain detector (if armed) and act on its decision. Runs at
+    /// the quiescent boundary between the elaboration and decision phases —
+    /// exactly where a chunk add would run, so the same §5.2 machinery
+    /// applies. A failed rebuild rolls back and the old chain keeps
+    /// matching; the decided org override still steers any future rebuild
+    /// of the same production (e.g. on session resume).
+    fn maybe_reorganize(&mut self) {
+        let Some(mut det) = self.reorg_detector.take() else { return };
+        let stride = det.config().poll_stride.max(1);
+        if !self.stats.decisions.is_multiple_of(stride) {
+            self.reorg_detector = Some(det);
+            return;
+        }
+        if let Some(d) = self.engine.poll_reorg(&mut det) {
+            let span = self.recorder.start(ControlPhase::NetworkSurgery);
+            match self.engine.reorganize_production(d.prod_idx, d.org.clone()) {
+                Ok(out) => {
+                    self.stats.reorganizations += 1;
+                    self.stats.update_tasks += out.update_tasks;
+                    self.org_overrides.insert(d.name, d.org);
+                }
+                Err(_) => {
+                    // Rolled back; keep matching on the old chain.
+                }
+            }
+            self.recorder.finish_seq(span, self.stats.decisions);
+        }
+        self.reorg_detector = Some(det);
     }
 
     /// Mint a fresh identifier.
@@ -648,6 +693,9 @@ impl<E: MatchEngine> Agent<E> {
         assert!(!self.stack.is_empty(), "push_top_goal first");
         if let Err(r) = self.elaboration_phase() {
             return Some(r);
+        }
+        if self.reorg_detector.is_some() {
+            self.maybe_reorganize();
         }
         if self.halt_requested {
             return Some(StopReason::Halted);

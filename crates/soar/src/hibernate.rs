@@ -172,6 +172,7 @@ pub fn encode_shell<E: MatchEngine>(agent: &Agent<E>, w: &mut ByteWriter) {
         st.wme_adds,
         st.wme_removes,
         st.update_tasks,
+        st.reorganizations,
     ] {
         w.u64(v);
     }
@@ -303,6 +304,7 @@ pub fn decode_shell<E: MatchEngine>(
         wme_adds: r.u64()?,
         wme_removes: r.u64()?,
         update_tasks: r.u64()?,
+        reorganizations: r.u64()?,
     };
     agent.learning = r.bool()?;
     agent.halt_requested = r.bool()?;
